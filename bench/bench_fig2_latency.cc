@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fig. 2: memory latency on GPU and CPU with different allocators,
+ * pointer-chase (multichase) methodology, buffer sizes 1 KiB - 4 GiB.
+ *
+ * Expected shapes (paper Section 4.1):
+ *  - GPU plateaus: ~57 ns (L1), ~100-108 ns (L2), ~205-218 ns (IC),
+ *    ~333-350 ns (HBM); insensitive to the allocator.
+ *  - CPU far lower everywhere; all allocators plateau ~240 ns by 2 GiB.
+ *  - Between L3 (96 MiB) and the plateau, HIP allocators climb
+ *    gradually (Infinity Cache hits) while malloc and malloc+register
+ *    are already at ~230 ns by 512 MiB (no IC benefit).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/latency_probe.hh"
+
+using namespace upm;
+using AK = alloc::AllocatorKind;
+
+int
+main()
+{
+    setQuiet(true);
+    bench::banner("Figure 2",
+                  "Pointer-chase latency vs buffer size per allocator");
+
+    const std::vector<std::uint64_t> sizes = {
+        1 * KiB,   16 * KiB,  256 * KiB, 1 * MiB,  16 * MiB, 96 * MiB,
+        128 * MiB, 256 * MiB, 512 * MiB, 1 * GiB,  2 * GiB,  4 * GiB,
+    };
+    const struct
+    {
+        AK kind;
+        const char *name;
+    } allocators[] = {
+        {AK::Malloc, "malloc"},
+        {AK::MallocRegistered, "malloc+register"},
+        {AK::HipMalloc, "hipMalloc"},
+        {AK::HipHostMalloc, "hipHostMalloc"},
+        {AK::HipMallocManaged, "hipMallocManaged"},
+    };
+    constexpr std::size_t kNumAllocators = std::size(allocators);
+
+    // One measurement per (allocator, size); reused for both tables.
+    std::vector<std::vector<core::LatencyPoint>> points(kNumAllocators);
+    for (std::size_t a = 0; a < kNumAllocators; ++a) {
+        core::System sys;
+        core::LatencyProbe probe(sys);
+        points[a] = probe.sweep(allocators[a].kind, sizes,
+                                core::FirstTouch::Cpu);
+    }
+
+    for (bool gpu_side : {true, false}) {
+        std::printf("\n%s chase latency (ns):\n", gpu_side ? "GPU" : "CPU");
+        std::printf("%-10s", "size");
+        for (const auto &a : allocators)
+            std::printf(" %16s", a.name);
+        std::printf("\n");
+        for (std::size_t s = 0; s < sizes.size(); ++s) {
+            std::printf("%-10s", bench::fmtBytes(sizes[s]).c_str());
+            for (std::size_t a = 0; a < kNumAllocators; ++a) {
+                const auto &p = points[a][s];
+                std::printf(" %16.1f",
+                            gpu_side ? p.gpuLatency : p.cpuLatency);
+            }
+            std::printf("\n");
+        }
+    }
+    return 0;
+}

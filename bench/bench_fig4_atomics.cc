@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fig. 4: isolated atomics throughput (parallel histogram) in billion
+ * updates/s on arrays of 2^0, 2^10, 2^20, 2^30 elements, UINT64 and
+ * FP64, across thread counts.
+ *
+ * Expected shapes (paper Section 4.4):
+ *  - CPU: 1-element anti-scales; 1K contended (FP64 1K at or below
+ *    1G); 1M fastest and scaling linearly; 1G scales with lower slope;
+ *    UINT64 ~3x FP64 (x86 has no native FP atomic -> CAS loop).
+ *  - GPU: FP64 == UINT64 (native atomics at the L2 atomic units);
+ *    far above the CPU except at tiny thread counts or 1 element;
+ *    1M highest.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "core/atomics_probe.hh"
+
+using namespace upm;
+using core::AtomicType;
+
+int
+main()
+{
+    setQuiet(true);
+    bench::banner("Figure 4",
+                  "Isolated CPU and GPU atomics throughput (Gupdates/s)");
+
+    const std::uint64_t kSizes[] = {1, 1ull << 10, 1ull << 20, 1ull << 30};
+    const char *kSizeNames[] = {"1", "1K", "1M", "1G"};
+
+    core::System sys;
+    core::AtomicsProbe probe(sys);
+
+    for (AtomicType type : {AtomicType::Uint64, AtomicType::Fp64}) {
+        const char *tname =
+            type == AtomicType::Uint64 ? "UINT64" : "FP64";
+
+        std::printf("\nCPU threads sweep (%s):\n%-8s", tname, "array");
+        const unsigned cpu_threads[] = {1, 2, 3, 6, 12, 18, 24};
+        for (unsigned t : cpu_threads)
+            std::printf(" %8uT", t);
+        std::printf("\n");
+        for (std::size_t s = 0; s < 4; ++s) {
+            std::printf("%-8s", kSizeNames[s]);
+            for (unsigned t : cpu_threads) {
+                std::printf(" %9.3f",
+                            probe.cpuThroughput(kSizes[s], t, type));
+            }
+            std::printf("\n");
+        }
+
+        std::printf("\nGPU threads sweep (%s):\n%-8s", tname, "array");
+        const unsigned gpu_threads[] = {64,   256,   1024, 3328,
+                                        6400, 12800, 24576};
+        for (unsigned t : gpu_threads)
+            std::printf(" %8uT", t);
+        std::printf("\n");
+        for (std::size_t s = 0; s < 4; ++s) {
+            std::printf("%-8s", kSizeNames[s]);
+            for (unsigned t : gpu_threads) {
+                std::printf(" %9.3f",
+                            probe.gpuThroughput(kSizes[s], t, type));
+            }
+            std::printf("\n");
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fig. 5: relative performance of CPU (first table per type) and GPU
+ * (second) atomics when co-running on the same array, normalized to
+ * the isolated throughput of Fig. 4.
+ *
+ * Expected shapes (paper Section 4.4):
+ *  - 1K array: heavy contention; CPU falls to 11-25% once >= 3328 GPU
+ *    threads run, while the GPU stays near baseline until both sides
+ *    are large (dropping to ~79%).
+ *  - 1M array: mild *speedups* for UINT64 (CPU up to ~1.14x around
+ *    6 CPU x 2304-6400 GPU threads; GPU ~1.01-1.03x); FP64 CPU loses
+ *    at the extremes of the GPU thread range.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "core/atomics_probe.hh"
+
+using namespace upm;
+using core::AtomicType;
+
+int
+main()
+{
+    setQuiet(true);
+    bench::banner("Figure 5",
+                  "Hybrid CPU+GPU atomics, relative to isolated runs");
+
+    const std::uint64_t kSizes[] = {1ull << 10, 1ull << 20};
+    const char *kSizeNames[] = {"1K", "1M"};
+    const unsigned cpu_threads[] = {1, 3, 6, 12};
+    const unsigned gpu_threads[] = {64,   1280,  3328, 6400,
+                                    10496, 24576};
+
+    core::System sys;
+    core::AtomicsProbe probe(sys);
+
+    for (AtomicType type : {AtomicType::Uint64, AtomicType::Fp64}) {
+        const char *tname =
+            type == AtomicType::Uint64 ? "UINT64" : "FP64";
+        for (std::size_t s = 0; s < 2; ++s) {
+            std::printf("\n%s %s array -- rows: CPU threads, cols: GPU "
+                        "threads; cells: cpuRel/gpuRel\n",
+                        tname, kSizeNames[s]);
+            std::printf("%-6s", "");
+            for (unsigned g : gpu_threads)
+                std::printf(" %11uG", g);
+            std::printf("\n");
+            for (unsigned c : cpu_threads) {
+                std::printf("%4uC  ", c);
+                for (unsigned g : gpu_threads) {
+                    auto r = probe.hybrid(kSizes[s], c, g, type);
+                    std::printf("  %4.2f/%4.2f ", r.cpuRelative,
+                                r.gpuRelative);
+                }
+                std::printf("\n");
+            }
+        }
+    }
+    return 0;
+}

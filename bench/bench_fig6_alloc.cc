@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fig. 6 (and the Section 5.1 deallocation discussion): allocation and
+ * free time per allocator over sizes 2 B - 1 GiB, N chunks per loop.
+ *
+ * Expected shapes:
+ *  - malloc: ~14 ns small, ~6 us at 1 GiB (on-demand, no populate).
+ *  - up-front allocators constant up to their 16 KiB granularity,
+ *    then linear: hipMalloc -> ~37 ms at 1 GiB; hipHostMalloc /
+ *    hipMallocManaged(XNACK=0) -> 200-400 ms at 1 GiB.
+ *  - hipMallocManaged(XNACK=1): constant regardless of size.
+ *  - free: faster than malloc until ~16 MiB then 4-9x slower;
+ *    hipFree up to ~22x slower than hipMalloc at 256 MiB.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/alloc_probe.hh"
+
+using namespace upm;
+using AK = alloc::AllocatorKind;
+
+int
+main()
+{
+    setQuiet(true);
+    bench::banner("Figure 6", "Allocation/free time per allocator");
+
+    const std::vector<std::uint64_t> sizes = {
+        2,         32,        1 * KiB,   16 * KiB,  256 * KiB,
+        2 * MiB,   16 * MiB,  32 * MiB,  256 * MiB, 1 * GiB,
+    };
+    const struct
+    {
+        AK kind;
+        const char *name;
+        bool xnack;
+    } allocators[] = {
+        {AK::Malloc, "malloc", false},
+        {AK::HipMalloc, "hipMalloc", false},
+        {AK::HipHostMalloc, "hipHostMalloc", false},
+        {AK::HipMallocManaged, "managed(X=0)", false},
+        {AK::HipMallocManaged, "managed(X=1)", true},
+    };
+
+    for (bool is_free : {false, true}) {
+        std::printf("\n%s time per call:\n%-10s",
+                    is_free ? "free" : "allocation", "size");
+        for (const auto &a : allocators)
+            std::printf(" %14s", a.name);
+        std::printf("\n");
+        for (std::uint64_t size : sizes) {
+            std::printf("%-10s", bench::fmtBytes(size).c_str());
+            for (const auto &a : allocators) {
+                core::System sys;
+                sys.runtime().setXnack(a.xnack);
+                core::AllocProbe probe(sys);
+                auto point = probe.measure(a.kind, size);
+                std::printf(" %14s",
+                            bench::fmtTime(is_free ? point.freeMean
+                                                   : point.allocMean)
+                                .c_str());
+            }
+            std::printf("\n");
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared helpers for the per-figure bench binaries: pretty units and
+ * the standard header each bench prints (what it reproduces, at what
+ * model scale).
+ */
+
+#ifndef UPM_BENCH_BENCH_UTIL_HH
+#define UPM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "common/log.hh"
+#include "common/units.hh"
+
+namespace upm::bench {
+
+/** Print the standard bench banner. */
+inline void
+banner(const char *artifact, const char *what)
+{
+    std::printf("==============================================================\n");
+    std::printf("upmsim reproduction of %s\n", artifact);
+    std::printf("%s\n", what);
+    std::printf("model scale: 8 GiB simulated HBM (real MI300A: 128 GiB); "
+                "timing is model-simulated\n");
+    std::printf("==============================================================\n");
+}
+
+/** Human-readable byte count (KiB/MiB/GiB). */
+inline std::string
+fmtBytes(std::uint64_t bytes)
+{
+    if (bytes >= GiB && bytes % GiB == 0)
+        return strprintf("%llu GiB",
+                         static_cast<unsigned long long>(bytes / GiB));
+    if (bytes >= MiB && bytes % MiB == 0)
+        return strprintf("%llu MiB",
+                         static_cast<unsigned long long>(bytes / MiB));
+    if (bytes >= KiB && bytes % KiB == 0)
+        return strprintf("%llu KiB",
+                         static_cast<unsigned long long>(bytes / KiB));
+    return strprintf("%llu B", static_cast<unsigned long long>(bytes));
+}
+
+/** Human-readable time from nanoseconds. */
+inline std::string
+fmtTime(double ns)
+{
+    if (ns >= 1e9)
+        return strprintf("%.3g s", ns / 1e9);
+    if (ns >= 1e6)
+        return strprintf("%.3g ms", ns / 1e6);
+    if (ns >= 1e3)
+        return strprintf("%.3g us", ns / 1e3);
+    return strprintf("%.3g ns", ns);
+}
+
+} // namespace upm::bench
+
+#endif // UPM_BENCH_BENCH_UTIL_HH

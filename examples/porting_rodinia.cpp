@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Example: porting an application to the unified memory model.
+ *
+ * Walks through the Section 3.3 porting strategies on live objects --
+ * UnifiedBuffer replacing a host/device pair, DoubleBuffer replacing a
+ * copy, the reliable free-memory query replacing hipMemGetInfo -- and
+ * then runs the hotspot workload in both models to show the payoff.
+ *
+ * Run: ./build/examples/example_porting_rodinia
+ */
+
+#include <cstdio>
+
+#include "common/log.hh"
+#include "core/porting.hh"
+#include "workloads/hotspot.hh"
+
+using namespace upm;
+
+int
+main()
+{
+    setQuiet(true);
+    core::System sys;
+    auto &rt = sys.runtime();
+
+    std::printf("Porting strategies (paper Section 3.3):\n\n");
+
+    // Strategy: one unified buffer instead of a host/device pair.
+    {
+        core::UnifiedBuffer<float> buf(rt, 1 << 20);
+        buf[0] = 42.0f;  // CPU writes...
+        hip::KernelDesc k;
+        k.buffers.push_back({buf.devicePtr(), buf.bytes(), buf.bytes()});
+        rt.launchKernel(k, [&] { buf[1] = buf[0] * 2.0f; });
+        rt.deviceSynchronize();  // ...GPU reads, no copy anywhere.
+        std::printf("  UnifiedBuffer: CPU wrote %.0f, GPU computed %.0f "
+                    "-- zero hipMemcpy calls (%llu issued)\n",
+                    42.0, static_cast<double>(buf[1]),
+                    static_cast<unsigned long long>(
+                        rt.stats().memcpyCalls));
+    }
+
+    // Strategy: double buffering for concurrent CPU-GPU access.
+    {
+        core::DoubleBuffer<float> frames(rt, 1 << 16);
+        frames.front()[0] = 1.0f;  // CPU fills the front...
+        frames.swap();             // ...and swaps instead of copying.
+        std::printf("  DoubleBuffer: swap() is O(1); back()[0] == %.0f\n",
+                    static_cast<double>(frames.back()[0]));
+    }
+
+    // Strategy: reliable memory-usage counters.
+    {
+        hip::DevPtr p = rt.hostMalloc(512 * MiB);
+        rt.cpuFirstTouch(p, 512 * MiB);
+        std::printf("  Free memory after 512 MiB malloc+touch: "
+                    "hipMemGetInfo says %llu MiB free (blind!), "
+                    "libnuma says %llu MiB free\n",
+                    static_cast<unsigned long long>(
+                        core::legacyFreeMemory(sys) / MiB),
+                    static_cast<unsigned long long>(
+                        core::reliableFreeMemory(sys) / MiB));
+        rt.hipFree(p);
+    }
+
+    // The payoff: hotspot in both models.
+    std::printf("\nhotspot, explicit vs unified:\n");
+    workloads::Hotspot hotspot;
+    workloads::RunReport e, u;
+    {
+        core::System s;
+        e = hotspot.run(s, workloads::Model::Explicit);
+    }
+    {
+        core::System s;
+        u = hotspot.run(s, workloads::Model::Unified);
+    }
+    std::printf("  explicit: %6.2f ms total, %4llu MiB peak\n",
+                e.totalTime / 1e6,
+                static_cast<unsigned long long>(e.peakMemory / MiB));
+    std::printf("  unified:  %6.2f ms total, %4llu MiB peak "
+                "(results identical: %s)\n",
+                u.totalTime / 1e6,
+                static_cast<unsigned long long>(u.peakMemory / MiB),
+                e.checksum == u.checksum ? "yes" : "NO");
+    return 0;
+}

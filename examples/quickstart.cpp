@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Quickstart: the 60-second tour of upmsim.
+ *
+ * Builds a simulated MI300A, shows the two programming models from the
+ * paper's Listings 1 and 2 side by side -- the explicit model with its
+ * duplicated buffers and hipMemcpy calls, and the UPM unified model
+ * with a single allocation -- and prints what each costs.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/example_quickstart
+ */
+
+#include <cstdio>
+
+#include "common/log.hh"
+#include "core/system.hh"
+
+using namespace upm;
+
+namespace {
+
+/** Listing 1: the explicit model. */
+SimTime
+explicitModel(core::System &sys, std::uint64_t n)
+{
+    auto &rt = sys.runtime();
+    SimTime start = rt.now();
+
+    hip::DevPtr h = rt.hostMalloc(n);   // float *h = cpu_alloc(n);
+    hip::DevPtr d = rt.hipMalloc(n);    // float *d = gpu_alloc(n);
+
+    rt.cpuFirstTouch(h, n);             // init_on_cpu(h);
+    float *host = rt.hostPtr<float>(h, n / sizeof(float));
+    for (std::uint64_t i = 0; i < n / sizeof(float); i += 16)
+        host[i] = static_cast<float>(i);
+
+    rt.hipMemcpy(d, h, n);              // copy_to_gpu(d, h, n);
+
+    hip::KernelDesc k;                  // gpu_kernel<<<...>>>(d);
+    k.name = "scale";
+    k.buffers.push_back({d, 2 * n, n});
+    float *dev = rt.hostPtr<float>(d, n / sizeof(float));
+    rt.launchKernel(k, [&] {
+        for (std::uint64_t i = 0; i < n / sizeof(float); i += 16)
+            dev[i] *= 2.0f;
+    });
+    rt.deviceSynchronize();
+
+    rt.hipMemcpy(h, d, n);              // copy_to_cpu(h, d, n);
+
+    rt.hipFree(h);
+    rt.hipFree(d);
+    return rt.now() - start;
+}
+
+/** Listing 2: the unified model on UPM. */
+SimTime
+unifiedModel(core::System &sys, std::uint64_t n)
+{
+    auto &rt = sys.runtime();
+    SimTime start = rt.now();
+
+    hip::DevPtr u = rt.hipMalloc(n);    // float *u = uni_alloc(n);
+
+    float *uni = rt.hostPtr<float>(u, n / sizeof(float));
+    for (std::uint64_t i = 0; i < n / sizeof(float); i += 16)
+        uni[i] = static_cast<float>(i); // init_on_cpu(u);
+
+    hip::KernelDesc k;                  // gpu_kernel<<<...>>>(u);
+    k.name = "scale";
+    k.buffers.push_back({u, 2 * n, n});
+    rt.launchKernel(k, [&] {
+        for (std::uint64_t i = 0; i < n / sizeof(float); i += 16)
+            uni[i] *= 2.0f;
+    });
+    rt.deviceSynchronize();             // gpu_synchronize();
+
+    rt.hipFree(u);
+    return rt.now() - start;
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    const std::uint64_t n = 256 * MiB;
+
+    core::System sys;
+    std::printf("%s\n\n", sys.apu().description().c_str());
+
+    SimTime t_explicit, t_unified;
+    std::uint64_t m_explicit, m_unified;
+    {
+        core::System s;
+        t_explicit = explicitModel(s, n);
+        m_explicit = s.runtime().peakBytesUsed();
+    }
+    {
+        core::System s;
+        t_unified = unifiedModel(s, n);
+        m_unified = s.runtime().peakBytesUsed();
+    }
+
+    std::printf("Explicit model (Listing 1): %8.2f ms, peak %4llu MiB\n",
+                t_explicit / 1e6,
+                static_cast<unsigned long long>(m_explicit / MiB));
+    std::printf("Unified model  (Listing 2): %8.2f ms, peak %4llu MiB\n",
+                t_unified / 1e6,
+                static_cast<unsigned long long>(m_unified / MiB));
+    std::printf("\nUnified is %.2fx faster and uses %.0f%% less memory "
+                "-- no hipMemcpy, no duplicated buffer.\n",
+                t_explicit / t_unified,
+                100.0 * (1.0 - static_cast<double>(m_unified) /
+                                   static_cast<double>(m_explicit)));
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Example: why UPM, in three acts.
+ *
+ * Act 1 -- a discrete GPU with UVM pays fault-driven page migration on
+ * every CPU-GPU handoff. Act 2 -- the same loop on the MI300A's UPM is
+ * just memory access. Act 3 -- the flip side: UVM can overcommit
+ * device memory (slowly); UPM cannot, because there is only one
+ * physical memory (paper Section 2.1).
+ *
+ * Run: ./build/examples/example_uvm_vs_upm
+ */
+
+#include <cstdio>
+
+#include "common/log.hh"
+#include "core/system.hh"
+#include "uvm/uvm.hh"
+
+using namespace upm;
+
+int
+main()
+{
+    setQuiet(true);
+    const std::uint64_t n = 128 * MiB;
+    const unsigned iters = 8;
+
+    // Act 1: UVM on a discrete GPU.
+    uvm::UvmSimulator uvm_sim(8 * GiB);
+    std::uint64_t handle = uvm_sim.allocManaged(n);
+    SimTime uvm_time = 0.0;
+    for (unsigned i = 0; i < iters; ++i) {
+        uvm_time += uvm_sim.cpuAccess(handle, 0, n);   // CPU update
+        uvm_time += uvm_sim.gpuAccess(handle, 0, n);   // GPU kernel
+    }
+    std::printf("UVM (discrete GPU):  %7.1f ms, %llu pages migrated\n",
+                uvm_time / 1e6,
+                static_cast<unsigned long long>(
+                    uvm_sim.pagesMigratedToDevice() +
+                    uvm_sim.pagesMigratedToHost()));
+
+    // Act 2: UPM on the APU.
+    core::System sys;
+    auto &rt = sys.runtime();
+    hip::DevPtr u = rt.hipMalloc(n);
+    SimTime start = rt.now();
+    for (unsigned i = 0; i < iters; ++i) {
+        rt.cpuStream(u, n, 24);
+        hip::KernelDesc k;
+        k.buffers.push_back({u, n, n});
+        rt.launchKernel(k, nullptr);
+        rt.deviceSynchronize();
+    }
+    SimTime upm_time = rt.now() - start;
+    std::printf("UPM (MI300A):        %7.1f ms, 0 pages migrated "
+                "(%.0fx faster)\n",
+                upm_time / 1e6, uvm_time / upm_time);
+
+    // Act 3: overcommit.
+    uvm::UvmSimulator tight(n / 2);
+    std::uint64_t big = tight.allocManaged(n);
+    SimTime thrash = tight.gpuAccess(big, 0, n);
+    thrash += tight.gpuAccess(big, 0, n);
+    std::printf("\nOvercommit 2x device memory:\n");
+    std::printf("  UVM: works, %.1f ms for two passes (%llu "
+                "evictions)\n",
+                thrash / 1e6,
+                static_cast<unsigned long long>(tight.evictions()));
+    try {
+        rt.hipMalloc(sys.meminfo().totalBytes());
+        std::printf("  UPM: unexpectedly succeeded\n");
+    } catch (const SimError &) {
+        std::printf("  UPM: out of physical memory -- size the problem "
+                    "to the 128 GiB APU instead\n");
+    }
+    return 0;
+}

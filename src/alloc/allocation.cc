@@ -1,0 +1,41 @@
+#include "alloc/allocation.hh"
+
+#include "common/log.hh"
+
+namespace upm::alloc {
+
+const char *
+allocatorName(AllocatorKind kind)
+{
+    switch (kind) {
+      case AllocatorKind::Malloc: return "malloc";
+      case AllocatorKind::MallocRegistered: return "malloc+hipHostRegister";
+      case AllocatorKind::HipMalloc: return "hipMalloc";
+      case AllocatorKind::HipHostMalloc: return "hipHostMalloc";
+      case AllocatorKind::HipMallocManaged: return "hipMallocManaged";
+      case AllocatorKind::ManagedStatic: return "__managed__";
+    }
+    return "<unknown>";
+}
+
+AllocTraits
+traitsOf(AllocatorKind kind, bool xnack)
+{
+    switch (kind) {
+      case AllocatorKind::Malloc:
+        return {.gpuAccess = xnack, .cpuAccess = true, .onDemand = true};
+      case AllocatorKind::MallocRegistered:
+        return {.gpuAccess = true, .cpuAccess = true, .onDemand = false};
+      case AllocatorKind::HipMalloc:
+        return {.gpuAccess = true, .cpuAccess = true, .onDemand = false};
+      case AllocatorKind::HipHostMalloc:
+        return {.gpuAccess = true, .cpuAccess = true, .onDemand = false};
+      case AllocatorKind::HipMallocManaged:
+        return {.gpuAccess = true, .cpuAccess = true, .onDemand = xnack};
+      case AllocatorKind::ManagedStatic:
+        return {.gpuAccess = true, .cpuAccess = true, .onDemand = false};
+    }
+    panic("unknown allocator kind");
+}
+
+} // namespace upm::alloc

@@ -1,0 +1,165 @@
+#include "alloc/hip_allocators.hh"
+
+namespace upm::alloc {
+
+namespace {
+
+Allocation
+makeAllocation(vm::VirtAddr base, std::uint64_t size, AllocatorKind kind,
+               SimTime t)
+{
+    Allocation allocation;
+    allocation.addr = base;
+    allocation.size = size;
+    allocation.kind = kind;
+    allocation.allocTime = t;
+    return allocation;
+}
+
+} // namespace
+
+Allocation
+HipMallocAllocator::allocate(std::uint64_t size)
+{
+    vm::VmaPolicy policy;
+    policy.cpuAccess = true;
+    policy.gpuMapped = true;
+    policy.onDemand = false;
+    policy.pinned = true;
+    policy.placement = vm::Placement::Contiguous;
+    vm::VirtAddr base = as.mmapAnon(size, policy, "hipMalloc");
+    as.populateRange(base, size);
+
+    std::uint64_t pages = ceilDiv(size, mem::kPageSize);
+    SimTime t = cost.hipMallocBase;
+    if (pages > cost.hipMallocMinPages) {
+        t += cost.hipMallocPerPage *
+             static_cast<double>(pages - cost.hipMallocMinPages);
+    }
+    return makeAllocation(base, size, kind(), t);
+}
+
+SimTime
+HipMallocAllocator::deallocate(Allocation &allocation)
+{
+    as.munmap(allocation.addr);
+    std::uint64_t pages = ceilDiv(allocation.size, mem::kPageSize);
+    SimTime t = cost.hipFreeBase;
+    if (pages > cost.hipFreeCheapPages) {
+        t += cost.hipFreePerPage *
+             static_cast<double>(pages - cost.hipFreeCheapPages);
+    }
+    allocation = {};
+    return t;
+}
+
+Allocation
+HipHostMallocAllocator::allocate(std::uint64_t size)
+{
+    vm::VmaPolicy policy;
+    policy.cpuAccess = true;
+    policy.gpuMapped = true;
+    policy.onDemand = false;
+    policy.pinned = true;
+    policy.placement = vm::Placement::Interleaved;
+    vm::VirtAddr base = as.mmapAnon(size, policy, "hipHostMalloc");
+    as.populateRange(base, size);
+
+    std::uint64_t pages = ceilDiv(size, mem::kPageSize);
+    SimTime t = cost.hostMallocBase;
+    if (pages > cost.hipMallocMinPages) {
+        t += cost.hostMallocPerPage *
+             static_cast<double>(pages - cost.hipMallocMinPages);
+    }
+    return makeAllocation(base, size, kind(), t);
+}
+
+SimTime
+HipHostMallocAllocator::deallocate(Allocation &allocation)
+{
+    as.munmap(allocation.addr);
+    std::uint64_t pages = ceilDiv(allocation.size, mem::kPageSize);
+    SimTime t = cost.hostFreeBase +
+                cost.hostFreePerPage * static_cast<double>(pages);
+    allocation = {};
+    return t;
+}
+
+Allocation
+HipMallocManagedAllocator::allocate(std::uint64_t size)
+{
+    vm::VmaPolicy policy;
+    policy.cpuAccess = true;
+    if (as.xnackEnabled()) {
+        // On-demand, malloc-like. The HIP runtime still does its
+        // managed-memory bookkeeping, so the (constant) cost is far
+        // above malloc's.
+        policy.gpuMapped = false;
+        policy.onDemand = true;
+        policy.placement = vm::Placement::Scattered;
+        vm::VirtAddr base = as.mmapAnon(size, policy, "hipMallocManaged");
+        return makeAllocation(base, size, kind(), cost.managedXnackAlloc);
+    }
+    policy.gpuMapped = true;
+    policy.onDemand = false;
+    policy.pinned = true;
+    policy.placement = vm::Placement::Interleaved;
+    vm::VirtAddr base = as.mmapAnon(size, policy, "hipMallocManaged");
+    as.populateRange(base, size);
+
+    std::uint64_t pages = ceilDiv(size, mem::kPageSize);
+    SimTime t = cost.managedBase;
+    if (pages > cost.hipMallocMinPages) {
+        t += cost.managedPerPage *
+             static_cast<double>(pages - cost.hipMallocMinPages);
+    }
+    return makeAllocation(base, size, kind(), t);
+}
+
+SimTime
+HipMallocManagedAllocator::deallocate(Allocation &allocation)
+{
+    bool was_on_demand = as.findVma(allocation.addr) != nullptr &&
+                         as.findVma(allocation.addr)->policy.onDemand;
+    as.munmap(allocation.addr);
+    SimTime t;
+    if (was_on_demand) {
+        t = cost.managedXnackFree;
+    } else {
+        std::uint64_t pages = ceilDiv(allocation.size, mem::kPageSize);
+        t = cost.managedFreeBase +
+            cost.managedFreePerPage * static_cast<double>(pages);
+    }
+    allocation = {};
+    return t;
+}
+
+Allocation
+ManagedStaticAllocator::allocate(std::uint64_t size)
+{
+    vm::VmaPolicy policy;
+    policy.cpuAccess = true;
+    policy.gpuMapped = true;
+    policy.onDemand = false;
+    policy.pinned = true;
+    policy.uncachedGpu = true;
+    policy.placement = vm::Placement::Interleaved;
+    vm::VirtAddr base = as.mmapAnon(size, policy, "__managed__");
+    as.populateRange(base, size);
+
+    // Statics are mapped at program load; charge the managed path.
+    std::uint64_t pages = ceilDiv(size, mem::kPageSize);
+    SimTime t = cost.managedBase +
+                cost.managedPerPage * static_cast<double>(pages);
+    return makeAllocation(base, size, kind(), t);
+}
+
+SimTime
+ManagedStaticAllocator::deallocate(Allocation &allocation)
+{
+    as.munmap(allocation.addr);
+    allocation = {};
+    return cost.managedFreeBase;
+}
+
+} // namespace upm::alloc

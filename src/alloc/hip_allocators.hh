@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The HIP allocator family: hipMalloc, hipHostMalloc,
+ * hipMallocManaged (XNACK-sensitive), and managed statics.
+ *
+ * Policies follow the characterization:
+ *  - hipMalloc: up-front, physically contiguous (-> large fragments,
+ *    even stack spread, best GPU bandwidth).
+ *  - hipHostMalloc: up-front pinned host pages, placed stack-balanced
+ *    but discontiguous (-> 4 KiB fragments, full Infinity Cache reach
+ *    from the CPU, reduced GPU bandwidth).
+ *  - hipMallocManaged: identical to hipHostMalloc when XNACK is off;
+ *    becomes an on-demand allocator (malloc-like) when XNACK is on.
+ *  - __managed__ statics: up-front pinned, but GPU accesses are
+ *    uncacheable, which caps their bandwidth two orders of magnitude
+ *    below hipMalloc (paper Fig. 3).
+ */
+
+#ifndef UPM_ALLOC_HIP_ALLOCATORS_HH
+#define UPM_ALLOC_HIP_ALLOCATORS_HH
+
+#include "alloc/malloc_sim.hh"
+
+namespace upm::alloc {
+
+/** hipMalloc. */
+class HipMallocAllocator : public Allocator
+{
+  public:
+    using Allocator::Allocator;
+
+    AllocatorKind kind() const override { return AllocatorKind::HipMalloc; }
+    Allocation allocate(std::uint64_t size) override;
+    SimTime deallocate(Allocation &allocation) override;
+};
+
+/** hipHostMalloc. */
+class HipHostMallocAllocator : public Allocator
+{
+  public:
+    using Allocator::Allocator;
+
+    AllocatorKind
+    kind() const override
+    {
+        return AllocatorKind::HipHostMalloc;
+    }
+
+    Allocation allocate(std::uint64_t size) override;
+    SimTime deallocate(Allocation &allocation) override;
+};
+
+/** hipMallocManaged; behaviour switches on the XNACK mode. */
+class HipMallocManagedAllocator : public Allocator
+{
+  public:
+    using Allocator::Allocator;
+
+    AllocatorKind
+    kind() const override
+    {
+        return AllocatorKind::HipMallocManaged;
+    }
+
+    Allocation allocate(std::uint64_t size) override;
+    SimTime deallocate(Allocation &allocation) override;
+};
+
+/** __managed__ static storage (one "allocation" per program variable). */
+class ManagedStaticAllocator : public Allocator
+{
+  public:
+    using Allocator::Allocator;
+
+    AllocatorKind
+    kind() const override
+    {
+        return AllocatorKind::ManagedStatic;
+    }
+
+    Allocation allocate(std::uint64_t size) override;
+    SimTime deallocate(Allocation &allocation) override;
+};
+
+} // namespace upm::alloc
+
+#endif // UPM_ALLOC_HIP_ALLOCATORS_HH

@@ -1,0 +1,46 @@
+#include "alloc/malloc_sim.hh"
+
+namespace upm::alloc {
+
+Allocation
+MallocSim::allocate(std::uint64_t size)
+{
+    vm::VmaPolicy policy;
+    policy.cpuAccess = true;
+    policy.gpuMapped = false;
+    policy.onDemand = true;
+    policy.placement = vm::Placement::Scattered;
+    vm::VirtAddr base = as.mmapAnon(size, policy, "malloc");
+
+    Allocation allocation;
+    allocation.addr = base;
+    allocation.size = size;
+    allocation.kind = kind();
+    if (size < cost.mallocMmapThreshold) {
+        allocation.allocTime = cost.mallocSmall;
+    } else {
+        std::uint64_t pages = ceilDiv(size, mem::kPageSize);
+        allocation.allocTime = cost.mallocMmapBase +
+                               cost.mallocMmapPerPage *
+                                   static_cast<double>(pages);
+    }
+    return allocation;
+}
+
+SimTime
+MallocSim::deallocate(Allocation &allocation)
+{
+    as.munmap(allocation.addr);
+    SimTime t;
+    if (allocation.size < cost.mallocMmapThreshold) {
+        t = cost.freeSmall;
+    } else {
+        std::uint64_t pages = ceilDiv(allocation.size, mem::kPageSize);
+        t = cost.freeMmapBase +
+            cost.freeMmapPerPage * static_cast<double>(pages);
+    }
+    allocation = {};
+    return t;
+}
+
+} // namespace upm::alloc

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The standard host allocator (libc malloc model).
+ *
+ * On-demand: physical pages appear only at first touch through the CPU
+ * (scattered placement) or, with XNACK, through GPU retry faults
+ * (fault-batch placement). Timing follows glibc: a fast arena path for
+ * small sizes and an mmap path above the threshold.
+ */
+
+#ifndef UPM_ALLOC_MALLOC_SIM_HH
+#define UPM_ALLOC_MALLOC_SIM_HH
+
+#include "alloc/allocation.hh"
+
+namespace upm::alloc {
+
+/** Shared interface: allocate/deallocate with simulated timing. */
+class Allocator
+{
+  public:
+    Allocator(vm::AddressSpace &address_space, const AllocCosts &costs)
+        : as(address_space), cost(costs)
+    {}
+    virtual ~Allocator() = default;
+
+    Allocator(const Allocator &) = delete;
+    Allocator &operator=(const Allocator &) = delete;
+
+    virtual AllocatorKind kind() const = 0;
+
+    /** Allocate @p size bytes; Allocation::allocTime carries the cost. */
+    virtual Allocation allocate(std::uint64_t size) = 0;
+
+    /** Free; @return the simulated time the call took. */
+    virtual SimTime deallocate(Allocation &allocation) = 0;
+
+  protected:
+    vm::AddressSpace &as;
+    AllocCosts cost;
+};
+
+/** libc malloc. */
+class MallocSim : public Allocator
+{
+  public:
+    using Allocator::Allocator;
+
+    AllocatorKind kind() const override { return AllocatorKind::Malloc; }
+    Allocation allocate(std::uint64_t size) override;
+    SimTime deallocate(Allocation &allocation) override;
+};
+
+} // namespace upm::alloc
+
+#endif // UPM_ALLOC_MALLOC_SIM_HH

@@ -1,0 +1,65 @@
+#include "alloc/registry.hh"
+
+#include "common/log.hh"
+
+namespace upm::alloc {
+
+AllocatorRegistry::AllocatorRegistry(vm::AddressSpace &address_space,
+                                     const AllocCosts &costs)
+    : as(address_space), cost(costs), mallocSim(as, costs),
+      hipMalloc(as, costs), hipHostMalloc(as, costs), hipManaged(as, costs),
+      managedStatic(as, costs)
+{
+}
+
+Allocator &
+AllocatorRegistry::allocatorFor(AllocatorKind kind)
+{
+    switch (kind) {
+      case AllocatorKind::Malloc:
+      case AllocatorKind::MallocRegistered:
+        return mallocSim;
+      case AllocatorKind::HipMalloc:
+        return hipMalloc;
+      case AllocatorKind::HipHostMalloc:
+        return hipHostMalloc;
+      case AllocatorKind::HipMallocManaged:
+        return hipManaged;
+      case AllocatorKind::ManagedStatic:
+        return managedStatic;
+    }
+    panic("unknown allocator kind");
+}
+
+Allocation
+AllocatorRegistry::allocate(AllocatorKind kind, std::uint64_t size)
+{
+    Allocation allocation = allocatorFor(kind).allocate(size);
+    if (kind == AllocatorKind::MallocRegistered) {
+        allocation.kind = AllocatorKind::MallocRegistered;
+        allocation.allocTime += hostRegister(allocation);
+    }
+    return allocation;
+}
+
+SimTime
+AllocatorRegistry::deallocate(Allocation &allocation)
+{
+    SimTime extra = 0.0;
+    if (allocation.kind == AllocatorKind::MallocRegistered) {
+        std::uint64_t pages = ceilDiv(allocation.size, mem::kPageSize);
+        extra = cost.unregisterPerPage * static_cast<double>(pages);
+    }
+    return extra + allocatorFor(allocation.kind).deallocate(allocation);
+}
+
+SimTime
+AllocatorRegistry::hostRegister(const Allocation &allocation)
+{
+    as.pinAndMapGpu(allocation.addr);
+    std::uint64_t pages = ceilDiv(allocation.size, mem::kPageSize);
+    return cost.registerBase +
+           cost.registerPerPage * static_cast<double>(pages);
+}
+
+} // namespace upm::alloc

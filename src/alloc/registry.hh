@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Allocator registry: one instance of each allocator bound to an
+ * address space, with kind-based dispatch and the hipHostRegister
+ * composite path.
+ */
+
+#ifndef UPM_ALLOC_REGISTRY_HH
+#define UPM_ALLOC_REGISTRY_HH
+
+#include <memory>
+#include <vector>
+
+#include "alloc/hip_allocators.hh"
+#include "alloc/malloc_sim.hh"
+
+namespace upm::alloc {
+
+/**
+ * Owns the allocator family for one simulated process. Dispatch by
+ * AllocatorKind; `MallocRegistered` composes malloc + hipHostRegister.
+ */
+class AllocatorRegistry
+{
+  public:
+    explicit AllocatorRegistry(vm::AddressSpace &address_space,
+                               const AllocCosts &costs = {});
+
+    /** Allocate @p size bytes with the given allocator configuration. */
+    Allocation allocate(AllocatorKind kind, std::uint64_t size);
+
+    /** Free an allocation. @return the simulated call time. */
+    SimTime deallocate(Allocation &allocation);
+
+    /**
+     * hipHostRegister an existing (malloc) allocation: pin + GPU-map.
+     * @return the simulated call time.
+     */
+    SimTime hostRegister(const Allocation &allocation);
+
+    vm::AddressSpace &addressSpace() { return as; }
+    const AllocCosts &costs() const { return cost; }
+
+  private:
+    Allocator &allocatorFor(AllocatorKind kind);
+
+    vm::AddressSpace &as;
+    AllocCosts cost;
+    MallocSim mallocSim;
+    HipMallocAllocator hipMalloc;
+    HipHostMallocAllocator hipHostMalloc;
+    HipMallocManagedAllocator hipManaged;
+    ManagedStaticAllocator managedStatic;
+};
+
+} // namespace upm::alloc
+
+#endif // UPM_ALLOC_REGISTRY_HH

@@ -1,0 +1,26 @@
+#include "cache/atomic_unit.hh"
+
+#include <algorithm>
+
+namespace upm::cache {
+
+SimTime
+AtomicUnitModel::queueWait(double lambda, SimTime service) const
+{
+    if (lambda <= 0.0 || service <= 0.0)
+        return 0.0;
+    double rho = std::min(lambda * service, cfg.maxUtilization);
+    // M/D/1: W = rho * s / (2 * (1 - rho)).
+    return rho * service / (2.0 * (1.0 - rho));
+}
+
+double
+AtomicUnitModel::aggregateCap(double l2_resident_fraction) const
+{
+    double f = std::clamp(l2_resident_fraction, 0.0, 1.0);
+    // Harmonic blend: each op consumes 1/rate of the shared pipeline.
+    double inv = f / cfg.aggregateRateL2 + (1.0 - f) / cfg.aggregateRateMem;
+    return 1.0 / inv;
+}
+
+} // namespace upm::cache

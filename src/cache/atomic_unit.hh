@@ -1,0 +1,71 @@
+/**
+ * @file
+ * GPU L2 atomic-unit serialization model.
+ *
+ * CDNA3 executes GPU atomics at dedicated units in the shared L2; ops
+ * on the *same line* serialize at the unit while ops on different lines
+ * proceed in parallel (bounded by aggregate L2/memory throughput). We
+ * model a line's unit as a deterministic-service queue and use the
+ * M/D/1 waiting-time approximation to turn per-line utilization into a
+ * queueing delay; the same helper prices CPU-side lock contention.
+ */
+
+#ifndef UPM_CACHE_ATOMIC_UNIT_HH
+#define UPM_CACHE_ATOMIC_UNIT_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+
+namespace upm::cache {
+
+/** Throughput parameters of the atomic-unit array. */
+struct AtomicUnitConfig
+{
+    /** Minimum gap between two atomics to one line (ns). */
+    SimTime lineServiceTime = 4.0;
+    /** Aggregate ops/ns across all units when data is L2-resident. */
+    double aggregateRateL2 = 22.0;
+    /** Aggregate ops/ns when every op must fetch from HBM. */
+    double aggregateRateMem = 7.0;
+    /** Utilization clamp to keep the queue formula finite. */
+    double maxUtilization = 0.97;
+};
+
+/**
+ * Stateless pricing helpers for atomic throughput composition. The
+ * atomics probe computes per-line arrival rates and asks this model
+ * for queueing delay and aggregate caps.
+ */
+class AtomicUnitModel
+{
+  public:
+    explicit AtomicUnitModel(const AtomicUnitConfig &config = {})
+        : cfg(config)
+    {}
+
+    /**
+     * M/D/1 mean waiting time for arrival rate @p lambda (ops/ns) on a
+     * server with service time @p service (ns). Utilization is clamped
+     * to `maxUtilization`.
+     */
+    SimTime queueWait(double lambda, SimTime service) const;
+
+    /** Per-line service gap. */
+    SimTime lineServiceTime() const { return cfg.lineServiceTime; }
+
+    /**
+     * Aggregate throughput ceiling (ops/ns) given the fraction of ops
+     * whose line is resident in L2 versus fetched from memory.
+     */
+    double aggregateCap(double l2_resident_fraction) const;
+
+    const AtomicUnitConfig &config() const { return cfg; }
+
+  private:
+    AtomicUnitConfig cfg;
+};
+
+} // namespace upm::cache
+
+#endif // UPM_CACHE_ATOMIC_UNIT_HH

@@ -1,0 +1,70 @@
+#include "cache/directory.hh"
+
+namespace upm::cache {
+
+SimTime
+Directory::cpuAtomic(std::uint64_t line, unsigned core)
+{
+    Entry &entry = lines[line];
+    SimTime t;
+    switch (entry.owner) {
+      case Owner::CpuCore:
+        t = (entry.core == core) ? cost.cpuLocalHit : cost.cpuFromOtherCore;
+        break;
+      case Owner::GpuL2:
+        t = cost.cpuFromGpu;
+        break;
+      case Owner::None:
+      default:
+        t = cost.cpuFromMemory;
+        break;
+    }
+    entry.owner = Owner::CpuCore;
+    entry.core = core;
+    return t;
+}
+
+SimTime
+Directory::gpuAtomic(std::uint64_t line)
+{
+    Entry &entry = lines[line];
+    SimTime t;
+    switch (entry.owner) {
+      case Owner::GpuL2:
+        t = cost.gpuLocalOp;
+        break;
+      case Owner::CpuCore:
+        t = cost.gpuFromCpu;
+        break;
+      case Owner::None:
+      default:
+        t = cost.gpuFromMemory;
+        break;
+    }
+    entry.owner = Owner::GpuL2;
+    return t;
+}
+
+void
+Directory::evict(std::uint64_t line)
+{
+    auto it = lines.find(line);
+    if (it != lines.end())
+        it->second.owner = Owner::None;
+}
+
+Owner
+Directory::ownerOf(std::uint64_t line) const
+{
+    auto it = lines.find(line);
+    return it == lines.end() ? Owner::None : it->second.owner;
+}
+
+unsigned
+Directory::owningCore(std::uint64_t line) const
+{
+    auto it = lines.find(line);
+    return it == lines.end() ? 0 : it->second.core;
+}
+
+} // namespace upm::cache

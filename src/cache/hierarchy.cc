@@ -1,0 +1,62 @@
+#include "cache/hierarchy.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace upm::cache {
+
+CacheHierarchy::CacheHierarchy(std::vector<CacheLevelSpec> levels,
+                               SimTime infinity_cache_latency,
+                               SimTime memory_latency)
+    : specs(std::move(levels)), icLatency(infinity_cache_latency),
+      memLatency(memory_latency)
+{
+    std::uint64_t prev = 0;
+    for (const auto &level : specs) {
+        if (level.capacityBytes <= prev)
+            fatal("cache levels must have strictly growing capacity");
+        prev = level.capacityBytes;
+    }
+}
+
+std::vector<double>
+CacheHierarchy::levelFractions(std::uint64_t working_set,
+                               double ic_hit_fraction) const
+{
+    if (working_set == 0)
+        working_set = 1;
+    ic_hit_fraction = std::clamp(ic_hit_fraction, 0.0, 1.0);
+
+    std::vector<double> fractions;
+    fractions.reserve(specs.size() + 2);
+    double remaining = 1.0;
+    for (const auto &level : specs) {
+        double cum_hit = std::min(
+            1.0, static_cast<double>(level.capacityBytes) /
+                     static_cast<double>(working_set));
+        double level_hit = std::min(remaining, cum_hit - (1.0 - remaining));
+        level_hit = std::max(0.0, level_hit);
+        fractions.push_back(level_hit);
+        remaining -= level_hit;
+    }
+    double ic = remaining * ic_hit_fraction;
+    fractions.push_back(ic);
+    fractions.push_back(remaining - ic);
+    return fractions;
+}
+
+SimTime
+CacheHierarchy::avgLatency(std::uint64_t working_set,
+                           double ic_hit_fraction) const
+{
+    auto fractions = levelFractions(working_set, ic_hit_fraction);
+    SimTime total = 0.0;
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        total += fractions[i] * specs[i].hitLatency;
+    total += fractions[specs.size()] * icLatency;
+    total += fractions[specs.size() + 1] * memLatency;
+    return total;
+}
+
+} // namespace upm::cache

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Per-agent cache hierarchy latency model.
+ *
+ * The pointer-chase latency probe (paper Fig. 2) measures dependent
+ * loads uniformly distributed over a ring of a given size. For such a
+ * reference stream, an LRU cache of capacity C serving a working set S
+ * keeps the hottest C bytes resident, so the hit fraction is
+ * min(1, C/S) per level (validated against the functional model in the
+ * tests). The hierarchy walks the levels from the core outwards and
+ * composes an average access latency; the final (memory-side) level is
+ * the Infinity Cache whose hit fraction is placement-dependent and is
+ * supplied by the caller.
+ */
+
+#ifndef UPM_CACHE_HIERARCHY_HH
+#define UPM_CACHE_HIERARCHY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace upm::cache {
+
+/** One level of an agent-side hierarchy. */
+struct CacheLevelSpec
+{
+    std::string name;
+    std::uint64_t capacityBytes;
+    SimTime hitLatency;
+};
+
+/**
+ * Agent-side hierarchy (CPU: L1/L2/L3; GPU: L1/L2) plus the two
+ * memory-side terms: Infinity Cache latency and HBM latency.
+ */
+class CacheHierarchy
+{
+  public:
+    CacheHierarchy(std::vector<CacheLevelSpec> levels,
+                   SimTime infinity_cache_latency, SimTime memory_latency);
+
+    /**
+     * Fraction of accesses served by each level for a uniform-random
+     * working set of @p working_set bytes, given the memory-side
+     * Infinity Cache serves @p ic_hit_fraction of the traffic that
+     * misses all agent-side levels.
+     *
+     * @return per-level fractions, then the IC fraction, then memory;
+     *         sums to 1.
+     */
+    std::vector<double> levelFractions(std::uint64_t working_set,
+                                       double ic_hit_fraction) const;
+
+    /** Average dependent-load latency for the same scenario. */
+    SimTime avgLatency(std::uint64_t working_set,
+                       double ic_hit_fraction) const;
+
+    const std::vector<CacheLevelSpec> &levels() const { return specs; }
+    SimTime infinityCacheLatency() const { return icLatency; }
+    SimTime memoryLatency() const { return memLatency; }
+
+  private:
+    std::vector<CacheLevelSpec> specs;
+    SimTime icLatency;
+    SimTime memLatency;
+};
+
+} // namespace upm::cache
+
+#endif // UPM_CACHE_HIERARCHY_HH

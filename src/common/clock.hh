@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Per-agent simulated clocks.
+ *
+ * upmsim has no global discrete-event queue: every benchmark in the
+ * paper is a steady-state latency or throughput measurement, so each
+ * modelled agent (a CPU core, the GPU command processor, the fault
+ * handler pool) simply accumulates time on its own clock, and probes
+ * read elapsed deltas. `advanceTo` provides the rendezvous primitive
+ * used when agents synchronize (kernel completion, fault service).
+ */
+
+#ifndef UPM_COMMON_CLOCK_HH
+#define UPM_COMMON_CLOCK_HH
+
+#include <algorithm>
+
+#include "common/units.hh"
+
+namespace upm {
+
+/** A monotonically advancing simulated clock (nanoseconds). */
+class SimClock
+{
+  public:
+    SimTime now() const { return current; }
+
+    /** Advance by a non-negative delta and return the new time. */
+    SimTime
+    advance(SimTime delta)
+    {
+        if (delta > 0)
+            current += delta;
+        return current;
+    }
+
+    /** Advance to at least @p t (no-op if already past). */
+    SimTime
+    advanceTo(SimTime t)
+    {
+        current = std::max(current, t);
+        return current;
+    }
+
+    /** Reset to zero (probes do this between measurement phases). */
+    void reset() { current = 0.0; }
+
+  private:
+    SimTime current = 0.0;
+};
+
+/**
+ * Scoped elapsed-time measurement on a SimClock, mirroring the CPU
+ * timers the paper inserts around allocation/fault loops.
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(const SimClock &clock, SimTime &out)
+        : clockRef(clock), result(out), start(clock.now())
+    {}
+
+    ~ScopedTimer() { result = clockRef.now() - start; }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    const SimClock &clockRef;
+    SimTime &result;
+    SimTime start;
+};
+
+} // namespace upm
+
+#endif // UPM_COMMON_CLOCK_HH

@@ -1,0 +1,119 @@
+#include "common/log.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace upm {
+
+namespace {
+
+bool abortOnError = false;
+bool quietFlag = false;
+
+void
+emit(LogLevel level, const std::string &msg)
+{
+    const char *tag = "info";
+    switch (level) {
+      case LogLevel::Inform: tag = "info"; break;
+      case LogLevel::Warn: tag = "warn"; break;
+      case LogLevel::Fatal: tag = "fatal"; break;
+      case LogLevel::Panic: tag = "panic"; break;
+    }
+    if (quietFlag && (level == LogLevel::Inform || level == LogLevel::Warn))
+        return;
+    std::fprintf(stderr, "upmsim: %s: %s\n", tag, msg.c_str());
+}
+
+} // namespace
+
+void
+setAbortOnError(bool abort_on_error)
+{
+    abortOnError = abort_on_error;
+}
+
+void
+setQuiet(bool q)
+{
+    quietFlag = q;
+}
+
+bool
+quiet()
+{
+    return quietFlag;
+}
+
+std::string
+vstrprintf(const char *fmt, va_list ap)
+{
+    va_list ap_copy;
+    va_copy(ap_copy, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+    if (n < 0)
+        return "<format error>";
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string s = vstrprintf(fmt, ap);
+    va_end(ap);
+    return s;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrprintf(fmt, ap);
+    va_end(ap);
+    emit(LogLevel::Panic, msg);
+    if (abortOnError)
+        std::abort();
+    throw SimError("panic: " + msg);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrprintf(fmt, ap);
+    va_end(ap);
+    emit(LogLevel::Fatal, msg);
+    if (abortOnError)
+        std::exit(1);
+    throw SimError("fatal: " + msg);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrprintf(fmt, ap);
+    va_end(ap);
+    emit(LogLevel::Warn, msg);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrprintf(fmt, ap);
+    va_end(ap);
+    emit(LogLevel::Inform, msg);
+}
+
+} // namespace upm

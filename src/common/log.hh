@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Status/error reporting in the gem5 style.
+ *
+ * `panic()` is for simulator bugs (conditions that can never happen no
+ * matter what the user does) and aborts. `fatal()` is for user error
+ * (bad configuration, impossible request) and exits cleanly. `warn()`
+ * and `inform()` print and continue. All accept printf-style formats.
+ *
+ * By default fatal/panic raise a `SimError` exception instead of
+ * terminating, so tests can assert on misuse paths; `setAbortOnError()`
+ * restores terminate-style behaviour for standalone tools.
+ */
+
+#ifndef UPM_COMMON_LOG_HH
+#define UPM_COMMON_LOG_HH
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace upm {
+
+/** Exception carrying a fatal()/panic() message when not aborting. */
+class SimError : public std::runtime_error
+{
+  public:
+    explicit SimError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Severity used by the sinks below. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+/** If true, fatal()/panic() terminate the process; else throw SimError. */
+void setAbortOnError(bool abort_on_error);
+
+/** Silence inform()/warn() output (tests use this to keep logs clean). */
+void setQuiet(bool quiet);
+
+/** @return true when inform()/warn() output is suppressed. */
+bool quiet();
+
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+std::string vstrprintf(const char *fmt, va_list ap);
+
+} // namespace upm
+
+#endif // UPM_COMMON_LOG_HH

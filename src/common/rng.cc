@@ -1,0 +1,70 @@
+#include "common/rng.hh"
+
+namespace upm {
+
+MinStdRand::MinStdRand(std::uint32_t seed)
+{
+    // std::minstd_rand maps seed 0 to 1.
+    state = seed % 2147483647u;
+    if (state == 0)
+        state = 1;
+}
+
+std::uint32_t
+MinStdRand::next()
+{
+    state = (state * 48271ull) % 2147483647ull;
+    return static_cast<std::uint32_t>(state);
+}
+
+std::uint32_t
+MinStdRand::nextBelow(std::uint32_t bound)
+{
+    return bound ? next() % bound : 0;
+}
+
+Xorwow::Xorwow(std::uint64_t seed)
+{
+    // Seed expansion in the style of curand_init: SplitMix over the seed.
+    SplitMix64 sm(seed ? seed : 1);
+    for (auto &xi : x) {
+        xi = static_cast<std::uint32_t>(sm.next());
+        if (xi == 0)
+            xi = 0x6c078965u;
+    }
+    counter = static_cast<std::uint32_t>(sm.next());
+}
+
+std::uint32_t
+Xorwow::next()
+{
+    // Marsaglia's xorwow: xor-shift with a Weyl sequence added.
+    std::uint32_t t = x[4];
+    std::uint32_t s = x[0];
+    x[4] = x[3];
+    x[3] = x[2];
+    x[2] = x[1];
+    x[1] = s;
+    t ^= t >> 2;
+    t ^= t << 1;
+    t ^= s ^ (s << 4);
+    x[0] = t;
+    counter += 362437u;
+    return t + counter;
+}
+
+std::uint64_t
+Xorwow::next64()
+{
+    std::uint64_t hi = next();
+    std::uint64_t lo = next();
+    return (hi << 32) | lo;
+}
+
+std::uint64_t
+Xorwow::nextBelow(std::uint64_t bound)
+{
+    return bound ? next64() % bound : 0;
+}
+
+} // namespace upm

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Deterministic random number generators.
+ *
+ * The paper's coherence benchmark generates indices with
+ * `std::minstd_rand` on the CPU and the XORWOW generator (rocRAND) on
+ * the GPU. We reimplement both so the simulated kernels draw from the
+ * same distributions as the originals, plus SplitMix64 for seeding and
+ * general simulator-internal randomness.
+ */
+
+#ifndef UPM_COMMON_RNG_HH
+#define UPM_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace upm {
+
+/**
+ * SplitMix64: tiny, high-quality 64-bit generator used for seeding the
+ * others and for internal placement decisions.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+    /** @return the next 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** @return a value uniformly distributed in [0, bound). */
+    std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        return bound ? next() % bound : 0;
+    }
+
+    /** @return a double uniformly distributed in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+/**
+ * Minimal standard linear congruential generator; bit-compatible with
+ * `std::minstd_rand` (Park-Miller, multiplier 48271, modulus 2^31-1).
+ * This is what the paper's CPU histogram kernel uses.
+ */
+class MinStdRand
+{
+  public:
+    explicit MinStdRand(std::uint32_t seed = 1u);
+
+    /** @return the next raw value in [1, 2^31-2]. */
+    std::uint32_t next();
+
+    /** @return a value uniformly distributed in [0, bound). */
+    std::uint32_t nextBelow(std::uint32_t bound);
+
+  private:
+    std::uint64_t state;
+};
+
+/**
+ * XORWOW generator as specified by Marsaglia and used by rocRAND /
+ * cuRAND device-side generation; this is what the paper's GPU histogram
+ * kernel uses. Sequence matches the reference xorwow recurrence.
+ */
+class Xorwow
+{
+  public:
+    explicit Xorwow(std::uint64_t seed = 0x853c49e6748fea9bull);
+
+    /** @return the next 32-bit value. */
+    std::uint32_t next();
+
+    /** @return a 64-bit value from two draws. */
+    std::uint64_t next64();
+
+    /** @return a value uniformly distributed in [0, bound). */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+  private:
+    std::uint32_t x[5];
+    std::uint32_t counter;
+};
+
+} // namespace upm
+
+#endif // UPM_COMMON_RNG_HH

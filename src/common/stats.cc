@@ -1,0 +1,147 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace upm {
+
+void
+SampleStats::add(double v)
+{
+    samples.push_back(v);
+}
+
+void
+SampleStats::add(const std::vector<double> &vs)
+{
+    samples.insert(samples.end(), vs.begin(), vs.end());
+}
+
+double
+SampleStats::sum() const
+{
+    double s = 0.0;
+    for (double v : samples)
+        s += v;
+    return s;
+}
+
+double
+SampleStats::mean() const
+{
+    return samples.empty() ? 0.0 : sum() / static_cast<double>(count());
+}
+
+double
+SampleStats::min() const
+{
+    if (samples.empty())
+        return 0.0;
+    return *std::min_element(samples.begin(), samples.end());
+}
+
+double
+SampleStats::max() const
+{
+    if (samples.empty())
+        return 0.0;
+    return *std::max_element(samples.begin(), samples.end());
+}
+
+double
+SampleStats::stddev() const
+{
+    if (samples.size() < 2)
+        return 0.0;
+    double m = mean();
+    double acc = 0.0;
+    for (double v : samples)
+        acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(samples.size() - 1));
+}
+
+double
+SampleStats::percentile(double p) const
+{
+    if (samples.empty())
+        return 0.0;
+    if (p < 0.0 || p > 100.0)
+        panic("percentile %.2f out of range [0, 100]", p);
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1)
+        return sorted.front();
+    double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            panic("geomean of non-positive value %f", v);
+        acc += std::log(v);
+    }
+    return std::exp(acc / static_cast<double>(values.size()));
+}
+
+LogHistogram::LogHistogram(double base_value, std::size_t num_buckets)
+    : base(base_value), counts(num_buckets, 0)
+{
+    if (base_value <= 0.0)
+        panic("LogHistogram base must be positive, got %f", base_value);
+    if (num_buckets == 0)
+        panic("LogHistogram needs at least one bucket");
+}
+
+void
+LogHistogram::add(double v)
+{
+    std::size_t idx = 0;
+    if (v >= base) {
+        idx = static_cast<std::size_t>(std::log2(v / base));
+        if (idx >= counts.size())
+            idx = counts.size() - 1;
+    }
+    ++counts[idx];
+    ++totalCount;
+}
+
+std::uint64_t
+LogHistogram::bucketCount(std::size_t i) const
+{
+    if (i >= counts.size())
+        panic("LogHistogram bucket %zu out of range", i);
+    return counts[i];
+}
+
+double
+LogHistogram::bucketLow(std::size_t i) const
+{
+    return base * std::pow(2.0, static_cast<double>(i));
+}
+
+std::string
+LogHistogram::render() const
+{
+    std::string out;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] == 0)
+            continue;
+        out += strprintf("[%10.3g, %10.3g)  %8llu\n", bucketLow(i),
+                         bucketLow(i + 1),
+                         static_cast<unsigned long long>(counts[i]));
+    }
+    return out;
+}
+
+} // namespace upm

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Small statistics toolkit used by the characterization probes:
+ * summaries (mean/percentiles as the paper reports 95th-percentile tail
+ * fault latencies), geometric means (Fig. 5 reports geomeans of co-run
+ * slowdowns), and logarithmic histograms (Fig. 8 latency distribution).
+ */
+
+#ifndef UPM_COMMON_STATS_HH
+#define UPM_COMMON_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace upm {
+
+/**
+ * Accumulates scalar samples and answers summary queries. Percentile
+ * queries sort a copy lazily; suitable for the probe-sized sample sets
+ * used here (10s to 100,000s of samples).
+ */
+class SampleStats
+{
+  public:
+    /** Add one sample. */
+    void add(double v);
+
+    /** Add a batch of samples. */
+    void add(const std::vector<double> &vs);
+
+    std::size_t count() const { return samples.size(); }
+    double sum() const;
+    double mean() const;
+    double min() const;
+    double max() const;
+
+    /** Sample standard deviation (n-1 denominator; 0 if n < 2). */
+    double stddev() const;
+
+    /**
+     * Linear-interpolated percentile.
+     * @param p percentile in [0, 100].
+     */
+    double percentile(double p) const;
+
+    /** Median (50th percentile). */
+    double median() const { return percentile(50.0); }
+
+    const std::vector<double> &values() const { return samples; }
+
+  private:
+    std::vector<double> samples;
+};
+
+/** Geometric mean of a set of strictly positive values. */
+double geomean(const std::vector<double> &values);
+
+/**
+ * Power-of-two bucketed histogram, for latency distributions. Bucket i
+ * covers [base * 2^i, base * 2^(i+1)).
+ */
+class LogHistogram
+{
+  public:
+    /**
+     * @param base_value lower edge of bucket 0 (must be > 0).
+     * @param num_buckets number of buckets; out-of-range samples clamp.
+     */
+    LogHistogram(double base_value, std::size_t num_buckets);
+
+    void add(double v);
+    std::uint64_t bucketCount(std::size_t i) const;
+    std::size_t numBuckets() const { return counts.size(); }
+    double bucketLow(std::size_t i) const;
+    std::uint64_t total() const { return totalCount; }
+
+    /** Render as an ASCII table (one line per non-empty bucket). */
+    std::string render() const;
+
+  private:
+    double base;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t totalCount = 0;
+};
+
+} // namespace upm
+
+#endif // UPM_COMMON_STATS_HH

@@ -1,0 +1,42 @@
+#include "core/alloc_probe.hh"
+
+#include <algorithm>
+#include <vector>
+
+namespace upm::core {
+
+AllocSpeedPoint
+AllocProbe::measure(alloc::AllocatorKind kind, std::uint64_t size_bytes)
+{
+    auto &registry = sys.allocators();
+
+    unsigned n = cfg.chunks;
+    if (size_bytes > 0) {
+        std::uint64_t fit = std::max<std::uint64_t>(
+            1, cfg.holdCap / std::max<std::uint64_t>(size_bytes,
+                                                     mem::kPageSize));
+        n = static_cast<unsigned>(
+            std::min<std::uint64_t>(n, fit));
+    }
+
+    AllocSpeedPoint point;
+    point.sizeBytes = size_bytes;
+    point.chunks = n;
+
+    std::vector<alloc::Allocation> held;
+    held.reserve(n);
+    SimTime alloc_total = 0.0;
+    for (unsigned i = 0; i < n; ++i) {
+        held.push_back(registry.allocate(kind, size_bytes));
+        alloc_total += held.back().allocTime;
+    }
+    SimTime free_total = 0.0;
+    for (auto &allocation : held)
+        free_total += registry.deallocate(allocation);
+
+    point.allocMean = alloc_total / static_cast<double>(n);
+    point.freeMean = free_total / static_cast<double>(n);
+    return point;
+}
+
+} // namespace upm::core

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Allocation-speed probe (paper Section 3.1 "Allocation Speed",
+ * results Fig. 6 and the deallocation discussion of Section 5.1).
+ *
+ * Two loops: allocate N chunks of M bytes, then free them; the mean
+ * simulated time per call is reported. Allocation does NOT touch the
+ * memory (first-touch cost is the page-fault probe's job).
+ */
+
+#ifndef UPM_CORE_ALLOC_PROBE_HH
+#define UPM_CORE_ALLOC_PROBE_HH
+
+#include <cstdint>
+
+#include "alloc/allocation.hh"
+#include "core/system.hh"
+
+namespace upm::core {
+
+/** One (allocator, size) measurement. */
+struct AllocSpeedPoint
+{
+    std::uint64_t sizeBytes = 0;
+    SimTime allocMean = 0.0;  //!< ns per allocate call
+    SimTime freeMean = 0.0;   //!< ns per free call
+    unsigned chunks = 0;      //!< N actually used (capacity-limited)
+};
+
+/** Allocation speed prober. */
+class AllocProbe
+{
+  public:
+    struct Params
+    {
+        unsigned chunks = 100;  //!< N in the paper
+        /** Cap on simultaneously-held bytes; N is reduced for large M
+         *  so up-front allocators fit the modelled capacity. */
+        std::uint64_t holdCap = 4 * GiB;
+    };
+
+    explicit AllocProbe(System &system) : AllocProbe(system, Params()) {}
+
+    AllocProbe(System &system, const Params &params)
+        : sys(system), cfg(params)
+    {}
+
+    /** Run the two-loop benchmark for one allocator and size. */
+    AllocSpeedPoint measure(alloc::AllocatorKind kind,
+                            std::uint64_t size_bytes);
+
+  private:
+    System &sys;
+    Params cfg;
+};
+
+} // namespace upm::core
+
+#endif // UPM_CORE_ALLOC_PROBE_HH

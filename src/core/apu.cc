@@ -1,0 +1,45 @@
+#include "core/apu.hh"
+
+#include "common/log.hh"
+
+namespace upm::core {
+
+Apu::Apu(const SystemConfig &config) : cfg(config)
+{
+    if (cfg.numXcds == 0 || cfg.numCus % cfg.numXcds != 0)
+        fatal("CU count must divide across XCDs");
+    if (cfg.numCpuCores % 3 != 0)
+        fatal("CPU cores must divide across 3 CCDs");
+}
+
+unsigned
+Apu::xcdOfCu(unsigned cu) const
+{
+    if (cu >= cfg.numCus)
+        panic("CU index %u out of range", cu);
+    return cu / cusPerXcd();
+}
+
+unsigned
+Apu::ccdOfCore(unsigned core) const
+{
+    if (core >= cfg.numCpuCores)
+        panic("core index %u out of range", core);
+    return core / coresPerCcd();
+}
+
+std::string
+Apu::description() const
+{
+    return strprintf(
+        "MI300A model: %u CUs (%u XCDs x %u), %u CPU cores (3 CCDs x "
+        "%u), %u HBM stacks, %.1f GiB modelled capacity (%.0f GiB real)",
+        cfg.numCus, cfg.numXcds, cusPerXcd(), cfg.numCpuCores,
+        coresPerCcd(), cfg.geometry.numStacks,
+        static_cast<double>(cfg.geometry.capacityBytes) /
+            static_cast<double>(GiB),
+        static_cast<double>(cfg.realCapacityBytes) /
+            static_cast<double>(GiB));
+}
+
+} // namespace upm::core

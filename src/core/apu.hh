@@ -1,0 +1,48 @@
+/**
+ * @file
+ * APU topology description (Fig. 1 of the paper): six XCDs with 38 CUs
+ * each (228 presented as one device), three CCDs with 8 Zen4 cores,
+ * four IODs carrying the HBM3 interfaces and Infinity Fabric.
+ */
+
+#ifndef UPM_CORE_APU_HH
+#define UPM_CORE_APU_HH
+
+#include <string>
+
+#include "core/calibration.hh"
+
+namespace upm::core {
+
+/** Static topology of one MI300A. */
+class Apu
+{
+  public:
+    explicit Apu(const SystemConfig &config);
+
+    unsigned numCus() const { return cfg.numCus; }
+    unsigned numXcds() const { return cfg.numXcds; }
+    unsigned cusPerXcd() const { return cfg.numCus / cfg.numXcds; }
+    unsigned numCpuCores() const { return cfg.numCpuCores; }
+    unsigned numCcds() const { return 3; }
+    unsigned coresPerCcd() const { return cfg.numCpuCores / 3; }
+    unsigned numIods() const { return 4; }
+
+    /** XCD that owns compute unit @p cu. */
+    unsigned xcdOfCu(unsigned cu) const;
+
+    /** CCD that owns CPU core @p core. */
+    unsigned ccdOfCore(unsigned core) const;
+
+    /** Human-readable topology summary (examples print this). */
+    std::string description() const;
+
+    const SystemConfig &config() const { return cfg; }
+
+  private:
+    SystemConfig cfg;
+};
+
+} // namespace upm::core
+
+#endif // UPM_CORE_APU_HH

@@ -1,0 +1,203 @@
+#include "core/atomics_probe.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace upm::core {
+
+namespace {
+
+/** Histogram lines for an element count (8 B elements, 64 B lines). */
+double
+linesOf(std::uint64_t elems)
+{
+    return std::max<double>(1.0, static_cast<double>(elems) * 8.0 / 64.0);
+}
+
+} // namespace
+
+double
+AtomicsProbe::cpuOpCost(std::uint64_t elems, unsigned threads,
+                        AtomicType type, double cpu_rate,
+                        double gpu_rate) const
+{
+    double lines = linesOf(elems);
+    std::uint64_t bytes = elems * 8;
+    double t_threads = static_cast<double>(threads);
+
+    double total_rate = cpu_rate + gpu_rate;
+    double q_gpu = total_rate > 0.0 ? gpu_rate / total_rate : 0.0;
+
+    // Where does the line live when this op arrives?
+    //  - still dirty in some CPU core's private cache (recency window)
+    //  - resident at a GPU L2 atomic unit
+    //  - clean in the shared level / Infinity Cache / memory
+    double h_cpu = (1.0 - q_gpu) *
+                   std::min(1.0, t_threads * cal.cpuDirtyWindowLines /
+                                     lines);
+    // Lines the GPU touched recently enough to still sit at an atomic
+    // unit; older GPU updates have been written back and cost a plain
+    // clean fetch.
+    double gpu_hot_lines = gpu_rate * cal.gpuLineHoldNs;
+    double h_gpu = q_gpu * std::min(1.0, gpu_hot_lines / lines);
+    double p_self = h_cpu / t_threads;
+    double p_other_core = h_cpu - p_self;
+    double p_cold = std::max(0.0, 1.0 - p_self - p_other_core - h_gpu);
+
+    double t_clean = bytes <= cal.cpuAggL2Bytes ? cal.cpuCleanNear
+                                                : coh.cpuFromMemory;
+    // Co-running agents keep IC-resident arrays warm (Fig. 5's 1M
+    // speedup): fetches from the shared level get cheaper.
+    if (gpu_rate > 0.0 && bytes > cal.cpuPrivateL2Bytes &&
+        bytes <= 256 * MiB) {
+        t_clean *= 1.0 - cal.icWarmBoost;
+    }
+    // For cache-resident arrays, a "cold" line the GPU touched comes
+    // back through the far shared level rather than the near one; for
+    // larger arrays the line has reached the Infinity Cache either
+    // way, so co-run warming (above) dominates instead.
+    if (bytes <= cal.cpuPrivateL2Bytes)
+        t_clean = (1.0 - q_gpu) * t_clean + q_gpu * coh.cpuFromMemory;
+
+    double t_atomic = p_self * coh.cpuLocalHit +
+                      p_other_core * coh.cpuFromOtherCore +
+                      h_gpu * coh.cpuFromGpu + p_cold * t_clean;
+
+    if (type == AtomicType::Fp64) {
+        // CAS loop: slower even uncontended, and collisions retry.
+        t_atomic *= cal.casFactor;
+        double rate_others =
+            cpu_rate * (t_threads - 1.0) / std::max(1.0, t_threads) +
+            gpu_rate;
+        double p_col = std::min(
+            0.75,
+            rate_others * t_atomic * cal.casWindowFactor / lines);
+        t_atomic /= (1.0 - p_col);
+    }
+
+    // Per-line serialization wait, driven by everyone *else*'s ops on
+    // the line (a thread's own ops serialize naturally).
+    double rate_other =
+        cpu_rate * (t_threads - 1.0) / std::max(1.0, t_threads) +
+        gpu_rate;
+    double lambda_line = rate_other / lines;
+    double wait = unit.queueWait(lambda_line, cal.cpuLineService);
+
+    return cal.cpuWork + t_atomic + wait;
+}
+
+double
+AtomicsProbe::gpuRate(std::uint64_t elems, unsigned gpu_threads,
+                      double cpu_rate, double gpu_rate_prev) const
+{
+    double lines = linesOf(elems);
+    std::uint64_t bytes = elems * 8;
+    double n = static_cast<double>(gpu_threads);
+
+    double w = bytes <= cal.gpuAggL2Bytes ? cal.gpuOpLatencyL2
+                                          : cal.gpuOpLatencyMem;
+
+    // Per-line congestion: average queue depth times service gap.
+    double s = unit.lineServiceTime();
+    w += n / lines * s;
+
+    double issue = n / w;
+
+    // CPU steals lines out of the atomic units; while a stolen line is
+    // being refetched, GPU ops queued on it stall, shaving issue rate.
+    if (cpu_rate > 0.0) {
+        double steal_frac =
+            std::min(0.5, cpu_rate * coh.gpuFromCpu *
+                              cal.stealAmplification / lines);
+        issue *= 1.0 - steal_frac;
+    }
+    double l2_fraction = bytes <= cal.gpuAggL2Bytes ? 1.0 : 0.0;
+    double agg_cap = unit.aggregateCap(l2_fraction);
+    if (cpu_rate > 0.0 && bytes > cal.gpuL2PerXcdBytes &&
+        bytes <= 256 * MiB) {
+        agg_cap *= 1.0 + cal.gpuCoRunBoost;
+    }
+    double line_cap = lines * unit.config().maxUtilization / s;
+
+    double rate = std::min({issue, agg_cap, line_cap});
+    // Damp against the previous iterate for fixed-point stability.
+    if (gpu_rate_prev > 0.0)
+        rate = cal.damping * rate + (1.0 - cal.damping) * gpu_rate_prev;
+    return rate;
+}
+
+void
+AtomicsProbe::solve(std::uint64_t elems, unsigned cpu_threads,
+                    unsigned gpu_threads, AtomicType type,
+                    double &cpu_rate, double &gpu_rate) const
+{
+    cpu_rate = 0.0;
+    gpu_rate = 0.0;
+    double t_threads = static_cast<double>(cpu_threads);
+
+    for (unsigned i = 0; i < cal.iterations; ++i) {
+        double new_cpu = 0.0;
+        if (cpu_threads > 0) {
+            double t_op =
+                cpuOpCost(elems, cpu_threads, type, cpu_rate, gpu_rate);
+            new_cpu = t_threads / t_op;
+            // A line changes owner at most once per cross-core
+            // transfer; with more threads, fewer ops hit a self-owned
+            // line, so tiny arrays anti-scale (Fig. 4, 1 element).
+            double p_self = 1.0 / t_threads;
+            double xfer_fraction = 1.0 - p_self;
+            if (xfer_fraction > 0.0) {
+                double line_cap = linesOf(elems) /
+                                  (coh.cpuFromOtherCore * xfer_fraction);
+                new_cpu = std::min(new_cpu, line_cap);
+            }
+            if (cpu_rate > 0.0) {
+                new_cpu = cal.damping * new_cpu +
+                          (1.0 - cal.damping) * cpu_rate;
+            }
+        }
+        double new_gpu = 0.0;
+        if (gpu_threads > 0)
+            new_gpu = gpuRate(elems, gpu_threads, cpu_rate, gpu_rate);
+        cpu_rate = new_cpu;
+        gpu_rate = new_gpu;
+    }
+}
+
+double
+AtomicsProbe::cpuThroughput(std::uint64_t elems, unsigned threads,
+                            AtomicType type) const
+{
+    double cpu_rate, gpu_rate;
+    solve(elems, threads, 0, type, cpu_rate, gpu_rate);
+    return cpu_rate;
+}
+
+double
+AtomicsProbe::gpuThroughput(std::uint64_t elems, unsigned gpu_threads,
+                            AtomicType type) const
+{
+    // The GPU implements FP64 atomics natively; type does not matter.
+    (void)type;
+    double cpu_rate, gpu_rate;
+    solve(elems, 0, gpu_threads, type, cpu_rate, gpu_rate);
+    return gpu_rate;
+}
+
+HybridAtomicsResult
+AtomicsProbe::hybrid(std::uint64_t elems, unsigned cpu_threads,
+                     unsigned gpu_threads, AtomicType type) const
+{
+    HybridAtomicsResult result;
+    solve(elems, cpu_threads, gpu_threads, type, result.cpuOpsPerNs,
+          result.gpuOpsPerNs);
+    double cpu_iso = cpuThroughput(elems, cpu_threads, type);
+    double gpu_iso = gpuThroughput(elems, gpu_threads, type);
+    result.cpuRelative =
+        cpu_iso > 0.0 ? result.cpuOpsPerNs / cpu_iso : 1.0;
+    result.gpuRelative =
+        gpu_iso > 0.0 ? result.gpuOpsPerNs / gpu_iso : 1.0;
+    return result;
+}
+
+} // namespace upm::core

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Coherence-overhead probe: the parallel-histogram atomics benchmark
+ * (paper Section 3.1 "Coherence Overhead", results Fig. 4 and Fig. 5).
+ *
+ * CPU threads draw uniform indices with minstd and issue
+ * __atomic_fetch_add; GPU threads draw with XORWOW and issue
+ * atomicAdd_system, executed at the L2 atomic units. Throughput is
+ * estimated with a damped fixed-point model whose microscopic costs
+ * come from the coherence directory (ownership transfers), the atomic
+ * unit array (per-line serialization), and the AtomicsCalib workload
+ * constants. FP64 on the CPU runs a CAS loop (x86 has no native FP
+ * atomic), so collisions cause retries; the GPU has native FP64
+ * atomics and shows no FP64/UINT64 difference.
+ */
+
+#ifndef UPM_CORE_ATOMICS_PROBE_HH
+#define UPM_CORE_ATOMICS_PROBE_HH
+
+#include <cstdint>
+
+#include "core/system.hh"
+
+namespace upm::core {
+
+/** Element type of the histogram array. */
+enum class AtomicType : std::uint8_t { Uint64, Fp64 };
+
+/** Co-run result, normalized like the paper's Fig. 5. */
+struct HybridAtomicsResult
+{
+    double cpuOpsPerNs = 0.0;
+    double gpuOpsPerNs = 0.0;
+    double cpuRelative = 1.0;  //!< vs isolated CPU at same threads
+    double gpuRelative = 1.0;  //!< vs isolated GPU at same threads
+};
+
+/** Atomics throughput prober. */
+class AtomicsProbe
+{
+  public:
+    explicit AtomicsProbe(System &system)
+        : cal(system.config().atomicsModel),
+          coh(system.config().coherence),
+          unit(system.config().atomics)
+    {}
+
+    /** Isolated CPU histogram throughput, ops/ns. */
+    double cpuThroughput(std::uint64_t elems, unsigned threads,
+                         AtomicType type) const;
+
+    /** Isolated GPU histogram throughput, ops/ns. */
+    double gpuThroughput(std::uint64_t elems, unsigned gpu_threads,
+                         AtomicType type) const;
+
+    /** Co-running CPU and GPU kernels on the same array. */
+    HybridAtomicsResult hybrid(std::uint64_t elems, unsigned cpu_threads,
+                               unsigned gpu_threads,
+                               AtomicType type) const;
+
+  private:
+    /** One damped fixed-point solve; either rate may be zero. */
+    void solve(std::uint64_t elems, unsigned cpu_threads,
+               unsigned gpu_threads, AtomicType type, double &cpu_rate,
+               double &gpu_rate) const;
+
+    /** CPU per-op cost given the environment rates. */
+    double cpuOpCost(std::uint64_t elems, unsigned threads,
+                     AtomicType type, double cpu_rate,
+                     double gpu_rate) const;
+
+    /** GPU per-op cost and caps given the environment rates. */
+    double gpuRate(std::uint64_t elems, unsigned gpu_threads,
+                   double cpu_rate, double gpu_rate_prev) const;
+
+    core::AtomicsCalib cal;
+    cache::CoherenceCosts coh;
+    cache::AtomicUnitModel unit;
+};
+
+} // namespace upm::core
+
+#endif // UPM_CORE_ATOMICS_PROBE_HH

@@ -1,0 +1,106 @@
+#include "core/fault_probe.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace upm::core {
+
+const char *
+faultScenarioName(FaultScenario scenario)
+{
+    switch (scenario) {
+      case FaultScenario::GpuMajor: return "GPU Major";
+      case FaultScenario::GpuMinor: return "GPU Minor";
+      case FaultScenario::Cpu1: return "1CPU";
+      case FaultScenario::Cpu12: return "12CPU";
+    }
+    return "<unknown>";
+}
+
+namespace {
+
+vm::FaultType
+faultTypeOf(FaultScenario scenario)
+{
+    switch (scenario) {
+      case FaultScenario::GpuMajor: return vm::FaultType::GpuMajor;
+      case FaultScenario::GpuMinor: return vm::FaultType::GpuMinor;
+      case FaultScenario::Cpu1:
+      case FaultScenario::Cpu12:
+      default: return vm::FaultType::Cpu;
+    }
+}
+
+unsigned
+coresOf(FaultScenario scenario)
+{
+    return scenario == FaultScenario::Cpu12 ? 12 : 1;
+}
+
+} // namespace
+
+void
+FaultProbe::functionalFaults(FaultScenario scenario, std::uint64_t pages)
+{
+    auto &as = sys.addressSpace();
+    bool saved_xnack = as.xnackEnabled();
+    as.setXnack(true);
+
+    vm::VmaPolicy policy;  // mmap-fresh anonymous memory
+    policy.onDemand = true;
+    policy.placement = vm::Placement::Scattered;
+    vm::VirtAddr base =
+        as.mmapAnon(pages * mem::kPageSize, policy, "fault_probe");
+    vm::Vpn first = vm::vpnOf(base);
+
+    switch (scenario) {
+      case FaultScenario::GpuMajor:
+        as.resolveGpuFault(first, pages);
+        break;
+      case FaultScenario::GpuMinor:
+        for (std::uint64_t p = 0; p < pages; ++p)
+            as.resolveCpuFault(first + p);
+        as.resolveGpuFault(first, pages);
+        break;
+      case FaultScenario::Cpu1:
+      case FaultScenario::Cpu12:
+        for (std::uint64_t p = 0; p < pages; ++p)
+            as.resolveCpuFault(first + p);
+        break;
+    }
+    as.munmap(base);
+    as.setXnack(saved_xnack);
+}
+
+SampleStats
+FaultProbe::latencyDistribution(FaultScenario scenario)
+{
+    auto &handler = sys.faultHandler();
+    vm::FaultType type = faultTypeOf(scenario);
+
+    for (unsigned i = 0; i < cfg.warmupIterations; ++i)
+        (void)handler.sampleColdLatency(type);
+
+    SampleStats stats;
+    for (unsigned i = 0; i < cfg.timedIterations; ++i) {
+        // One page, resolved through the real VM path, priced cold.
+        functionalFaults(scenario, 1);
+        stats.add(handler.sampleColdLatency(type));
+    }
+    return stats;
+}
+
+double
+FaultProbe::throughput(FaultScenario scenario, std::uint64_t pages)
+{
+    if (pages == 0)
+        fatal("fault throughput of zero pages");
+    std::uint64_t functional =
+        std::min<std::uint64_t>(pages, cfg.functionalPageCap);
+    functionalFaults(scenario, functional);
+    return sys.faultHandler().throughput(faultTypeOf(scenario), pages,
+                                         coresOf(scenario));
+}
+
+} // namespace upm::core

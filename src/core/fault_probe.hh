@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Page-fault probe (paper Section 3.1 "Page Fault Overhead", results
+ * Fig. 7 throughput and Fig. 8 latency distribution).
+ *
+ * Latency: mmap a fresh region, issue a single first touch, compare
+ * against the pre-faulted baseline -- here directly sampled from the
+ * fault handler's cold-latency distribution after functionally
+ * resolving the fault.
+ *
+ * Throughput: fault @p pages concurrently in one of four scenarios
+ * (GPU Major, GPU Minor, 1CPU, 12CPU). Regions up to a functional cap
+ * are resolved page-by-page through the real VM paths; beyond the cap
+ * (page counts exceeding the scaled-down model capacity) the timing
+ * model alone is queried, which is exact because service time is
+ * independent of *which* frames are taken.
+ */
+
+#ifndef UPM_CORE_FAULT_PROBE_HH
+#define UPM_CORE_FAULT_PROBE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/system.hh"
+
+namespace upm::core {
+
+/** Fig. 7 scenarios. */
+enum class FaultScenario : std::uint8_t {
+    GpuMajor,  //!< first touch on GPU
+    GpuMinor,  //!< CPU pre-faulted, touch on GPU
+    Cpu1,      //!< one faulting core
+    Cpu12,     //!< twelve faulting cores
+};
+
+const char *faultScenarioName(FaultScenario scenario);
+
+/** Fault prober. */
+class FaultProbe
+{
+  public:
+    struct Params
+    {
+        unsigned warmupIterations = 10;
+        unsigned timedIterations = 100;
+        /** Pages resolved functionally before switching to the pure
+         *  timing model (bounded by modelled capacity). */
+        std::uint64_t functionalPageCap = 64 * 1024;
+    };
+
+    explicit FaultProbe(System &system) : FaultProbe(system, Params()) {}
+
+    FaultProbe(System &system, const Params &params)
+        : sys(system), cfg(params)
+    {}
+
+    /** Single-fault latency distribution (Fig. 8). */
+    SampleStats latencyDistribution(FaultScenario scenario);
+
+    /** Throughput in pages/s for @p pages concurrent faults (Fig. 7). */
+    double throughput(FaultScenario scenario, std::uint64_t pages);
+
+  private:
+    /** Functionally fault a small region through the VM paths. */
+    void functionalFaults(FaultScenario scenario, std::uint64_t pages);
+
+    System &sys;
+    Params cfg;
+};
+
+} // namespace upm::core
+
+#endif // UPM_CORE_FAULT_PROBE_HH

@@ -1,0 +1,54 @@
+#include "core/latency_probe.hh"
+
+#include "hip/kernel.hh"
+
+namespace upm::core {
+
+LatencyPoint
+LatencyProbe::measure(alloc::AllocatorKind kind, std::uint64_t bytes,
+                      FirstTouch first_touch)
+{
+    auto &rt = sys.runtime();
+
+    // On-demand GPU touches need XNACK; remember and restore the mode.
+    bool saved_xnack = rt.xnack();
+    auto traits = alloc::traitsOf(kind, saved_xnack);
+    if (traits.onDemand && first_touch == FirstTouch::Gpu)
+        rt.setXnack(true);
+
+    hip::DevPtr ptr = rt.allocate(kind, bytes);
+
+    if (first_touch == FirstTouch::Cpu) {
+        rt.cpuFirstTouch(ptr, bytes);
+    } else {
+        hip::KernelDesc init;
+        init.name = "chase_init";
+        init.buffers.push_back({ptr, bytes, bytes});
+        rt.launchKernel(init, nullptr);
+        rt.deviceSynchronize();
+    }
+
+    auto profile = rt.perf().profileRegion(rt.addressSpace(), ptr, bytes);
+    LatencyPoint point;
+    point.bufferBytes = bytes;
+    point.gpuLatency = rt.perf().gpuChaseLatency(profile);
+    point.cpuLatency = rt.perf().cpuChaseLatency(profile);
+
+    rt.hipFree(ptr);
+    rt.setXnack(saved_xnack);
+    return point;
+}
+
+std::vector<LatencyPoint>
+LatencyProbe::sweep(alloc::AllocatorKind kind,
+                    const std::vector<std::uint64_t> &sizes,
+                    FirstTouch first_touch)
+{
+    std::vector<LatencyPoint> points;
+    points.reserve(sizes.size());
+    for (std::uint64_t bytes : sizes)
+        points.push_back(measure(kind, bytes, first_touch));
+    return points;
+}
+
+} // namespace upm::core

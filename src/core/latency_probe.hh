@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Pointer-chase latency probe (multichase methodology, paper Fig. 2).
+ *
+ * Allocates a buffer with a given allocator, first-touches it from the
+ * chosen agent, and reports the modelled dependent-load latency of a
+ * uniform-random chase over the buffer from the GPU and from the CPU.
+ * The Infinity Cache term comes from the allocation's *actual* frame
+ * placement, which is what makes CPU latency allocator-sensitive
+ * between L3 capacity and the 2 GiB plateau.
+ */
+
+#ifndef UPM_CORE_LATENCY_PROBE_HH
+#define UPM_CORE_LATENCY_PROBE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "alloc/allocation.hh"
+#include "core/system.hh"
+
+namespace upm::core {
+
+/** Who performs the first touch of on-demand memory. */
+enum class FirstTouch : std::uint8_t { Cpu, Gpu };
+
+/** One row of the Fig. 2 sweep. */
+struct LatencyPoint
+{
+    std::uint64_t bufferBytes = 0;
+    SimTime gpuLatency = 0.0;
+    SimTime cpuLatency = 0.0;
+};
+
+/** Pointer-chase prober bound to a system. */
+class LatencyProbe
+{
+  public:
+    explicit LatencyProbe(System &system) : sys(system) {}
+
+    /**
+     * Measure GPU and CPU chase latency over one buffer.
+     * The buffer is allocated, touched, measured, and freed.
+     */
+    LatencyPoint measure(alloc::AllocatorKind kind, std::uint64_t bytes,
+                         FirstTouch first_touch = FirstTouch::Cpu);
+
+    /** Full sweep over buffer sizes (Fig. 2 series for one allocator). */
+    std::vector<LatencyPoint> sweep(alloc::AllocatorKind kind,
+                                    const std::vector<std::uint64_t> &sizes,
+                                    FirstTouch first_touch = FirstTouch::Cpu);
+
+  private:
+    System &sys;
+};
+
+} // namespace upm::core
+
+#endif // UPM_CORE_LATENCY_PROBE_HH

@@ -1,0 +1,17 @@
+#include "core/porting.hh"
+
+namespace upm::core {
+
+std::uint64_t
+reliableFreeMemory(System &system)
+{
+    return system.meminfo().freeBytes();
+}
+
+std::uint64_t
+legacyFreeMemory(System &system)
+{
+    return system.runtime().hipMemGetInfo().freeBytes;
+}
+
+} // namespace upm::core

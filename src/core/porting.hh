@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The porting-strategy library (paper Section 3.3): reusable pieces
+ * for transforming explicit-model codes to the UPM unified model.
+ *
+ *  - UnifiedBuffer: one allocation visible to CPU and GPU, replacing a
+ *    duplicated (host, device) pair. Default allocator is hipMalloc,
+ *    the paper's recommendation.
+ *  - DoubleBuffer: swap-instead-of-copy for concurrent CPU-GPU access
+ *    (used by the heartwall port).
+ *  - reliableFreeMemory: a free-memory query that sees ALL allocators
+ *    (meminfo/libnuma) instead of hipMemGetInfo's hipMalloc-only view
+ *    (used by the nn port discussion).
+ *  - ManagedStaticVar: the __managed__ storage-specifier shim (used by
+ *    heartwall-v1; carries the documented bandwidth penalty).
+ */
+
+#ifndef UPM_CORE_PORTING_HH
+#define UPM_CORE_PORTING_HH
+
+#include <cstdint>
+#include <utility>
+
+#include "core/system.hh"
+
+namespace upm::core {
+
+/**
+ * RAII unified allocation: a single buffer for both agents.
+ * Non-copyable, movable.
+ */
+template <typename T>
+class UnifiedBuffer
+{
+  public:
+    UnifiedBuffer(hip::Runtime &runtime, std::uint64_t count,
+                  alloc::AllocatorKind kind =
+                      alloc::AllocatorKind::HipMalloc)
+        : rt(&runtime), elems(count)
+    {
+        devPtr = rt->allocate(kind, count * sizeof(T));
+    }
+
+    ~UnifiedBuffer() { release(); }
+
+    UnifiedBuffer(const UnifiedBuffer &) = delete;
+    UnifiedBuffer &operator=(const UnifiedBuffer &) = delete;
+
+    UnifiedBuffer(UnifiedBuffer &&other) noexcept { *this = std::move(other); }
+
+    UnifiedBuffer &
+    operator=(UnifiedBuffer &&other) noexcept
+    {
+        if (this != &other) {
+            release();
+            rt = other.rt;
+            devPtr = other.devPtr;
+            elems = other.elems;
+            other.rt = nullptr;
+            other.devPtr = 0;
+            other.elems = 0;
+        }
+        return *this;
+    }
+
+    hip::DevPtr devicePtr() const { return devPtr; }
+    std::uint64_t size() const { return elems; }
+    std::uint64_t bytes() const { return elems * sizeof(T); }
+
+    /** Host view of the data (functional computation). */
+    T *data() { return rt->hostPtr<T>(devPtr, elems); }
+    const T *data() const { return rt->hostPtr<T>(devPtr, elems); }
+
+    T &operator[](std::uint64_t i) { return data()[i]; }
+    const T &operator[](std::uint64_t i) const { return data()[i]; }
+
+  private:
+    void
+    release()
+    {
+        if (rt != nullptr && devPtr != 0)
+            rt->hipFree(devPtr);
+        rt = nullptr;
+        devPtr = 0;
+    }
+
+    hip::Runtime *rt = nullptr;
+    hip::DevPtr devPtr = 0;
+    std::uint64_t elems = 0;
+};
+
+/**
+ * Double buffering: the CPU fills `front()` while the GPU consumes
+ * `back()`; `swap()` exchanges them instead of copying (the paper's
+ * strategy for concurrent CPU-GPU access under the unified model).
+ */
+template <typename T>
+class DoubleBuffer
+{
+  public:
+    DoubleBuffer(hip::Runtime &runtime, std::uint64_t count,
+                 alloc::AllocatorKind kind =
+                     alloc::AllocatorKind::HipMalloc)
+        : buf0(runtime, count, kind), buf1(runtime, count, kind)
+    {}
+
+    UnifiedBuffer<T> &front() { return flipped ? buf1 : buf0; }
+    UnifiedBuffer<T> &back() { return flipped ? buf0 : buf1; }
+
+    /** O(1): no data movement, unlike the explicit-model copy. */
+    void swap() { flipped = !flipped; }
+
+  private:
+    UnifiedBuffer<T> buf0;
+    UnifiedBuffer<T> buf1;
+    bool flipped = false;
+};
+
+/**
+ * Free memory as an application should query it on UPM: the NUMA-node
+ * view, which reflects every allocator after physical backing exists.
+ */
+std::uint64_t reliableFreeMemory(System &system);
+
+/**
+ * Free memory as legacy code queries it (hipMemGetInfo): blind to
+ * everything but hipMalloc. Kept for the porting comparison.
+ */
+std::uint64_t legacyFreeMemory(System &system);
+
+/** The __managed__ storage-specifier shim: a static-lifetime unified
+ *  variable with the uncached-access penalty. */
+template <typename T>
+class ManagedStaticVar
+{
+  public:
+    ManagedStaticVar(hip::Runtime &runtime, std::uint64_t count)
+        : buf(runtime, count, alloc::AllocatorKind::ManagedStatic)
+    {}
+
+    hip::DevPtr devicePtr() const { return buf.devicePtr(); }
+    std::uint64_t size() const { return buf.size(); }
+    std::uint64_t bytes() const { return buf.bytes(); }
+    T *data() { return buf.data(); }
+    T &operator[](std::uint64_t i) { return buf[i]; }
+
+  private:
+    UnifiedBuffer<T> buf;
+};
+
+} // namespace upm::core
+
+#endif // UPM_CORE_PORTING_HH

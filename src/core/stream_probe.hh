@@ -1,0 +1,102 @@
+/**
+ * @file
+ * STREAM TRIAD probe (paper Fig. 3, Fig. 9, Fig. 10).
+ *
+ * GPU side: allocates the three TRIAD arrays, first-touches them from
+ * the chosen agent, then (a) reports the modelled streaming bandwidth
+ * and (b) *simulates* the per-CU UTCL1 over the kernel's page access
+ * sequence using the real fragments in the GPU page table, reporting
+ * the `TCP_UTCL1_TRANSLATION_MISS_sum` counter rocprof would show.
+ *
+ * CPU side: reports bandwidth for a thread sweep and the page-fault
+ * count perf would show over the benchmark (Fig. 10).
+ */
+
+#ifndef UPM_CORE_STREAM_PROBE_HH
+#define UPM_CORE_STREAM_PROBE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "alloc/allocation.hh"
+#include "core/latency_probe.hh"
+#include "core/system.hh"
+
+namespace upm::core {
+
+/** Result of one GPU TRIAD run. */
+struct GpuStreamResult
+{
+    double bandwidth = 0.0;        //!< bytes/ns (== GB/s)
+    std::uint64_t tlbMisses = 0;   //!< UTCL1 translation misses
+    std::uint64_t pagesPerArray = 0;
+};
+
+/** Result of one CPU TRIAD run. */
+struct CpuStreamResult
+{
+    double bandwidth = 0.0;       //!< bytes/ns at the best thread count
+    unsigned bestThreads = 0;
+    std::uint64_t pageFaults = 0;  //!< perf page-faults over the run
+    std::uint64_t dtlbMisses = 0;
+    std::vector<double> perThreadBandwidth;  //!< index 0 == 1 thread
+};
+
+/** STREAM-style prober bound to a system. */
+class StreamProbe
+{
+  public:
+    /** Parameters mirroring the paper's setup. */
+    struct Params
+    {
+        std::uint64_t gpuArrayBytes = 256 * MiB;
+        std::uint64_t cpuArrayBytes = 610 * MiB;
+        unsigned iterations = 10;
+        /** Iterations covered by the rocprof TLB profile window. */
+        unsigned profiledIterations = 3;
+        /** CUs simulated in detail; misses scale to the full GPU. */
+        unsigned sampledCus = 8;
+        /** Bytes per block dispatched to one CU (256 threads x 8 B). */
+        std::uint64_t blockBytes = 2048;
+    };
+
+    explicit StreamProbe(System &system) : StreamProbe(system, Params()) {}
+
+    StreamProbe(System &system, const Params &params)
+        : sys(system), cfg(params)
+    {}
+
+    /** GPU TRIAD with the given allocator and first-touch agent. */
+    GpuStreamResult gpuTriad(alloc::AllocatorKind kind,
+                             FirstTouch first_touch);
+
+    /** CPU TRIAD thread sweep (1..24 threads, best reported). */
+    CpuStreamResult cpuTriad(alloc::AllocatorKind kind,
+                             FirstTouch first_touch);
+
+    const Params &params() const { return cfg; }
+
+  private:
+    struct Arrays
+    {
+        hip::DevPtr a = 0, b = 0, c = 0;
+        std::uint64_t bytes = 0;
+    };
+
+    Arrays allocate(alloc::AllocatorKind kind, std::uint64_t bytes,
+                    FirstTouch first_touch);
+    void release(Arrays &arrays);
+
+    /** Simulate per-CU UTCL1 misses over the TRIAD access sequence. */
+    std::uint64_t simulateTlbMisses(const Arrays &arrays);
+
+    /** Process-noise fault floor perf sees on a real node (Fig. 10). */
+    static std::uint64_t kResidualProcessFaults(FirstTouch first_touch);
+
+    System &sys;
+    Params cfg;
+};
+
+} // namespace upm::core
+
+#endif // UPM_CORE_STREAM_PROBE_HH

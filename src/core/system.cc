@@ -1,0 +1,14 @@
+#include "core/system.hh"
+
+namespace upm::core {
+
+System::System(const SystemConfig &config)
+    : cfg(config), apuTopo(cfg), geom(cfg.geometry),
+      frameAlloc(geom, cfg.frames), as(frameAlloc, backingStore),
+      faults(cfg.faults), registry(as),
+      rt(as, registry, faults, cfg, geom), numaMeminfo(frameAlloc),
+      processRss(as)
+{
+}
+
+} // namespace upm::core

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The System: one simulated MI300A node running one process.
+ *
+ * Wires the full stack together -- geometry, frame allocator, backing
+ * store, address space, fault handler, allocator registry, HIP runtime,
+ * profiling views -- in dependency order. Every probe, bench, example
+ * and workload starts by constructing one of these.
+ */
+
+#ifndef UPM_CORE_SYSTEM_HH
+#define UPM_CORE_SYSTEM_HH
+
+#include <memory>
+
+#include "alloc/registry.hh"
+#include "core/apu.hh"
+#include "core/calibration.hh"
+#include "hip/runtime.hh"
+#include "mem/backing_store.hh"
+#include "mem/frame_allocator.hh"
+#include "mem/geometry.hh"
+#include "prof/counters.hh"
+#include "prof/meminfo.hh"
+#include "prof/perf.hh"
+#include "prof/rocprof.hh"
+#include "vm/address_space.hh"
+#include "vm/fault_handler.hh"
+
+namespace upm::core {
+
+/** One APU + one process, fully wired. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &config = {});
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    const SystemConfig &config() const { return cfg; }
+    const Apu &apu() const { return apuTopo; }
+
+    mem::MemGeometry &geometry() { return geom; }
+    mem::FrameAllocator &frames() { return frameAlloc; }
+    mem::BackingStore &backing() { return backingStore; }
+    vm::AddressSpace &addressSpace() { return as; }
+    vm::FaultHandler &faultHandler() { return faults; }
+    alloc::AllocatorRegistry &allocators() { return registry; }
+    hip::Runtime &runtime() { return rt; }
+
+    prof::CounterRegistry &counters() { return counterRegistry; }
+    prof::NumaMeminfo &meminfo() { return numaMeminfo; }
+    prof::ProcessRss &rss() { return processRss; }
+
+  private:
+    SystemConfig cfg;
+    Apu apuTopo;
+    mem::MemGeometry geom;
+    mem::FrameAllocator frameAlloc;
+    mem::BackingStore backingStore;
+    vm::AddressSpace as;
+    vm::FaultHandler faults;
+    alloc::AllocatorRegistry registry;
+    hip::Runtime rt;
+    prof::CounterRegistry counterRegistry;
+    prof::NumaMeminfo numaMeminfo;
+    prof::ProcessRss processRss;
+};
+
+} // namespace upm::core
+
+#endif // UPM_CORE_SYSTEM_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Kernel descriptors.
+ *
+ * upmsim kernels are C++ callables that really compute on the host
+ * backing store; the descriptor declares the kernel's resource usage
+ * so the runtime can time it: FLOPs, and per-buffer traffic/footprint
+ * (the footprint drives page-fault accounting, the traffic drives the
+ * bandwidth model).
+ */
+
+#ifndef UPM_HIP_KERNEL_HH
+#define UPM_HIP_KERNEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/backing_store.hh"
+
+namespace upm::hip {
+
+/** Simulated device-visible pointer. */
+using DevPtr = mem::VirtAddr;
+
+/** One buffer a kernel touches. */
+struct BufferUse
+{
+    DevPtr ptr = 0;
+    /** Bytes of memory traffic the kernel moves against this buffer. */
+    std::uint64_t trafficBytes = 0;
+    /** Footprint (unique bytes touched); drives fault accounting.
+     *  Defaults to trafficBytes when zero. */
+    std::uint64_t footprintBytes = 0;
+
+    std::uint64_t footprint() const
+    {
+        return footprintBytes ? footprintBytes : trafficBytes;
+    }
+};
+
+/** Launch descriptor. */
+struct KernelDesc
+{
+    std::string name = "kernel";
+    /** Total work items (for reporting; timing uses flops/buffers). */
+    std::uint64_t gridThreads = 0;
+    /** FP64-equivalent operations the kernel performs. */
+    double flops = 0.0;
+    std::vector<BufferUse> buffers;
+};
+
+} // namespace upm::hip
+
+#endif // UPM_HIP_KERNEL_HH

@@ -1,0 +1,51 @@
+#include "hip/memcpy_engine.hh"
+
+namespace upm::hip {
+
+const char *
+copyPathName(CopyPath path)
+{
+    switch (path) {
+      case CopyPath::SdmaPageable: return "SDMA (pageable)";
+      case CopyPath::SdmaPinned: return "SDMA (pinned)";
+      case CopyPath::BlitHostDevice: return "blit H<->D";
+      case CopyPath::BlitDeviceDevice: return "blit D<->D";
+    }
+    return "<unknown>";
+}
+
+CopyPath
+MemcpyEngine::classify(const vm::Vma *dst, const vm::Vma *src) const
+{
+    auto is_device = [](const vm::Vma *vma) {
+        return vma != nullptr &&
+               vma->policy.placement == vm::Placement::Contiguous;
+    };
+    auto is_pinned = [](const vm::Vma *vma) {
+        return vma != nullptr && vma->policy.pinned;
+    };
+
+    if (is_device(dst) && is_device(src))
+        return CopyPath::BlitDeviceDevice;
+    if (!sdmaEnabled)
+        return CopyPath::BlitHostDevice;
+    if (is_pinned(dst) && is_pinned(src))
+        return CopyPath::SdmaPinned;
+    return CopyPath::SdmaPageable;
+}
+
+SimTime
+MemcpyEngine::transferTime(CopyPath path, std::uint64_t bytes) const
+{
+    double rate;
+    switch (path) {
+      case CopyPath::SdmaPageable: rate = bw.sdmaPageableBw; break;
+      case CopyPath::SdmaPinned: rate = bw.sdmaPinnedBw; break;
+      case CopyPath::BlitHostDevice: rate = bw.blitH2DBw; break;
+      case CopyPath::BlitDeviceDevice:
+      default: rate = bw.blitD2DBw; break;
+    }
+    return bw.memcpyBaseOverhead + static_cast<double>(bytes) / rate;
+}
+
+} // namespace upm::hip

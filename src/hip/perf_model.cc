@@ -1,0 +1,167 @@
+#include "hip/perf_model.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace upm::hip {
+
+PerfModel::PerfModel(const core::SystemConfig &config,
+                     const mem::MemGeometry &geometry)
+    : cfg(config), geom(geometry), ic(geom, cfg.infinityCache),
+      gpuCaches({{"L1", cfg.gpuCache.l1Capacity, cfg.gpuCache.l1Latency},
+                 {"L2", cfg.gpuCache.l2Capacity, cfg.gpuCache.l2Latency}},
+                cfg.gpuCache.icLatency, cfg.gpuCache.hbmLatency),
+      cpuCaches({{"L1", cfg.cpuCache.l1Capacity, cfg.cpuCache.l1Latency},
+                 {"L2", cfg.cpuCache.l2Capacity, cfg.cpuCache.l2Latency},
+                 {"L3", cfg.cpuCache.l3Capacity, cfg.cpuCache.l3Latency}},
+                cfg.cpuCache.icLatency, cfg.cpuCache.hbmLatency)
+{
+}
+
+RegionProfile
+PerfModel::profileRegion(const vm::AddressSpace &as, vm::VirtAddr base,
+                         std::uint64_t size) const
+{
+    RegionProfile profile;
+    profile.bytes = size;
+    profile.pagesTotal = ceilDiv(size, mem::kPageSize);
+
+    const vm::Vma *vma = as.findVma(base);
+    if (vma == nullptr)
+        panic("profileRegion of unmapped address 0x%llx",
+              static_cast<unsigned long long>(base));
+    profile.onDemand = vma->policy.onDemand;
+    profile.pinned = vma->policy.pinned;
+    profile.uncachedGpu = vma->policy.uncachedGpu;
+    profile.gpuMapped = vma->policy.gpuMapped;
+
+    auto frames = as.framesOf(base, size);
+    profile.pagesPresent = frames.size();
+    profile.stackBalance = geom.stackBalance(frames);
+    profile.scatteredFraction = vma->scatteredFraction();
+    profile.icHitFraction = ic.hitFraction(frames);
+
+    // Fragment span: pages-weighted harmonic mean across the GPU PTEs
+    // of the range, i.e. translations needed per page. Missing GPU
+    // PTEs (on-demand regions before first GPU touch) count as span 1.
+    vm::Vpn begin = vm::vpnOf(base);
+    vm::Vpn end = vm::vpnOf(base + size + mem::kPageSize - 1);
+    std::uint64_t gpu_pages = 0;
+    double translations = 0.0;
+    as.gpuTable().forRange(begin, end,
+                           [&](vm::Vpn, const vm::GpuPte &pte) {
+                               ++gpu_pages;
+                               translations +=
+                                   1.0 / static_cast<double>(
+                                             1ull << pte.fragment);
+                           });
+    profile.pagesGpuMapped = gpu_pages;
+    std::uint64_t span1_pages = profile.pagesTotal - gpu_pages;
+    translations += static_cast<double>(span1_pages);
+    if (profile.pagesTotal > 0 && translations > 0.0) {
+        profile.avgFragmentSpan =
+            static_cast<double>(profile.pagesTotal) / translations;
+    }
+    return profile;
+}
+
+double
+PerfModel::gpuStreamBandwidth(const RegionProfile &profile) const
+{
+    const auto &bw = cfg.bandwidth;
+    if (profile.uncachedGpu)
+        return bw.gpuUncachedBw;
+
+    // Translation requests per byte: one per gpuBytesPerTranslation of
+    // 4 KiB-fragment memory, reduced proportionally by fragment reach.
+    double requests_per_byte =
+        1.0 / (bw.gpuBytesPerTranslation * profile.avgFragmentSpan);
+    double time_per_byte = 1.0 / bw.gpuIssuePeak +
+                           requests_per_byte / bw.gpuWalkerThroughput;
+    double eff = 1.0 / time_per_byte;
+
+    // XNACK retry mode costs throughput on on-demand memory.
+    if (profile.onDemand)
+        eff *= bw.gpuXnackFactor;
+
+    // The paper finds GPU bandwidth insensitive to first-touch agent;
+    // only the raw memory peak bounds it beyond the terms above.
+    eff = std::min(eff, bw.memPeak);
+    return eff;
+}
+
+double
+PerfModel::cpuStreamBandwidth(const RegionProfile &profile,
+                              unsigned threads) const
+{
+    const auto &bw = cfg.bandwidth;
+    threads = std::max(1u, std::min(threads, cfg.numCpuCores));
+
+    double issue = bw.cpuPerCoreBw * static_cast<double>(threads);
+    // Scattered placements oversubscribe a subset of channels/IC
+    // slices, lowering the achievable fabric cap (case B: 181 GB/s).
+    double cap = bw.cpuFabricCap *
+                 (1.0 - bw.cpuScatterBwLoss * profile.scatteredFraction);
+
+    // Biased placements saturate their hot channels early: past the
+    // peak thread count, extra threads only add queueing.
+    if (profile.scatteredFraction > 0.5 &&
+        threads > cfg.bandwidth.cpuBiasedPeakThreads) {
+        unsigned extra = threads - cfg.bandwidth.cpuBiasedPeakThreads;
+        cap *= 1.0 - bw.cpuBiasedDeclinePerThread *
+                         static_cast<double>(extra);
+    }
+    return std::min(issue, cap);
+}
+
+SimTime
+PerfModel::gpuChaseLatency(const RegionProfile &profile) const
+{
+    // GPU chase latency is allocator-insensitive in the paper; the
+    // hardware walker hides fragment differences behind the (long)
+    // dependent-load path, so only the working set matters.
+    return gpuCaches.avgLatency(profile.bytes, profile.icHitFraction);
+}
+
+SimTime
+PerfModel::cpuChaseLatency(const RegionProfile &profile) const
+{
+    // Scattered placements hit biased Infinity Cache sets on the CPU
+    // path (paper Section 5.4); the GPU path is insensitive (Fig. 2).
+    double ic_hit = profile.icHitFraction *
+                    (1.0 - cfg.bandwidth.icScatterPenalty *
+                               profile.scatteredFraction);
+    return cpuCaches.avgLatency(profile.bytes, ic_hit);
+}
+
+SimTime
+PerfModel::gpuStreamTime(const RegionProfile &profile,
+                         std::uint64_t bytes) const
+{
+    return static_cast<double>(bytes) / gpuStreamBandwidth(profile);
+}
+
+SimTime
+PerfModel::gpuComputeTime(double flops) const
+{
+    return flops / cfg.compute.gpuFp64Flops;
+}
+
+SimTime
+PerfModel::cpuComputeTime(double flops, unsigned threads) const
+{
+    threads = std::max(1u, std::min(threads, cfg.numCpuCores));
+    return flops / (cfg.compute.cpuCoreFlops *
+                    static_cast<double>(threads));
+}
+
+SimTime
+PerfModel::cpuStreamTime(const RegionProfile &profile, std::uint64_t bytes,
+                         unsigned threads) const
+{
+    return static_cast<double>(bytes) /
+           cpuStreamBandwidth(profile, threads);
+}
+
+} // namespace upm::hip

@@ -1,0 +1,363 @@
+#include "hip/runtime.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace upm::hip {
+
+Runtime::Runtime(vm::AddressSpace &address_space,
+                 alloc::AllocatorRegistry &allocator_registry,
+                 vm::FaultHandler &fault_handler,
+                 const core::SystemConfig &config,
+                 const mem::MemGeometry &geometry)
+    : as(address_space), registry(allocator_registry),
+      faults(fault_handler), cfg(config), perfModel(config, geometry),
+      copyEngine(config.bandwidth, config.sdmaEnabled), stream0(0)
+{
+    as.setXnack(cfg.xnack);
+}
+
+void
+Runtime::notePeak()
+{
+    auto &alloc = as.frames();
+    std::uint64_t used =
+        (alloc.totalFrames() - alloc.freeFrames()) * mem::kPageSize;
+    peakBytes = std::max(peakBytes, used);
+}
+
+void
+Runtime::resetPeak()
+{
+    peakBytes = 0;
+    notePeak();
+}
+
+DevPtr
+Runtime::allocate(alloc::AllocatorKind kind, std::uint64_t size)
+{
+    alloc::Allocation allocation = registry.allocate(kind, size);
+    hostClock.advance(allocation.allocTime);
+    DevPtr ptr = allocation.addr;
+    if (kind == alloc::AllocatorKind::HipMalloc)
+        hipMallocBytes += allocation.size;
+    allocations.emplace(ptr, allocation);
+    notePeak();
+    return ptr;
+}
+
+DevPtr
+Runtime::hipMalloc(std::uint64_t size)
+{
+    return allocate(alloc::AllocatorKind::HipMalloc, size);
+}
+
+DevPtr
+Runtime::hipHostMalloc(std::uint64_t size)
+{
+    return allocate(alloc::AllocatorKind::HipHostMalloc, size);
+}
+
+DevPtr
+Runtime::hipMallocManaged(std::uint64_t size)
+{
+    return allocate(alloc::AllocatorKind::HipMallocManaged, size);
+}
+
+DevPtr
+Runtime::hostMalloc(std::uint64_t size)
+{
+    return allocate(alloc::AllocatorKind::Malloc, size);
+}
+
+DevPtr
+Runtime::managedStatic(std::uint64_t size)
+{
+    return allocate(alloc::AllocatorKind::ManagedStatic, size);
+}
+
+void
+Runtime::hipFree(DevPtr ptr)
+{
+    auto it = allocations.find(ptr);
+    if (it == allocations.end())
+        fatal("hipFree of unknown pointer 0x%llx",
+              static_cast<unsigned long long>(ptr));
+    if (it->second.kind == alloc::AllocatorKind::HipMalloc)
+        hipMallocBytes -= it->second.size;
+    hostClock.advance(registry.deallocate(it->second));
+    allocations.erase(it);
+}
+
+void
+Runtime::hipHostRegister(DevPtr ptr)
+{
+    auto it = allocations.find(ptr);
+    if (it == allocations.end())
+        fatal("hipHostRegister of unknown pointer 0x%llx",
+              static_cast<unsigned long long>(ptr));
+    hostClock.advance(registry.hostRegister(it->second));
+    it->second.kind = alloc::AllocatorKind::MallocRegistered;
+    notePeak();
+}
+
+const alloc::Allocation &
+Runtime::allocationOf(DevPtr ptr) const
+{
+    auto it = allocations.find(ptr);
+    if (it == allocations.end())
+        fatal("unknown allocation 0x%llx",
+              static_cast<unsigned long long>(ptr));
+    return it->second;
+}
+
+MemInfo
+Runtime::hipMemGetInfo() const
+{
+    MemInfo info;
+    info.totalBytes = as.frames().geometry().capacity();
+    info.freeBytes = info.totalBytes - hipMallocBytes;
+    return info;
+}
+
+CopyPath
+Runtime::hipMemcpy(DevPtr dst, DevPtr src, std::uint64_t bytes)
+{
+    const vm::Vma *dst_vma = as.findVma(dst);
+    const vm::Vma *src_vma = as.findVma(src);
+    if (dst_vma == nullptr || src_vma == nullptr)
+        fatal("hipMemcpy on unmapped pointer");
+
+    // Functional copy through the backing store.
+    if (bytes > 0 && dst != src) {
+        std::memcpy(as.backing().hostPtr(dst, bytes),
+                    as.backing().hostPtr(src, bytes), bytes);
+    }
+
+    // A copy *writes* the destination: on-demand destinations are
+    // populated through the CPU fault path first (as a real memcpy
+    // into fresh malloc memory would).
+    if (dst_vma->policy.onDemand)
+        hostClock.advance(cpuFirstTouch(dst, bytes));
+
+    CopyPath path = copyEngine.classify(dst_vma, src_vma);
+    hostClock.advance(copyEngine.transferTime(path, bytes));
+    ++runtimeStats.memcpyCalls;
+    runtimeStats.bytesCopied += bytes;
+    notePeak();
+    return path;
+}
+
+CopyPath
+Runtime::hipMemcpyAsync(DevPtr dst, DevPtr src, std::uint64_t bytes,
+                        Stream &stream)
+{
+    const vm::Vma *dst_vma = as.findVma(dst);
+    const vm::Vma *src_vma = as.findVma(src);
+    if (dst_vma == nullptr || src_vma == nullptr)
+        fatal("hipMemcpyAsync on unmapped pointer");
+
+    if (bytes > 0 && dst != src) {
+        std::memcpy(as.backing().hostPtr(dst, bytes),
+                    as.backing().hostPtr(src, bytes), bytes);
+    }
+    SimTime fault_time = 0.0;
+    if (dst_vma->policy.onDemand) {
+        // The engine still faults the destination in, on the stream's
+        // timeline rather than the host's.
+        const vm::Vma *vma = dst_vma;
+        vm::Vpn first = vm::vpnOf(dst);
+        vm::Vpn last = vm::vpnOf(dst + bytes + mem::kPageSize - 1);
+        last = std::min(last, vma->endVpn());
+        std::uint64_t missing = 0;
+        for (vm::Vpn vpn = first; vpn < last; ++vpn) {
+            if (!as.systemTable().present(vpn)) {
+                as.resolveCpuFault(vpn);
+                ++missing;
+            }
+        }
+        if (missing > 0) {
+            runtimeStats.cpuFaultedPages += missing;
+            fault_time =
+                faults.serviceTime(vm::FaultType::Cpu, missing, 1);
+        }
+    }
+
+    CopyPath path = copyEngine.classify(dst_vma, src_vma);
+    stream.enqueue(hostClock.now(),
+                   fault_time + copyEngine.transferTime(path, bytes));
+    ++runtimeStats.memcpyCalls;
+    runtimeStats.bytesCopied += bytes;
+    notePeak();
+    return path;
+}
+
+SimTime
+Runtime::resolveKernelFaults(const BufferUse &use)
+{
+    const vm::Vma *vma = as.findVma(use.ptr);
+    if (vma == nullptr)
+        fatal("kernel accesses unmapped pointer 0x%llx",
+              static_cast<unsigned long long>(use.ptr));
+
+    std::uint64_t footprint =
+        std::min<std::uint64_t>(use.footprint(),
+                                vma->base + vma->size - use.ptr);
+    vm::Vpn first = vm::vpnOf(use.ptr);
+    vm::Vpn last = vm::vpnOf(use.ptr + footprint + mem::kPageSize - 1);
+
+    std::uint64_t missing = 0;
+    std::uint64_t sys_present = 0;
+    for (vm::Vpn vpn = first; vpn < last; ++vpn) {
+        if (!as.gpuTable().present(vpn)) {
+            ++missing;
+            if (as.systemTable().present(vpn))
+                ++sys_present;
+        }
+    }
+    if (missing == 0)
+        return 0.0;
+
+    if (!vma->policy.gpuMapped && !as.xnackEnabled()) {
+        fatal("GPU memory violation: kernel touches on-demand memory "
+              "'%s' with XNACK disabled",
+              vma->name.c_str());
+    }
+
+    bool minor = sys_present == missing;
+    auto kind = as.resolveGpuFault(first, last - first);
+    if (kind == vm::GpuFaultKind::Violation)
+        fatal("GPU fault on '%s' could not be resolved",
+              vma->name.c_str());
+
+    vm::FaultType type =
+        minor ? vm::FaultType::GpuMinor : vm::FaultType::GpuMajor;
+    if (minor)
+        runtimeStats.gpuFaultedPagesMinor += missing;
+    else
+        runtimeStats.gpuFaultedPagesMajor += missing;
+    notePeak();
+    return faults.serviceTime(type, missing);
+}
+
+SimTime
+Runtime::launchKernel(const KernelDesc &desc,
+                      const std::function<void()> &body, Stream *stream)
+{
+    if (stream == nullptr)
+        stream = &stream0;
+
+    SimTime fault_time = 0.0;
+    for (const auto &use : desc.buffers)
+        fault_time += resolveKernelFaults(use);
+
+    // Memory time: traffic per buffer at that buffer's effective
+    // bandwidth (profiles are taken AFTER fault resolution so fragments
+    // reflect what the kernel actually sees).
+    SimTime mem_time = 0.0;
+    for (const auto &use : desc.buffers) {
+        if (use.trafficBytes == 0)
+            continue;
+        auto profile = perfModel.profileRegion(
+            as, use.ptr, std::max<std::uint64_t>(use.footprint(), 1));
+        mem_time += perfModel.gpuStreamTime(profile, use.trafficBytes);
+    }
+    SimTime compute_time = perfModel.gpuComputeTime(desc.flops);
+
+    SimTime duration = cfg.compute.kernelLaunchOverhead + fault_time +
+                       std::max(mem_time, compute_time) +
+                       cfg.compute.kernelTeardown;
+
+    if (body)
+        body();
+
+    stream->enqueue(hostClock.now(), duration);
+    ++runtimeStats.kernelsLaunched;
+    return duration;
+}
+
+void
+Runtime::deviceSynchronize()
+{
+    hostClock.advanceTo(stream0.readyAt());
+}
+
+void
+Runtime::streamSynchronize(Stream &stream)
+{
+    hostClock.advanceTo(stream.readyAt());
+}
+
+Event
+Runtime::eventRecord(Stream &stream)
+{
+    Event event;
+    event.time = std::max(stream.readyAt(), hostClock.now());
+    return event;
+}
+
+SimTime
+Runtime::eventElapsed(const Event &start, const Event &stop) const
+{
+    if (!start.recorded() || !stop.recorded())
+        fatal("eventElapsed on unrecorded event");
+    return stop.time - start.time;
+}
+
+Stream
+Runtime::makeStream()
+{
+    return Stream(nextStreamId++);
+}
+
+SimTime
+Runtime::cpuFirstTouch(DevPtr ptr, std::uint64_t size, unsigned threads)
+{
+    const vm::Vma *vma = as.findVma(ptr);
+    if (vma == nullptr)
+        fatal("cpuFirstTouch of unmapped pointer");
+    vm::Vpn first = vm::vpnOf(ptr);
+    vm::Vpn last = vm::vpnOf(ptr + std::max<std::uint64_t>(size, 1) +
+                             mem::kPageSize - 1);
+    last = std::min(last, vma->endVpn());
+
+    std::uint64_t missing = 0;
+    for (vm::Vpn vpn = first; vpn < last; ++vpn) {
+        if (!as.systemTable().present(vpn)) {
+            as.resolveCpuFault(vpn);
+            ++missing;
+        }
+    }
+    if (missing == 0)
+        return 0.0;
+    runtimeStats.cpuFaultedPages += missing;
+    SimTime t = faults.serviceTime(vm::FaultType::Cpu, missing, threads);
+    hostClock.advance(t);
+    notePeak();
+    return t;
+}
+
+SimTime
+Runtime::cpuStream(DevPtr ptr, std::uint64_t bytes, unsigned threads)
+{
+    const vm::Vma *vma = as.findVma(ptr);
+    if (vma == nullptr)
+        fatal("cpuStream of unmapped pointer");
+    SimTime fault_time = 0.0;
+    if (vma->policy.onDemand)
+        fault_time = cpuFirstTouch(ptr, bytes, threads);
+    auto profile = perfModel.profileRegion(as, ptr, bytes);
+    SimTime t = perfModel.cpuStreamTime(profile, bytes, threads);
+    hostClock.advance(t);
+    return t + fault_time;
+}
+
+void
+Runtime::advanceHost(SimTime duration)
+{
+    hostClock.advance(duration);
+}
+
+} // namespace upm::hip

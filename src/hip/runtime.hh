@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The simhip runtime: a HIP-shaped API over the simulated APU.
+ *
+ * Mirrors the subset of HIP the paper's benchmarks and workloads use:
+ * the allocator family, hipMemcpy, kernel launch on streams, events,
+ * synchronization, hipMemGetInfo (with its real-world blind spot: it
+ * only accounts hipMalloc), XNACK mode, and SDMA toggling. Kernel
+ * bodies execute functionally against the host backing store at
+ * enqueue time; all timing is simulated.
+ */
+
+#ifndef UPM_HIP_RUNTIME_HH
+#define UPM_HIP_RUNTIME_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "alloc/registry.hh"
+#include "common/clock.hh"
+#include "hip/kernel.hh"
+#include "hip/memcpy_engine.hh"
+#include "hip/perf_model.hh"
+#include "hip/stream.hh"
+#include "vm/fault_handler.hh"
+
+namespace upm::hip {
+
+/** Runtime-level counters (profiling surface). */
+struct RuntimeStats
+{
+    std::uint64_t kernelsLaunched = 0;
+    std::uint64_t memcpyCalls = 0;
+    std::uint64_t bytesCopied = 0;
+    std::uint64_t gpuFaultedPagesMajor = 0;
+    std::uint64_t gpuFaultedPagesMinor = 0;
+    std::uint64_t cpuFaultedPages = 0;
+};
+
+/** hipMemGetInfo result. */
+struct MemInfo
+{
+    std::uint64_t freeBytes = 0;
+    std::uint64_t totalBytes = 0;
+};
+
+/**
+ * One simulated process on one APU. Owns the host clock, streams, and
+ * the DevPtr -> Allocation map.
+ */
+class Runtime
+{
+  public:
+    Runtime(vm::AddressSpace &address_space,
+            alloc::AllocatorRegistry &registry,
+            vm::FaultHandler &fault_handler,
+            const core::SystemConfig &config,
+            const mem::MemGeometry &geometry);
+
+    // ---- Memory management -------------------------------------------
+    /** Allocate with any Table 1 configuration; charges host time. */
+    DevPtr allocate(alloc::AllocatorKind kind, std::uint64_t size);
+
+    DevPtr hipMalloc(std::uint64_t size);
+    DevPtr hipHostMalloc(std::uint64_t size);
+    DevPtr hipMallocManaged(std::uint64_t size);
+    /** Plain host malloc (on-demand). */
+    DevPtr hostMalloc(std::uint64_t size);
+    /** A __managed__ static variable (registered at "load time"). */
+    DevPtr managedStatic(std::uint64_t size);
+
+    /** Free any allocation; charges host time. */
+    void hipFree(DevPtr ptr);
+
+    /** Pin + GPU-map an existing host allocation. */
+    void hipHostRegister(DevPtr ptr);
+
+    /** The allocation record behind @p ptr (must exist). */
+    const alloc::Allocation &allocationOf(DevPtr ptr) const;
+
+    /** Typed host pointer into the backing store. */
+    template <typename T>
+    T *
+    hostPtr(DevPtr ptr, std::uint64_t count = 1)
+    {
+        return as.backing().hostPtrAs<T>(ptr, count);
+    }
+
+    /** hipMemGetInfo: counts ONLY hipMalloc allocations (real HIP
+     *  behaviour the paper documents in Section 3.2). */
+    MemInfo hipMemGetInfo() const;
+
+    // ---- Data movement -----------------------------------------------
+    /** Synchronous hipMemcpy; performs the copy and charges time.
+     *  @return the path taken (for the Section 4.3 bench). */
+    CopyPath hipMemcpy(DevPtr dst, DevPtr src, std::uint64_t bytes);
+
+    /**
+     * hipMemcpyAsync: the copy is performed functionally now, but its
+     * time is enqueued on @p stream so it overlaps host work (the
+     * explicit-model pipelines in dwt2d/heartwall rely on this).
+     */
+    CopyPath hipMemcpyAsync(DevPtr dst, DevPtr src, std::uint64_t bytes,
+                            Stream &stream);
+
+    // ---- Kernels and synchronization ----------------------------------
+    /**
+     * Launch a kernel: resolve GPU faults on its footprint, time it,
+     * run @p body functionally, enqueue on @p stream (default stream
+     * if null). @return the kernel's modelled duration (excluding
+     * queue wait).
+     */
+    SimTime launchKernel(const KernelDesc &desc,
+                         const std::function<void()> &body,
+                         Stream *stream = nullptr);
+
+    void deviceSynchronize();
+    void streamSynchronize(Stream &stream);
+
+    Event eventRecord(Stream &stream);
+    /** Elapsed simulated time between two recorded events. */
+    SimTime eventElapsed(const Event &start, const Event &stop) const;
+
+    // ---- CPU-side modelled operations ---------------------------------
+    /**
+     * CPU first touch of [ptr, ptr+size): resolves and charges CPU
+     * page faults for missing pages. @return the fault time charged.
+     */
+    SimTime cpuFirstTouch(DevPtr ptr, std::uint64_t size,
+                          unsigned threads = 1);
+
+    /** Charge CPU streaming over the region (plus faults if any). */
+    SimTime cpuStream(DevPtr ptr, std::uint64_t bytes, unsigned threads);
+
+    /** Charge arbitrary host time (I/O phases, serial CPU work). */
+    void advanceHost(SimTime duration);
+
+    // ---- Introspection -------------------------------------------------
+    SimTime now() const { return hostClock.now(); }
+    SimClock &clock() { return hostClock; }
+    Stream &defaultStream() { return stream0; }
+    Stream makeStream();
+
+    void setXnack(bool enabled) { as.setXnack(enabled); }
+    bool xnack() const { return as.xnackEnabled(); }
+    void setSdma(bool enabled) { copyEngine.setSdma(enabled); }
+
+    PerfModel &perf() { return perfModel; }
+    MemcpyEngine &memcpyEngine() { return copyEngine; }
+    vm::AddressSpace &addressSpace() { return as; }
+    vm::FaultHandler &faultHandler() { return faults; }
+    alloc::AllocatorRegistry &allocators() { return registry; }
+
+    const RuntimeStats &stats() const { return runtimeStats; }
+    void resetStats() { runtimeStats = {}; }
+
+    /** Peak physical memory used since construction / last reset. */
+    std::uint64_t peakBytesUsed() const { return peakBytes; }
+    void resetPeak();
+
+  private:
+    /** Resolve GPU faults on a kernel buffer; @return time charged. */
+    SimTime resolveKernelFaults(const BufferUse &use);
+    void notePeak();
+
+    vm::AddressSpace &as;
+    alloc::AllocatorRegistry &registry;
+    vm::FaultHandler &faults;
+    core::SystemConfig cfg;
+    PerfModel perfModel;
+    MemcpyEngine copyEngine;
+
+    SimClock hostClock;
+    Stream stream0;
+    unsigned nextStreamId = 1;
+
+    std::unordered_map<DevPtr, alloc::Allocation> allocations;
+    std::uint64_t hipMallocBytes = 0;
+
+    RuntimeStats runtimeStats;
+    std::uint64_t peakBytes = 0;
+};
+
+} // namespace upm::hip
+
+#endif // UPM_HIP_RUNTIME_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * HIP streams and events (timing skeletons).
+ *
+ * upmsim executes kernel bodies functionally at enqueue time; streams
+ * only carry the *timing* of the asynchronous execution model: each
+ * stream knows when its last enqueued operation completes, and events
+ * snapshot stream positions so ported codes (e.g. the heartwall double
+ * buffering strategy) can model CPU-GPU overlap.
+ */
+
+#ifndef UPM_HIP_STREAM_HH
+#define UPM_HIP_STREAM_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+
+namespace upm::hip {
+
+/** An in-order execution queue on the device. */
+class Stream
+{
+  public:
+    explicit Stream(unsigned stream_id = 0) : streamId(stream_id) {}
+
+    unsigned id() const { return streamId; }
+
+    /** Simulated time at which all enqueued work completes. */
+    SimTime readyAt() const { return ready; }
+
+    /**
+     * Enqueue an operation that becomes eligible at @p submit and runs
+     * for @p duration. @return the completion time.
+     */
+    SimTime
+    enqueue(SimTime submit, SimTime duration)
+    {
+        SimTime start = ready > submit ? ready : submit;
+        ready = start + duration;
+        return ready;
+    }
+
+    /** Reset (between benchmark iterations). */
+    void reset() { ready = 0.0; }
+
+  private:
+    unsigned streamId;
+    SimTime ready = 0.0;
+};
+
+/** A recorded stream position. */
+struct Event
+{
+    SimTime time = -1.0;
+
+    bool recorded() const { return time >= 0.0; }
+};
+
+} // namespace upm::hip
+
+#endif // UPM_HIP_STREAM_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Host backing store for simulated allocations.
+ *
+ * upmsim kernels are functional: they really compute on host memory
+ * while the timing side is modelled. The backing store maps simulated
+ * virtual address ranges to real host buffers so workloads can validate
+ * their numerical results across programming-model variants.
+ *
+ * Host buffers are allocated lazily on first access: probes that only
+ * exercise the timing model can map multi-GiB simulated regions
+ * without consuming real RAM.
+ */
+
+#ifndef UPM_MEM_BACKING_STORE_HH
+#define UPM_MEM_BACKING_STORE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace upm::mem {
+
+/** Simulated virtual byte address. */
+using VirtAddr = std::uint64_t;
+
+/**
+ * Registry of host buffers backing simulated virtual ranges. Ranges
+ * never overlap; lookups resolve any address inside a range.
+ */
+class BackingStore
+{
+  public:
+    /** Create a zero-initialized buffer backing [base, base+size). */
+    void attach(VirtAddr base, std::uint64_t size);
+
+    /** Drop the buffer whose range contains @p base (must be a base). */
+    void detach(VirtAddr base);
+
+    /**
+     * Resolve a simulated address to a host pointer. Panics if the
+     * address is not backed or `size` bytes would run off the end.
+     */
+    std::uint8_t *hostPtr(VirtAddr addr, std::uint64_t size = 1);
+
+    /** Typed convenience wrapper around hostPtr(). */
+    template <typename T>
+    T *
+    hostPtrAs(VirtAddr addr, std::uint64_t count = 1)
+    {
+        return reinterpret_cast<T *>(hostPtr(addr, count * sizeof(T)));
+    }
+
+    /** @return true if @p addr falls inside a backed range. */
+    bool contains(VirtAddr addr) const;
+
+    /** Total bytes currently backed (for leak checks in tests). */
+    std::uint64_t totalBytes() const;
+
+  private:
+    struct Region
+    {
+        std::uint64_t size;
+        /** Lazily allocated on first hostPtr() call. */
+        mutable std::unique_ptr<std::uint8_t[]> data;
+    };
+
+    /** Find the region containing addr, or end(). */
+    std::map<VirtAddr, Region>::iterator find(VirtAddr addr);
+    std::map<VirtAddr, Region>::const_iterator find(VirtAddr addr) const;
+
+    std::map<VirtAddr, Region> regions;
+};
+
+} // namespace upm::mem
+
+#endif // UPM_MEM_BACKING_STORE_HH

@@ -1,0 +1,321 @@
+#include "mem/frame_allocator.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace upm::mem {
+
+FrameAllocator::FrameAllocator(const MemGeometry &geometry,
+                               const FrameAllocatorConfig &config)
+    : geom(geometry), cfg(config), rng(config.seed)
+{
+    if (cfg.maxOrder > 20)
+        fatal("buddy max order %u too large", cfg.maxOrder);
+    if (cfg.onDemandRefillOrder > cfg.maxOrder)
+        fatal("on-demand refill order exceeds max order");
+    if (cfg.faultBatchRun == 0)
+        fatal("fault batch run must be nonzero");
+
+    freeLists.resize(cfg.maxOrder + 1);
+    frameBusy.assign(geom.numFrames(), false);
+
+    // Carve the frame space into maximal naturally-aligned blocks.
+    FrameId next = 0;
+    std::uint64_t remaining = geom.numFrames();
+    while (remaining > 0) {
+        unsigned order = cfg.maxOrder;
+        while (order > 0 &&
+               ((next & ((1ull << order) - 1)) != 0 ||
+                (1ull << order) > remaining)) {
+            --order;
+        }
+        freeLists[order].insert(next);
+        next += 1ull << order;
+        remaining -= 1ull << order;
+    }
+    freeCount = geom.numFrames();
+}
+
+bool
+FrameAllocator::allocBlock(unsigned order, FrameId &base)
+{
+    unsigned o = order;
+    while (o <= cfg.maxOrder && freeLists[o].empty())
+        ++o;
+    if (o > cfg.maxOrder)
+        return false;
+
+    FrameId block = *freeLists[o].begin();
+    freeLists[o].erase(freeLists[o].begin());
+
+    // Split down to the requested order, keeping the upper halves free.
+    while (o > order) {
+        --o;
+        freeLists[o].insert(block + (1ull << o));
+    }
+
+    std::uint64_t n = 1ull << order;
+    for (std::uint64_t i = 0; i < n; ++i)
+        frameBusy[block + i] = true;
+    freeCount -= n;
+    base = block;
+    return true;
+}
+
+void
+FrameAllocator::freeBlock(FrameId base, unsigned order)
+{
+    std::uint64_t n = 1ull << order;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if (!frameBusy[base + i])
+            panic("double free of frame %llu",
+                  static_cast<unsigned long long>(base + i));
+        frameBusy[base + i] = false;
+    }
+    freeCount += n;
+
+    // Merge with the buddy while possible.
+    unsigned o = order;
+    FrameId block = base;
+    while (o < cfg.maxOrder) {
+        FrameId buddy = block ^ (1ull << o);
+        auto it = freeLists[o].find(buddy);
+        if (it == freeLists[o].end())
+            break;
+        freeLists[o].erase(it);
+        block = std::min(block, buddy);
+        ++o;
+    }
+    freeLists[o].insert(block);
+}
+
+std::vector<FrameRange>
+FrameAllocator::allocRun(std::uint64_t n_frames)
+{
+    std::vector<FrameRange> out;
+    std::uint64_t remaining = n_frames;
+    while (remaining > 0) {
+        unsigned order = std::min<unsigned>(
+            cfg.maxOrder, floorLog2(remaining));
+        FrameId base = 0;
+        // Fall back to smaller orders under fragmentation.
+        bool ok = false;
+        for (int o = static_cast<int>(order); o >= 0; --o) {
+            if (allocBlock(static_cast<unsigned>(o), base)) {
+                out.push_back({base, 1ull << o});
+                remaining -= 1ull << o;
+                ok = true;
+                break;
+            }
+        }
+        if (!ok) {
+            for (const auto &r : out)
+                freeRange(r);
+            return {};
+        }
+    }
+
+    // Coalesce adjacent runs (buddy often returns neighbours).
+    std::sort(out.begin(), out.end(),
+              [](const FrameRange &a, const FrameRange &b) {
+                  return a.base < b.base;
+              });
+    std::vector<FrameRange> merged;
+    for (const auto &r : out) {
+        if (!merged.empty() &&
+            merged.back().base + merged.back().count == r.base) {
+            merged.back().count += r.count;
+        } else {
+            merged.push_back(r);
+        }
+    }
+    return merged;
+}
+
+bool
+FrameAllocator::refillOnDemandPool()
+{
+    // Take one block and hand its frames out grouped by stack. On a
+    // fragmented system the per-CPU freelists return pages clustered in
+    // physical regions; grouping by stack reproduces the biased,
+    // discontiguous placement the paper infers for CPU-first-touch
+    // malloc memory (Section 5.4).
+    unsigned order = cfg.onDemandRefillOrder;
+    FrameId base = 0;
+    while (!allocBlock(order, base)) {
+        if (order == 0)
+            return false;
+        --order;
+    }
+    std::uint64_t n = 1ull << order;
+    unsigned stacks = geom.numStacks();
+    unsigned start = static_cast<unsigned>(rng.nextBelow(stacks));
+    for (unsigned s = 0; s < stacks; ++s) {
+        unsigned stack = (start + s) % stacks;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            FrameId f = base + i;
+            if (geom.stackOfFrame(f) == stack)
+                onDemandPool.push_back(f);
+        }
+    }
+    return true;
+}
+
+bool
+FrameAllocator::allocScattered(std::uint64_t n, std::vector<FrameId> &out)
+{
+    std::size_t start_size = out.size();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if (onDemandPool.empty() && !refillOnDemandPool()) {
+            // Roll back.
+            for (std::size_t j = start_size; j < out.size(); ++j)
+                freeFrame(out[j]);
+            out.resize(start_size);
+            return false;
+        }
+        out.push_back(onDemandPool.front());
+        onDemandPool.pop_front();
+    }
+    return true;
+}
+
+bool
+FrameAllocator::allocBatch(std::uint64_t n, std::vector<FrameRange> &out)
+{
+    std::size_t start_size = out.size();
+    std::uint64_t remaining = n;
+    unsigned run_order = floorLog2(cfg.faultBatchRun);
+    while (remaining > 0) {
+        std::uint64_t want = std::min<std::uint64_t>(
+            remaining, 1ull << run_order);
+        unsigned order = floorLog2(want);
+        FrameId base = 0;
+        bool ok = false;
+        for (int o = static_cast<int>(order); o >= 0; --o) {
+            if (allocBlock(static_cast<unsigned>(o), base)) {
+                out.push_back({base, 1ull << o});
+                remaining -= 1ull << o;
+                ok = true;
+                break;
+            }
+        }
+        if (!ok) {
+            for (std::size_t j = start_size; j < out.size(); ++j)
+                freeRange(out[j]);
+            out.resize(start_size);
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+FrameAllocator::refillStackPools()
+{
+    unsigned order = cfg.onDemandRefillOrder;
+    FrameId base = 0;
+    while (!allocBlock(order, base)) {
+        if (order == 0)
+            return false;
+        --order;
+    }
+    if (stackPools.empty())
+        stackPools.resize(geom.numStacks());
+    std::uint64_t n = 1ull << order;
+    unsigned stacks = geom.numStacks();
+
+    // Collect per-stack, then append each stack's list rotated by its
+    // stack id: the round-robin consumer then receives frames that are
+    // stack-balanced but never physically adjacent (pinned buffers are
+    // assembled page-by-page on the real system, not carved whole).
+    std::vector<std::vector<FrameId>> collected(stacks);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        FrameId f = base + i;
+        collected[geom.stackOfFrame(f)].push_back(f);
+    }
+    for (unsigned s = 0; s < stacks; ++s) {
+        auto &list = collected[s];
+        std::size_t rot = list.empty() ? 0 : s % list.size();
+        for (std::size_t i = 0; i < list.size(); ++i)
+            stackPools[s].push_back(list[(i + rot) % list.size()]);
+    }
+    return true;
+}
+
+bool
+FrameAllocator::allocInterleaved(std::uint64_t n, std::vector<FrameId> &out)
+{
+    std::size_t start_size = out.size();
+    if (stackPools.empty())
+        stackPools.resize(geom.numStacks());
+    for (std::uint64_t i = 0; i < n; ++i) {
+        unsigned tried = 0;
+        while (stackPools[nextStack].empty() &&
+               tried < geom.numStacks()) {
+            nextStack = (nextStack + 1) % geom.numStacks();
+            ++tried;
+        }
+        if (stackPools[nextStack].empty()) {
+            if (!refillStackPools()) {
+                for (std::size_t j = start_size; j < out.size(); ++j)
+                    freeFrame(out[j]);
+                out.resize(start_size);
+                return false;
+            }
+        }
+        // After a refill the preferred stack may still be empty on a
+        // fragmented node; fall back to any non-empty pool.
+        unsigned stack = nextStack;
+        while (stackPools[stack].empty())
+            stack = (stack + 1) % geom.numStacks();
+        out.push_back(stackPools[stack].front());
+        stackPools[stack].pop_front();
+        nextStack = (stack + 1) % geom.numStacks();
+    }
+    return true;
+}
+
+void
+FrameAllocator::freeFrame(FrameId frame)
+{
+    if (frame >= geom.numFrames())
+        panic("free of out-of-range frame %llu",
+              static_cast<unsigned long long>(frame));
+    freeBlock(frame, 0);
+}
+
+void
+FrameAllocator::freeRange(const FrameRange &range)
+{
+    for (std::uint64_t i = 0; i < range.count; ++i)
+        freeBlock(range.base + i, 0);
+}
+
+std::uint64_t
+FrameAllocator::freeFrames() const
+{
+    std::uint64_t pooled = onDemandPool.size();
+    for (const auto &pool : stackPools)
+        pooled += pool.size();
+    return freeCount + pooled;
+}
+
+std::vector<std::uint64_t>
+FrameAllocator::perStackFree() const
+{
+    std::vector<std::uint64_t> free_per_stack(geom.numStacks(), 0);
+    for (std::uint64_t f = 0; f < geom.numFrames(); ++f) {
+        if (!frameBusy[f])
+            ++free_per_stack[geom.stackOfFrame(f)];
+    }
+    for (FrameId f : onDemandPool)
+        ++free_per_stack[geom.stackOfFrame(f)];
+    for (const auto &pool : stackPools) {
+        for (FrameId f : pool)
+            ++free_per_stack[geom.stackOfFrame(f)];
+    }
+    return free_per_stack;
+}
+
+} // namespace upm::mem

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Physical frame allocator with contiguity semantics.
+ *
+ * The allocator is a classic binary buddy over the frame space, plus an
+ * "on-demand pool" that models the behaviour of Linux per-CPU page
+ * caches on a long-running, fragmented node. Three allocation paths
+ * exist because they are what distinguishes the MI300A allocators the
+ * paper studies (Sections 5.3/5.4):
+ *
+ *  - allocRun():     up-front allocators (hipMalloc) grab large
+ *                    physically contiguous runs; contiguity later turns
+ *                    into big GPU page-table fragments and an even
+ *                    spread over HBM stacks.
+ *  - allocScattered(): CPU first-touch faults take single frames from
+ *                    the on-demand pool. The pool is refilled from one
+ *                    buddy block at a time and handed out *grouped by
+ *                    stack* (mimicking freelist clustering), so
+ *                    consecutive faults receive physically discontiguous
+ *                    frames with a biased stack distribution.
+ *  - allocBatch():   GPU fault batches (XNACK replay floods the handler
+ *                    with many faults at once) are served with short
+ *                    contiguous runs -- balanced across stacks but too
+ *                    short to earn large fragments.
+ */
+
+#ifndef UPM_MEM_FRAME_ALLOCATOR_HH
+#define UPM_MEM_FRAME_ALLOCATOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+#include "mem/geometry.hh"
+
+namespace upm::mem {
+
+/** A physically contiguous run of frames. */
+struct FrameRange
+{
+    FrameId base = 0;
+    std::uint64_t count = 0;
+
+    bool operator==(const FrameRange &) const = default;
+};
+
+/** Tunables for the on-demand path. */
+struct FrameAllocatorConfig
+{
+    /** Largest buddy order (order 9 == 2 MiB blocks, like THP). */
+    unsigned maxOrder = 9;
+    /** Buddy order carved per on-demand pool refill. */
+    unsigned onDemandRefillOrder = 9;
+    /** Frames per contiguous run on the GPU fault-batch path. */
+    unsigned faultBatchRun = 4;
+    /** Seed for refill-placement randomness (deterministic). */
+    std::uint64_t seed = 0x5eedu;
+};
+
+/**
+ * Buddy allocator over the physical frame space.
+ *
+ * All operations are O(log frames) except the bulk helpers, which are
+ * linear in the number of returned frames.
+ */
+class FrameAllocator
+{
+  public:
+    FrameAllocator(const MemGeometry &geometry,
+                   const FrameAllocatorConfig &config = {});
+
+    /**
+     * Allocate @p n_frames as few large contiguous runs (largest-first
+     * buddy decomposition). Used by up-front allocators.
+     *
+     * @return the runs, or an empty vector if memory is exhausted
+     *         (all partial progress is rolled back).
+     */
+    std::vector<FrameRange> allocRun(std::uint64_t n_frames);
+
+    /**
+     * Allocate @p n single frames through the fragmented on-demand
+     * pool. Appends to @p out. @return false (and rolls back) on OOM.
+     */
+    bool allocScattered(std::uint64_t n, std::vector<FrameId> &out);
+
+    /**
+     * Allocate @p n frames in short contiguous runs of
+     * `faultBatchRun` frames, as the GPU fault path does. Appends
+     * ranges to @p out. @return false (and rolls back) on OOM.
+     */
+    bool allocBatch(std::uint64_t n, std::vector<FrameRange> &out);
+
+    /**
+     * Allocate @p n single frames round-robin across stacks, the way
+     * the driver places pinned host buffers (hipHostMalloc /
+     * hipMallocManaged without XNACK): stack-balanced but physically
+     * discontiguous. Appends to @p out. @return false on OOM.
+     */
+    bool allocInterleaved(std::uint64_t n, std::vector<FrameId> &out);
+
+    /** Free one frame. Double frees panic. */
+    void freeFrame(FrameId frame);
+
+    /** Free a contiguous range (page-by-page buddy merge). */
+    void freeRange(const FrameRange &range);
+
+    /** @return the number of currently free frames. Frames parked in
+     *  the on-demand / per-stack pools count as free, as Linux counts
+     *  its per-CPU page caches. */
+    std::uint64_t freeFrames() const;
+
+    /** @return total frames managed. */
+    std::uint64_t totalFrames() const { return geom.numFrames(); }
+
+    /** @return free frames per stack (for the NUMA meminfo model). */
+    std::vector<std::uint64_t> perStackFree() const;
+
+    const MemGeometry &geometry() const { return geom; }
+
+  private:
+    /** Allocate one buddy block of @p order; @return base or fail. */
+    bool allocBlock(unsigned order, FrameId &base);
+    /** Return a block to the free lists, merging with buddies. */
+    void freeBlock(FrameId base, unsigned order);
+    /** Refill the on-demand pool from one buddy block. */
+    bool refillOnDemandPool();
+    /** Refill the per-stack pools used by allocInterleaved(). */
+    bool refillStackPools();
+
+    const MemGeometry &geom;
+    FrameAllocatorConfig cfg;
+    std::uint64_t freeCount = 0;
+
+    /** Free lists: per order, sorted set of block base frames. */
+    std::vector<std::set<FrameId>> freeLists;
+    /** Allocation state per frame, for double-free checking. */
+    std::vector<bool> frameBusy;
+
+    /** Frames waiting to be handed to single-frame (CPU fault) users. */
+    std::deque<FrameId> onDemandPool;
+    /** Per-stack pools for stack-balanced pinned allocations. */
+    std::vector<std::deque<FrameId>> stackPools;
+    unsigned nextStack = 0;
+    SplitMix64 rng;
+};
+
+} // namespace upm::mem
+
+#endif // UPM_MEM_FRAME_ALLOCATOR_HH

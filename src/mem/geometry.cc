@@ -1,0 +1,65 @@
+#include "mem/geometry.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace upm::mem {
+
+MemGeometry::MemGeometry(const MemGeometryConfig &config) : cfg(config)
+{
+    if (cfg.numStacks == 0 || cfg.channelsPerStack == 0)
+        fatal("memory geometry needs at least one stack and channel");
+    if (cfg.capacityBytes % kPageSize != 0)
+        fatal("capacity must be page aligned");
+    frames = cfg.capacityBytes / kPageSize;
+    channels = cfg.numStacks * cfg.channelsPerStack;
+}
+
+unsigned
+MemGeometry::stackOfFrame(FrameId frame) const
+{
+    return static_cast<unsigned>(frame % cfg.numStacks);
+}
+
+unsigned
+MemGeometry::channelOf(PhysAddr addr) const
+{
+    FrameId frame = addr >> kPageShift;
+    std::uint64_t offset = addr & (kPageSize - 1);
+    return channelOfFrame(frame, offset);
+}
+
+unsigned
+MemGeometry::channelOfFrame(FrameId frame, std::uint64_t offset) const
+{
+    unsigned stack = stackOfFrame(frame);
+    unsigned sub = static_cast<unsigned>(
+        (offset / cfg.channelInterleave) % cfg.channelsPerStack);
+    return stack * cfg.channelsPerStack + sub;
+}
+
+std::vector<std::uint64_t>
+MemGeometry::stackLoad(const std::vector<FrameId> &frame_list) const
+{
+    std::vector<std::uint64_t> load(cfg.numStacks, 0);
+    for (FrameId f : frame_list)
+        ++load[stackOfFrame(f)];
+    return load;
+}
+
+double
+MemGeometry::stackBalance(const std::vector<FrameId> &frame_list) const
+{
+    if (frame_list.empty())
+        return 1.0;
+    auto load = stackLoad(frame_list);
+    std::uint64_t max_load = *std::max_element(load.begin(), load.end());
+    if (max_load == 0)
+        return 1.0;
+    double mean = static_cast<double>(frame_list.size()) /
+                  static_cast<double>(cfg.numStacks);
+    return mean / static_cast<double>(max_load);
+}
+
+} // namespace upm::mem

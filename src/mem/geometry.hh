@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Physical memory geometry of the modelled MI300A.
+ *
+ * The APU has eight HBM3 stacks, each with 16 channels and 16 GiB of
+ * capacity (CDNA3 white paper). Physical pages are interleaved among
+ * the eight stacks at 4 KiB granularity; within a stack, addresses
+ * spread over the 16 channels at 256 B granularity. The memory-side
+ * Infinity Cache is partitioned into slices mapped 1:1 to channels, so
+ * any bias in the placement of physical pages across stacks directly
+ * translates into uneven Infinity Cache slice utilization -- the
+ * mechanism the paper identifies in Section 5.4.
+ */
+
+#ifndef UPM_MEM_GEOMETRY_HH
+#define UPM_MEM_GEOMETRY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace upm::mem {
+
+/** Physical byte address. */
+using PhysAddr = std::uint64_t;
+/** Physical frame number (PhysAddr >> kPageShift). */
+using FrameId = std::uint64_t;
+
+inline constexpr unsigned kPageShift = 12;
+inline constexpr std::uint64_t kPageSize = 1ull << kPageShift;
+
+/** Geometry parameters; defaults model one MI300A at reduced capacity. */
+struct MemGeometryConfig
+{
+    unsigned numStacks = 8;
+    unsigned channelsPerStack = 16;
+    /**
+     * Modelled capacity. The real APU has 128 GiB; the default model
+     * uses 8 GiB so frame-table structures stay laptop-sized. Benches
+     * print the scale factor they assume.
+     */
+    std::uint64_t capacityBytes = 8 * GiB;
+    /** Sub-stack channel interleave granularity (bytes). */
+    std::uint64_t channelInterleave = 256;
+};
+
+/**
+ * Maps physical addresses to stacks and channels and answers capacity
+ * questions. Immutable after construction.
+ */
+class MemGeometry
+{
+  public:
+    explicit MemGeometry(const MemGeometryConfig &config = {});
+
+    std::uint64_t capacity() const { return cfg.capacityBytes; }
+    std::uint64_t numFrames() const { return frames; }
+    unsigned numStacks() const { return cfg.numStacks; }
+    unsigned numChannels() const { return channels; }
+
+    /** Stack owning @p frame (4 KiB page interleave across stacks). */
+    unsigned stackOfFrame(FrameId frame) const;
+
+    /** Channel servicing @p addr. */
+    unsigned channelOf(PhysAddr addr) const;
+
+    /** Channel of a (frame, sub-page offset) pair. */
+    unsigned channelOfFrame(FrameId frame, std::uint64_t offset) const;
+
+    /**
+     * Histogram of frames per stack for a frame set; used by probes to
+     * quantify placement bias.
+     */
+    std::vector<std::uint64_t>
+    stackLoad(const std::vector<FrameId> &frame_list) const;
+
+    /**
+     * Placement-balance metric in (0, 1]: ratio of the mean per-stack
+     * load to the max per-stack load. 1.0 == perfectly even.
+     */
+    double stackBalance(const std::vector<FrameId> &frame_list) const;
+
+  private:
+    MemGeometryConfig cfg;
+    std::uint64_t frames;
+    unsigned channels;
+};
+
+} // namespace upm::mem
+
+#endif // UPM_MEM_GEOMETRY_HH

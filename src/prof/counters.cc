@@ -1,0 +1,46 @@
+#include "prof/counters.hh"
+
+namespace upm::prof {
+
+void
+CounterRegistry::add(const std::string &name, std::uint64_t delta)
+{
+    counters[name] += delta;
+}
+
+void
+CounterRegistry::set(const std::string &name, std::uint64_t value)
+{
+    counters[name] = value;
+}
+
+std::uint64_t
+CounterRegistry::read(const std::string &name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+}
+
+void
+CounterRegistry::reset(const std::string &name)
+{
+    counters[name] = 0;
+}
+
+void
+CounterRegistry::resetAll()
+{
+    counters.clear();
+}
+
+std::vector<std::string>
+CounterRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(counters.size());
+    for (const auto &[name, value] : counters)
+        out.push_back(name);
+    return out;
+}
+
+} // namespace upm::prof

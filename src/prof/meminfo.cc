@@ -1,0 +1,28 @@
+#include "prof/meminfo.hh"
+
+namespace upm::prof {
+
+std::vector<std::uint64_t>
+NumaMeminfo::perStackFreeBytes() const
+{
+    auto free_frames = frames.perStackFree();
+    std::vector<std::uint64_t> out(free_frames.size());
+    for (std::size_t i = 0; i < free_frames.size(); ++i)
+        out[i] = free_frames[i] * mem::kPageSize;
+    return out;
+}
+
+std::uint64_t
+ProcessRss::rssBytes() const
+{
+    std::uint64_t pages = 0;
+    as.forEachVma([&](const vm::Vma &vma) {
+        if (vma.policy.placement == vm::Placement::Contiguous)
+            return;  // hipMalloc: invisible to VmRss
+        pages += as.systemTable().presentInRange(vma.beginVpn(),
+                                                 vma.endVpn());
+    });
+    return pages * mem::kPageSize;
+}
+
+} // namespace upm::prof

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Memory-usage profiling interfaces (paper Section 3.2).
+ *
+ * The paper stresses that no single interface sees everything on
+ * MI300A. We model the three the paper compares:
+ *  - NumaMeminfo (libnuma / /proc/meminfo): free physical memory per
+ *    NUMA node == APU. Sees every allocator, after physical backing
+ *    exists. This is what the paper profiles peak usage with.
+ *  - ProcessRss (/proc/pid/status VmRss): resident pages of the
+ *    process, which does NOT include hipMalloc allocations.
+ *  - hip::Runtime::hipMemGetInfo: ONLY hipMalloc allocations.
+ */
+
+#ifndef UPM_PROF_MEMINFO_HH
+#define UPM_PROF_MEMINFO_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/frame_allocator.hh"
+#include "vm/address_space.hh"
+
+namespace upm::prof {
+
+/** libnuma-style view: physical free memory on the node. */
+class NumaMeminfo
+{
+  public:
+    explicit NumaMeminfo(const mem::FrameAllocator &frame_allocator)
+        : frames(frame_allocator)
+    {}
+
+    std::uint64_t
+    freeBytes() const
+    {
+        return frames.freeFrames() * mem::kPageSize;
+    }
+
+    std::uint64_t
+    usedBytes() const
+    {
+        return (frames.totalFrames() - frames.freeFrames()) *
+               mem::kPageSize;
+    }
+
+    std::uint64_t
+    totalBytes() const
+    {
+        return frames.totalFrames() * mem::kPageSize;
+    }
+
+    /** Free bytes per HBM stack (numactl -H style detail). */
+    std::vector<std::uint64_t> perStackFreeBytes() const;
+
+  private:
+    const mem::FrameAllocator &frames;
+};
+
+/** /proc/pid/status VmRss-style view. */
+class ProcessRss
+{
+  public:
+    explicit ProcessRss(const vm::AddressSpace &address_space)
+        : as(address_space)
+    {}
+
+    /**
+     * Resident bytes as the kernel reports them: present pages of all
+     * VMAs except driver-owned hipMalloc (Contiguous placement)
+     * regions, which VmRss famously misses on MI300A.
+     */
+    std::uint64_t rssBytes() const;
+
+  private:
+    const vm::AddressSpace &as;
+};
+
+} // namespace upm::prof
+
+#endif // UPM_PROF_MEMINFO_HH

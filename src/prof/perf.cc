@@ -1,0 +1,17 @@
+#include "prof/perf.hh"
+
+namespace upm::prof {
+
+void
+PerfStat::start()
+{
+    faultBaseline = as.cpuFaults();
+}
+
+std::uint64_t
+PerfStat::pageFaults() const
+{
+    return as.cpuFaults() - faultBaseline;
+}
+
+} // namespace upm::prof

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * `perf stat`-style CPU counter view (paper Section 3.2: CPU
+ * allocation granularity via page-fault and dTLB-miss counts).
+ */
+
+#ifndef UPM_PROF_PERF_HH
+#define UPM_PROF_PERF_HH
+
+#include <cstdint>
+
+#include "vm/address_space.hh"
+
+namespace upm::prof {
+
+/** Snapshot-diff view over the CPU fault/TLB counters. */
+class PerfStat
+{
+  public:
+    explicit PerfStat(const vm::AddressSpace &address_space)
+        : as(address_space)
+    {}
+
+    /** Begin a region of interest. */
+    void start();
+
+    /** page-faults since start(). */
+    std::uint64_t pageFaults() const;
+
+    /** Record dTLB misses measured by a probe (perf's dTLB events). */
+    void recordDtlbMisses(std::uint64_t misses) { dtlbMisses = misses; }
+    std::uint64_t dtlbLoadMisses() const { return dtlbMisses; }
+
+  private:
+    const vm::AddressSpace &as;
+    std::uint64_t faultBaseline = 0;
+    std::uint64_t dtlbMisses = 0;
+};
+
+} // namespace upm::prof
+
+#endif // UPM_PROF_PERF_HH

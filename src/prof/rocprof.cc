@@ -1,0 +1,22 @@
+#include "prof/rocprof.hh"
+
+namespace upm::prof {
+
+void
+RocprofSession::start()
+{
+    baseline.clear();
+    for (const auto &name : counters.names())
+        baseline[name] = counters.read(name);
+}
+
+std::uint64_t
+RocprofSession::delta(const std::string &name) const
+{
+    std::uint64_t now = counters.read(name);
+    auto it = baseline.find(name);
+    std::uint64_t base = it == baseline.end() ? 0 : it->second;
+    return now - base;
+}
+
+} // namespace upm::prof

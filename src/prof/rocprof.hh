@@ -1,0 +1,54 @@
+/**
+ * @file
+ * rocprofv3-style GPU counter session.
+ *
+ * The paper uses the `TCP_UTCL1_TRANSLATION_MISS_sum` counter as a
+ * proxy for fragment sizes (Section 5.3). Engines report GPU events
+ * into a CounterRegistry; this adapter exposes them under the rocprof
+ * counter names.
+ */
+
+#ifndef UPM_PROF_ROCPROF_HH
+#define UPM_PROF_ROCPROF_HH
+
+#include <cstdint>
+#include <string>
+
+#include "prof/counters.hh"
+
+namespace upm::prof {
+
+/** Canonical rocprof counter names used by the model. */
+namespace gpu_counters {
+inline const std::string kUtcl1TranslationMiss =
+    "TCP_UTCL1_TRANSLATION_MISS_sum";
+inline const std::string kUtcl1TranslationHit =
+    "TCP_UTCL1_TRANSLATION_HIT_sum";
+inline const std::string kUtcl2Miss = "TCP_UTCL2_TRANSLATION_MISS_sum";
+inline const std::string kKernels = "SQ_KERNELS_sum";
+} // namespace gpu_counters
+
+/** A profiling session: snapshot-diff over a counter registry. */
+class RocprofSession
+{
+  public:
+    explicit RocprofSession(CounterRegistry &counter_registry)
+        : counters(counter_registry)
+    {}
+
+    /** Begin a region of interest: snapshot current values. */
+    void start();
+
+    /** @return counter delta since start(). */
+    std::uint64_t delta(const std::string &name) const;
+
+    CounterRegistry &registry() { return counters; }
+
+  private:
+    CounterRegistry &counters;
+    std::map<std::string, std::uint64_t> baseline;
+};
+
+} // namespace upm::prof
+
+#endif // UPM_PROF_ROCPROF_HH

@@ -1,0 +1,118 @@
+#include "tlb/tlb.hh"
+
+#include "common/log.hh"
+#include "common/units.hh"
+
+namespace upm::tlb {
+
+FragTlb::FragTlb(const FragTlbConfig &config) : cfg(config)
+{
+    if (cfg.entries == 0)
+        fatal("FragTlb needs at least one entry");
+    if (cfg.maxSpanPages == 0 || !isPow2(cfg.maxSpanPages))
+        fatal("FragTlb max span must be a power of two");
+    entries.resize(cfg.entries);
+}
+
+bool
+FragTlb::lookup(Vpn vpn)
+{
+    ++stamp;
+    for (auto &entry : entries) {
+        if (entry.span != 0 && vpn >= entry.base &&
+            vpn < entry.base + entry.span) {
+            entry.lru = stamp;
+            ++hitCount;
+            return true;
+        }
+    }
+    ++missCount;
+    return false;
+}
+
+void
+FragTlb::insert(Vpn vpn, Vpn frag_base, std::uint64_t frag_span)
+{
+    if (frag_span == 0)
+        panic("FragTlb insert with zero span");
+    if (vpn < frag_base || vpn >= frag_base + frag_span)
+        panic("FragTlb insert: vpn outside fragment");
+
+    // Clamp to the aligned block of maxSpanPages containing vpn. The
+    // fragment is pow2-aligned by construction, so the clamped block is
+    // fully covered by the same fragment.
+    std::uint64_t span = frag_span;
+    Vpn base = frag_base;
+    if (span > cfg.maxSpanPages) {
+        span = cfg.maxSpanPages;
+        base = vpn & ~static_cast<Vpn>(span - 1);
+    }
+
+    Entry *victim = &entries[0];
+    for (auto &entry : entries) {
+        if (entry.span == 0) {
+            victim = &entry;
+            break;
+        }
+        if (entry.lru < victim->lru)
+            victim = &entry;
+    }
+    ++stamp;
+    victim->base = base;
+    victim->span = span;
+    victim->lru = stamp;
+}
+
+void
+FragTlb::flush()
+{
+    for (auto &entry : entries)
+        entry.span = 0;
+}
+
+PlainTlb::PlainTlb(const PlainTlbConfig &config) : cfg(config)
+{
+    if (cfg.entries == 0 || cfg.assoc == 0 || cfg.entries % cfg.assoc != 0)
+        fatal("PlainTlb entries must divide into ways");
+    sets = cfg.entries / cfg.assoc;
+    // Round sets down to a power of two for cheap indexing.
+    while (!isPow2(sets))
+        --sets;
+    ways.resize(static_cast<std::size_t>(sets) * cfg.assoc);
+}
+
+bool
+PlainTlb::access(Vpn vpn)
+{
+    unsigned set = static_cast<unsigned>(vpn & (sets - 1));
+    Way *base = &ways[static_cast<std::size_t>(set) * cfg.assoc];
+    ++stamp;
+    Way *victim = base;
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == vpn) {
+            way.lru = stamp;
+            ++hitCount;
+            return true;
+        }
+        if (!way.valid) {
+            victim = &way;
+        } else if (victim->valid && way.lru < victim->lru) {
+            victim = &way;
+        }
+    }
+    victim->valid = true;
+    victim->tag = vpn;
+    victim->lru = stamp;
+    ++missCount;
+    return false;
+}
+
+void
+PlainTlb::flush()
+{
+    for (auto &way : ways)
+        way.valid = false;
+}
+
+} // namespace upm::tlb

@@ -1,0 +1,150 @@
+#include "uvm/uvm.hh"
+
+#include "common/log.hh"
+#include "mem/geometry.hh"
+
+namespace upm::uvm {
+
+UvmSimulator::UvmSimulator(std::uint64_t device_memory_bytes,
+                           const UvmCosts &costs)
+    : cost(costs), capacityPages(device_memory_bytes / mem::kPageSize)
+{
+    if (capacityPages == 0)
+        fatal("UVM device memory must hold at least one page");
+}
+
+std::uint64_t
+UvmSimulator::allocManaged(std::uint64_t bytes)
+{
+    if (bytes == 0)
+        fatal("managed allocation of zero bytes");
+    Region region;
+    region.pages = ceilDiv(bytes, mem::kPageSize);
+    region.residency.assign(region.pages, Residency::Host);
+    std::uint64_t handle = nextHandle++;
+    regions.emplace(handle, std::move(region));
+    return handle;
+}
+
+void
+UvmSimulator::freeManaged(std::uint64_t handle)
+{
+    auto it = regions.find(handle);
+    if (it == regions.end())
+        panic("free of unknown managed region %llu",
+              static_cast<unsigned long long>(handle));
+    for (std::uint64_t p = 0; p < it->second.pages; ++p) {
+        if (it->second.residency[p] == Residency::Device) {
+            auto key = PageKey{handle, p};
+            auto lit = lruIndex.find(key);
+            if (lit != lruIndex.end()) {
+                lru.erase(lit->second);
+                lruIndex.erase(lit);
+            }
+            --residentPages;
+        }
+    }
+    regions.erase(it);
+}
+
+SimTime
+UvmSimulator::migrationTime(std::uint64_t pages) const
+{
+    if (pages == 0)
+        return 0.0;
+    std::uint64_t batches = ceilDiv(pages, cost.faultBatchPages);
+    return static_cast<double>(batches) * cost.faultBatchOverhead +
+           static_cast<double>(pages) * cost.perPageOverhead +
+           static_cast<double>(pages * mem::kPageSize) /
+               cost.linkBandwidth;
+}
+
+void
+UvmSimulator::evictOne()
+{
+    if (lru.empty())
+        panic("UVM eviction with empty device memory");
+    PageKey victim = lru.front();
+    lru.pop_front();
+    lruIndex.erase(victim);
+    auto it = regions.find(victim.first);
+    if (it != regions.end())
+        it->second.residency[victim.second] = Residency::Host;
+    --residentPages;
+    ++toHost;
+    ++evicted;
+}
+
+void
+UvmSimulator::pageInToDevice(std::uint64_t handle, std::uint64_t page)
+{
+    while (residentPages >= capacityPages)
+        evictOne();
+    auto key = PageKey{handle, page};
+    lru.push_back(key);
+    lruIndex[key] = std::prev(lru.end());
+    ++residentPages;
+    ++toDevice;
+}
+
+SimTime
+UvmSimulator::gpuAccess(std::uint64_t handle, std::uint64_t offset,
+                        std::uint64_t bytes)
+{
+    auto it = regions.find(handle);
+    if (it == regions.end())
+        panic("GPU access to unknown managed region");
+    Region &region = it->second;
+    std::uint64_t first = offset / mem::kPageSize;
+    std::uint64_t last = ceilDiv(offset + bytes, mem::kPageSize);
+    if (last > region.pages)
+        fatal("GPU access beyond managed region");
+
+    std::uint64_t faulted = 0;
+    for (std::uint64_t p = first; p < last; ++p) {
+        if (region.residency[p] == Residency::Device) {
+            // Refresh LRU position.
+            auto key = PageKey{handle, p};
+            auto lit = lruIndex.find(key);
+            lru.splice(lru.end(), lru, lit->second);
+        } else {
+            region.residency[p] = Residency::Device;
+            pageInToDevice(handle, p);
+            ++faulted;
+        }
+    }
+    return migrationTime(faulted) +
+           static_cast<double>(bytes) / cost.deviceBandwidth;
+}
+
+SimTime
+UvmSimulator::cpuAccess(std::uint64_t handle, std::uint64_t offset,
+                        std::uint64_t bytes)
+{
+    auto it = regions.find(handle);
+    if (it == regions.end())
+        panic("CPU access to unknown managed region");
+    Region &region = it->second;
+    std::uint64_t first = offset / mem::kPageSize;
+    std::uint64_t last = ceilDiv(offset + bytes, mem::kPageSize);
+    if (last > region.pages)
+        fatal("CPU access beyond managed region");
+
+    std::uint64_t migrated = 0;
+    for (std::uint64_t p = first; p < last; ++p) {
+        if (region.residency[p] == Residency::Device) {
+            region.residency[p] = Residency::Host;
+            auto key = PageKey{handle, p};
+            auto lit = lruIndex.find(key);
+            lru.erase(lit->second);
+            lruIndex.erase(lit);
+            --residentPages;
+            ++migrated;
+            ++toHost;
+        }
+    }
+    return migrationTime(migrated) +
+           static_cast<double>(bytes) / cost.hostBandwidth;
+}
+
+} // namespace upm::uvm

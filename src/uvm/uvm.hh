@@ -1,0 +1,132 @@
+/**
+ * @file
+ * UVM baseline: software-managed unified memory on a *discrete* GPU.
+ *
+ * The paper's motivation (Sections 1/2.1) is that the unified memory
+ * model historically meant UVM -- page-fault-driven migration between
+ * separate CPU and GPU memories over a link -- and that it costs 2-3x
+ * (up to 14x) versus explicit management, while UPM eliminates the
+ * migrations entirely. This module implements that baseline so the
+ * comparison the paper argues from can be measured inside upmsim:
+ * per-page residency tracking, fault-driven migration with batched
+ * service costs, LRU eviction under device-memory pressure (UVM's one
+ * advantage: overcommit works), and thrashing when the working set
+ * exceeds device memory.
+ */
+
+#ifndef UPM_UVM_UVM_HH
+#define UPM_UVM_UVM_HH
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.hh"
+#include "common/units.hh"
+
+namespace upm::uvm {
+
+/** Calibrated costs of the software-UVM path on a discrete GPU. */
+struct UvmCosts
+{
+    /** CPU-GPU link bandwidth (PCIe gen4 x16 / early NVLink class). */
+    double linkBandwidth = gbps(50.0);
+    /** GPU fault service per batch (interrupt + runtime round trip). */
+    SimTime faultBatchOverhead = 30.0 * microseconds;
+    /** Pages migrated per fault batch (driver batching + prefetch). */
+    std::uint64_t faultBatchPages = 512;
+    /** Per-page bookkeeping on migration (unmap + copy setup). */
+    SimTime perPageOverhead = 250.0;
+    /** Device-local streaming bandwidth once resident. */
+    double deviceBandwidth = tbps(1.6);
+    /** Host streaming bandwidth for CPU access to host-resident pages. */
+    double hostBandwidth = gbps(170.0);
+};
+
+/** Where a page currently lives. */
+enum class Residency : std::uint8_t { Host, Device };
+
+/**
+ * Functional+timing model of a UVM-managed address space on a discrete
+ * GPU with limited device memory. Managed regions migrate page-wise on
+ * access; device-memory pressure evicts LRU pages back to the host.
+ */
+class UvmSimulator
+{
+  public:
+    /**
+     * @param device_memory_bytes device memory capacity (overcommit is
+     *        allowed: managed allocations may exceed it).
+     * @param costs calibrated path costs.
+     */
+    explicit UvmSimulator(std::uint64_t device_memory_bytes,
+                          const UvmCosts &costs = UvmCosts());
+
+    /** cudaMallocManaged-style allocation (host-resident initially). */
+    std::uint64_t allocManaged(std::uint64_t bytes);
+
+    /** Free a managed region. */
+    void freeManaged(std::uint64_t handle);
+
+    /**
+     * GPU kernel touches [offset, offset+bytes) of @p handle: migrate
+     * non-resident pages to the device (evicting LRU pages if full),
+     * then stream at device bandwidth.
+     * @return simulated time charged.
+     */
+    SimTime gpuAccess(std::uint64_t handle, std::uint64_t offset,
+                      std::uint64_t bytes);
+
+    /** CPU touches a range: migrate device-resident pages back. */
+    SimTime cpuAccess(std::uint64_t handle, std::uint64_t offset,
+                      std::uint64_t bytes);
+
+    /** Pages currently resident on the device. */
+    std::uint64_t deviceResidentPages() const { return residentPages; }
+
+    /** Lifetime migration counters (for thrashing analysis). */
+    std::uint64_t pagesMigratedToDevice() const { return toDevice; }
+    std::uint64_t pagesMigratedToHost() const { return toHost; }
+    std::uint64_t evictions() const { return evicted; }
+
+    std::uint64_t deviceCapacityPages() const { return capacityPages; }
+
+  private:
+    struct Region
+    {
+        std::uint64_t pages = 0;
+        /** Residency per page. */
+        std::vector<Residency> residency;
+    };
+
+    /** Key of a device-resident page in the LRU. */
+    using PageKey = std::pair<std::uint64_t, std::uint64_t>;
+
+    /** Migration cost of @p pages pages (batched faults + link). */
+    SimTime migrationTime(std::uint64_t pages) const;
+    /** Evict the LRU page (must exist). */
+    void evictOne();
+    /** Move a page to the device, evicting if needed. */
+    void pageInToDevice(std::uint64_t handle, std::uint64_t page);
+
+    UvmCosts cost;
+    std::uint64_t capacityPages;
+    std::uint64_t residentPages = 0;
+
+    std::map<std::uint64_t, Region> regions;
+    std::uint64_t nextHandle = 1;
+
+    /** LRU of device-resident pages: front == oldest. */
+    std::list<PageKey> lru;
+    std::map<PageKey, std::list<PageKey>::iterator> lruIndex;
+
+    std::uint64_t toDevice = 0;
+    std::uint64_t toHost = 0;
+    std::uint64_t evicted = 0;
+};
+
+} // namespace upm::uvm
+
+#endif // UPM_UVM_UVM_HH

@@ -1,0 +1,347 @@
+#include "vm/address_space.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace upm::vm {
+
+namespace {
+
+/** Simulated mmap base; arbitrary but away from zero. */
+constexpr VirtAddr kMmapBase = 0x7f00'0000'0000ull;
+/** Guard gap between VMAs (catches overruns in the backing store). */
+constexpr std::uint64_t kGuardGap = 2 * mem::kPageSize;
+/**
+ * VMA base alignment. HIP aligns device allocations to 2 MiB so the
+ * driver can form large page-table fragments; a misaligned virtual
+ * base would cap every fragment regardless of physical contiguity.
+ */
+constexpr std::uint64_t kVmaAlign = 2 * MiB;
+
+} // namespace
+
+AddressSpace::AddressSpace(mem::FrameAllocator &frame_allocator,
+                           mem::BackingStore &backing_store)
+    : frameAlloc(frame_allocator), backingStore(backing_store),
+      hmm(sysTable, gpuPt), nextBase(kMmapBase)
+{
+}
+
+VirtAddr
+AddressSpace::mmapAnon(std::uint64_t size, const VmaPolicy &policy,
+                       std::string name)
+{
+    if (size == 0)
+        fatal("mmap of zero bytes");
+    std::uint64_t span = roundUp(size, mem::kPageSize);
+    VirtAddr base = roundUp(nextBase, kVmaAlign);
+    nextBase = base + span + kGuardGap;
+
+    Vma vma;
+    vma.base = base;
+    vma.size = span;
+    vma.policy = policy;
+    vma.name = std::move(name);
+    vmas.emplace(base, vma);
+    backingStore.attach(base, span);
+    return base;
+}
+
+void
+AddressSpace::munmap(VirtAddr base)
+{
+    auto it = vmas.find(base);
+    if (it == vmas.end())
+        panic("munmap of unknown base 0x%llx",
+              static_cast<unsigned long long>(base));
+    const Vma &vma = it->second;
+
+    hmm.invalidateRange(vma.beginVpn(), vma.endVpn());
+    std::vector<Vpn> mapped;
+    sysTable.forRange(vma.beginVpn(), vma.endVpn(),
+                      [&](Vpn vpn, const Pte &) { mapped.push_back(vpn); });
+    for (Vpn vpn : mapped) {
+        auto frame = sysTable.remove(vpn);
+        frameAlloc.freeFrame(*frame);
+    }
+    backingStore.detach(base);
+    vmas.erase(it);
+}
+
+const Vma *
+AddressSpace::findVma(VirtAddr addr) const
+{
+    auto it = vmas.upper_bound(addr);
+    if (it == vmas.begin())
+        return nullptr;
+    --it;
+    if (!it->second.contains(addr))
+        return nullptr;
+    return &it->second;
+}
+
+Vma *
+AddressSpace::findVmaMutable(VirtAddr addr)
+{
+    return const_cast<Vma *>(
+        static_cast<const AddressSpace *>(this)->findVma(addr));
+}
+
+PteFlags
+AddressSpace::flagsFor(const Vma &vma) const
+{
+    PteFlags flags;
+    flags.pinned = vma.policy.pinned;
+    flags.uncached = vma.policy.uncachedGpu;
+    return flags;
+}
+
+void
+AddressSpace::mapFrames(const Vma &vma, Vpn vpn,
+                        const std::vector<FrameId> &frame_list)
+{
+    PteFlags flags = flagsFor(vma);
+    for (std::size_t i = 0; i < frame_list.size(); ++i)
+        sysTable.insert(vpn + i, frame_list[i], flags);
+    if (vma.policy.gpuMapped)
+        hmm.mirrorRange(vpn, vpn + frame_list.size());
+}
+
+void
+AddressSpace::mapRanges(const Vma &vma, Vpn vpn,
+                        const std::vector<mem::FrameRange> &ranges)
+{
+    PteFlags flags = flagsFor(vma);
+    Vpn cursor = vpn;
+    for (const auto &range : ranges) {
+        for (std::uint64_t i = 0; i < range.count; ++i, ++cursor)
+            sysTable.insert(cursor, range.base + i, flags);
+    }
+    if (vma.policy.gpuMapped)
+        hmm.mirrorRange(vpn, cursor);
+}
+
+std::uint64_t
+AddressSpace::populateRange(VirtAddr base, std::uint64_t size)
+{
+    Vma *vma = findVmaMutable(base);
+    if (vma == nullptr)
+        panic("populate of unmapped address 0x%llx",
+              static_cast<unsigned long long>(base));
+    Vpn first = vpnOf(base);
+    Vpn last = vpnOf(base + size + mem::kPageSize - 1);
+    last = std::min(last, vma->endVpn());
+
+    // Collect the holes and populate them contiguously per hole.
+    std::uint64_t populated = 0;
+    Vpn hole_start = first;
+    while (hole_start < last) {
+        while (hole_start < last && sysTable.present(hole_start))
+            ++hole_start;
+        if (hole_start >= last)
+            break;
+        Vpn hole_end = hole_start;
+        while (hole_end < last && !sysTable.present(hole_end))
+            ++hole_end;
+        std::uint64_t n = hole_end - hole_start;
+
+        switch (vma->policy.placement) {
+          case Placement::Contiguous: {
+            auto ranges = frameAlloc.allocRun(n);
+            if (ranges.empty())
+                fatal("out of physical memory populating '%s'",
+                      vma->name.c_str());
+            mapRanges(*vma, hole_start, ranges);
+            break;
+          }
+          case Placement::Interleaved: {
+            std::vector<FrameId> frame_list;
+            if (!frameAlloc.allocInterleaved(n, frame_list))
+                fatal("out of physical memory populating '%s'",
+                      vma->name.c_str());
+            mapFrames(*vma, hole_start, frame_list);
+            break;
+          }
+          case Placement::FaultBatch: {
+            std::vector<mem::FrameRange> ranges;
+            if (!frameAlloc.allocBatch(n, ranges))
+                fatal("out of physical memory populating '%s'",
+                      vma->name.c_str());
+            mapRanges(*vma, hole_start, ranges);
+            break;
+          }
+          case Placement::Scattered:
+          default: {
+            std::vector<FrameId> frame_list;
+            if (!frameAlloc.allocScattered(n, frame_list))
+                fatal("out of physical memory populating '%s'",
+                      vma->name.c_str());
+            mapFrames(*vma, hole_start, frame_list);
+            break;
+          }
+        }
+        if (vma->policy.placement == Placement::Scattered)
+            vma->pagesScattered += n;
+        else
+            vma->pagesPlaced += n;
+        populated += n;
+        hole_start = hole_end;
+    }
+    return populated;
+}
+
+void
+AddressSpace::pinAndMapGpu(VirtAddr base)
+{
+    auto it = vmas.find(base);
+    if (it == vmas.end())
+        panic("pinAndMapGpu of unknown base 0x%llx",
+              static_cast<unsigned long long>(base));
+    Vma &vma = it->second;
+
+    // pin_user_pages drives missing pages through the ordinary CPU
+    // fault path, so placement stays whatever the VMA had.
+    populateRange(vma.base, vma.size);
+    vma.policy.pinned = true;
+    vma.policy.gpuMapped = true;
+    vma.policy.onDemand = false;
+
+    PteFlags flags = flagsFor(vma);
+    std::vector<std::pair<Vpn, FrameId>> present;
+    sysTable.forRange(vma.beginVpn(), vma.endVpn(),
+                      [&](Vpn vpn, const Pte &pte) {
+                          present.emplace_back(vpn, pte.frame);
+                      });
+    for (const auto &[vpn, frame] : present) {
+        (void)frame;
+        sysTable.setFlags(vpn, flags);
+    }
+    hmm.mirrorRange(vma.beginVpn(), vma.endVpn());
+}
+
+void
+AddressSpace::resolveCpuFault(Vpn vpn)
+{
+    Vma *vma = findVmaMutable(addrOf(vpn));
+    if (vma == nullptr)
+        fatal("CPU segfault: access to unmapped vpn 0x%llx",
+              static_cast<unsigned long long>(vpn));
+    if (!vma->policy.cpuAccess)
+        fatal("CPU access to CPU-inaccessible VMA '%s'", vma->name.c_str());
+    if (sysTable.present(vpn))
+        return;  // benign race: already resolved
+
+    std::vector<FrameId> frame_list;
+    if (!frameAlloc.allocScattered(1, frame_list))
+        fatal("out of physical memory on CPU fault");
+    PteFlags flags = flagsFor(*vma);
+    sysTable.insert(vpn, frame_list[0], flags);
+    ++vma->pagesScattered;
+    ++cpuFaultCount;
+}
+
+GpuFaultKind
+AddressSpace::resolveGpuFault(Vpn first, std::uint64_t count)
+{
+    Vma *vma = findVmaMutable(addrOf(first));
+    if (vma == nullptr)
+        return GpuFaultKind::Violation;
+    Vpn last = std::min<Vpn>(first + count, vma->endVpn());
+
+    // A GPU-mapped region never faults once populated; reaching here
+    // with the region fully present means no fault at all.
+    bool any_missing_gpu = false;
+    bool any_missing_sys = false;
+    for (Vpn vpn = first; vpn < last; ++vpn) {
+        if (!gpuPt.present(vpn))
+            any_missing_gpu = true;
+        if (!sysTable.present(vpn))
+            any_missing_sys = true;
+    }
+    if (!any_missing_gpu)
+        return GpuFaultKind::None;
+
+    // Retry-able GPU page faults require XNACK unless the VMA was
+    // GPU-mapped up-front (in which case there is nothing to resolve
+    // on demand and a missing page is a real violation).
+    if (!xnack)
+        return GpuFaultKind::Violation;
+
+    if (!any_missing_sys) {
+        // Minor: physical pages exist, only the GPU mapping is absent.
+        gpuMinorCount += hmm.mirrorRange(first, last);
+        return GpuFaultKind::Minor;
+    }
+
+    // Major: thousands of wavefronts fault in arbitrary virtual order,
+    // and the handler gives each fault the next free frame. The result
+    // is a stack-balanced but virtually-random frame assignment: big
+    // fragments never form, exactly as the paper's TLB-miss counts
+    // show for GPU-initialized on-demand memory.
+    std::vector<Vpn> holes;
+    for (Vpn vpn = first; vpn < last; ++vpn) {
+        if (!sysTable.present(vpn))
+            holes.push_back(vpn);
+    }
+    std::vector<mem::FrameRange> ranges;
+    if (!frameAlloc.allocBatch(holes.size(), ranges))
+        fatal("out of physical memory on GPU fault");
+    std::vector<FrameId> frame_list;
+    frame_list.reserve(holes.size());
+    for (const auto &range : ranges) {
+        for (std::uint64_t i = 0; i < range.count; ++i)
+            frame_list.push_back(range.base + i);
+    }
+    // Fisher-Yates over the virtual arrival order.
+    for (std::size_t i = holes.size(); i > 1; --i) {
+        std::size_t j = static_cast<std::size_t>(faultRng.nextBelow(i));
+        std::swap(holes[i - 1], holes[j]);
+    }
+    PteFlags flags = flagsFor(*vma);
+    for (std::size_t i = 0; i < holes.size(); ++i)
+        sysTable.insert(holes[i], frame_list[i], flags);
+    hmm.mirrorRange(first, last);
+    vma->pagesPlaced += holes.size();
+    gpuMajorCount += holes.size();
+    return GpuFaultKind::Major;
+}
+
+bool
+AddressSpace::cpuPresent(VirtAddr addr) const
+{
+    return sysTable.present(vpnOf(addr));
+}
+
+bool
+AddressSpace::gpuPresent(VirtAddr addr) const
+{
+    return gpuPt.present(vpnOf(addr));
+}
+
+mem::PhysAddr
+AddressSpace::translate(VirtAddr addr) const
+{
+    auto pte = sysTable.lookup(vpnOf(addr));
+    if (!pte)
+        panic("translate of unmapped address 0x%llx",
+              static_cast<unsigned long long>(addr));
+    return (pte->frame << mem::kPageShift) | (addr & (mem::kPageSize - 1));
+}
+
+std::vector<FrameId>
+AddressSpace::framesOf(VirtAddr base, std::uint64_t size) const
+{
+    std::vector<FrameId> out;
+    sysTable.forRange(vpnOf(base), vpnOf(base + size + mem::kPageSize - 1),
+                      [&](Vpn, const Pte &pte) { out.push_back(pte.frame); });
+    return out;
+}
+
+std::vector<std::uint64_t>
+AddressSpace::stackLoadOf(VirtAddr base, std::uint64_t size) const
+{
+    return frameAlloc.geometry().stackLoad(framesOf(base, size));
+}
+
+} // namespace upm::vm

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * The process address space: VMAs, population policies, translation.
+ *
+ * Every allocator in Table 1 of the paper is, underneath, an mmap with
+ * a policy: whether physical pages are allocated up-front or on demand,
+ * which placement path the frames come from (contiguous buddy runs,
+ * stack-interleaved pinned frames, scattered on-demand frames, or GPU
+ * fault batches), whether the GPU page table is populated, and whether
+ * GPU accesses are cached. The AddressSpace owns both page tables, the
+ * HMM mirror, and the functional fault-resolution paths; timing for
+ * faults lives in FaultHandler.
+ */
+
+#ifndef UPM_VM_ADDRESS_SPACE_HH
+#define UPM_VM_ADDRESS_SPACE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "mem/backing_store.hh"
+#include "mem/frame_allocator.hh"
+#include "vm/gpu_page_table.hh"
+#include "vm/hmm.hh"
+#include "vm/page_table.hh"
+
+namespace upm::vm {
+
+/** Which physical-frame source populates a VMA. */
+enum class Placement : std::uint8_t {
+    Scattered,    //!< CPU first-touch: fragmented on-demand pool
+    Interleaved,  //!< pinned host buffers: stack round-robin singles
+    Contiguous,   //!< hipMalloc: large buddy runs
+    FaultBatch,   //!< GPU first-touch: short contiguous runs
+};
+
+/** Per-VMA policy (set by the allocator layer). */
+struct VmaPolicy
+{
+    bool cpuAccess = true;
+    /** Populate the GPU page table when pages are created. */
+    bool gpuMapped = false;
+    /** Physical allocation deferred to first touch. */
+    bool onDemand = true;
+    bool pinned = false;
+    /** GPU accesses bypass GPU caches (managed statics). */
+    bool uncachedGpu = false;
+    Placement placement = Placement::Scattered;
+};
+
+/** One mapped region. */
+struct Vma
+{
+    VirtAddr base = 0;
+    std::uint64_t size = 0;
+    VmaPolicy policy;
+    std::string name;
+
+    /** Pages populated through the scattered (CPU first-touch) path;
+     *  such pages land on arbitrary fragmented frames, which degrades
+     *  Infinity Cache set utilization (paper Section 5.4). */
+    std::uint64_t pagesScattered = 0;
+    /** Pages populated through any placement-friendly path
+     *  (contiguous, interleaved, or GPU fault batches). */
+    std::uint64_t pagesPlaced = 0;
+
+    double
+    scatteredFraction() const
+    {
+        std::uint64_t total = pagesScattered + pagesPlaced;
+        return total == 0
+                   ? 0.0
+                   : static_cast<double>(pagesScattered) /
+                         static_cast<double>(total);
+    }
+
+    Vpn beginVpn() const { return vpnOf(base); }
+    Vpn endVpn() const { return vpnOf(base + size + mem::kPageSize - 1); }
+    std::uint64_t numPages() const { return endVpn() - beginVpn(); }
+    bool contains(VirtAddr a) const { return a >= base && a < base + size; }
+};
+
+/** Outcome of a GPU access / fault-resolution attempt. */
+enum class GpuFaultKind : std::uint8_t {
+    None,       //!< already mapped, no fault
+    Minor,      //!< present in system table; mirrored to GPU table
+    Major,      //!< physical allocation performed
+    Violation,  //!< not resolvable (XNACK off); fatal on real HW
+};
+
+/**
+ * The simulated process address space. Single-threaded model object;
+ * engines serialize access (the real kernel takes mmap_lock too).
+ */
+class AddressSpace
+{
+  public:
+    AddressSpace(mem::FrameAllocator &frame_allocator,
+                 mem::BackingStore &backing_store);
+
+    /**
+     * Create a VMA of @p size bytes (rounded up to pages) and attach
+     * host backing. Up-front policies are NOT populated here; the
+     * allocator layer calls populateRange so it can charge time.
+     * @return the base simulated virtual address.
+     */
+    VirtAddr mmapAnon(std::uint64_t size, const VmaPolicy &policy,
+                      std::string name = "");
+
+    /** Unmap: free frames, drop PTEs from both tables, drop backing. */
+    void munmap(VirtAddr base);
+
+    const Vma *findVma(VirtAddr addr) const;
+
+    /** Visit every VMA in address order. @param fn (const Vma &). */
+    template <typename Fn>
+    void
+    forEachVma(Fn &&fn) const
+    {
+        for (const auto &[base, vma] : vmas)
+            fn(vma);
+    }
+
+    /**
+     * Populate [base, base+size) physically according to the VMA's
+     * placement, mapping the GPU table if the policy says so.
+     * @return pages newly populated.
+     */
+    std::uint64_t populateRange(VirtAddr base, std::uint64_t size);
+
+    /**
+     * hipHostRegister semantics: fault in any missing pages through
+     * the normal CPU path (keeping the region's scattered placement),
+     * pin every page, and map the region in the GPU page table.
+     */
+    void pinAndMapGpu(VirtAddr base);
+
+    /** Resolve a CPU first-touch fault on @p vpn (one scattered page). */
+    void resolveCpuFault(Vpn vpn);
+
+    /**
+     * Resolve a GPU fault batch on [first, first+count). Decides
+     * minor (mirror only) vs major (allocate + map); honours XNACK.
+     */
+    GpuFaultKind resolveGpuFault(Vpn first, std::uint64_t count);
+
+    /** @return true if the CPU can access @p addr without a fault. */
+    bool cpuPresent(VirtAddr addr) const;
+    /** @return true if the GPU can access @p addr without a fault. */
+    bool gpuPresent(VirtAddr addr) const;
+
+    /** Translate via the system table; panics if unmapped. */
+    mem::PhysAddr translate(VirtAddr addr) const;
+
+    /** Physical frames currently backing [base, base+size). */
+    std::vector<FrameId> framesOf(VirtAddr base, std::uint64_t size) const;
+
+    /** Pages-per-stack histogram for [base, base+size). */
+    std::vector<std::uint64_t> stackLoadOf(VirtAddr base,
+                                           std::uint64_t size) const;
+
+    SystemPageTable &systemTable() { return sysTable; }
+    const SystemPageTable &systemTable() const { return sysTable; }
+    GpuPageTable &gpuTable() { return gpuPt; }
+    const GpuPageTable &gpuTable() const { return gpuPt; }
+    HmmMirror &mirror() { return hmm; }
+    mem::FrameAllocator &frames() { return frameAlloc; }
+    mem::BackingStore &backing() { return backingStore; }
+
+    bool xnackEnabled() const { return xnack; }
+    void setXnack(bool enabled) { xnack = enabled; }
+
+    /** Lifetime counters (profiling surface). */
+    std::uint64_t cpuFaults() const { return cpuFaultCount; }
+    std::uint64_t gpuMajorFaults() const { return gpuMajorCount; }
+    std::uint64_t gpuMinorFaults() const { return gpuMinorCount; }
+
+  private:
+    Vma *findVmaMutable(VirtAddr addr);
+
+    /** Map a frame list page-by-page starting at @p vpn. */
+    void mapFrames(const Vma &vma, Vpn vpn,
+                   const std::vector<FrameId> &frame_list);
+    /** Map contiguous ranges starting at @p vpn. */
+    void mapRanges(const Vma &vma, Vpn vpn,
+                   const std::vector<mem::FrameRange> &ranges);
+    PteFlags flagsFor(const Vma &vma) const;
+
+    mem::FrameAllocator &frameAlloc;
+    mem::BackingStore &backingStore;
+    SystemPageTable sysTable;
+    GpuPageTable gpuPt;
+    HmmMirror hmm;
+
+    std::map<VirtAddr, Vma> vmas;
+    VirtAddr nextBase;
+    bool xnack = false;
+    /** Shuffles the virtual arrival order of GPU major faults. */
+    SplitMix64 faultRng{0x6f4au};
+
+    std::uint64_t cpuFaultCount = 0;
+    std::uint64_t gpuMajorCount = 0;
+    std::uint64_t gpuMinorCount = 0;
+};
+
+} // namespace upm::vm
+
+#endif // UPM_VM_ADDRESS_SPACE_HH

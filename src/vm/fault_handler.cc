@@ -1,0 +1,90 @@
+#include "vm/fault_handler.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace upm::vm {
+
+FaultHandler::FaultHandler(const FaultCosts &costs, std::uint64_t seed)
+    : cost(costs), rng(seed)
+{
+}
+
+SimTime
+FaultHandler::lognormal(SimTime median, double sigma)
+{
+    // Box-Muller on two uniform draws.
+    double u1 = rng.nextDouble();
+    double u2 = rng.nextDouble();
+    if (u1 < 1e-12)
+        u1 = 1e-12;
+    double z = std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * M_PI * u2);
+    return median * std::exp(sigma * z);
+}
+
+SimTime
+FaultHandler::sampleColdLatency(FaultType type)
+{
+    switch (type) {
+      case FaultType::Cpu:
+        return lognormal(cost.cpuCold, cost.cpuSigma);
+      case FaultType::GpuMinor:
+        return lognormal(cost.gpuMinorCold, cost.gpuSigma);
+      case FaultType::GpuMajor:
+        return lognormal(cost.gpuMajorCold, cost.gpuSigma);
+    }
+    panic("unknown fault type");
+}
+
+SimTime
+FaultHandler::serviceTime(FaultType type, std::uint64_t pages,
+                          unsigned cpu_cores) const
+{
+    if (pages == 0)
+        return 0.0;
+    double n = static_cast<double>(pages);
+
+    SimTime steady;
+    double ramp;
+    switch (type) {
+      case FaultType::Cpu:
+        steady = cost.cpuSteady;
+        ramp = cost.cpuRamp;
+        break;
+      case FaultType::GpuMinor:
+        steady = cost.gpuMinorSteady;
+        ramp = cost.gpuMinorRamp;
+        break;
+      case FaultType::GpuMajor:
+      default:
+        steady = cost.gpuMajorSteady;
+        ramp = cost.gpuMajorRamp;
+        break;
+    }
+
+    // Batch ramp: per-page cost shrinks toward `steady` as the handler
+    // pipeline warms and HMM walks batch up.
+    SimTime per_page = steady * (1.0 + ramp / std::sqrt(n));
+
+    if (type == FaultType::Cpu && cpu_cores > 1) {
+        double speedup = static_cast<double>(cpu_cores) /
+                         (1.0 + cost.cpuContentionAlpha *
+                                    static_cast<double>(cpu_cores - 1));
+        per_page /= speedup;
+    }
+    return per_page * n;
+}
+
+double
+FaultHandler::throughput(FaultType type, std::uint64_t pages,
+                         unsigned cpu_cores) const
+{
+    SimTime total = serviceTime(type, pages, cpu_cores);
+    if (total <= 0.0)
+        return 0.0;
+    return static_cast<double>(pages) / total * 1e9;  // pages per second
+}
+
+} // namespace upm::vm

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Page-fault timing model.
+ *
+ * Functional fault resolution lives in AddressSpace; this class prices
+ * it. The model separates *cold* single-fault latency (what the
+ * paper's Fig. 8 latency benchmark measures: one isolated fault,
+ * including trap entry, VMA walk, allocation and -- for GPU faults --
+ * the interrupt + HMM + PTE-propagation + XNACK-replay round trip)
+ * from *steady-state* per-page service time (what the throughput
+ * benchmark in Fig. 7 measures once the handler pipeline is warm and
+ * faults batch). Throughput additionally ramps with batch size as the
+ * HMM walks amortize, and multi-core CPU faulting contends on
+ * mmap_lock-style serialization.
+ */
+
+#ifndef UPM_VM_FAULT_HANDLER_HH
+#define UPM_VM_FAULT_HANDLER_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "common/units.hh"
+
+namespace upm::vm {
+
+/** Calibrated constants; see core/calibration.hh for provenance. */
+struct FaultCosts
+{
+    // Cold single-fault medians (ns). Paper Fig. 8: CPU 9 us mean,
+    // GPU minor 16 us, GPU major 18 us.
+    SimTime cpuCold = 9000.0;
+    SimTime gpuMinorCold = 16000.0;
+    SimTime gpuMajorCold = 18000.0;
+
+    // Lognormal spread: sigma chosen so the 95th percentile / median
+    // ratios match the paper's tails (11/9, 20/16, 22/18).
+    double cpuSigma = 0.120;
+    double gpuSigma = 0.135;
+
+    // Steady-state per-page service times (ns). Plateaus in Fig. 7:
+    // 1 CPU core 872 K pages/s, GPU major 1.1 M/s, GPU minor 9.0 M/s.
+    SimTime cpuSteady = 1147.0;
+    SimTime gpuMajorSteady = 909.0;
+    SimTime gpuMinorSteady = 111.0;
+
+    // Batch-ramp constants: effective per-page time is
+    // steady * (1 + ramp / sqrt(pages)), making throughput grow with
+    // the number of concurrently faulted pages as the paper observes.
+    double cpuRamp = 7.0;
+    double gpuMajorRamp = 20.0;
+    double gpuMinorRamp = 140.0;
+
+    /** mmap_lock-style contention factor for multi-core CPU faulting:
+     *  aggregate rate = cores * rate1 / (1 + alpha * (cores - 1)). */
+    double cpuContentionAlpha = 0.166;
+};
+
+/** Flavours of fault the model prices. */
+enum class FaultType : std::uint8_t { Cpu, GpuMinor, GpuMajor };
+
+/**
+ * Prices faults; owns a deterministic RNG for latency jitter so the
+ * latency-distribution bench is reproducible.
+ */
+class FaultHandler
+{
+  public:
+    explicit FaultHandler(const FaultCosts &costs = {},
+                          std::uint64_t seed = 0xfa17u);
+
+    /** Sample a cold, isolated single-fault latency (lognormal). */
+    SimTime sampleColdLatency(FaultType type);
+
+    /**
+     * Total service time for @p pages concurrent faults of @p type.
+     * @param cpu_cores number of faulting cores (CPU type only).
+     */
+    SimTime serviceTime(FaultType type, std::uint64_t pages,
+                        unsigned cpu_cores = 1) const;
+
+    /** Convenience: pages/s throughput for a scenario. */
+    double throughput(FaultType type, std::uint64_t pages,
+                      unsigned cpu_cores = 1) const;
+
+    const FaultCosts &costs() const { return cost; }
+
+  private:
+    SimTime lognormal(SimTime median, double sigma);
+
+    FaultCosts cost;
+    SplitMix64 rng;
+};
+
+} // namespace upm::vm
+
+#endif // UPM_VM_FAULT_HANDLER_HH

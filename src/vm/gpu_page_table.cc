@@ -1,0 +1,113 @@
+#include "vm/gpu_page_table.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "common/units.hh"
+
+namespace upm::vm {
+
+void
+GpuPageTable::insert(Vpn vpn, FrameId frame, PteFlags flags)
+{
+    auto [it, inserted] = entries.emplace(vpn, GpuPte{frame, flags, 0});
+    (void)it;
+    if (!inserted)
+        panic("GPU PTE for vpn 0x%llx already present",
+              static_cast<unsigned long long>(vpn));
+}
+
+std::optional<GpuPte>
+GpuPageTable::lookup(Vpn vpn) const
+{
+    auto it = entries.find(vpn);
+    if (it == entries.end())
+        return std::nullopt;
+    return it->second;
+}
+
+bool
+GpuPageTable::remove(Vpn vpn)
+{
+    return entries.erase(vpn) != 0;
+}
+
+namespace {
+
+/** Trailing zero count, saturated for zero input. */
+unsigned
+tzCount(std::uint64_t x)
+{
+    if (x == 0)
+        return 63;
+    unsigned n = 0;
+    while ((x & 1) == 0) {
+        x >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace
+
+void
+GpuPageTable::recomputeFragments(Vpn begin, Vpn end)
+{
+    auto it = entries.lower_bound(begin);
+    while (it != entries.end() && it->first < end) {
+        // Find the maximal contiguous run starting here.
+        Vpn run_base = it->first;
+        FrameId frame_base = it->second.frame;
+        PteFlags flags = it->second.flags;
+        auto run_end_it = it;
+        Vpn run_len = 0;
+        while (run_end_it != entries.end() && run_end_it->first < end &&
+               run_end_it->first == run_base + run_len &&
+               run_end_it->second.frame == frame_base + run_len &&
+               run_end_it->second.flags == flags) {
+            ++run_len;
+            ++run_end_it;
+        }
+
+        // Stamp aligned power-of-two blocks over the run, greedily from
+        // the left, exactly as the driver does: the block size at each
+        // position is limited by the remaining run length and by the
+        // natural alignment of both the virtual and physical address.
+        Vpn pos = 0;
+        auto stamp_it = it;
+        while (pos < run_len) {
+            unsigned align = std::min(tzCount(run_base + pos),
+                                      tzCount(frame_base + pos));
+            unsigned len_log = floorLog2(run_len - pos);
+            unsigned frag = std::min({align, len_log, kMaxFragment});
+            std::uint64_t block = 1ull << frag;
+            for (std::uint64_t i = 0; i < block; ++i, ++stamp_it)
+                stamp_it->second.fragment = static_cast<std::uint8_t>(frag);
+            pos += block;
+        }
+        it = run_end_it;
+    }
+}
+
+Fragment
+GpuPageTable::fragmentOf(Vpn vpn) const
+{
+    auto it = entries.find(vpn);
+    if (it == entries.end())
+        panic("fragmentOf on absent vpn 0x%llx",
+              static_cast<unsigned long long>(vpn));
+    std::uint64_t span = 1ull << it->second.fragment;
+    return Fragment{vpn & ~(span - 1), span};
+}
+
+std::vector<std::uint64_t>
+GpuPageTable::fragmentHistogram(Vpn begin, Vpn end) const
+{
+    std::vector<std::uint64_t> histogram(kMaxFragment + 1, 0);
+    forRange(begin, end, [&](Vpn, const GpuPte &pte) {
+        ++histogram[pte.fragment];
+    });
+    return histogram;
+}
+
+} // namespace upm::vm

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The GPU page table with AMD's adaptive fragment scheme.
+ *
+ * Each GPU PTE carries a 5-bit *fragment* field: log2 of the number of
+ * pages in a virtually and physically contiguous, identically-flagged,
+ * naturally-aligned block containing the page. The amdgpu driver sets
+ * it opportunistically by scanning for maximal contiguous ranges when
+ * it writes PTEs (see the `amdgpu_vm_pt.c` comment the paper cites).
+ * A UTCL1 entry covers a whole fragment, so large fragments multiply
+ * TLB reach -- the mechanism behind hipMalloc's bandwidth advantage
+ * (paper Sections 4.2/5.3).
+ */
+
+#ifndef UPM_VM_GPU_PAGE_TABLE_HH
+#define UPM_VM_GPU_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "vm/page_table.hh"
+
+namespace upm::vm {
+
+/** GPU PTE: translation plus the fragment field. */
+struct GpuPte
+{
+    FrameId frame = 0;
+    PteFlags flags;
+    std::uint8_t fragment = 0;  //!< log2(pages) of the covering block
+};
+
+/** A fragment descriptor returned to TLB fill logic. */
+struct Fragment
+{
+    Vpn base = 0;
+    std::uint64_t span = 1;  //!< pages
+};
+
+/**
+ * GPU page table. PTEs are inserted by the HMM mirror (or directly by
+ * the up-front allocators); `recomputeFragments` runs the driver's
+ * opportunistic scan over a window after every batch of inserts.
+ */
+class GpuPageTable
+{
+  public:
+    /** Largest fragment the PTE encoding supports (2^31 pages). */
+    static constexpr unsigned kMaxFragment = 31;
+
+    /** Map @p vpn (no fragment yet). Panics if present. */
+    void insert(Vpn vpn, FrameId frame, PteFlags flags = {});
+
+    std::optional<GpuPte> lookup(Vpn vpn) const;
+    bool present(Vpn vpn) const { return entries.count(vpn) != 0; }
+
+    /** Unmap; @return true if it was mapped. */
+    bool remove(Vpn vpn);
+
+    std::uint64_t presentCount() const { return entries.size(); }
+
+    /**
+     * Driver fragment scan over [begin, end): find maximal runs that
+     * are virtually contiguous, physically contiguous, and share
+     * flags; split each run into naturally-aligned power-of-two blocks
+     * (alignment limited by both the virtual and physical base) and
+     * stamp every PTE with its block's log2 size.
+     */
+    void recomputeFragments(Vpn begin, Vpn end);
+
+    /**
+     * Fragment containing @p vpn, for UTCL1 fills. Requires presence.
+     */
+    Fragment fragmentOf(Vpn vpn) const;
+
+    /**
+     * Span histogram over [begin, end): pages covered per fragment
+     * log2-size. Used by tests and the TLB-miss analysis.
+     */
+    std::vector<std::uint64_t> fragmentHistogram(Vpn begin, Vpn end) const;
+
+    /** Visit present entries in [begin, end) in vpn order. */
+    template <typename Fn>
+    void
+    forRange(Vpn begin, Vpn end, Fn &&fn) const
+    {
+        for (auto it = entries.lower_bound(begin);
+             it != entries.end() && it->first < end; ++it) {
+            fn(it->first, it->second);
+        }
+    }
+
+  private:
+    std::map<Vpn, GpuPte> entries;
+};
+
+} // namespace upm::vm
+
+#endif // UPM_VM_GPU_PAGE_TABLE_HH

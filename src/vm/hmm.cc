@@ -1,0 +1,36 @@
+#include "vm/hmm.hh"
+
+#include <vector>
+
+namespace upm::vm {
+
+std::uint64_t
+HmmMirror::mirrorRange(Vpn begin, Vpn end)
+{
+    std::vector<std::pair<Vpn, Pte>> missing;
+    sysTable.forRange(begin, end, [&](Vpn vpn, const Pte &pte) {
+        if (!gpuTable.present(vpn))
+            missing.emplace_back(vpn, pte);
+    });
+    for (const auto &[vpn, pte] : missing)
+        gpuTable.insert(vpn, pte.frame, pte.flags);
+    if (!missing.empty())
+        gpuTable.recomputeFragments(begin, end);
+    propagatedCount += missing.size();
+    return missing.size();
+}
+
+std::uint64_t
+HmmMirror::invalidateRange(Vpn begin, Vpn end)
+{
+    std::vector<Vpn> present;
+    gpuTable.forRange(begin, end, [&](Vpn vpn, const GpuPte &) {
+        present.push_back(vpn);
+    });
+    for (Vpn vpn : present)
+        gpuTable.remove(vpn);
+    invalidatedCount += present.size();
+    return present.size();
+}
+
+} // namespace upm::vm

@@ -1,0 +1,55 @@
+#include "vm/page_table.hh"
+
+#include "common/log.hh"
+
+namespace upm::vm {
+
+void
+SystemPageTable::insert(Vpn vpn, FrameId frame, PteFlags flags)
+{
+    auto [it, inserted] = entries.emplace(vpn, Pte{frame, flags});
+    (void)it;
+    if (!inserted)
+        panic("system PTE for vpn 0x%llx already present",
+              static_cast<unsigned long long>(vpn));
+}
+
+std::optional<Pte>
+SystemPageTable::lookup(Vpn vpn) const
+{
+    auto it = entries.find(vpn);
+    if (it == entries.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::optional<FrameId>
+SystemPageTable::remove(Vpn vpn)
+{
+    auto it = entries.find(vpn);
+    if (it == entries.end())
+        return std::nullopt;
+    FrameId frame = it->second.frame;
+    entries.erase(it);
+    return frame;
+}
+
+void
+SystemPageTable::setFlags(Vpn vpn, PteFlags flags)
+{
+    auto it = entries.find(vpn);
+    if (it == entries.end())
+        panic("setFlags on absent vpn 0x%llx",
+              static_cast<unsigned long long>(vpn));
+    it->second.flags = flags;
+}
+
+std::uint64_t
+SystemPageTable::presentInRange(Vpn begin, Vpn end) const
+{
+    std::uint64_t n = 0;
+    forRange(begin, end, [&](Vpn, const Pte &) { ++n; });
+    return n;
+}
+
+} // namespace upm::vm

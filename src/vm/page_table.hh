@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The system (CPU) page table.
+ *
+ * MI300A keeps two page tables: the Linux system page table, walked by
+ * the CPU cores, and a GPU page table walked by the GPU's UTC. This
+ * class models the former: a sorted vpn -> (frame, flags) map with the
+ * attributes the characterization cares about (pinned, uncached).
+ */
+
+#ifndef UPM_VM_PAGE_TABLE_HH
+#define UPM_VM_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "mem/backing_store.hh"
+#include "mem/geometry.hh"
+
+namespace upm::vm {
+
+using mem::FrameId;
+using mem::VirtAddr;
+
+/** Virtual page number. */
+using Vpn = std::uint64_t;
+
+/** Page-level attributes; equality matters for fragment formation. */
+struct PteFlags
+{
+    bool writable = true;
+    bool pinned = false;    //!< page-locked (mlock / hipHostRegister)
+    bool uncached = false;  //!< GPU-side uncacheable (managed statics)
+
+    bool operator==(const PteFlags &) const = default;
+};
+
+/** One page-table entry. */
+struct Pte
+{
+    FrameId frame = 0;
+    PteFlags flags;
+};
+
+/** vpn helpers. */
+constexpr Vpn
+vpnOf(VirtAddr addr)
+{
+    return addr >> mem::kPageShift;
+}
+
+constexpr VirtAddr
+addrOf(Vpn vpn)
+{
+    return vpn << mem::kPageShift;
+}
+
+/**
+ * Sorted page table. Lookup is O(log n); range iteration is ordered,
+ * which the HMM mirror and fragment computation rely on.
+ */
+class SystemPageTable
+{
+  public:
+    /** Map @p vpn to @p frame. Panics if already present. */
+    void insert(Vpn vpn, FrameId frame, PteFlags flags = {});
+
+    /** @return the PTE if present. */
+    std::optional<Pte> lookup(Vpn vpn) const;
+
+    bool present(Vpn vpn) const { return entries.count(vpn) != 0; }
+
+    /** Unmap @p vpn. @return the freed frame if it was mapped. */
+    std::optional<FrameId> remove(Vpn vpn);
+
+    /** Update flags of a present entry (pin/unpin). */
+    void setFlags(Vpn vpn, PteFlags flags);
+
+    /** Number of present pages. */
+    std::uint64_t presentCount() const { return entries.size(); }
+
+    /** Present pages within [begin, end). */
+    std::uint64_t presentInRange(Vpn begin, Vpn end) const;
+
+    /**
+     * Visit present entries in [begin, end) in vpn order.
+     * @param fn callable (Vpn, const Pte &).
+     */
+    template <typename Fn>
+    void
+    forRange(Vpn begin, Vpn end, Fn &&fn) const
+    {
+        for (auto it = entries.lower_bound(begin);
+             it != entries.end() && it->first < end; ++it) {
+            fn(it->first, it->second);
+        }
+    }
+
+  private:
+    std::map<Vpn, Pte> entries;
+};
+
+} // namespace upm::vm
+
+#endif // UPM_VM_PAGE_TABLE_HH

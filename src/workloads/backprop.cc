@@ -1,0 +1,151 @@
+#include "workloads/backprop.hh"
+
+#include <cmath>
+
+#include "common/rng.hh"
+
+namespace upm::workloads {
+
+namespace {
+
+/** Rodinia's squash function. */
+float
+squash(float x)
+{
+    return 1.0f / (1.0f + std::exp(-x));
+}
+
+} // namespace
+
+RunReport
+Backprop::run(core::System &system, Model model)
+{
+    beginRun(system);
+    auto &rt = system.runtime();
+
+    const std::uint64_t in_n = cfg.inputUnits;
+    const unsigned hid_n = cfg.hiddenUnits;
+    const std::uint64_t w_count = (in_n + 1) * (hid_n + 1);
+    const std::uint64_t in_bytes = in_n * sizeof(float);
+    const std::uint64_t w_bytes = w_count * sizeof(float);
+
+    // ---- Load phase (simulated training-data parse; both models). ----
+    hip::DevPtr file_buf = rt.hostMalloc(40 * MiB);
+    rt.cpuFirstTouch(file_buf, 40 * MiB);
+    rt.advanceHost(8.0 * milliseconds);
+
+    // ---- Allocation --------------------------------------------------
+    bool unified = model == Model::Unified;
+    // Host-side buffers (explicit) or the single unified buffers.
+    auto host_kind = unified ? alloc::AllocatorKind::HipMalloc
+                             : alloc::AllocatorKind::Malloc;
+    hip::DevPtr h_input = rt.allocate(host_kind, in_bytes);
+    hip::DevPtr h_weights = rt.allocate(host_kind, w_bytes);
+    hip::DevPtr h_hidden =
+        rt.allocate(host_kind, (hid_n + 1) * sizeof(float));
+
+    hip::DevPtr d_input = h_input;
+    hip::DevPtr d_weights = h_weights;
+    hip::DevPtr d_hidden = h_hidden;
+    if (!unified) {
+        d_input = rt.hipMalloc(in_bytes);
+        d_weights = rt.hipMalloc(w_bytes);
+        d_hidden = rt.hipMalloc((hid_n + 1) * sizeof(float));
+    }
+
+    // ---- CPU initialization ------------------------------------------
+    float *input = rt.hostPtr<float>(h_input, in_n);
+    float *weights = rt.hostPtr<float>(h_weights, w_count);
+    MinStdRand rng(7);
+    for (std::uint64_t i = 0; i < in_n; ++i)
+        input[i] = static_cast<float>(rng.nextBelow(1000)) / 1000.0f;
+    for (std::uint64_t i = 0; i < w_count; ++i)
+        weights[i] = static_cast<float>(i % 97) / 97.0f - 0.5f;
+    rt.cpuStream(h_input, in_bytes, system.config().numCpuCores);
+    rt.cpuStream(h_weights, w_bytes, system.config().numCpuCores);
+
+    // ---- Compute phase ------------------------------------------------
+    SimTime compute_start = rt.now();
+
+    if (!unified) {
+        rt.hipMemcpy(d_input, h_input, in_bytes);
+        rt.hipMemcpy(d_weights, h_weights, w_bytes);
+    }
+
+    float *hidden = rt.hostPtr<float>(d_hidden, hid_n + 1);
+    float *dev_input = rt.hostPtr<float>(d_input, in_n);
+    float *dev_weights = rt.hostPtr<float>(d_weights, w_count);
+    const float eta = 0.3f;
+
+    for (unsigned epoch = 0; epoch < cfg.epochs; ++epoch) {
+        // GPU: layer-forward (reduction of input x weights per hidden
+        // unit).
+        hip::KernelDesc forward;
+        forward.name = "bpnn_layerforward";
+        forward.gridThreads = in_n;
+        forward.flops = static_cast<double>(in_n) * (hid_n + 1) * 2.0;
+        forward.buffers.push_back({d_input, in_bytes, in_bytes});
+        forward.buffers.push_back({d_weights, w_bytes, w_bytes});
+        rt.launchKernel(forward, [&] {
+            for (unsigned j = 1; j <= hid_n; ++j) {
+                double sum = 0.0;
+                // Sample-strided reduction keeps the functional pass
+                // cheap while touching the whole row structurally.
+                for (std::uint64_t i = 0; i < in_n; i += 64)
+                    sum += dev_input[i] * dev_weights[i * (hid_n + 1) + j];
+                hidden[j] = squash(static_cast<float>(sum / in_n * 64));
+            }
+        });
+        rt.deviceSynchronize();
+
+        // CPU: output error, hidden deltas, host-side momentum pass
+        // over the weight matrix (rodinia's bpnn_* host steps).
+        float out_delta = 0.0f;
+        for (unsigned j = 1; j <= hid_n; ++j)
+            out_delta += hidden[j];
+        out_delta = (1.0f - squash(out_delta)) * 0.1f;
+        rt.cpuStream(d_weights, w_bytes, system.config().numCpuCores);
+
+        // GPU: adjust weights.
+        hip::KernelDesc adjust;
+        adjust.name = "bpnn_adjust_weights";
+        adjust.gridThreads = in_n;
+        adjust.flops = static_cast<double>(w_count) * 4.0;
+        adjust.buffers.push_back({d_weights, 2 * w_bytes, w_bytes});
+        adjust.buffers.push_back({d_input, in_bytes, in_bytes});
+        rt.launchKernel(adjust, [&] {
+            for (std::uint64_t i = 0; i < w_count; i += 64) {
+                dev_weights[i] +=
+                    eta * out_delta * dev_input[(i / (hid_n + 1)) % in_n];
+            }
+        });
+        rt.deviceSynchronize();
+    }
+
+    if (!unified)
+        rt.hipMemcpy(h_weights, d_weights, w_bytes);
+
+    SimTime compute_time = rt.now() - compute_start;
+
+    // ---- Checksum ------------------------------------------------------
+    float *final_weights = rt.hostPtr<float>(h_weights, w_count);
+    double checksum = 0.0;
+    for (std::uint64_t i = 0; i < w_count; i += 997)
+        checksum += final_weights[i];
+
+    RunReport report =
+        finishRun(system, name(), model, compute_time, checksum);
+
+    rt.hipFree(h_input);
+    rt.hipFree(h_weights);
+    rt.hipFree(h_hidden);
+    if (!unified) {
+        rt.hipFree(d_input);
+        rt.hipFree(d_weights);
+        rt.hipFree(d_hidden);
+    }
+    rt.hipFree(file_buf);
+    return report;
+}
+
+} // namespace upm::workloads

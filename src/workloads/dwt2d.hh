@@ -1,0 +1,46 @@
+/**
+ * @file
+ * dwt2d: 2D discrete (Haar) wavelet transform (Rodinia).
+ *
+ * The explicit model pipelines chunked partial transfers of the image
+ * with per-level transform kernels; the unified model merges the host
+ * and device buffers, which removes the transfers entirely. Total time
+ * is dominated by the image decode/encode I/O phases, so the paper
+ * sees an 86% compute-time reduction but similar total time -- and the
+ * peak memory occurs during the CPU-only I/O phase, so the unified
+ * version saves nothing there.
+ */
+
+#ifndef UPM_WORKLOADS_DWT2D_HH
+#define UPM_WORKLOADS_DWT2D_HH
+
+#include "workloads/workload.hh"
+
+namespace upm::workloads {
+
+/** dwt2d workload. */
+class Dwt2d : public Workload
+{
+  public:
+    struct Params
+    {
+        std::uint64_t imageDim = 4096;  //!< N x N float pixels
+        unsigned levels = 3;
+        unsigned chunks = 16;  //!< pipeline chunks (explicit model)
+        SimTime decodeIo = 60.0 * milliseconds;
+        SimTime encodeIo = 30.0 * milliseconds;
+    };
+
+    Dwt2d() : cfg(Params()) {}
+    explicit Dwt2d(const Params &params) : cfg(params) {}
+
+    std::string name() const override { return "dwt2d"; }
+    RunReport run(core::System &system, Model model) override;
+
+  private:
+    Params cfg;
+};
+
+} // namespace upm::workloads
+
+#endif // UPM_WORKLOADS_DWT2D_HH

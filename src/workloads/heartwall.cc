@@ -1,0 +1,120 @@
+#include "workloads/heartwall.hh"
+
+namespace upm::workloads {
+
+RunReport
+Heartwall::run(core::System &system, Model model)
+{
+    beginRun(system);
+    auto &rt = system.runtime();
+    bool unified = model == Model::Unified;
+    bool v1 = version == HeartwallVersion::V1;
+
+    const std::uint64_t frame_bytes = cfg.frameBytes;
+    const std::uint64_t frame_px = frame_bytes / sizeof(float);
+    const std::uint64_t tmpl_bytes = cfg.templateBytes;
+
+    // ---- Video decode buffer (both models, whole run). ----
+    hip::DevPtr video = rt.hostMalloc(cfg.videoBufferBytes);
+    rt.cpuFirstTouch(video, cfg.videoBufferBytes);
+    rt.advanceHost(15.0 * milliseconds);  // AVI open/parse
+
+    // ---- Buffers per model ------------------------------------------
+    // Explicit: static host frame + static device frame + duplicated
+    // template arrays. Unified v1: __managed__ statics, same serial
+    // structure as the original. Unified v2: restructured hipMalloc
+    // double buffer.
+    hip::DevPtr h_frame = 0, d_frame = 0, d_frame_b = 0;
+    hip::DevPtr h_tmpl = 0, d_tmpl = 0;
+    if (!unified) {
+        h_frame = rt.hostMalloc(frame_bytes);
+        d_frame = rt.hipMalloc(frame_bytes);
+        h_tmpl = rt.hostMalloc(tmpl_bytes);
+        d_tmpl = rt.hipMalloc(tmpl_bytes);
+        rt.cpuFirstTouch(h_tmpl, tmpl_bytes);
+        rt.hipMemcpy(d_tmpl, h_tmpl, tmpl_bytes);
+    } else if (v1) {
+        h_frame = rt.managedStatic(frame_bytes);
+        d_frame = h_frame;
+        d_tmpl = rt.managedStatic(tmpl_bytes);
+        rt.cpuFirstTouch(d_tmpl, tmpl_bytes);
+    } else {
+        d_frame = rt.hipMalloc(frame_bytes);    // front (CPU writes)
+        d_frame_b = rt.hipMalloc(frame_bytes);  // back (GPU reads)
+        h_frame = d_frame;
+        d_tmpl = rt.hipMalloc(tmpl_bytes);
+        rt.cpuFirstTouch(d_tmpl, tmpl_bytes);
+    }
+
+    // ---- Compute phase: the frame pipeline ---------------------------
+    SimTime compute_start = rt.now();
+    hip::Stream stream = rt.makeStream();
+    double tracking_acc = 0.0;
+
+    auto launch_tracking = [&](hip::DevPtr frame_ptr) {
+        hip::KernelDesc track;
+        track.name = "heartwall_kernel";
+        track.gridThreads = frame_px;
+        track.flops = static_cast<double>(frame_px) * 12.0;
+        track.buffers.push_back({frame_ptr, frame_bytes, frame_bytes});
+        track.buffers.push_back({d_tmpl, tmpl_bytes, tmpl_bytes});
+        float *px = rt.hostPtr<float>(frame_ptr, frame_px);
+        rt.launchKernel(track, [&tracking_acc, px, frame_px] {
+            double acc = 0.0;
+            for (std::uint64_t i = 0; i < frame_px; i += 512)
+                acc += px[i];
+            tracking_acc += acc;
+        }, &stream);
+    };
+
+    for (unsigned f = 0; f < cfg.frames; ++f) {
+        // CPU pre-processing of the next frame (runs on the host
+        // timeline, overlapping whatever the GPU stream is doing).
+        hip::DevPtr write_target =
+            (unified && !v1) ? d_frame : h_frame;
+        float *dst = rt.hostPtr<float>(write_target, frame_px);
+        for (std::uint64_t i = 0; i < frame_px; i += 1024)
+            dst[i] = static_cast<float>((f + 1) * 31 + i % 255);
+        rt.advanceHost(cfg.preprocessPerFrame);
+
+        if (!unified) {
+            // Pipeline: async copy + kernel on the stream.
+            rt.hipMemcpyAsync(d_frame, h_frame, frame_bytes, stream);
+            launch_tracking(d_frame);
+        } else if (v1) {
+            // v1 keeps the original serial structure: the static
+            // buffer is shared, so the kernel must finish before the
+            // CPU may write the next frame.
+            launch_tracking(d_frame);
+            rt.streamSynchronize(stream);
+        } else {
+            // v2: the GPU consumes the frame the CPU just wrote while
+            // the CPU moves on to fill the other buffer.
+            launch_tracking(d_frame);
+            std::swap(d_frame, d_frame_b);
+        }
+    }
+    rt.streamSynchronize(stream);
+    SimTime compute_time = rt.now() - compute_start;
+
+    RunReport report =
+        finishRun(system, name(), model, compute_time, tracking_acc);
+
+    rt.hipFree(video);
+    if (!unified) {
+        rt.hipFree(h_frame);
+        rt.hipFree(d_frame);
+        rt.hipFree(h_tmpl);
+        rt.hipFree(d_tmpl);
+    } else if (v1) {
+        rt.hipFree(h_frame);
+        rt.hipFree(d_tmpl);
+    } else {
+        rt.hipFree(d_frame);
+        rt.hipFree(d_frame_b);
+        rt.hipFree(d_tmpl);
+    }
+    return report;
+}
+
+} // namespace upm::workloads

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * heartwall: ultrasound heart-wall tracking (Rodinia).
+ *
+ * Per video frame, the CPU pre-processes the frame while the GPU runs
+ * the tracking kernel on the previous one (a pipeline). The original
+ * uses static host and device arrays extensively, so the paper builds
+ * two unified ports:
+ *  - v1 keeps the structure and turns the statics into __managed__
+ *    variables -- paying the uncached-access penalty (18% slower);
+ *  - v2 restructures to dynamic hipMalloc allocations with double
+ *    buffering and stream-event synchronization, matching the
+ *    explicit model's performance.
+ */
+
+#ifndef UPM_WORKLOADS_HEARTWALL_HH
+#define UPM_WORKLOADS_HEARTWALL_HH
+
+#include "workloads/workload.hh"
+
+namespace upm::workloads {
+
+/** Which unified port the Unified model uses. */
+enum class HeartwallVersion : std::uint8_t { V1, V2 };
+
+/** heartwall workload. */
+class Heartwall : public Workload
+{
+  public:
+    struct Params
+    {
+        std::uint64_t frameBytes = 16 * MiB;
+        std::uint64_t templateBytes = 10 * MiB;
+        unsigned frames = 60;
+        /** CPU pre-processing time per frame (detection, resampling). */
+        SimTime preprocessPerFrame = 0.5 * milliseconds;
+        /** Simulated AVI decode buffer alive for the whole run. */
+        std::uint64_t videoBufferBytes = 320 * MiB;
+    };
+
+    explicit Heartwall(HeartwallVersion v) : version(v), cfg(Params()) {}
+    Heartwall(HeartwallVersion v, const Params &params)
+        : version(v), cfg(params)
+    {}
+
+    std::string
+    name() const override
+    {
+        return version == HeartwallVersion::V1 ? "heartwall-v1"
+                                               : "heartwall-v2";
+    }
+
+    RunReport run(core::System &system, Model model) override;
+
+  private:
+    HeartwallVersion version;
+    Params cfg;
+};
+
+} // namespace upm::workloads
+
+#endif // UPM_WORKLOADS_HEARTWALL_HH

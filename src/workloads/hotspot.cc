@@ -1,0 +1,107 @@
+#include "workloads/hotspot.hh"
+
+namespace upm::workloads {
+
+RunReport
+Hotspot::run(core::System &system, Model model)
+{
+    beginRun(system);
+    auto &rt = system.runtime();
+
+    const std::uint64_t n = cfg.gridDim;
+    const std::uint64_t cells = n * n;
+    const std::uint64_t bytes = cells * sizeof(float);
+    bool unified = model == Model::Unified;
+
+    // ---- Load phase: parse temperature and power input files. ----
+    rt.advanceHost(12.0 * milliseconds);
+
+    auto host_kind = unified ? alloc::AllocatorKind::HipMalloc
+                             : alloc::AllocatorKind::Malloc;
+    hip::DevPtr h_temp = rt.allocate(host_kind, bytes);
+    hip::DevPtr h_power = rt.allocate(host_kind, bytes);
+
+    hip::DevPtr d_temp_in = h_temp;
+    hip::DevPtr d_power = h_power;
+    hip::DevPtr d_temp_out = rt.hipMalloc(bytes);  // both models ping-pong
+    if (!unified) {
+        d_temp_in = rt.hipMalloc(bytes);
+        d_power = rt.hipMalloc(bytes);
+    }
+
+    // CPU initialization of the input grids.
+    float *temp = rt.hostPtr<float>(h_temp, cells);
+    float *power = rt.hostPtr<float>(h_power, cells);
+    for (std::uint64_t i = 0; i < cells; i += cfg.functionalStride) {
+        temp[i] = 324.0f + static_cast<float>(i % 17) * 0.5f;
+        power[i] = 0.001f * static_cast<float>(i % 7);
+    }
+    rt.cpuStream(h_temp, bytes, system.config().numCpuCores);
+    rt.cpuStream(h_power, bytes, system.config().numCpuCores);
+
+    // ---- Compute phase ------------------------------------------------
+    SimTime compute_start = rt.now();
+    if (!unified) {
+        rt.hipMemcpy(d_temp_in, h_temp, bytes);
+        rt.hipMemcpy(d_power, h_power, bytes);
+    }
+
+    float *tin = rt.hostPtr<float>(d_temp_in, cells);
+    float *tout = rt.hostPtr<float>(d_temp_out, cells);
+    const float *pw = rt.hostPtr<float>(d_power, cells);
+
+    const float cap = 0.5f, rx = 1.0f, ry = 1.0f, rz = 1.0f;
+    for (unsigned it = 0; it < cfg.iterations; ++it) {
+        hip::KernelDesc step;
+        step.name = "hotspot_kernel";
+        step.gridThreads = cells;
+        step.flops = static_cast<double>(cells) * 10.0;
+        step.buffers.push_back({d_temp_in, bytes, bytes});
+        step.buffers.push_back({d_power, bytes, bytes});
+        step.buffers.push_back({d_temp_out, bytes, bytes});
+        unsigned stride = cfg.functionalStride;
+        rt.launchKernel(step, [&, stride] {
+            for (std::uint64_t r = 1; r + 1 < n; r += stride) {
+                for (std::uint64_t c = 1; c + 1 < n; c += stride) {
+                    std::uint64_t idx = r * n + c;
+                    float delta =
+                        cap * (pw[idx] +
+                               (tin[idx + n] + tin[idx - n] -
+                                2.0f * tin[idx]) / ry +
+                               (tin[idx + 1] + tin[idx - 1] -
+                                2.0f * tin[idx]) / rx +
+                               (80.0f - tin[idx]) / rz);
+                    tout[idx] = tin[idx] + delta;
+                }
+            }
+        });
+        rt.deviceSynchronize();
+        std::swap(tin, tout);
+        std::swap(d_temp_in, d_temp_out);
+    }
+
+    if (!unified)
+        rt.hipMemcpy(h_temp, d_temp_in, bytes);
+    SimTime compute_time = rt.now() - compute_start;
+
+    const float *result =
+        unified ? rt.hostPtr<float>(d_temp_in, cells)
+                : rt.hostPtr<float>(h_temp, cells);
+    double checksum = 0.0;
+    for (std::uint64_t i = 0; i < cells; i += 1009)
+        checksum += result[i];
+
+    RunReport report =
+        finishRun(system, name(), model, compute_time, checksum);
+
+    rt.hipFree(h_temp);
+    rt.hipFree(h_power);
+    rt.hipFree(d_temp_out);
+    if (!unified) {
+        rt.hipFree(d_temp_in);
+        rt.hipFree(d_power);
+    }
+    return report;
+}
+
+} // namespace upm::workloads

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * hotspot: thermal simulation stencil (Rodinia).
+ *
+ * Iterative 5-point stencil over a temperature grid driven by a power
+ * grid. The explicit model copies both grids to the device once and
+ * the result back at the end; the unified model allocates unified
+ * grids and runs the same kernels with no transfers, saving the
+ * duplicated copies (one of the paper's 10-44% memory reductions).
+ */
+
+#ifndef UPM_WORKLOADS_HOTSPOT_HH
+#define UPM_WORKLOADS_HOTSPOT_HH
+
+#include "workloads/workload.hh"
+
+namespace upm::workloads {
+
+/** hotspot workload. */
+class Hotspot : public Workload
+{
+  public:
+    struct Params
+    {
+        std::uint64_t gridDim = 2048;  //!< N x N cells
+        unsigned iterations = 100;
+        /** Row/col stride of the functional stencil evaluation (the
+         *  timing always models the full grid). */
+        unsigned functionalStride = 2;
+    };
+
+    Hotspot() : cfg(Params()) {}
+    explicit Hotspot(const Params &params) : cfg(params) {}
+
+    std::string name() const override { return "hotspot"; }
+    RunReport run(core::System &system, Model model) override;
+
+  private:
+    Params cfg;
+};
+
+} // namespace upm::workloads
+
+#endif // UPM_WORKLOADS_HOTSPOT_HH

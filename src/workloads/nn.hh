@@ -1,0 +1,47 @@
+/**
+ * @file
+ * nn: nearest neighbors over hurricane records (Rodinia).
+ *
+ * A large record set is built on the CPU in a std::vector (i.e. the
+ * default malloc allocator), then the GPU computes distances to a
+ * query point and the CPU scans for the k nearest. The explicit model
+ * copies the records to hipMalloc memory (after checking fit with
+ * hipMemGetInfo); the unified port keeps the default vector for
+ * simplicity -- so the first kernel takes GPU page faults over the
+ * whole record set, the paper's one performance outlier (compute time
+ * blows up while the relatively simple kernel is cheap). Memory drops
+ * by 44% because the duplicated record buffer disappears.
+ */
+
+#ifndef UPM_WORKLOADS_NN_HH
+#define UPM_WORKLOADS_NN_HH
+
+#include "workloads/workload.hh"
+
+namespace upm::workloads {
+
+/** nn workload. */
+class Nn : public Workload
+{
+  public:
+    struct Params
+    {
+        std::uint64_t records = 8ull << 20;  //!< 8 Mi records x 64 B
+        unsigned queries = 4;
+        unsigned k = 8;
+        SimTime parseIo = 800.0 * milliseconds;
+    };
+
+    Nn() : cfg(Params()) {}
+    explicit Nn(const Params &params) : cfg(params) {}
+
+    std::string name() const override { return "nn"; }
+    RunReport run(core::System &system, Model model) override;
+
+  private:
+    Params cfg;
+};
+
+} // namespace upm::workloads
+
+#endif // UPM_WORKLOADS_NN_HH

@@ -1,0 +1,128 @@
+#include "workloads/srad.hh"
+
+#include <cmath>
+
+namespace upm::workloads {
+
+RunReport
+Srad::run(core::System &system, Model model)
+{
+    beginRun(system);
+    auto &rt = system.runtime();
+    bool unified = model == Model::Unified;
+    if (unified)
+        rt.setXnack(true);  // GPU reads the host stack flag
+
+    const std::uint64_t n = cfg.imageDim;
+    const std::uint64_t pixels = n * n;
+    const std::uint64_t bytes = pixels * sizeof(float);
+
+    // ---- Load phase ----------------------------------------------------
+    rt.advanceHost(cfg.loadIo);
+
+    auto host_kind = unified ? alloc::AllocatorKind::HipMalloc
+                             : alloc::AllocatorKind::Malloc;
+    hip::DevPtr h_image = rt.allocate(host_kind, bytes);
+    float *image = rt.hostPtr<float>(h_image, pixels);
+    for (std::uint64_t i = 0; i < pixels; i += 4)
+        image[i] = std::exp(static_cast<float>(i % 91) / 91.0f);
+    rt.cpuStream(h_image, bytes, system.config().numCpuCores);
+
+    hip::DevPtr d_image = h_image;
+    hip::DevPtr d_coeff = rt.hipMalloc(bytes);
+    // Reduction scratch: partial sums (explicit copies these back) or
+    // the host "stack" flag region the GPU reads directly under UPM.
+    hip::DevPtr d_sums = rt.hipMalloc(64 * KiB);
+    hip::DevPtr stack_flag = rt.hostMalloc(64);
+    hip::DevPtr h_sums = 0;
+    if (!unified) {
+        d_image = rt.hipMalloc(bytes);
+        h_sums = rt.hostMalloc(64 * KiB);
+        rt.cpuFirstTouch(h_sums, 64 * KiB);
+    }
+
+    // Setup transfer (outside the compute timer, as in the original).
+    if (!unified)
+        rt.hipMemcpy(d_image, h_image, bytes);
+
+    // ---- Compute phase ---------------------------------------------------
+    SimTime compute_start = rt.now();
+    float *dev_image = rt.hostPtr<float>(d_image, pixels);
+    float *coeff = rt.hostPtr<float>(d_coeff, pixels);
+    float *flag = rt.hostPtr<float>(stack_flag, 1);
+    *flag = 1.0f;
+
+    for (unsigned it = 0; it < cfg.iterations && *flag > 0.0f; ++it) {
+        // Kernel 1: diffusion coefficients + block partial sums.
+        hip::KernelDesc srad1;
+        srad1.name = "srad_kernel1";
+        srad1.gridThreads = pixels;
+        srad1.flops = static_cast<double>(pixels) * 14.0;
+        srad1.buffers.push_back({d_image, bytes, bytes});
+        srad1.buffers.push_back({d_coeff, bytes, bytes});
+        srad1.buffers.push_back({d_sums, 64 * KiB, 64 * KiB});
+        rt.launchKernel(srad1, [&] {
+            for (std::uint64_t r = 1; r + 1 < n; r += 8) {
+                for (std::uint64_t c = 1; c + 1 < n; c += 2) {
+                    std::uint64_t i = r * n + c;
+                    float g = dev_image[i + 1] - dev_image[i - 1] +
+                              dev_image[i + n] - dev_image[i - n];
+                    coeff[i] = 1.0f / (1.0f + g * g);
+                }
+            }
+        });
+
+        // Kernel 2: apply the update; also reads the stack flag in the
+        // unified version (footprint: one page).
+        hip::KernelDesc srad2;
+        srad2.name = "srad_kernel2";
+        srad2.gridThreads = pixels;
+        srad2.flops = static_cast<double>(pixels) * 8.0;
+        srad2.buffers.push_back({d_coeff, bytes, bytes});
+        srad2.buffers.push_back({d_image, bytes, bytes});
+        if (unified)
+            srad2.buffers.push_back({stack_flag, 64, 64});
+        rt.launchKernel(srad2, [&] {
+            for (std::uint64_t r = 1; r + 1 < n; r += 8) {
+                for (std::uint64_t c = 1; c + 1 < n; c += 2) {
+                    std::uint64_t i = r * n + c;
+                    dev_image[i] += 0.25f * coeff[i];
+                }
+            }
+        });
+        rt.deviceSynchronize();
+
+        if (!unified) {
+            // Partial transfer: only the reduction block comes back.
+            rt.hipMemcpy(h_sums, d_sums, 64 * KiB);
+        }
+        // Host convergence decision writes the flag (stack variable).
+        *flag = it + 1 < cfg.iterations ? 1.0f : 0.0f;
+    }
+
+    SimTime compute_time = rt.now() - compute_start;
+
+    // Result write-back (outside the compute timer).
+    if (!unified)
+        rt.hipMemcpy(h_image, d_image, bytes);
+
+    const float *result = rt.hostPtr<float>(h_image, pixels);
+    double checksum = 0.0;
+    for (std::uint64_t i = 0; i < pixels; i += 1019)
+        checksum += result[i];
+
+    RunReport report =
+        finishRun(system, name(), model, compute_time, checksum);
+
+    rt.hipFree(h_image);
+    rt.hipFree(d_coeff);
+    rt.hipFree(d_sums);
+    rt.hipFree(stack_flag);
+    if (!unified) {
+        rt.hipFree(d_image);
+        rt.hipFree(h_sums);
+    }
+    return report;
+}
+
+} // namespace upm::workloads

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * srad_v1: speckle-reducing anisotropic diffusion (Rodinia).
+ *
+ * Iterative diffusion over an image: two kernels per iteration plus a
+ * scalar reduction the host consumes to decide convergence. In the
+ * explicit model only the tiny reduction result moves per iteration,
+ * so compute time is kernel-dominated and the unified port changes it
+ * little; the convergence flag lives on the host stack and is safely
+ * read by the GPU under UPM (the Section 3.3 stack-variable strategy).
+ * Memory drops because the duplicated image disappears.
+ */
+
+#ifndef UPM_WORKLOADS_SRAD_HH
+#define UPM_WORKLOADS_SRAD_HH
+
+#include "workloads/workload.hh"
+
+namespace upm::workloads {
+
+/** srad_v1 workload. */
+class Srad : public Workload
+{
+  public:
+    struct Params
+    {
+        std::uint64_t imageDim = 4096;  //!< N x N floats (64 MiB)
+        unsigned iterations = 50;
+        SimTime loadIo = 30.0 * milliseconds;
+    };
+
+    Srad() : cfg(Params()) {}
+    explicit Srad(const Params &params) : cfg(params) {}
+
+    std::string name() const override { return "srad_v1"; }
+    RunReport run(core::System &system, Model model) override;
+
+  private:
+    Params cfg;
+};
+
+} // namespace upm::workloads
+
+#endif // UPM_WORKLOADS_SRAD_HH

@@ -1,0 +1,53 @@
+#include "workloads/workload.hh"
+
+#include "workloads/backprop.hh"
+#include "workloads/dwt2d.hh"
+#include "workloads/heartwall.hh"
+#include "workloads/hotspot.hh"
+#include "workloads/nn.hh"
+#include "workloads/srad.hh"
+
+namespace upm::workloads {
+
+const char *
+modelName(Model model)
+{
+    return model == Model::Explicit ? "explicit" : "unified";
+}
+
+void
+Workload::beginRun(core::System &system)
+{
+    system.runtime().resetPeak();
+    system.runtime().resetStats();
+}
+
+RunReport
+Workload::finishRun(core::System &system, const std::string &app,
+                    Model model, SimTime compute_time, double checksum)
+{
+    RunReport report;
+    report.app = app;
+    report.model = model;
+    report.totalTime = system.runtime().now();
+    report.computeTime = compute_time;
+    report.peakMemory = system.runtime().peakBytesUsed();
+    report.checksum = checksum;
+    return report;
+}
+
+std::vector<std::unique_ptr<Workload>>
+makeAllWorkloads()
+{
+    std::vector<std::unique_ptr<Workload>> all;
+    all.push_back(std::make_unique<Backprop>());
+    all.push_back(std::make_unique<Dwt2d>());
+    all.push_back(std::make_unique<Heartwall>(HeartwallVersion::V1));
+    all.push_back(std::make_unique<Heartwall>(HeartwallVersion::V2));
+    all.push_back(std::make_unique<Hotspot>());
+    all.push_back(std::make_unique<Nn>());
+    all.push_back(std::make_unique<Srad>());
+    return all;
+}
+
+} // namespace upm::workloads

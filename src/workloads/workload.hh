@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Workload framework for the programming-model comparison
+ * (paper Sections 3.4 and 6, results Fig. 11).
+ *
+ * Each mini-Rodinia workload implements two variants over simhip:
+ *  - Explicit: the hipify'd original -- duplicated host/device
+ *    buffers, hipMemcpy transfers (Listing 1).
+ *  - Unified: one allocation per logical buffer, no transfers, using
+ *    the Section 3.3 porting strategies (Listing 2).
+ *
+ * Workloads compute real results on the backing store; the test suite
+ * asserts the two variants produce identical checksums, and the bench
+ * reports relative total time, compute time, and peak memory.
+ */
+
+#ifndef UPM_WORKLOADS_WORKLOAD_HH
+#define UPM_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/porting.hh"
+#include "core/system.hh"
+
+namespace upm::workloads {
+
+/** Programming model of a run. */
+enum class Model : std::uint8_t { Explicit, Unified };
+
+const char *modelName(Model model);
+
+/** Outcome of one workload run. */
+struct RunReport
+{
+    std::string app;
+    Model model = Model::Explicit;
+    SimTime totalTime = 0.0;    //!< /usr/bin/time equivalent
+    SimTime computeTime = 0.0;  //!< inserted-timer equivalent
+    std::uint64_t peakMemory = 0;  //!< libnuma peak sample
+    double checksum = 0.0;      //!< functional validation value
+};
+
+/** Base class: run one variant against a fresh system. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Execute the workload. @p system must be freshly constructed
+     * (the run consumes its clock and peak-memory tracker).
+     */
+    virtual RunReport run(core::System &system, Model model) = 0;
+
+  protected:
+    /** Start-of-run bookkeeping shared by all workloads. */
+    static void beginRun(core::System &system);
+    /** Fill in the common report fields at the end of a run. */
+    static RunReport finishRun(core::System &system,
+                               const std::string &app, Model model,
+                               SimTime compute_time, double checksum);
+};
+
+/** All six workloads (heartwall contributes v1 and v2). */
+std::vector<std::unique_ptr<Workload>> makeAllWorkloads();
+
+} // namespace upm::workloads
+
+#endif // UPM_WORKLOADS_WORKLOAD_HH

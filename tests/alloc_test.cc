@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Tests for the alloc module: the Table 1 capability matrix, the
+ * allocator policies (placement, pinning, GPU mapping, XNACK
+ * sensitivity), and the calibrated timing model orderings from Fig. 6.
+ */
+
+#include <gtest/gtest.h>
+
+#include "alloc/registry.hh"
+#include "common/log.hh"
+
+namespace upm::alloc {
+namespace {
+
+class AllocTest : public ::testing::Test
+{
+  protected:
+    AllocTest() : geom(geomConfig()), frames(geom), as(frames, store),
+                  registry(as)
+    {}
+
+    static mem::MemGeometryConfig
+    geomConfig()
+    {
+        mem::MemGeometryConfig cfg;
+        cfg.capacityBytes = 512 * MiB;
+        return cfg;
+    }
+
+    const vm::Vma *
+    vmaOf(const Allocation &allocation)
+    {
+        return as.findVma(allocation.addr);
+    }
+
+    mem::MemGeometry geom;
+    mem::FrameAllocator frames;
+    mem::BackingStore store;
+    vm::AddressSpace as;
+    AllocatorRegistry registry;
+};
+
+TEST_F(AllocTest, Table1MatrixXnackOff)
+{
+    EXPECT_FALSE(traitsOf(AllocatorKind::Malloc, false).gpuAccess);
+    EXPECT_TRUE(traitsOf(AllocatorKind::Malloc, false).onDemand);
+    EXPECT_TRUE(
+        traitsOf(AllocatorKind::MallocRegistered, false).gpuAccess);
+    EXPECT_FALSE(
+        traitsOf(AllocatorKind::MallocRegistered, false).onDemand);
+    EXPECT_TRUE(traitsOf(AllocatorKind::HipMalloc, false).gpuAccess);
+    EXPECT_FALSE(traitsOf(AllocatorKind::HipMalloc, false).onDemand);
+    EXPECT_FALSE(
+        traitsOf(AllocatorKind::HipMallocManaged, false).onDemand);
+    // Every allocator is CPU-accessible on the APU.
+    for (auto kind : kAllKinds)
+        EXPECT_TRUE(traitsOf(kind, false).cpuAccess);
+}
+
+TEST_F(AllocTest, Table1MatrixXnackOn)
+{
+    EXPECT_TRUE(traitsOf(AllocatorKind::Malloc, true).gpuAccess);
+    EXPECT_TRUE(traitsOf(AllocatorKind::HipMallocManaged, true).onDemand);
+}
+
+TEST_F(AllocTest, AllocatorNamesAreDistinct)
+{
+    std::set<std::string> names;
+    for (auto kind : kAllKinds)
+        EXPECT_TRUE(names.insert(allocatorName(kind)).second);
+}
+
+TEST_F(AllocTest, MallocIsOnDemandScattered)
+{
+    auto a = registry.allocate(AllocatorKind::Malloc, 1 * MiB);
+    const vm::Vma *vma = vmaOf(a);
+    ASSERT_NE(vma, nullptr);
+    EXPECT_TRUE(vma->policy.onDemand);
+    EXPECT_FALSE(vma->policy.gpuMapped);
+    EXPECT_EQ(vma->policy.placement, vm::Placement::Scattered);
+    EXPECT_TRUE(as.framesOf(a.addr, a.size).empty());
+    registry.deallocate(a);
+}
+
+TEST_F(AllocTest, HipMallocIsUpFrontContiguousPinned)
+{
+    auto a = registry.allocate(AllocatorKind::HipMalloc, 1 * MiB);
+    const vm::Vma *vma = vmaOf(a);
+    ASSERT_NE(vma, nullptr);
+    EXPECT_FALSE(vma->policy.onDemand);
+    EXPECT_TRUE(vma->policy.gpuMapped);
+    EXPECT_EQ(vma->policy.placement, vm::Placement::Contiguous);
+    EXPECT_EQ(as.framesOf(a.addr, a.size).size(), 256u);
+    EXPECT_TRUE(as.gpuPresent(a.addr));
+    // Physically contiguous -> one big fragment.
+    EXPECT_GE(as.gpuTable().fragmentOf(vm::vpnOf(a.addr)).span, 256u);
+    registry.deallocate(a);
+}
+
+TEST_F(AllocTest, HipHostMallocIsBalancedButFragmentFree)
+{
+    auto a = registry.allocate(AllocatorKind::HipHostMalloc, 1 * MiB);
+    auto frame_list = as.framesOf(a.addr, a.size);
+    EXPECT_EQ(frame_list.size(), 256u);
+    EXPECT_GT(geom.stackBalance(frame_list), 0.95);
+    EXPECT_LE(as.gpuTable().fragmentOf(vm::vpnOf(a.addr)).span, 4u);
+    registry.deallocate(a);
+}
+
+TEST_F(AllocTest, ManagedFollowsXnack)
+{
+    auto up_front =
+        registry.allocate(AllocatorKind::HipMallocManaged, 1 * MiB);
+    EXPECT_FALSE(vmaOf(up_front)->policy.onDemand);
+    EXPECT_TRUE(as.gpuPresent(up_front.addr));
+    registry.deallocate(up_front);
+
+    as.setXnack(true);
+    auto on_demand =
+        registry.allocate(AllocatorKind::HipMallocManaged, 1 * MiB);
+    EXPECT_TRUE(vmaOf(on_demand)->policy.onDemand);
+    EXPECT_TRUE(as.framesOf(on_demand.addr, 1 * MiB).empty());
+    registry.deallocate(on_demand);
+}
+
+TEST_F(AllocTest, ManagedStaticIsUncached)
+{
+    auto a = registry.allocate(AllocatorKind::ManagedStatic, 64 * KiB);
+    EXPECT_TRUE(vmaOf(a)->policy.uncachedGpu);
+    EXPECT_TRUE(vmaOf(a)->policy.pinned);
+    registry.deallocate(a);
+}
+
+TEST_F(AllocTest, RegisteredCompositePinsMallocMemory)
+{
+    auto a = registry.allocate(AllocatorKind::MallocRegistered, 1 * MiB);
+    EXPECT_EQ(a.kind, AllocatorKind::MallocRegistered);
+    const vm::Vma *vma = vmaOf(a);
+    EXPECT_TRUE(vma->policy.pinned);
+    EXPECT_TRUE(vma->policy.gpuMapped);
+    // Registration keeps the scattered malloc placement.
+    EXPECT_GT(vma->scatteredFraction(), 0.99);
+    registry.deallocate(a);
+    EXPECT_EQ(frames.freeFrames(), frames.totalFrames());
+}
+
+TEST_F(AllocTest, Fig6AllocTimeAnchors)
+{
+    auto t = [&](AllocatorKind kind, std::uint64_t size) {
+        auto a = registry.allocate(kind, size);
+        SimTime at = a.allocTime;
+        registry.deallocate(a);
+        return at;
+    };
+    // malloc: 14 ns small, ~6 us at 1 GiB -- but model capacity is
+    // 512 MiB here, so anchor at 256 MiB instead (~2.9 us).
+    EXPECT_NEAR(t(AllocatorKind::Malloc, 32), 14.0, 1.0);
+    EXPECT_LT(t(AllocatorKind::Malloc, 256 * MiB), 5.0 * microseconds);
+    // hipMalloc: 10 us floor, ~9.2 ms at 256 MiB.
+    EXPECT_NEAR(t(AllocatorKind::HipMalloc, 16 * KiB),
+                10.0 * microseconds, 0.5 * microseconds);
+    EXPECT_NEAR(t(AllocatorKind::HipMalloc, 256 * MiB),
+                9.2 * milliseconds, 0.5 * milliseconds);
+    // hipHostMalloc and managed are the heavy up-front paths.
+    EXPECT_GT(t(AllocatorKind::HipHostMalloc, 256 * MiB),
+              3.0 * t(AllocatorKind::HipMalloc, 256 * MiB));
+    EXPECT_GT(t(AllocatorKind::HipMallocManaged, 256 * MiB),
+              t(AllocatorKind::HipHostMalloc, 256 * MiB));
+}
+
+TEST_F(AllocTest, ManagedXnackAllocIsConstantTime)
+{
+    as.setXnack(true);
+    auto small = registry.allocate(AllocatorKind::HipMallocManaged, 4096);
+    auto large =
+        registry.allocate(AllocatorKind::HipMallocManaged, 256 * MiB);
+    EXPECT_DOUBLE_EQ(small.allocTime, large.allocTime);
+    registry.deallocate(small);
+    registry.deallocate(large);
+}
+
+TEST_F(AllocTest, FreeOrderings)
+{
+    // free(malloc) is cheaper than malloc for small sizes, and much
+    // more expensive for large ones (munmap page walks).
+    auto small = registry.allocate(AllocatorKind::Malloc, 4096);
+    SimTime small_alloc = small.allocTime;
+    SimTime small_free = registry.deallocate(small);
+    EXPECT_LT(small_free, small_alloc);
+
+    auto large = registry.allocate(AllocatorKind::Malloc, 256 * MiB);
+    SimTime large_alloc = large.allocTime;
+    SimTime large_free = registry.deallocate(large);
+    EXPECT_GT(large_free, 3.0 * large_alloc);
+    EXPECT_LT(large_free, 10.0 * large_alloc);
+
+    // hipFree: fast below 2 MiB, then far slower than hipMalloc (the
+    // paper's up-to-22x observation at 256 MiB).
+    auto hip_small = registry.allocate(AllocatorKind::HipMalloc, 1 * MiB);
+    SimTime hip_small_alloc = hip_small.allocTime;
+    EXPECT_LT(registry.deallocate(hip_small), hip_small_alloc);
+    auto hip_large =
+        registry.allocate(AllocatorKind::HipMalloc, 256 * MiB);
+    SimTime hip_large_alloc = hip_large.allocTime;
+    SimTime hip_large_free = registry.deallocate(hip_large);
+    EXPECT_NEAR(hip_large_free / hip_large_alloc, 22.0, 4.0);
+}
+
+TEST_F(AllocTest, OutOfMemoryIsUserError)
+{
+    EXPECT_THROW(registry.allocate(AllocatorKind::HipMalloc, 1 * GiB),
+                 SimError);
+}
+
+/** Parameterized round-trip across every allocator kind. */
+class AllocRoundTrip : public ::testing::TestWithParam<AllocatorKind>
+{
+};
+
+TEST_P(AllocRoundTrip, AllocateFreeRestoresFrames)
+{
+    mem::MemGeometryConfig cfg;
+    cfg.capacityBytes = 256 * MiB;
+    mem::MemGeometry geom(cfg);
+    mem::FrameAllocator frames(geom);
+    mem::BackingStore store;
+    vm::AddressSpace as(frames, store);
+    AllocatorRegistry registry(as);
+    as.setXnack(true);
+
+    auto a = registry.allocate(GetParam(), 8 * MiB);
+    EXPECT_EQ(a.size, 8 * MiB);
+    EXPECT_TRUE(static_cast<bool>(a));
+    // CPU touch works for every allocator (Table 1: all CPU-accessible).
+    vm::Vpn first = vm::vpnOf(a.addr);
+    if (!as.cpuPresent(a.addr))
+        as.resolveCpuFault(first);
+    EXPECT_TRUE(as.cpuPresent(a.addr));
+    registry.deallocate(a);
+    EXPECT_FALSE(static_cast<bool>(a));
+    EXPECT_EQ(frames.freeFrames(), frames.totalFrames());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, AllocRoundTrip,
+                         ::testing::ValuesIn(kAllKinds));
+
+} // namespace
+} // namespace upm::alloc

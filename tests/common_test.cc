@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Unit tests for the common module: units, logging, RNGs, statistics,
+ * and the simulated clock.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <set>
+
+#include "common/clock.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/units.hh"
+
+namespace upm {
+namespace {
+
+class QuietEnv : public ::testing::Environment
+{
+  public:
+    void SetUp() override { setQuiet(true); }
+};
+
+const auto *env = ::testing::AddGlobalTestEnvironment(new QuietEnv);
+
+TEST(Units, SizeConstants)
+{
+    EXPECT_EQ(KiB, 1024u);
+    EXPECT_EQ(MiB, 1024u * 1024u);
+    EXPECT_EQ(GiB, 1024u * 1024u * 1024u);
+    EXPECT_EQ(TiB, 1024ull * GiB);
+}
+
+TEST(Units, BandwidthHelpers)
+{
+    // 1 GB/s moves one byte per nanosecond.
+    EXPECT_DOUBLE_EQ(gbps(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(tbps(5.3), 5300.0);
+    // 5.3 TB/s moves 5300 bytes in 1 ns.
+    EXPECT_DOUBLE_EQ(transferTime(5300, tbps(5.3)), 1.0);
+}
+
+TEST(Units, CeilDivAndRoundUp)
+{
+    EXPECT_EQ(ceilDiv(0, 4), 0u);
+    EXPECT_EQ(ceilDiv(1, 4), 1u);
+    EXPECT_EQ(ceilDiv(4, 4), 1u);
+    EXPECT_EQ(ceilDiv(5, 4), 2u);
+    EXPECT_EQ(roundUp(4095, 4096), 4096u);
+    EXPECT_EQ(roundUp(4096, 4096), 4096u);
+    EXPECT_EQ(roundUp(4097, 4096), 8192u);
+}
+
+TEST(Units, PowerOfTwoHelpers)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(4096));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(floorLog2(4097), 12u);
+    EXPECT_EQ(ceilLog2(4096), 12u);
+    EXPECT_EQ(ceilLog2(4097), 13u);
+}
+
+TEST(Log, FatalThrowsSimError)
+{
+    EXPECT_THROW(fatal("user misconfigured %d", 42), SimError);
+}
+
+TEST(Log, PanicThrowsSimError)
+{
+    EXPECT_THROW(panic("bug %s", "here"), SimError);
+}
+
+TEST(Log, StrprintfFormats)
+{
+    EXPECT_EQ(strprintf("a%db", 7), "a7b");
+    EXPECT_EQ(strprintf("%s-%s", "x", "y"), "x-y");
+}
+
+TEST(Rng, MinStdMatchesStdMinstdRand)
+{
+    // Our generator must be bit-compatible with std::minstd_rand, the
+    // generator the paper's CPU histogram kernel uses.
+    std::minstd_rand reference(12345);
+    MinStdRand ours(12345);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(ours.next(), reference());
+}
+
+TEST(Rng, MinStdSeedZeroIsSeedOne)
+{
+    MinStdRand a(0), b(1);
+    EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, XorwowIsDeterministic)
+{
+    Xorwow a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, XorwowDistributionRoughlyUniform)
+{
+    Xorwow gen(7);
+    constexpr int kBuckets = 16;
+    constexpr int kDraws = 160000;
+    int counts[kBuckets] = {};
+    for (int i = 0; i < kDraws; ++i)
+        ++counts[gen.nextBelow(kBuckets)];
+    for (int c : counts) {
+        EXPECT_GT(c, kDraws / kBuckets * 0.9);
+        EXPECT_LT(c, kDraws / kBuckets * 1.1);
+    }
+}
+
+TEST(Rng, SplitMixNextBelowBounds)
+{
+    SplitMix64 gen(1);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(gen.nextBelow(17), 17u);
+    EXPECT_EQ(gen.nextBelow(0), 0u);
+}
+
+TEST(Rng, SplitMixDoubleInUnitInterval)
+{
+    SplitMix64 gen(3);
+    for (int i = 0; i < 1000; ++i) {
+        double d = gen.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Stats, SummaryBasics)
+{
+    SampleStats s;
+    s.add({1.0, 2.0, 3.0, 4.0});
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_NEAR(s.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, PercentileInterpolates)
+{
+    SampleStats s;
+    s.add({10.0, 20.0, 30.0, 40.0, 50.0});
+    EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 50.0);
+    EXPECT_DOUBLE_EQ(s.median(), 30.0);
+    EXPECT_DOUBLE_EQ(s.percentile(25), 20.0);
+    EXPECT_DOUBLE_EQ(s.percentile(95), 48.0);
+}
+
+TEST(Stats, PercentileOutOfRangePanics)
+{
+    SampleStats s;
+    s.add(1.0);
+    EXPECT_THROW(s.percentile(101), SimError);
+}
+
+TEST(Stats, EmptyStatsAreZero)
+{
+    SampleStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+}
+
+TEST(Stats, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geomean({2.0, 2.0, 2.0}), 2.0);
+    EXPECT_THROW(geomean({1.0, 0.0}), SimError);
+}
+
+TEST(Stats, LogHistogramBuckets)
+{
+    LogHistogram h(1.0, 8);
+    h.add(0.5);   // below base -> bucket 0
+    h.add(1.0);   // bucket 0
+    h.add(2.0);   // bucket 1
+    h.add(3.9);   // bucket 1
+    h.add(4.0);   // bucket 2
+    h.add(1e9);   // clamps to last bucket
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 2u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.bucketCount(7), 1u);
+    EXPECT_EQ(h.total(), 6u);
+    EXPECT_DOUBLE_EQ(h.bucketLow(3), 8.0);
+}
+
+TEST(Stats, LogHistogramValidation)
+{
+    EXPECT_THROW(LogHistogram(0.0, 4), SimError);
+    EXPECT_THROW(LogHistogram(1.0, 0), SimError);
+    LogHistogram h(1.0, 2);
+    EXPECT_THROW(h.bucketCount(2), SimError);
+}
+
+TEST(Clock, AdvanceAndRendezvous)
+{
+    SimClock clock;
+    EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+    clock.advance(5.0);
+    EXPECT_DOUBLE_EQ(clock.now(), 5.0);
+    clock.advance(-3.0);  // negative deltas are ignored
+    EXPECT_DOUBLE_EQ(clock.now(), 5.0);
+    clock.advanceTo(3.0);  // no going backwards
+    EXPECT_DOUBLE_EQ(clock.now(), 5.0);
+    clock.advanceTo(9.0);
+    EXPECT_DOUBLE_EQ(clock.now(), 9.0);
+    clock.reset();
+    EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+}
+
+TEST(Clock, ScopedTimerMeasuresDelta)
+{
+    SimClock clock;
+    clock.advance(100.0);
+    SimTime elapsed = 0.0;
+    {
+        ScopedTimer timer(clock, elapsed);
+        clock.advance(42.0);
+    }
+    EXPECT_DOUBLE_EQ(elapsed, 42.0);
+}
+
+} // namespace
+} // namespace upm

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Edge cases and failure injection across the stack: zero/tiny sizes,
+ * boundary-straddling accesses, error paths after failures, probe
+ * parameterized sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "core/latency_probe.hh"
+#include "core/system.hh"
+
+namespace upm {
+namespace {
+
+using AK = alloc::AllocatorKind;
+
+core::SystemConfig
+cfg1G()
+{
+    core::SystemConfig cfg;
+    cfg.geometry.capacityBytes = 1 * GiB;
+    return cfg;
+}
+
+TEST(EdgeCases, SubPageAllocationsOccupyWholePages)
+{
+    core::System sys(cfg1G());
+    auto &rt = sys.runtime();
+    hip::DevPtr p = rt.hipMalloc(1);  // 1 byte
+    EXPECT_EQ(rt.allocationOf(p).size, 1u);
+    EXPECT_EQ(sys.meminfo().usedBytes(), mem::kPageSize);
+    rt.hipFree(p);
+}
+
+TEST(EdgeCases, ZeroByteMmapIsUserError)
+{
+    core::System sys(cfg1G());
+    EXPECT_THROW(sys.runtime().hipMalloc(0), SimError);
+}
+
+TEST(EdgeCases, PartialPageFirstTouchMapsThePage)
+{
+    core::System sys(cfg1G());
+    auto &rt = sys.runtime();
+    hip::DevPtr p = rt.hostMalloc(64 * KiB);
+    rt.cpuFirstTouch(p + 100, 1);  // touch one byte mid-page
+    EXPECT_EQ(rt.addressSpace().cpuFaults(), 1u);
+    EXPECT_TRUE(rt.addressSpace().cpuPresent(p));
+    rt.hipFree(p);
+}
+
+TEST(EdgeCases, FirstTouchClampsToVmaEnd)
+{
+    core::System sys(cfg1G());
+    auto &rt = sys.runtime();
+    hip::DevPtr p = rt.hostMalloc(16 * KiB);
+    // Asking to touch past the VMA end must not fault outside it.
+    rt.cpuFirstTouch(p, 1 * MiB);
+    EXPECT_EQ(rt.addressSpace().cpuFaults(), 4u);
+    rt.hipFree(p);
+}
+
+TEST(EdgeCases, KernelFootprintClampsToVma)
+{
+    core::System sys(cfg1G());
+    auto &rt = sys.runtime();
+    rt.setXnack(true);
+    hip::DevPtr p = rt.hostMalloc(16 * KiB);
+    hip::KernelDesc k;
+    k.buffers.push_back({p, 16 * KiB, 1 * MiB});  // oversized footprint
+    EXPECT_NO_THROW(rt.launchKernel(k, nullptr));
+    EXPECT_EQ(rt.stats().gpuFaultedPagesMajor, 4u);
+    rt.hipFree(p);
+}
+
+TEST(EdgeCases, ZeroByteMemcpyIsHarmless)
+{
+    core::System sys(cfg1G());
+    auto &rt = sys.runtime();
+    hip::DevPtr a = rt.hipMalloc(4096);
+    hip::DevPtr b = rt.hipMalloc(4096);
+    EXPECT_NO_THROW(rt.hipMemcpy(a, b, 0));
+    rt.hipFree(a);
+    rt.hipFree(b);
+}
+
+TEST(EdgeCases, SelfMemcpyKeepsData)
+{
+    core::System sys(cfg1G());
+    auto &rt = sys.runtime();
+    hip::DevPtr a = rt.hipMalloc(4096);
+    rt.hostPtr<int>(a, 1)[0] = 7;
+    rt.hipMemcpy(a, a, 4096);
+    EXPECT_EQ(rt.hostPtr<int>(a, 1)[0], 7);
+    rt.hipFree(a);
+}
+
+TEST(EdgeCases, SystemSurvivesFailedAllocation)
+{
+    // Failure injection: OOM must not corrupt allocator state.
+    core::System sys(cfg1G());
+    auto &rt = sys.runtime();
+    std::uint64_t free0 = sys.frames().freeFrames();
+    EXPECT_THROW(rt.hipMalloc(2 * GiB), SimError);
+    EXPECT_EQ(sys.frames().freeFrames(), free0);
+    // Normal operation continues.
+    hip::DevPtr p = rt.hipMalloc(128 * MiB);
+    rt.hipFree(p);
+    EXPECT_EQ(sys.frames().freeFrames(), free0);
+}
+
+TEST(EdgeCases, SystemSurvivesGpuViolation)
+{
+    core::System sys(cfg1G());
+    auto &rt = sys.runtime();
+    rt.setXnack(false);
+    hip::DevPtr p = rt.hostMalloc(1 * MiB);
+    hip::KernelDesc k;
+    k.buffers.push_back({p, 1 * MiB, 1 * MiB});
+    EXPECT_THROW(rt.launchKernel(k, nullptr), SimError);
+    // The failed launch must not leave partial GPU mappings behind.
+    EXPECT_FALSE(rt.addressSpace().gpuPresent(p));
+    rt.setXnack(true);
+    EXPECT_NO_THROW(rt.launchKernel(k, nullptr));
+    rt.hipFree(p);
+}
+
+TEST(EdgeCases, ManyStreamsGetDistinctIds)
+{
+    core::System sys(cfg1G());
+    auto &rt = sys.runtime();
+    hip::Stream a = rt.makeStream();
+    hip::Stream b = rt.makeStream();
+    EXPECT_NE(a.id(), b.id());
+    EXPECT_NE(a.id(), rt.defaultStream().id());
+}
+
+/** Latency probe sweeps stay monotone for every allocator. */
+class LatencyMonotone : public ::testing::TestWithParam<AK>
+{
+};
+
+TEST_P(LatencyMonotone, CurveNeverDecreases)
+{
+    core::System sys(cfg1G());
+    core::LatencyProbe probe(sys);
+    auto points = probe.sweep(GetParam(),
+                              {4 * KiB, 512 * KiB, 8 * MiB, 128 * MiB,
+                               512 * MiB});
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        EXPECT_GE(points[i].gpuLatency, points[i - 1].gpuLatency - 1e-9);
+        EXPECT_GE(points[i].cpuLatency, points[i - 1].cpuLatency - 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Allocators, LatencyMonotone,
+    ::testing::Values(AK::Malloc, AK::MallocRegistered, AK::HipMalloc,
+                      AK::HipHostMalloc, AK::HipMallocManaged));
+
+} // namespace
+} // namespace upm

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the execution-driven histogram engine, including the
+ * cross-validation against the analytic atomics model: both
+ * implementations must agree on every ordering the paper reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "core/histogram_engine.hh"
+
+namespace upm::core {
+namespace {
+
+SystemConfig
+smallConfig()
+{
+    SystemConfig cfg;
+    cfg.geometry.capacityBytes = 1 * GiB;
+    return cfg;
+}
+
+HistogramResult
+runEngine(std::uint64_t elems, unsigned cpu, unsigned gpu,
+          AtomicType type = AtomicType::Uint64)
+{
+    System sys(smallConfig());
+    HistogramEngine engine(sys);
+    HistogramParams params;
+    params.elems = elems;
+    params.cpuThreads = cpu;
+    params.gpuThreads = gpu;
+    params.type = type;
+    params.opsPerThread = 300;
+    return engine.run(params);
+}
+
+TEST(HistogramEngine, FunctionallyConservesUpdates)
+{
+    auto r = runEngine(1024, 4, 64);
+    EXPECT_EQ(r.histogramSum, r.totalOps);
+    EXPECT_EQ(r.totalOps, (4u + 64u) * 300u);
+}
+
+TEST(HistogramEngine, RejectsDegenerateConfigs)
+{
+    System sys(smallConfig());
+    HistogramEngine engine(sys);
+    HistogramParams p;
+    p.elems = 0;
+    p.cpuThreads = 1;
+    EXPECT_THROW(engine.run(p), SimError);
+    p.elems = 16;
+    p.cpuThreads = 0;
+    p.gpuThreads = 0;
+    EXPECT_THROW(engine.run(p), SimError);
+}
+
+TEST(HistogramEngine, IsDeterministic)
+{
+    auto a = runEngine(1024, 2, 32);
+    auto b = runEngine(1024, 2, 32);
+    EXPECT_DOUBLE_EQ(a.cpuOpsPerNs, b.cpuOpsPerNs);
+    EXPECT_DOUBLE_EQ(a.gpuOpsPerNs, b.gpuOpsPerNs);
+    EXPECT_EQ(a.lineConflicts, b.lineConflicts);
+}
+
+TEST(HistogramEngine, SingleElementSerializesEverything)
+{
+    auto one = runEngine(1, 4, 0);
+    auto many = runEngine(1 << 16, 4, 0);
+    EXPECT_GT(one.lineConflicts, one.totalOps / 2);
+    EXPECT_LT(many.lineConflicts, many.totalOps / 20);
+    EXPECT_GT(many.cpuOpsPerNs, one.cpuOpsPerNs);
+}
+
+TEST(HistogramEngine, Fp64CasIsSlowerOnCpu)
+{
+    auto u = runEngine(1024, 8, 0, AtomicType::Uint64);
+    auto f = runEngine(1024, 8, 0, AtomicType::Fp64);
+    EXPECT_GT(u.cpuOpsPerNs, 1.3 * f.cpuOpsPerNs);
+}
+
+TEST(HistogramEngine, GpuContentionHurtsCpu)
+{
+    // The Fig. 5 mechanism, observed in the event-driven engine: the
+    // same CPU threads get less throughput when a GPU kernel hammers
+    // the same (small) histogram.
+    auto isolated = runEngine(256, 6, 0);
+    auto co_run = runEngine(256, 6, 2048);
+    EXPECT_LT(co_run.cpuOpsPerNs, 0.8 * isolated.cpuOpsPerNs);
+}
+
+TEST(HistogramEngine, AgreesWithAnalyticModelOnOrderings)
+{
+    // Cross-validation: engine and fixed-point model must rank
+    // configurations identically (values differ; both are models).
+    System sys(smallConfig());
+    AtomicsProbe probe(sys);
+
+    auto e_small = runEngine(128, 12, 0);
+    auto e_large = runEngine(1 << 18, 12, 0);
+    double p_small = probe.cpuThroughput(128, 12, AtomicType::Uint64);
+    double p_large =
+        probe.cpuThroughput(1 << 18, 12, AtomicType::Uint64);
+    // Both agree: low-contention large arrays beat contended small
+    // ones at 12 threads.
+    EXPECT_GT(e_large.cpuOpsPerNs, e_small.cpuOpsPerNs);
+    EXPECT_GT(p_large, p_small);
+
+    // Both agree on the FP64 penalty direction.
+    auto e_fp = runEngine(128, 12, 0, AtomicType::Fp64);
+    double p_fp = probe.cpuThroughput(128, 12, AtomicType::Fp64);
+    EXPECT_LT(e_fp.cpuOpsPerNs, e_small.cpuOpsPerNs);
+    EXPECT_LT(p_fp, p_small);
+}
+
+} // namespace
+} // namespace upm::core

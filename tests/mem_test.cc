@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Unit and property tests for the mem module: geometry mapping, the
+ * buddy frame allocator (including its three placement paths), and the
+ * lazy backing store.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/log.hh"
+#include "mem/backing_store.hh"
+#include "mem/frame_allocator.hh"
+#include "mem/geometry.hh"
+
+namespace upm::mem {
+namespace {
+
+MemGeometry
+smallGeometry()
+{
+    MemGeometryConfig cfg;
+    cfg.capacityBytes = 64 * MiB;  // 16384 frames
+    return MemGeometry(cfg);
+}
+
+TEST(Geometry, CapacityAndFrames)
+{
+    MemGeometry geom = smallGeometry();
+    EXPECT_EQ(geom.capacity(), 64 * MiB);
+    EXPECT_EQ(geom.numFrames(), 64 * MiB / kPageSize);
+    EXPECT_EQ(geom.numStacks(), 8u);
+    EXPECT_EQ(geom.numChannels(), 128u);
+}
+
+TEST(Geometry, RejectsBadConfig)
+{
+    MemGeometryConfig cfg;
+    cfg.capacityBytes = kPageSize + 1;
+    EXPECT_THROW(MemGeometry{cfg}, SimError);
+    cfg = {};
+    cfg.numStacks = 0;
+    EXPECT_THROW(MemGeometry{cfg}, SimError);
+}
+
+TEST(Geometry, StackInterleaveAt4KiB)
+{
+    MemGeometry geom = smallGeometry();
+    // Consecutive frames rotate through the eight stacks.
+    for (FrameId f = 0; f < 64; ++f)
+        EXPECT_EQ(geom.stackOfFrame(f), f % 8);
+}
+
+TEST(Geometry, ChannelSpreadWithinStack)
+{
+    MemGeometry geom = smallGeometry();
+    // Within one page, the 16 channels of its stack each serve 256 B.
+    std::set<unsigned> channels;
+    for (std::uint64_t off = 0; off < kPageSize; off += 256)
+        channels.insert(geom.channelOf(off));
+    EXPECT_EQ(channels.size(), 16u);
+    // All channels of stack 0: ids 0..15.
+    EXPECT_LE(*channels.rbegin(), 15u);
+}
+
+TEST(Geometry, ContiguousRangeIsBalanced)
+{
+    MemGeometry geom = smallGeometry();
+    std::vector<FrameId> frames;
+    for (FrameId f = 100; f < 100 + 800; ++f)
+        frames.push_back(f);
+    EXPECT_DOUBLE_EQ(geom.stackBalance(frames), 1.0);
+}
+
+TEST(Geometry, SkewedRangeHasLowBalance)
+{
+    MemGeometry geom = smallGeometry();
+    std::vector<FrameId> frames;
+    for (FrameId f = 0; f < 800; f += 8)  // all on stack 0
+        frames.push_back(f);
+    EXPECT_NEAR(geom.stackBalance(frames), 1.0 / 8.0, 1e-9);
+}
+
+TEST(Geometry, EmptyFrameListIsBalanced)
+{
+    MemGeometry geom = smallGeometry();
+    EXPECT_DOUBLE_EQ(geom.stackBalance({}), 1.0);
+}
+
+class FrameAllocatorTest : public ::testing::Test
+{
+  protected:
+    FrameAllocatorTest() : geom(smallGeometry()), alloc(geom) {}
+
+    MemGeometry geom;
+    FrameAllocator alloc;
+};
+
+TEST_F(FrameAllocatorTest, StartsFullyFree)
+{
+    EXPECT_EQ(alloc.freeFrames(), geom.numFrames());
+}
+
+TEST_F(FrameAllocatorTest, RunAllocationIsContiguous)
+{
+    auto runs = alloc.allocRun(1000);
+    ASSERT_FALSE(runs.empty());
+    std::uint64_t total = 0;
+    for (const auto &r : runs)
+        total += r.count;
+    EXPECT_EQ(total, 1000u);
+    EXPECT_EQ(alloc.freeFrames(), geom.numFrames() - 1000);
+    // A fresh allocator satisfies this as a single merged range.
+    EXPECT_EQ(runs.size(), 1u);
+}
+
+TEST_F(FrameAllocatorTest, RunRoundTrip)
+{
+    auto runs = alloc.allocRun(12345);
+    for (const auto &r : runs)
+        alloc.freeRange(r);
+    EXPECT_EQ(alloc.freeFrames(), geom.numFrames());
+    // After full free, large runs are available again (buddy merge).
+    auto again = alloc.allocRun(8192);
+    ASSERT_FALSE(again.empty());
+    EXPECT_EQ(again.size(), 1u);
+}
+
+TEST_F(FrameAllocatorTest, ScatteredFramesAreDiscontiguous)
+{
+    std::vector<FrameId> frames;
+    ASSERT_TRUE(alloc.allocScattered(256, frames));
+    ASSERT_EQ(frames.size(), 256u);
+    // Consecutive handed-out frames must not form physical runs (they
+    // are grouped by stack: neighbours differ by the stack stride).
+    std::size_t adjacent = 0;
+    for (std::size_t i = 1; i < frames.size(); ++i) {
+        if (frames[i] == frames[i - 1] + 1)
+            ++adjacent;
+    }
+    EXPECT_LT(adjacent, frames.size() / 8);
+}
+
+TEST_F(FrameAllocatorTest, ScatteredConsecutiveFramesClusterPerStack)
+{
+    std::vector<FrameId> frames;
+    ASSERT_TRUE(alloc.allocScattered(64, frames));
+    // The on-demand pool hands out stack-grouped frames: a small
+    // allocation is strongly biased toward few stacks.
+    EXPECT_LT(geom.stackBalance(frames), 0.5);
+}
+
+TEST_F(FrameAllocatorTest, InterleavedFramesAreStackBalanced)
+{
+    std::vector<FrameId> frames;
+    ASSERT_TRUE(alloc.allocInterleaved(256, frames));
+    EXPECT_GT(geom.stackBalance(frames), 0.95);
+}
+
+TEST_F(FrameAllocatorTest, InterleavedFramesAreDiscontiguous)
+{
+    std::vector<FrameId> frames;
+    ASSERT_TRUE(alloc.allocInterleaved(256, frames));
+    std::size_t adjacent = 0;
+    for (std::size_t i = 1; i < frames.size(); ++i) {
+        if (frames[i] == frames[i - 1] + 1)
+            ++adjacent;
+    }
+    EXPECT_LT(adjacent, frames.size() / 16);
+}
+
+TEST_F(FrameAllocatorTest, BatchAllocatesShortRuns)
+{
+    std::vector<FrameRange> ranges;
+    ASSERT_TRUE(alloc.allocBatch(64, ranges));
+    std::uint64_t total = 0;
+    for (const auto &r : ranges) {
+        EXPECT_LE(r.count, 4u);  // default faultBatchRun
+        total += r.count;
+    }
+    EXPECT_EQ(total, 64u);
+}
+
+TEST_F(FrameAllocatorTest, DoubleFreePanics)
+{
+    std::vector<FrameId> frames;
+    ASSERT_TRUE(alloc.allocScattered(1, frames));
+    alloc.freeFrame(frames[0]);
+    EXPECT_THROW(alloc.freeFrame(frames[0]), SimError);
+}
+
+TEST_F(FrameAllocatorTest, OutOfRangeFreePanics)
+{
+    EXPECT_THROW(alloc.freeFrame(geom.numFrames()), SimError);
+}
+
+TEST_F(FrameAllocatorTest, ExhaustionFailsCleanly)
+{
+    auto runs = alloc.allocRun(geom.numFrames());
+    ASSERT_FALSE(runs.empty());
+    EXPECT_EQ(alloc.freeFrames(), 0u);
+    std::vector<FrameId> frames;
+    EXPECT_FALSE(alloc.allocScattered(1, frames));
+    EXPECT_TRUE(frames.empty());
+    EXPECT_TRUE(alloc.allocRun(1).empty());
+}
+
+TEST_F(FrameAllocatorTest, ScatteredRollbackOnPartialExhaustion)
+{
+    auto runs = alloc.allocRun(geom.numFrames() - 10);
+    ASSERT_FALSE(runs.empty());
+    std::vector<FrameId> frames;
+    EXPECT_FALSE(alloc.allocScattered(100, frames));
+    EXPECT_TRUE(frames.empty());
+    EXPECT_EQ(alloc.freeFrames(), 10u);
+}
+
+TEST_F(FrameAllocatorTest, PerStackFreeSumsToTotal)
+{
+    alloc.allocRun(5000);
+    auto per_stack = alloc.perStackFree();
+    std::uint64_t total = 0;
+    for (auto n : per_stack)
+        total += n;
+    EXPECT_EQ(total, alloc.freeFrames());
+}
+
+/** Property sweep: alloc/free cycles never leak or corrupt frames. */
+class FrameAllocatorProperty
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FrameAllocatorProperty, MixedWorkloadConservesFrames)
+{
+    MemGeometry geom = smallGeometry();
+    FrameAllocator alloc(geom);
+    std::uint64_t n = GetParam();
+
+    std::vector<FrameRange> runs = alloc.allocRun(n);
+    std::vector<FrameId> scattered, interleaved;
+    ASSERT_TRUE(alloc.allocScattered(n / 2 + 1, scattered));
+    ASSERT_TRUE(alloc.allocInterleaved(n / 3 + 1, interleaved));
+
+    // No frame handed out twice.
+    std::set<FrameId> seen;
+    for (const auto &r : runs) {
+        for (std::uint64_t i = 0; i < r.count; ++i)
+            EXPECT_TRUE(seen.insert(r.base + i).second);
+    }
+    for (FrameId f : scattered)
+        EXPECT_TRUE(seen.insert(f).second);
+    for (FrameId f : interleaved)
+        EXPECT_TRUE(seen.insert(f).second);
+
+    for (const auto &r : runs)
+        alloc.freeRange(r);
+    for (FrameId f : scattered)
+        alloc.freeFrame(f);
+    for (FrameId f : interleaved)
+        alloc.freeFrame(f);
+    EXPECT_EQ(alloc.freeFrames(), geom.numFrames());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FrameAllocatorProperty,
+                         ::testing::Values(1, 3, 17, 128, 1000, 4096));
+
+TEST(BackingStore, AttachAndAccess)
+{
+    BackingStore store;
+    store.attach(0x1000, 4096);
+    EXPECT_TRUE(store.contains(0x1000));
+    EXPECT_TRUE(store.contains(0x1fff));
+    EXPECT_FALSE(store.contains(0x2000));
+    auto *p = store.hostPtr(0x1200, 16);
+    ASSERT_NE(p, nullptr);
+    p[0] = 42;
+    EXPECT_EQ(store.hostPtr(0x1200)[0], 42);
+}
+
+TEST(BackingStore, LazyAllocationZeroInitializes)
+{
+    BackingStore store;
+    store.attach(0x8000, 4096);
+    EXPECT_EQ(store.hostPtr(0x8000, 4096)[4095], 0);
+}
+
+TEST(BackingStore, OverlapPanics)
+{
+    BackingStore store;
+    store.attach(0x1000, 4096);
+    EXPECT_THROW(store.attach(0x1800, 4096), SimError);
+    EXPECT_THROW(store.attach(0x0800, 4096), SimError);
+}
+
+TEST(BackingStore, OverrunPanics)
+{
+    BackingStore store;
+    store.attach(0x1000, 4096);
+    EXPECT_THROW(store.hostPtr(0x1ff0, 32), SimError);
+    EXPECT_THROW(store.hostPtr(0x3000, 1), SimError);
+}
+
+TEST(BackingStore, DetachReleasesRange)
+{
+    BackingStore store;
+    store.attach(0x1000, 4096);
+    store.detach(0x1000);
+    EXPECT_FALSE(store.contains(0x1000));
+    EXPECT_THROW(store.detach(0x1000), SimError);
+    store.attach(0x1000, 8192);  // range reusable
+    EXPECT_EQ(store.totalBytes(), 8192u);
+}
+
+TEST(BackingStore, TypedAccess)
+{
+    BackingStore store;
+    store.attach(0x4000, 4096);
+    auto *words = store.hostPtrAs<std::uint64_t>(0x4000, 512);
+    words[511] = 0xdeadbeef;
+    EXPECT_EQ(store.hostPtrAs<std::uint64_t>(0x4000, 512)[511],
+              0xdeadbeefull);
+    EXPECT_THROW(store.hostPtrAs<std::uint64_t>(0x4000, 513), SimError);
+}
+
+} // namespace
+} // namespace upm::mem

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the performance model: every first-order anchor the model
+ * is calibrated against (Fig. 2/3 and Section 4 numbers), plus the
+ * placement-sensitivity mechanisms that produce the second-order
+ * results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "core/system.hh"
+
+namespace upm::hip {
+namespace {
+
+class PerfModelTest : public ::testing::Test
+{
+  protected:
+    PerfModelTest() : sys(config()), rt(sys.runtime()) {}
+
+    static core::SystemConfig
+    config()
+    {
+        core::SystemConfig cfg;
+        cfg.geometry.capacityBytes = 4 * GiB;
+        return cfg;
+    }
+
+    RegionProfile
+    profileOf(DevPtr ptr, std::uint64_t size)
+    {
+        return rt.perf().profileRegion(rt.addressSpace(), ptr, size);
+    }
+
+    core::System sys;
+    Runtime &rt;
+};
+
+TEST_F(PerfModelTest, GpuLatencyPlateaus)
+{
+    // Paper Fig. 2 GPU anchors.
+    DevPtr p = rt.hipMalloc(2 * GiB);
+    auto lat = [&](std::uint64_t ws) {
+        auto prof = profileOf(p, ws);
+        return rt.perf().gpuChaseLatency(prof);
+    };
+    EXPECT_NEAR(lat(1 * KiB), 57.0, 2.0);
+    EXPECT_NEAR(lat(1 * MiB), 104.0, 6.0);
+    EXPECT_NEAR(lat(128 * MiB), 210.0, 10.0);
+    EXPECT_GT(lat(2 * GiB), 300.0);
+    rt.hipFree(p);
+}
+
+TEST_F(PerfModelTest, CpuLatencyPlateaus)
+{
+    DevPtr p = rt.hipMalloc(2 * GiB);
+    auto lat = [&](std::uint64_t ws) {
+        auto prof = profileOf(p, ws);
+        return rt.perf().cpuChaseLatency(prof);
+    };
+    EXPECT_NEAR(lat(1 * KiB), 1.0, 0.2);
+    EXPECT_NEAR(lat(64 * MiB), 25.0, 8.0);
+    EXPECT_GT(lat(2 * GiB), 210.0);
+    EXPECT_LT(lat(2 * GiB), 245.0);
+    rt.hipFree(p);
+}
+
+TEST_F(PerfModelTest, CpuLatencyIsBelowGpuLatency)
+{
+    DevPtr p = rt.hipMalloc(1 * GiB);
+    for (std::uint64_t ws = 1 * KiB; ws <= 1 * GiB; ws *= 8) {
+        auto prof = profileOf(p, ws);
+        EXPECT_LT(rt.perf().cpuChaseLatency(prof),
+                  rt.perf().gpuChaseLatency(prof))
+            << ws;
+    }
+    rt.hipFree(p);
+}
+
+TEST_F(PerfModelTest, MallocLosesInfinityCacheOnCpuSide)
+{
+    // Paper Fig. 2: at 512 MiB, malloc is already ~230 ns while HIP
+    // allocators still profit from the Infinity Cache.
+    DevPtr hip_buf = rt.hipMalloc(512 * MiB);
+    DevPtr mal_buf = rt.hostMalloc(512 * MiB);
+    rt.cpuFirstTouch(mal_buf, 512 * MiB);
+
+    auto hip_prof = profileOf(hip_buf, 512 * MiB);
+    auto mal_prof = profileOf(mal_buf, 512 * MiB);
+    EXPECT_GT(rt.perf().cpuChaseLatency(mal_prof),
+              rt.perf().cpuChaseLatency(hip_prof) + 25.0);
+    // The GPU side is allocator-insensitive (same working set).
+    EXPECT_NEAR(rt.perf().gpuChaseLatency(mal_prof),
+                rt.perf().gpuChaseLatency(hip_prof), 3.0);
+    rt.hipFree(hip_buf);
+    rt.hipFree(mal_buf);
+}
+
+TEST_F(PerfModelTest, GpuBandwidthLadder)
+{
+    // Paper Fig. 3 GPU anchors (GB/s == bytes/ns).
+    DevPtr hip_buf = rt.hipMalloc(256 * MiB);
+    EXPECT_NEAR(rt.perf().gpuStreamBandwidth(profileOf(hip_buf,
+                                                       256 * MiB)),
+                3600.0, 100.0);
+
+    DevPtr pinned = rt.hipHostMalloc(256 * MiB);
+    EXPECT_NEAR(rt.perf().gpuStreamBandwidth(profileOf(pinned,
+                                                       256 * MiB)),
+                2150.0, 100.0);
+
+    rt.setXnack(true);
+    DevPtr mal = rt.hostMalloc(256 * MiB);
+    rt.cpuFirstTouch(mal, 256 * MiB);
+    EXPECT_NEAR(rt.perf().gpuStreamBandwidth(profileOf(mal, 256 * MiB)),
+                1870.0, 100.0);
+
+    DevPtr man = rt.managedStatic(64 * MiB);
+    EXPECT_NEAR(rt.perf().gpuStreamBandwidth(profileOf(man, 64 * MiB)),
+                103.0, 5.0);
+    rt.hipFree(hip_buf);
+    rt.hipFree(pinned);
+    rt.hipFree(mal);
+    rt.hipFree(man);
+}
+
+TEST_F(PerfModelTest, CpuBandwidthCases)
+{
+    // Case A: 208 GB/s on up-front allocators at 24 threads.
+    DevPtr pinned = rt.hipHostMalloc(256 * MiB);
+    auto prof_a = profileOf(pinned, 256 * MiB);
+    EXPECT_NEAR(rt.perf().cpuStreamBandwidth(prof_a, 24), 208.0, 3.0);
+
+    // Case B: 181 GB/s peak at 9 threads on CPU-touched malloc,
+    // declining at 24 threads.
+    DevPtr mal = rt.hostMalloc(256 * MiB);
+    rt.cpuFirstTouch(mal, 256 * MiB);
+    auto prof_b = profileOf(mal, 256 * MiB);
+    EXPECT_NEAR(rt.perf().cpuStreamBandwidth(prof_b, 9), 181.0, 3.0);
+    double bw24 = rt.perf().cpuStreamBandwidth(prof_b, 24);
+    EXPECT_GT(bw24, 170.0);
+    EXPECT_LT(bw24, 178.0);
+    rt.hipFree(pinned);
+    rt.hipFree(mal);
+}
+
+TEST_F(PerfModelTest, GpuInitRescuesMallocCpuBandwidth)
+{
+    rt.setXnack(true);
+    DevPtr mal = rt.hostMalloc(256 * MiB);
+    KernelDesc init;
+    init.buffers.push_back({mal, 256 * MiB, 256 * MiB});
+    rt.launchKernel(init, nullptr);
+    rt.deviceSynchronize();
+    auto prof = profileOf(mal, 256 * MiB);
+    EXPECT_NEAR(rt.perf().cpuStreamBandwidth(prof, 24), 208.0, 3.0);
+    rt.hipFree(mal);
+}
+
+TEST_F(PerfModelTest, FragmentSpanReflectsPlacement)
+{
+    DevPtr hip_buf = rt.hipMalloc(64 * MiB);
+    EXPECT_GT(profileOf(hip_buf, 64 * MiB).avgFragmentSpan, 1000.0);
+
+    DevPtr pinned = rt.hipHostMalloc(64 * MiB);
+    EXPECT_LT(profileOf(pinned, 64 * MiB).avgFragmentSpan, 4.0);
+    rt.hipFree(hip_buf);
+    rt.hipFree(pinned);
+}
+
+TEST_F(PerfModelTest, ComputeTimes)
+{
+    EXPECT_NEAR(rt.perf().gpuComputeTime(61.3e12), 1e9, 1e6);
+    EXPECT_NEAR(rt.perf().cpuComputeTime(50.0e9, 1), 1e9, 1e6);
+    EXPECT_NEAR(rt.perf().cpuComputeTime(50.0e9, 24), 1e9 / 24.0, 1e6);
+    // Thread counts clamp to the core count.
+    EXPECT_DOUBLE_EQ(rt.perf().cpuComputeTime(1e9, 100),
+                     rt.perf().cpuComputeTime(1e9, 24));
+}
+
+TEST_F(PerfModelTest, ProfileOfUnmappedAddressPanics)
+{
+    EXPECT_THROW(profileOf(0xdead0000, 4096), SimError);
+}
+
+} // namespace
+} // namespace upm::hip

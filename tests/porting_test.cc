@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the porting-strategy library (paper Section 3.3):
+ * UnifiedBuffer, DoubleBuffer, ManagedStaticVar, and the free-memory
+ * query adapters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "core/porting.hh"
+
+namespace upm::core {
+namespace {
+
+SystemConfig
+smallConfig()
+{
+    SystemConfig cfg;
+    cfg.geometry.capacityBytes = 1 * GiB;
+    return cfg;
+}
+
+TEST(UnifiedBuffer, AllocatesAndFreesRaii)
+{
+    System sys(smallConfig());
+    std::uint64_t free0 = sys.frames().freeFrames();
+    {
+        UnifiedBuffer<double> buf(sys.runtime(), 1024);
+        EXPECT_EQ(buf.size(), 1024u);
+        EXPECT_EQ(buf.bytes(), 8192u);
+        buf[7] = 3.5;
+        EXPECT_DOUBLE_EQ(buf[7], 3.5);
+        EXPECT_LT(sys.frames().freeFrames(), free0);
+    }
+    EXPECT_EQ(sys.frames().freeFrames(), free0);
+}
+
+TEST(UnifiedBuffer, IsGpuAccessibleWithoutXnack)
+{
+    System sys(smallConfig());
+    auto &rt = sys.runtime();
+    rt.setXnack(false);
+    UnifiedBuffer<float> buf(rt, 1 << 16);
+    hip::KernelDesc k;
+    k.buffers.push_back({buf.devicePtr(), buf.bytes(), buf.bytes()});
+    EXPECT_NO_THROW(rt.launchKernel(k, nullptr));
+}
+
+TEST(UnifiedBuffer, MoveTransfersOwnership)
+{
+    System sys(smallConfig());
+    std::uint64_t free0 = sys.frames().freeFrames();
+    UnifiedBuffer<int> a(sys.runtime(), 4096);
+    a[0] = 11;
+    UnifiedBuffer<int> b(std::move(a));
+    EXPECT_EQ(b[0], 11);
+    UnifiedBuffer<int> c(sys.runtime(), 16);
+    c = std::move(b);
+    EXPECT_EQ(c[0], 11);
+    EXPECT_LT(sys.frames().freeFrames(), free0);
+}
+
+TEST(UnifiedBuffer, HonoursAllocatorKind)
+{
+    System sys(smallConfig());
+    UnifiedBuffer<int> buf(sys.runtime(), 4096,
+                           alloc::AllocatorKind::HipHostMalloc);
+    EXPECT_EQ(sys.runtime().allocationOf(buf.devicePtr()).kind,
+              alloc::AllocatorKind::HipHostMalloc);
+}
+
+TEST(DoubleBuffer, SwapIsDataFree)
+{
+    System sys(smallConfig());
+    auto &rt = sys.runtime();
+    DoubleBuffer<int> db(rt, 256);
+    db.front()[0] = 1;
+    db.back()[0] = 2;
+    std::uint64_t copies = rt.stats().memcpyCalls;
+    hip::DevPtr front_before = db.front().devicePtr();
+    db.swap();
+    EXPECT_EQ(rt.stats().memcpyCalls, copies);  // no copy happened
+    EXPECT_EQ(db.back().devicePtr(), front_before);
+    EXPECT_EQ(db.back()[0], 1);
+    EXPECT_EQ(db.front()[0], 2);
+    db.swap();
+    EXPECT_EQ(db.front().devicePtr(), front_before);
+}
+
+TEST(ManagedStaticVar, IsUncachedManagedStorage)
+{
+    System sys(smallConfig());
+    ManagedStaticVar<float> var(sys.runtime(), 128);
+    EXPECT_EQ(sys.runtime().allocationOf(var.devicePtr()).kind,
+              alloc::AllocatorKind::ManagedStatic);
+    var[0] = 9.0f;
+    EXPECT_FLOAT_EQ(var.data()[0], 9.0f);
+}
+
+TEST(FreeMemory, ReliableSeesAllAllocatorsLegacyDoesNot)
+{
+    System sys(smallConfig());
+    auto &rt = sys.runtime();
+    std::uint64_t reliable0 = reliableFreeMemory(sys);
+    std::uint64_t legacy0 = legacyFreeMemory(sys);
+
+    hip::DevPtr host = rt.hostMalloc(128 * MiB);
+    rt.cpuFirstTouch(host, 128 * MiB);
+    EXPECT_EQ(reliableFreeMemory(sys), reliable0 - 128 * MiB);
+    EXPECT_EQ(legacyFreeMemory(sys), legacy0);  // blind
+
+    hip::DevPtr dev = rt.hipMalloc(128 * MiB);
+    EXPECT_EQ(legacyFreeMemory(sys), legacy0 - 128 * MiB);
+    EXPECT_EQ(reliableFreeMemory(sys), reliable0 - 256 * MiB);
+    rt.hipFree(host);
+    rt.hipFree(dev);
+}
+
+} // namespace
+} // namespace upm::core

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the System/Apu wiring and configuration handling: scaled
+ * capacities, topology validation, default modes, and the calibration
+ * bundle's internal consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "core/system.hh"
+
+namespace upm::core {
+namespace {
+
+TEST(SystemConfig, DefaultsModelTheMi300a)
+{
+    SystemConfig cfg;
+    EXPECT_EQ(cfg.numCus, 228u);
+    EXPECT_EQ(cfg.numCpuCores, 24u);
+    EXPECT_EQ(cfg.geometry.numStacks, 8u);
+    EXPECT_EQ(cfg.realCapacityBytes, 128 * GiB);
+    EXPECT_EQ(cfg.infinityCache.capacityBytes, 256 * MiB);
+    EXPECT_FALSE(cfg.xnack);   // XNACK is off by default on MI300A
+    EXPECT_TRUE(cfg.sdmaEnabled);
+}
+
+TEST(System, HonoursScaledCapacity)
+{
+    SystemConfig cfg;
+    cfg.geometry.capacityBytes = 256 * MiB;
+    System sys(cfg);
+    EXPECT_EQ(sys.meminfo().totalBytes(), 256 * MiB);
+    EXPECT_EQ(sys.frames().totalFrames(), 256 * MiB / mem::kPageSize);
+}
+
+TEST(System, XnackConfigPropagatesToRuntime)
+{
+    SystemConfig cfg;
+    cfg.geometry.capacityBytes = 256 * MiB;
+    cfg.xnack = true;
+    System sys(cfg);
+    EXPECT_TRUE(sys.runtime().xnack());
+    EXPECT_TRUE(sys.addressSpace().xnackEnabled());
+}
+
+TEST(System, RejectsBrokenTopology)
+{
+    SystemConfig cfg;
+    cfg.numCus = 100;  // not divisible by 6 XCDs
+    EXPECT_THROW(System{cfg}, SimError);
+    cfg = {};
+    cfg.numCpuCores = 25;  // not divisible by 3 CCDs
+    EXPECT_THROW(System{cfg}, SimError);
+}
+
+TEST(System, FreshSystemIsClean)
+{
+    SystemConfig cfg;
+    cfg.geometry.capacityBytes = 256 * MiB;
+    System sys(cfg);
+    EXPECT_EQ(sys.meminfo().usedBytes(), 0u);
+    EXPECT_EQ(sys.rss().rssBytes(), 0u);
+    EXPECT_EQ(sys.runtime().now(), 0.0);
+    EXPECT_EQ(sys.runtime().stats().kernelsLaunched, 0u);
+    EXPECT_EQ(sys.addressSpace().cpuFaults(), 0u);
+}
+
+TEST(System, SmallerApuVariantWorksEndToEnd)
+{
+    // A hypothetical half-size APU config (e.g. an MI300-class part
+    // with 3 XCDs): the stack must remain consistent.
+    SystemConfig cfg;
+    cfg.geometry.capacityBytes = 512 * MiB;
+    cfg.numCus = 114;
+    cfg.numXcds = 3;
+    cfg.numCpuCores = 12;
+    System sys(cfg);
+    EXPECT_EQ(sys.apu().cusPerXcd(), 38u);
+    auto &rt = sys.runtime();
+    hip::DevPtr p = rt.hipMalloc(64 * MiB);
+    hip::KernelDesc k;
+    k.buffers.push_back({p, 64 * MiB, 64 * MiB});
+    EXPECT_NO_THROW(rt.launchKernel(k, nullptr));
+    rt.deviceSynchronize();
+    rt.hipFree(p);
+}
+
+TEST(Calibration, BundleIsInternallyConsistent)
+{
+    SystemConfig cfg;
+    // Latencies must be ordered along the hierarchy.
+    EXPECT_LT(cfg.gpuCache.l1Latency, cfg.gpuCache.l2Latency);
+    EXPECT_LT(cfg.gpuCache.l2Latency, cfg.gpuCache.icLatency);
+    EXPECT_LT(cfg.gpuCache.icLatency, cfg.gpuCache.hbmLatency);
+    EXPECT_LT(cfg.cpuCache.l1Latency, cfg.cpuCache.l2Latency);
+    EXPECT_LT(cfg.cpuCache.l2Latency, cfg.cpuCache.l3Latency);
+    EXPECT_LT(cfg.cpuCache.l3Latency, cfg.cpuCache.icLatency);
+    EXPECT_LT(cfg.cpuCache.icLatency, cfg.cpuCache.hbmLatency);
+    // Bandwidth ordering: IC > HBM > issue-limited GPU > CPU fabric.
+    EXPECT_GT(cfg.infinityCache.peakBandwidth, cfg.bandwidth.memPeak);
+    EXPECT_GT(cfg.bandwidth.memPeak, cfg.bandwidth.gpuIssuePeak);
+    EXPECT_GT(cfg.bandwidth.gpuIssuePeak, cfg.bandwidth.cpuFabricCap);
+    // Fault costs ordered as the paper measures them.
+    EXPECT_LT(cfg.faults.cpuCold, cfg.faults.gpuMinorCold);
+    EXPECT_LT(cfg.faults.gpuMinorCold, cfg.faults.gpuMajorCold);
+    EXPECT_LT(cfg.faults.gpuMinorSteady, cfg.faults.gpuMajorSteady);
+}
+
+} // namespace
+} // namespace upm::core

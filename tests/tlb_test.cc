@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the TLB module: the fragment-aware UTCL1 model and the
+ * conventional CPU dTLB model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "tlb/tlb.hh"
+
+namespace upm::tlb {
+namespace {
+
+TEST(FragTlb, MissThenHitWithinFragment)
+{
+    FragTlb tlb({.entries = 4, .maxSpanPages = 256});
+    EXPECT_FALSE(tlb.lookup(100));
+    tlb.insert(100, 96, 16);  // fragment [96, 112)
+    EXPECT_TRUE(tlb.lookup(96));
+    EXPECT_TRUE(tlb.lookup(111));
+    EXPECT_FALSE(tlb.lookup(112));
+    EXPECT_EQ(tlb.hits(), 2u);
+    EXPECT_EQ(tlb.misses(), 2u);
+}
+
+TEST(FragTlb, FragmentReachMultipliesCoverage)
+{
+    // One entry covering a 256-page fragment absorbs a whole stream.
+    FragTlb tlb({.entries = 1, .maxSpanPages = 256});
+    tlb.lookup(0);
+    tlb.insert(0, 0, 256);
+    for (Vpn vpn = 1; vpn < 256; ++vpn)
+        EXPECT_TRUE(tlb.lookup(vpn));
+    EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(FragTlb, SpanClampedToMaxReach)
+{
+    // A huge fragment is clamped to the aligned max-span block
+    // containing the faulting vpn.
+    FragTlb tlb({.entries = 1, .maxSpanPages = 16});
+    tlb.lookup(100);
+    tlb.insert(100, 0, 1024);
+    // Covered block: [96, 112).
+    EXPECT_TRUE(tlb.lookup(96));
+    EXPECT_TRUE(tlb.lookup(111));
+    EXPECT_FALSE(tlb.lookup(112));
+    EXPECT_FALSE(tlb.lookup(95));
+}
+
+TEST(FragTlb, LruEviction)
+{
+    FragTlb tlb({.entries = 2, .maxSpanPages = 16});
+    tlb.lookup(0);
+    tlb.insert(0, 0, 1);
+    tlb.lookup(10);
+    tlb.insert(10, 10, 1);
+    tlb.lookup(0);  // refresh entry 0
+    tlb.lookup(20);
+    tlb.insert(20, 20, 1);  // evicts vpn 10
+    EXPECT_TRUE(tlb.lookup(0));
+    EXPECT_FALSE(tlb.lookup(10));
+    EXPECT_TRUE(tlb.lookup(20));
+}
+
+TEST(FragTlb, FlushDropsEverything)
+{
+    FragTlb tlb({.entries = 4, .maxSpanPages = 16});
+    tlb.lookup(5);
+    tlb.insert(5, 5, 1);
+    tlb.flush();
+    EXPECT_FALSE(tlb.lookup(5));
+}
+
+TEST(FragTlb, InsertValidation)
+{
+    FragTlb tlb({.entries = 2, .maxSpanPages = 16});
+    EXPECT_THROW(tlb.insert(5, 5, 0), SimError);
+    EXPECT_THROW(tlb.insert(5, 6, 4), SimError);  // vpn below base
+    EXPECT_THROW(tlb.insert(10, 6, 4), SimError); // vpn past end
+}
+
+TEST(FragTlb, ConfigValidation)
+{
+    EXPECT_THROW(FragTlb({.entries = 0, .maxSpanPages = 16}), SimError);
+    EXPECT_THROW(FragTlb({.entries = 4, .maxSpanPages = 3}), SimError);
+}
+
+TEST(PlainTlb, StreamingMissesEveryNewPage)
+{
+    PlainTlb tlb({.entries = 64, .assoc = 4, .missLatency = 25.0});
+    for (Vpn vpn = 0; vpn < 1000; ++vpn)
+        tlb.access(vpn);
+    EXPECT_EQ(tlb.misses(), 1000u);
+    EXPECT_EQ(tlb.hits(), 0u);
+}
+
+TEST(PlainTlb, ResidentSetHits)
+{
+    PlainTlb tlb({.entries = 64, .assoc = 4, .missLatency = 25.0});
+    for (int round = 0; round < 4; ++round) {
+        for (Vpn vpn = 0; vpn < 16; ++vpn)
+            tlb.access(vpn);
+    }
+    EXPECT_EQ(tlb.misses(), 16u);
+    EXPECT_EQ(tlb.hits(), 3u * 16u);
+}
+
+TEST(PlainTlb, FlushForcesRefill)
+{
+    PlainTlb tlb({.entries = 64, .assoc = 4, .missLatency = 25.0});
+    tlb.access(7);
+    tlb.flush();
+    tlb.resetStats();
+    tlb.access(7);
+    EXPECT_EQ(tlb.misses(), 1u);
+}
+
+/** Reach property: misses scale inversely with fragment span. */
+class FragReach : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FragReach, StreamMissesInverseToSpan)
+{
+    const std::uint64_t span = GetParam();
+    FragTlb tlb({.entries = 32, .maxSpanPages = 1024});
+    const Vpn pages = 8192;
+    for (Vpn vpn = 0; vpn < pages; ++vpn) {
+        if (!tlb.lookup(vpn)) {
+            Vpn base = vpn & ~(span - 1);
+            tlb.insert(vpn, base, span);
+        }
+    }
+    EXPECT_EQ(tlb.misses(), pages / span);
+}
+
+INSTANTIATE_TEST_SUITE_P(Spans, FragReach,
+                         ::testing::Values(1, 2, 4, 16, 64, 256, 1024));
+
+} // namespace
+} // namespace upm::tlb

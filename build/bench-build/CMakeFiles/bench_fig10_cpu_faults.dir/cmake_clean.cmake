@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_cpu_faults"
+  "../bench/bench_fig10_cpu_faults.pdb"
+  "CMakeFiles/bench_fig10_cpu_faults.dir/bench_fig10_cpu_faults.cc.o"
+  "CMakeFiles/bench_fig10_cpu_faults.dir/bench_fig10_cpu_faults.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_cpu_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

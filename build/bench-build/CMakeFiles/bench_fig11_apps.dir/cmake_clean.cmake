@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_apps"
+  "../bench/bench_fig11_apps.pdb"
+  "CMakeFiles/bench_fig11_apps.dir/bench_fig11_apps.cc.o"
+  "CMakeFiles/bench_fig11_apps.dir/bench_fig11_apps.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_hybrid"
+  "../bench/bench_fig5_hybrid.pdb"
+  "CMakeFiles/bench_fig5_hybrid.dir/bench_fig5_hybrid.cc.o"
+  "CMakeFiles/bench_fig5_hybrid.dir/bench_fig5_hybrid.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_fault_lat"
+  "../bench/bench_fig8_fault_lat.pdb"
+  "CMakeFiles/bench_fig8_fault_lat.dir/bench_fig8_fault_lat.cc.o"
+  "CMakeFiles/bench_fig8_fault_lat.dir/bench_fig8_fault_lat.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_fault_lat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_tlb"
+  "../bench/bench_fig9_tlb.pdb"
+  "CMakeFiles/bench_fig9_tlb.dir/bench_fig9_tlb.cc.o"
+  "CMakeFiles/bench_fig9_tlb.dir/bench_fig9_tlb.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

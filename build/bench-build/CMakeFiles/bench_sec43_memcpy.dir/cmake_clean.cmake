@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec43_memcpy"
+  "../bench/bench_sec43_memcpy.pdb"
+  "CMakeFiles/bench_sec43_memcpy.dir/bench_sec43_memcpy.cc.o"
+  "CMakeFiles/bench_sec43_memcpy.dir/bench_sec43_memcpy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec43_memcpy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab1_allocators"
+  "../bench/bench_tab1_allocators.pdb"
+  "CMakeFiles/bench_tab1_allocators.dir/bench_tab1_allocators.cc.o"
+  "CMakeFiles/bench_tab1_allocators.dir/bench_tab1_allocators.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_allocators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_hybrid_histogram"
+  "../examples/example_hybrid_histogram.pdb"
+  "CMakeFiles/example_hybrid_histogram.dir/hybrid_histogram.cpp.o"
+  "CMakeFiles/example_hybrid_histogram.dir/hybrid_histogram.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hybrid_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_porting_rodinia"
+  "../examples/example_porting_rodinia.pdb"
+  "CMakeFiles/example_porting_rodinia.dir/porting_rodinia.cpp.o"
+  "CMakeFiles/example_porting_rodinia.dir/porting_rodinia.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_porting_rodinia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

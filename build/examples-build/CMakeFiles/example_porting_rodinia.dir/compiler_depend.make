@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_porting_rodinia.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_stream_triad"
+  "../examples/example_stream_triad.pdb"
+  "CMakeFiles/example_stream_triad.dir/stream_triad.cpp.o"
+  "CMakeFiles/example_stream_triad.dir/stream_triad.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_stream_triad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

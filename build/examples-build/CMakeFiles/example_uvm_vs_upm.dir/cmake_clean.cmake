@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_uvm_vs_upm"
+  "../examples/example_uvm_vs_upm.pdb"
+  "CMakeFiles/example_uvm_vs_upm.dir/uvm_vs_upm.cpp.o"
+  "CMakeFiles/example_uvm_vs_upm.dir/uvm_vs_upm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_uvm_vs_upm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

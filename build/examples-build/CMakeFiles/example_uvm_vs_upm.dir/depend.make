@@ -1,0 +1,2 @@
+# Empty dependencies file for example_uvm_vs_upm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/allocation.cc" "src/CMakeFiles/upm.dir/alloc/allocation.cc.o" "gcc" "src/CMakeFiles/upm.dir/alloc/allocation.cc.o.d"
+  "/root/repo/src/alloc/hip_allocators.cc" "src/CMakeFiles/upm.dir/alloc/hip_allocators.cc.o" "gcc" "src/CMakeFiles/upm.dir/alloc/hip_allocators.cc.o.d"
+  "/root/repo/src/alloc/malloc_sim.cc" "src/CMakeFiles/upm.dir/alloc/malloc_sim.cc.o" "gcc" "src/CMakeFiles/upm.dir/alloc/malloc_sim.cc.o.d"
+  "/root/repo/src/alloc/registry.cc" "src/CMakeFiles/upm.dir/alloc/registry.cc.o" "gcc" "src/CMakeFiles/upm.dir/alloc/registry.cc.o.d"
+  "/root/repo/src/cache/atomic_unit.cc" "src/CMakeFiles/upm.dir/cache/atomic_unit.cc.o" "gcc" "src/CMakeFiles/upm.dir/cache/atomic_unit.cc.o.d"
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/upm.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/upm.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cache/directory.cc" "src/CMakeFiles/upm.dir/cache/directory.cc.o" "gcc" "src/CMakeFiles/upm.dir/cache/directory.cc.o.d"
+  "/root/repo/src/cache/hierarchy.cc" "src/CMakeFiles/upm.dir/cache/hierarchy.cc.o" "gcc" "src/CMakeFiles/upm.dir/cache/hierarchy.cc.o.d"
+  "/root/repo/src/cache/infinity_cache.cc" "src/CMakeFiles/upm.dir/cache/infinity_cache.cc.o" "gcc" "src/CMakeFiles/upm.dir/cache/infinity_cache.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/upm.dir/common/log.cc.o" "gcc" "src/CMakeFiles/upm.dir/common/log.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/upm.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/upm.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/upm.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/upm.dir/common/stats.cc.o.d"
+  "/root/repo/src/core/alloc_probe.cc" "src/CMakeFiles/upm.dir/core/alloc_probe.cc.o" "gcc" "src/CMakeFiles/upm.dir/core/alloc_probe.cc.o.d"
+  "/root/repo/src/core/apu.cc" "src/CMakeFiles/upm.dir/core/apu.cc.o" "gcc" "src/CMakeFiles/upm.dir/core/apu.cc.o.d"
+  "/root/repo/src/core/atomics_probe.cc" "src/CMakeFiles/upm.dir/core/atomics_probe.cc.o" "gcc" "src/CMakeFiles/upm.dir/core/atomics_probe.cc.o.d"
+  "/root/repo/src/core/fault_probe.cc" "src/CMakeFiles/upm.dir/core/fault_probe.cc.o" "gcc" "src/CMakeFiles/upm.dir/core/fault_probe.cc.o.d"
+  "/root/repo/src/core/histogram_engine.cc" "src/CMakeFiles/upm.dir/core/histogram_engine.cc.o" "gcc" "src/CMakeFiles/upm.dir/core/histogram_engine.cc.o.d"
+  "/root/repo/src/core/latency_probe.cc" "src/CMakeFiles/upm.dir/core/latency_probe.cc.o" "gcc" "src/CMakeFiles/upm.dir/core/latency_probe.cc.o.d"
+  "/root/repo/src/core/porting.cc" "src/CMakeFiles/upm.dir/core/porting.cc.o" "gcc" "src/CMakeFiles/upm.dir/core/porting.cc.o.d"
+  "/root/repo/src/core/stream_probe.cc" "src/CMakeFiles/upm.dir/core/stream_probe.cc.o" "gcc" "src/CMakeFiles/upm.dir/core/stream_probe.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/CMakeFiles/upm.dir/core/system.cc.o" "gcc" "src/CMakeFiles/upm.dir/core/system.cc.o.d"
+  "/root/repo/src/hip/memcpy_engine.cc" "src/CMakeFiles/upm.dir/hip/memcpy_engine.cc.o" "gcc" "src/CMakeFiles/upm.dir/hip/memcpy_engine.cc.o.d"
+  "/root/repo/src/hip/perf_model.cc" "src/CMakeFiles/upm.dir/hip/perf_model.cc.o" "gcc" "src/CMakeFiles/upm.dir/hip/perf_model.cc.o.d"
+  "/root/repo/src/hip/runtime.cc" "src/CMakeFiles/upm.dir/hip/runtime.cc.o" "gcc" "src/CMakeFiles/upm.dir/hip/runtime.cc.o.d"
+  "/root/repo/src/mem/backing_store.cc" "src/CMakeFiles/upm.dir/mem/backing_store.cc.o" "gcc" "src/CMakeFiles/upm.dir/mem/backing_store.cc.o.d"
+  "/root/repo/src/mem/frame_allocator.cc" "src/CMakeFiles/upm.dir/mem/frame_allocator.cc.o" "gcc" "src/CMakeFiles/upm.dir/mem/frame_allocator.cc.o.d"
+  "/root/repo/src/mem/geometry.cc" "src/CMakeFiles/upm.dir/mem/geometry.cc.o" "gcc" "src/CMakeFiles/upm.dir/mem/geometry.cc.o.d"
+  "/root/repo/src/prof/counters.cc" "src/CMakeFiles/upm.dir/prof/counters.cc.o" "gcc" "src/CMakeFiles/upm.dir/prof/counters.cc.o.d"
+  "/root/repo/src/prof/meminfo.cc" "src/CMakeFiles/upm.dir/prof/meminfo.cc.o" "gcc" "src/CMakeFiles/upm.dir/prof/meminfo.cc.o.d"
+  "/root/repo/src/prof/perf.cc" "src/CMakeFiles/upm.dir/prof/perf.cc.o" "gcc" "src/CMakeFiles/upm.dir/prof/perf.cc.o.d"
+  "/root/repo/src/prof/rocprof.cc" "src/CMakeFiles/upm.dir/prof/rocprof.cc.o" "gcc" "src/CMakeFiles/upm.dir/prof/rocprof.cc.o.d"
+  "/root/repo/src/tlb/tlb.cc" "src/CMakeFiles/upm.dir/tlb/tlb.cc.o" "gcc" "src/CMakeFiles/upm.dir/tlb/tlb.cc.o.d"
+  "/root/repo/src/uvm/uvm.cc" "src/CMakeFiles/upm.dir/uvm/uvm.cc.o" "gcc" "src/CMakeFiles/upm.dir/uvm/uvm.cc.o.d"
+  "/root/repo/src/vm/address_space.cc" "src/CMakeFiles/upm.dir/vm/address_space.cc.o" "gcc" "src/CMakeFiles/upm.dir/vm/address_space.cc.o.d"
+  "/root/repo/src/vm/fault_handler.cc" "src/CMakeFiles/upm.dir/vm/fault_handler.cc.o" "gcc" "src/CMakeFiles/upm.dir/vm/fault_handler.cc.o.d"
+  "/root/repo/src/vm/gpu_page_table.cc" "src/CMakeFiles/upm.dir/vm/gpu_page_table.cc.o" "gcc" "src/CMakeFiles/upm.dir/vm/gpu_page_table.cc.o.d"
+  "/root/repo/src/vm/hmm.cc" "src/CMakeFiles/upm.dir/vm/hmm.cc.o" "gcc" "src/CMakeFiles/upm.dir/vm/hmm.cc.o.d"
+  "/root/repo/src/vm/page_table.cc" "src/CMakeFiles/upm.dir/vm/page_table.cc.o" "gcc" "src/CMakeFiles/upm.dir/vm/page_table.cc.o.d"
+  "/root/repo/src/workloads/backprop.cc" "src/CMakeFiles/upm.dir/workloads/backprop.cc.o" "gcc" "src/CMakeFiles/upm.dir/workloads/backprop.cc.o.d"
+  "/root/repo/src/workloads/dwt2d.cc" "src/CMakeFiles/upm.dir/workloads/dwt2d.cc.o" "gcc" "src/CMakeFiles/upm.dir/workloads/dwt2d.cc.o.d"
+  "/root/repo/src/workloads/heartwall.cc" "src/CMakeFiles/upm.dir/workloads/heartwall.cc.o" "gcc" "src/CMakeFiles/upm.dir/workloads/heartwall.cc.o.d"
+  "/root/repo/src/workloads/hotspot.cc" "src/CMakeFiles/upm.dir/workloads/hotspot.cc.o" "gcc" "src/CMakeFiles/upm.dir/workloads/hotspot.cc.o.d"
+  "/root/repo/src/workloads/nn.cc" "src/CMakeFiles/upm.dir/workloads/nn.cc.o" "gcc" "src/CMakeFiles/upm.dir/workloads/nn.cc.o.d"
+  "/root/repo/src/workloads/srad.cc" "src/CMakeFiles/upm.dir/workloads/srad.cc.o" "gcc" "src/CMakeFiles/upm.dir/workloads/srad.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/upm.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/upm.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/alloc_test.cc" "tests/CMakeFiles/upm_tests.dir/alloc_test.cc.o" "gcc" "tests/CMakeFiles/upm_tests.dir/alloc_test.cc.o.d"
+  "/root/repo/tests/cache_test.cc" "tests/CMakeFiles/upm_tests.dir/cache_test.cc.o" "gcc" "tests/CMakeFiles/upm_tests.dir/cache_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/upm_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/upm_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/edge_cases_test.cc" "tests/CMakeFiles/upm_tests.dir/edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/upm_tests.dir/edge_cases_test.cc.o.d"
+  "/root/repo/tests/hip_test.cc" "tests/CMakeFiles/upm_tests.dir/hip_test.cc.o" "gcc" "tests/CMakeFiles/upm_tests.dir/hip_test.cc.o.d"
+  "/root/repo/tests/histogram_engine_test.cc" "tests/CMakeFiles/upm_tests.dir/histogram_engine_test.cc.o" "gcc" "tests/CMakeFiles/upm_tests.dir/histogram_engine_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/upm_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/upm_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/mem_test.cc" "tests/CMakeFiles/upm_tests.dir/mem_test.cc.o" "gcc" "tests/CMakeFiles/upm_tests.dir/mem_test.cc.o.d"
+  "/root/repo/tests/perf_model_test.cc" "tests/CMakeFiles/upm_tests.dir/perf_model_test.cc.o" "gcc" "tests/CMakeFiles/upm_tests.dir/perf_model_test.cc.o.d"
+  "/root/repo/tests/porting_test.cc" "tests/CMakeFiles/upm_tests.dir/porting_test.cc.o" "gcc" "tests/CMakeFiles/upm_tests.dir/porting_test.cc.o.d"
+  "/root/repo/tests/probes_test.cc" "tests/CMakeFiles/upm_tests.dir/probes_test.cc.o" "gcc" "tests/CMakeFiles/upm_tests.dir/probes_test.cc.o.d"
+  "/root/repo/tests/prof_test.cc" "tests/CMakeFiles/upm_tests.dir/prof_test.cc.o" "gcc" "tests/CMakeFiles/upm_tests.dir/prof_test.cc.o.d"
+  "/root/repo/tests/system_test.cc" "tests/CMakeFiles/upm_tests.dir/system_test.cc.o" "gcc" "tests/CMakeFiles/upm_tests.dir/system_test.cc.o.d"
+  "/root/repo/tests/tlb_test.cc" "tests/CMakeFiles/upm_tests.dir/tlb_test.cc.o" "gcc" "tests/CMakeFiles/upm_tests.dir/tlb_test.cc.o.d"
+  "/root/repo/tests/uvm_test.cc" "tests/CMakeFiles/upm_tests.dir/uvm_test.cc.o" "gcc" "tests/CMakeFiles/upm_tests.dir/uvm_test.cc.o.d"
+  "/root/repo/tests/vm_test.cc" "tests/CMakeFiles/upm_tests.dir/vm_test.cc.o" "gcc" "tests/CMakeFiles/upm_tests.dir/vm_test.cc.o.d"
+  "/root/repo/tests/workloads_test.cc" "tests/CMakeFiles/upm_tests.dir/workloads_test.cc.o" "gcc" "tests/CMakeFiles/upm_tests.dir/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/upm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

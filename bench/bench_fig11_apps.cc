@@ -13,6 +13,7 @@
  */
 
 #include <cstdio>
+#include <cstring>
 
 #include "bench_util.hh"
 #include "workloads/workload.hh"
@@ -21,11 +22,37 @@ using namespace upm;
 using namespace upm::workloads;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --audit: run every app under the UPMSan invariant auditor and
+    // race detector, and fail if any run is not clean.
+    bool audit = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--audit") == 0) {
+            audit = true;
+        } else {
+            std::fprintf(stderr, "usage: %s [--audit]\n", argv[0]);
+            return 2;
+        }
+    }
+    core::SystemConfig cfg;
+    cfg.audit.enabled = audit;
+
     setQuiet(true);
     bench::banner("Figure 11",
                   "Six Rodinia apps: unified vs explicit model");
+
+    std::uint64_t total_violations = 0;
+    auto report_audit = [&](core::System &sys, const char *model) {
+        if (sys.auditor() == nullptr)
+            return;
+        sys.finalizeAudit();
+        total_violations += sys.auditor()->totalViolations();
+        if (!sys.auditor()->clean()) {
+            std::printf("  [%s] %s\n", model,
+                        sys.auditor()->summary().c_str());
+        }
+    };
 
     std::printf("%-14s %21s %21s %19s %9s\n", "app",
                 "total (exp -> uni)", "compute (exp -> uni)",
@@ -33,12 +60,14 @@ main()
     for (auto &workload : makeAllWorkloads()) {
         RunReport e, u;
         {
-            core::System sys;
+            core::System sys(cfg);
             e = workload->run(sys, Model::Explicit);
+            report_audit(sys, "explicit");
         }
         {
-            core::System sys;
+            core::System sys(cfg);
             u = workload->run(sys, Model::Unified);
+            report_audit(sys, "unified");
         }
         bool valid = e.checksum == u.checksum;
         std::printf(
@@ -53,6 +82,12 @@ main()
                          static_cast<double>(e.peakMemory) -
                      1.0),
             valid ? "OK" : "MISMATCH");
+    }
+    if (audit) {
+        std::printf("UPMSan: %llu violation(s) across the suite\n",
+                    static_cast<unsigned long long>(total_violations));
+        if (total_violations > 0)
+            return 1;
     }
     return 0;
 }

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: .clang-tidy) over the simulator sources.
+#
+# Usage: scripts/lint.sh [build-dir]
+#
+# Needs a configured build directory with compile_commands.json (the
+# top-level CMakeLists exports it unconditionally). Exits 0 and prints
+# a notice when clang-tidy is not installed, so the script is safe to
+# call from environments that only carry gcc; CI installs clang-tidy
+# and enforces it.
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+tidy=$(command -v clang-tidy || true)
+if [ -z "$tidy" ]; then
+    echo "lint.sh: clang-tidy not found in PATH; skipping (install" \
+         "clang-tidy to run the lint locally)"
+    exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+    echo "lint.sh: $build_dir/compile_commands.json missing." >&2
+    echo "Configure first: cmake -B $build_dir -S $repo_root" >&2
+    exit 1
+fi
+
+# Lint the library and the tests; benches/examples share the same
+# headers, so the library sweep covers the hot code.
+mapfile -t files < <(find "$repo_root/src" "$repo_root/tests" \
+    -name '*.cc' | sort)
+
+echo "lint.sh: clang-tidy ($tidy) over ${#files[@]} files"
+"$tidy" -p "$build_dir" --quiet "${files[@]}"
+echo "lint.sh: clean"

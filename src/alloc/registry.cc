@@ -1,5 +1,6 @@
 #include "alloc/registry.hh"
 
+#include "audit/auditor.hh"
 #include "common/log.hh"
 
 namespace upm::alloc {
@@ -39,6 +40,9 @@ AllocatorRegistry::allocate(AllocatorKind kind, std::uint64_t size)
         allocation.kind = AllocatorKind::MallocRegistered;
         allocation.allocTime += hostRegister(allocation);
     }
+    if (aud != nullptr)
+        aud->noteAlloc(allocation.addr, allocation.size,
+                       allocatorName(allocation.kind));
     return allocation;
 }
 
@@ -50,6 +54,8 @@ AllocatorRegistry::deallocate(Allocation &allocation)
         std::uint64_t pages = ceilDiv(allocation.size, mem::kPageSize);
         extra = cost.unregisterPerPage * static_cast<double>(pages);
     }
+    if (aud != nullptr)
+        aud->noteFree(allocation.addr);
     return extra + allocatorFor(allocation.kind).deallocate(allocation);
 }
 

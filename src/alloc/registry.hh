@@ -14,6 +14,10 @@
 #include "alloc/hip_allocators.hh"
 #include "alloc/malloc_sim.hh"
 
+namespace upm::audit {
+class Auditor;
+}
+
 namespace upm::alloc {
 
 /**
@@ -41,11 +45,17 @@ class AllocatorRegistry
     vm::AddressSpace &addressSpace() { return as; }
     const AllocCosts &costs() const { return cost; }
 
+    /** Attach UPMSan: allocate/deallocate shadow the live-range map
+     *  that powers the overlap and use-after-free checks. */
+    void setAuditor(audit::Auditor *auditor) { aud = auditor; }
+
   private:
     Allocator &allocatorFor(AllocatorKind kind);
 
     vm::AddressSpace &as;
     AllocCosts cost;
+    /** UPMSan hook; null (no overhead) unless auditing is enabled. */
+    audit::Auditor *aud = nullptr;
     MallocSim mallocSim;
     HipMallocAllocator hipMalloc;
     HipHostMallocAllocator hipHostMalloc;

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * AuditConfig: which UPMSan checkers run.
+ *
+ * The master switch is `enabled`; when it is false no component holds
+ * an auditor pointer and every hook compiles down to one untaken null
+ * check (the zero-overhead-when-off guarantee DESIGN.md documents).
+ * Individual checker families can be toggled so a bench can, say, run
+ * the cheap page-table checks while skipping race tracking.
+ */
+
+#ifndef UPM_AUDIT_CONFIG_HH
+#define UPM_AUDIT_CONFIG_HH
+
+#include <cstddef>
+
+namespace upm::audit {
+
+struct AuditConfig
+{
+    /** Master switch; false means no auditor is wired at all. */
+    bool enabled = false;
+
+    /** System/GPU page-table mirror consistency (vm layer). */
+    bool checkMirror = true;
+    /** Frame double-alloc / double-free / leak checks (mem layer). */
+    bool checkFrames = true;
+    /** Allocation overlap / use-after-free checks (alloc layer). */
+    bool checkAllocations = true;
+    /** Coherence shadow-state checks (cache layer). */
+    bool checkCoherence = true;
+    /** Vector-clock CPU<->GPU race detection (hip layer). */
+    bool checkRaces = true;
+
+    /** Print each violation through warn() as it is recorded. */
+    bool warnOnViolation = true;
+    /** Stop recording (but keep counting) past this many records. */
+    std::size_t maxRecorded = 1024;
+};
+
+} // namespace upm::audit
+
+#endif // UPM_AUDIT_CONFIG_HH

@@ -1,0 +1,111 @@
+#include "audit/race.hh"
+
+#include <algorithm>
+
+namespace upm::audit {
+
+void
+RaceDetector::ensureAgent(AgentId agent)
+{
+    if (agent < clocks.size())
+        return;
+    std::size_t n = agent + 1;
+    for (auto &row : clocks)
+        row.resize(n, 0);
+    while (clocks.size() < n) {
+        // An agent's own clock starts at 1 while every other agent's
+        // knowledge of it starts at 0: a fresh agent's first access is
+        // unordered with everyone until an edge publishes it.
+        clocks.emplace_back(n, 0);
+        clocks.back()[clocks.size() - 1] = 1;
+    }
+}
+
+void
+RaceDetector::edge(AgentId from, AgentId to)
+{
+    ensureAgent(std::max(from, to));
+    auto &src = clocks[from];
+    auto &dst = clocks[to];
+    for (std::size_t i = 0; i < src.size(); ++i)
+        dst[i] = std::max(dst[i], src[i]);
+    // Release bump: work `from` does after this edge is unordered with
+    // whatever `to` acquired.
+    ++clocks[from][from];
+}
+
+void
+RaceDetector::edgeAll(AgentId to)
+{
+    ensureAgent(to);
+    for (AgentId a = 0; a < clocks.size(); ++a) {
+        if (a != to)
+            edge(a, to);
+    }
+}
+
+bool
+RaceDetector::happensBefore(const Epoch &epoch, AgentId a) const
+{
+    if (epoch.agent == a)
+        return true;  // program order
+    if (epoch.agent >= clocks[a].size())
+        return false;
+    return epoch.clock <= clocks[a][epoch.agent];
+}
+
+void
+RaceDetector::accessRange(AgentId agent, std::uint64_t first,
+                          std::uint64_t count, bool is_write,
+                          const std::string &site,
+                          std::vector<RaceReport> &races)
+{
+    ensureAgent(agent);
+    Epoch now{agent, clocks[agent][agent], site};
+
+    for (std::uint64_t p = first; p < first + count; ++p) {
+        PageState &state = pages[p];
+
+        const Epoch *conflict = nullptr;
+        if (state.hasWrite && !happensBefore(state.lastWrite, agent))
+            conflict = &state.lastWrite;
+        if (conflict == nullptr && is_write) {
+            for (const Epoch &read : state.reads) {
+                if (!happensBefore(read, agent)) {
+                    conflict = &read;
+                    break;
+                }
+            }
+        }
+        if (conflict != nullptr) {
+            races.push_back({p, conflict->agent, conflict->site, agent,
+                             site});
+        }
+
+        if (is_write) {
+            state.lastWrite = now;
+            state.hasWrite = true;
+            state.reads.clear();
+        } else {
+            bool updated = false;
+            for (Epoch &read : state.reads) {
+                if (read.agent == agent) {
+                    read = now;
+                    updated = true;
+                    break;
+                }
+            }
+            if (!updated)
+                state.reads.push_back(now);
+        }
+    }
+}
+
+void
+RaceDetector::reset()
+{
+    clocks.clear();
+    pages.clear();
+}
+
+} // namespace upm::audit

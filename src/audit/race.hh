@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Vector-clock happens-before engine over simulated page accesses.
+ *
+ * The classic UPM porting bug (paper Section 3.3 / Section 5): under
+ * the unified model nothing forces the CPU to wait for the GPU before
+ * touching shared memory -- the hipMemcpy that used to act as a
+ * barrier is gone. The detector models each ordering agent (the host
+ * thread, plus one agent per HIP stream) with a vector clock; stream
+ * enqueues, stream/device synchronization, and event edges establish
+ * happens-before, and every *modelled* page access (kernel buffer
+ * footprints, memcpy source/destination, cpuStream/cpuFirstTouch
+ * ranges) is checked against the last conflicting access to the page.
+ *
+ * This is FastTrack-lite: per page we keep the last write epoch and
+ * the set of read epochs since that write; a conflicting pair without
+ * a happens-before edge is a race, reported with both access sites.
+ */
+
+#ifndef UPM_AUDIT_RACE_HH
+#define UPM_AUDIT_RACE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace upm::audit {
+
+/** An ordering agent: kHostAgent, or a per-stream id (stream id + 1). */
+using AgentId = unsigned;
+
+/** The host (CPU) agent. */
+inline constexpr AgentId kHostAgent = 0;
+
+/** One racing pair, handed to the Auditor for reporting. */
+struct RaceReport
+{
+    std::uint64_t page = 0;  //!< virtual page number
+    AgentId firstAgent = 0;
+    std::string firstSite;
+    AgentId secondAgent = 0;
+    std::string secondSite;
+};
+
+/**
+ * The happens-before engine. Pure shadow state: it never touches the
+ * simulation, and the Auditor owns exactly one.
+ */
+class RaceDetector
+{
+  public:
+    /**
+     * Establish a happens-before edge @p from -> @p to (release on
+     * @p from, acquire on @p to): to's clock absorbs from's, and from
+     * advances so its later work is not retroactively ordered.
+     */
+    void edge(AgentId from, AgentId to);
+
+    /** Edge from every known agent into @p to (hipDeviceSynchronize). */
+    void edgeAll(AgentId to);
+
+    /**
+     * Record an access by @p agent to pages [first, first+count) and
+     * collect any races against prior unordered conflicting accesses.
+     * @p site labels the access in reports (e.g. "kernel 'fdwt53'").
+     * At most one race is reported per page per call.
+     */
+    void accessRange(AgentId agent, std::uint64_t first,
+                     std::uint64_t count, bool is_write,
+                     const std::string &site,
+                     std::vector<RaceReport> &races);
+
+    /** Forget all page state and clocks (between benchmark runs). */
+    void reset();
+
+    /** Pages currently tracked (test/introspection surface). */
+    std::size_t trackedPages() const { return pages.size(); }
+
+  private:
+    /** An access epoch: who, at what point of their clock, and where. */
+    struct Epoch
+    {
+        AgentId agent = 0;
+        std::uint64_t clock = 0;
+        std::string site;
+    };
+
+    struct PageState
+    {
+        Epoch lastWrite;
+        bool hasWrite = false;
+        /** Reads since the last write, at most one epoch per agent. */
+        std::vector<Epoch> reads;
+    };
+
+    /** Grow the clock matrix to cover @p agent. */
+    void ensureAgent(AgentId agent);
+    /** Does @p epoch happen-before agent @p a's current clock? */
+    bool happensBefore(const Epoch &epoch, AgentId a) const;
+
+    /** clocks[a][b]: the latest clock of b that a has acquired. */
+    std::vector<std::vector<std::uint64_t>> clocks;
+    std::unordered_map<std::uint64_t, PageState> pages;
+};
+
+} // namespace upm::audit
+
+#endif // UPM_AUDIT_RACE_HH

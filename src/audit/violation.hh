@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Violation taxonomy for UPMSan, the cross-layer invariant auditor.
+ *
+ * Every checker reports through one structured record so tests can
+ * assert on the exact class of bug detected, and so a bench run under
+ * `--audit` can summarize what (if anything) went wrong without
+ * terminating. Violations flow through the non-terminating error path
+ * (common/log.hh `warn`), never `panic`: the auditor's job is to make
+ * corruption loud, not to hide the state that produced it.
+ */
+
+#ifndef UPM_AUDIT_VIOLATION_HH
+#define UPM_AUDIT_VIOLATION_HH
+
+#include <cstdint>
+#include <string>
+
+namespace upm::audit {
+
+/** Everything UPMSan knows how to detect, grouped by layer. */
+enum class ViolationKind : std::uint8_t {
+    // vm: system <-> GPU page-table mirror (HMM) invariants.
+    MirrorDivergence,   //!< GPU PTE maps a different frame than the
+                        //!< system PTE for the same vpn
+    StaleMirror,        //!< GPU PTE present with no system PTE behind it
+    XnackReplayMapped,  //!< XNACK replay delivered for an already
+                        //!< fully-mapped range (spurious fault)
+
+    // mem: physical frame allocator invariants.
+    FrameDoubleAlloc,  //!< buddy handed out a frame already busy
+    FrameDoubleFree,   //!< free of a frame that is not allocated
+    FrameLeak,         //!< busy frame with no mapping at teardown
+
+    // alloc: simulated-pointer registry invariants.
+    AllocOverlap,   //!< two live allocations share address space
+    UseAfterFree,   //!< access through a freed simulated pointer
+    InvalidFree,    //!< free of a pointer that was never allocated
+
+    // cache: coherence shadow-state invariants.
+    DirtyInTwoCaches,  //!< a line exclusively dirty in two private caches
+    IcStaleFill,       //!< Infinity Cache absorbs a line some private
+                       //!< cache still holds dirty (IC takes no snoops)
+
+    // Simulated CPU <-> GPU happens-before races over pages.
+    CpuGpuRace,  //!< CPU and GPU touch a page with no ordering edge
+    GpuGpuRace,  //!< two streams touch a page with no ordering edge
+};
+
+/** Human-readable name of a violation kind. */
+const char *kindName(ViolationKind kind);
+
+/** One detected invariant violation. */
+struct Violation
+{
+    ViolationKind kind;
+    /** Simulated address the violation anchors to: a byte address for
+     *  vm/alloc/race checks, a frame id for mem checks, a line id for
+     *  cache checks. */
+    std::uint64_t addr = 0;
+    /** Free-form description with both sites where applicable. */
+    std::string detail;
+};
+
+} // namespace upm::audit
+
+#endif // UPM_AUDIT_VIOLATION_HH

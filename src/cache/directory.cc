@@ -1,5 +1,7 @@
 #include "cache/directory.hh"
 
+#include "audit/auditor.hh"
+
 namespace upm::cache {
 
 SimTime
@@ -18,6 +20,15 @@ Directory::cpuAtomic(std::uint64_t line, unsigned core)
       default:
         t = cost.cpuFromMemory;
         break;
+    }
+    if (aud != nullptr) {
+        // The priced transfer invalidates the previous owner before
+        // the core takes the line exclusive.
+        if (entry.owner != Owner::None &&
+            (entry.owner != Owner::CpuCore || entry.core != core)) {
+            aud->onLineReleased(line);
+        }
+        aud->onLineOwned(line, core);
     }
     entry.owner = Owner::CpuCore;
     entry.core = core;
@@ -41,6 +52,11 @@ Directory::gpuAtomic(std::uint64_t line)
         t = cost.gpuFromMemory;
         break;
     }
+    if (aud != nullptr) {
+        if (entry.owner == Owner::CpuCore)
+            aud->onLineReleased(line);
+        aud->onLineOwned(line, audit::kGpuOwner);
+    }
     entry.owner = Owner::GpuL2;
     return t;
 }
@@ -49,8 +65,15 @@ void
 Directory::evict(std::uint64_t line)
 {
     auto it = lines.find(line);
-    if (it != lines.end())
+    if (it != lines.end()) {
+        if (aud != nullptr && it->second.owner != Owner::None) {
+            // Capacity eviction writes the line back, then the IC may
+            // absorb it; writeback precedes the fill.
+            aud->onLineReleased(line);
+            aud->onIcFill(line);
+        }
         it->second.owner = Owner::None;
+    }
 }
 
 Owner

@@ -19,6 +19,10 @@
 
 #include "common/units.hh"
 
+namespace upm::audit {
+class Auditor;
+}
+
 namespace upm::cache {
 
 /** Who currently owns a line. */
@@ -75,6 +79,14 @@ class Directory
 
     const CoherenceCosts &costs() const { return cost; }
 
+    /**
+     * Attach UPMSan. Every ownership transfer is mirrored into the
+     * auditor's dirty-line shadow (release previous owner, then take
+     * exclusive), so a directory transition that skipped the
+     * invalidation shows up as DirtyInTwoCaches.
+     */
+    void setAuditor(audit::Auditor *auditor) { aud = auditor; }
+
   private:
     struct Entry
     {
@@ -84,6 +96,8 @@ class Directory
 
     CoherenceCosts cost;
     std::unordered_map<std::uint64_t, Entry> lines;
+    /** UPMSan hook; null (no overhead) unless auditing is enabled. */
+    audit::Auditor *aud = nullptr;
 };
 
 } // namespace upm::cache

@@ -14,6 +14,7 @@
 #ifndef UPM_CORE_CALIBRATION_HH
 #define UPM_CORE_CALIBRATION_HH
 
+#include "audit/config.hh"
 #include "cache/atomic_unit.hh"
 #include "cache/directory.hh"
 #include "cache/hierarchy.hh"
@@ -202,6 +203,8 @@ struct SystemConfig
     ComputeCalib compute;
     GpuTlbCalib gpuTlb;
     AtomicsCalib atomicsModel;
+    /** UPMSan invariant auditor + race detector (off by default). */
+    audit::AuditConfig audit;
 
     unsigned numCus = 228;      //!< compute units (6 XCDs)
     unsigned numXcds = 6;

@@ -9,6 +9,27 @@ System::System(const SystemConfig &config)
       rt(as, registry, faults, cfg, geom), numaMeminfo(frameAlloc),
       processRss(as)
 {
+    if (cfg.audit.enabled) {
+        aud = std::make_unique<audit::Auditor>(cfg.audit);
+        frameAlloc.setAuditor(aud.get());
+        as.setAuditor(aud.get());
+        registry.setAuditor(aud.get());
+        rt.setAuditor(aud.get());
+    }
+}
+
+void
+System::finalizeAudit()
+{
+    if (!aud)
+        return;
+    as.auditMirrorConsistency(*aud);
+    std::vector<bool> mapped(geom.numFrames(), false);
+    as.systemTable().forRange(0, ~0ull, [&](vm::Vpn, const vm::Pte &pte) {
+        if (pte.frame < mapped.size())
+            mapped[pte.frame] = true;
+    });
+    frameAlloc.auditLeaks(mapped, *aud);
 }
 
 } // namespace upm::core

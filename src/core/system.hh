@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "alloc/registry.hh"
+#include "audit/auditor.hh"
 #include "core/apu.hh"
 #include "core/calibration.hh"
 #include "hip/runtime.hh"
@@ -53,6 +54,18 @@ class System
     prof::NumaMeminfo &meminfo() { return numaMeminfo; }
     prof::ProcessRss &rss() { return processRss; }
 
+    /** The UPMSan auditor, or null when cfg.audit.enabled is false. */
+    audit::Auditor *auditor() { return aud.get(); }
+    const audit::Auditor *auditor() const { return aud.get(); }
+
+    /**
+     * End-of-run whole-structure checks (cheap per-event hooks cannot
+     * see them): full system/GPU page-table cross-check and the frame
+     * leak scan. Call after the workload is done, before reading
+     * auditor()->violations(). No-op when auditing is off.
+     */
+    void finalizeAudit();
+
   private:
     SystemConfig cfg;
     Apu apuTopo;
@@ -66,6 +79,8 @@ class System
     prof::CounterRegistry counterRegistry;
     prof::NumaMeminfo numaMeminfo;
     prof::ProcessRss processRss;
+    /** Created (and wired into every layer) only when auditing is on. */
+    std::unique_ptr<audit::Auditor> aud;
 };
 
 } // namespace upm::core

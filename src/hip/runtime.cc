@@ -3,9 +3,21 @@
 #include <algorithm>
 #include <cstring>
 
+#include "audit/auditor.hh"
 #include "common/log.hh"
 
 namespace upm::hip {
+
+namespace {
+
+/** Race-detector agent ids: the host is agent 0, stream s is s+1. */
+unsigned
+agentOf(const Stream &stream)
+{
+    return stream.id() + 1;
+}
+
+} // namespace
 
 Runtime::Runtime(vm::AddressSpace &address_space,
                  alloc::AllocatorRegistry &allocator_registry,
@@ -17,6 +29,22 @@ Runtime::Runtime(vm::AddressSpace &address_space,
       copyEngine(config.bandwidth, config.sdmaEnabled), stream0(0)
 {
     as.setXnack(cfg.xnack);
+}
+
+void
+Runtime::auditAccess(unsigned agent, DevPtr ptr, std::uint64_t bytes,
+                     bool is_write, const char *site)
+{
+    if (aud == nullptr || bytes == 0)
+        return;
+    const vm::Vma *vma = as.findVma(ptr);
+    if (vma == nullptr)
+        return;  // the caller is about to fatal() anyway
+    vm::Vpn first = vm::vpnOf(ptr);
+    vm::Vpn last = vm::vpnOf(ptr + bytes + mem::kPageSize - 1);
+    last = std::min(last, vma->endVpn());
+    if (last > first)
+        aud->raceAccess(agent, first, last - first, is_write, site);
 }
 
 void
@@ -125,6 +153,14 @@ Runtime::hipMemGetInfo() const
 CopyPath
 Runtime::hipMemcpy(DevPtr dst, DevPtr src, std::uint64_t bytes)
 {
+    if (aud != nullptr) {
+        // Use checks run before the VMA lookup so a use-after-free is
+        // classified as such, not just as an unmapped-pointer fatal.
+        aud->noteUse(src, "hipMemcpy source");
+        aud->noteUse(dst, "hipMemcpy destination");
+        auditAccess(audit::kHostAgent, src, bytes, false, "hipMemcpy read");
+        auditAccess(audit::kHostAgent, dst, bytes, true, "hipMemcpy write");
+    }
     const vm::Vma *dst_vma = as.findVma(dst);
     const vm::Vma *src_vma = as.findVma(src);
     if (dst_vma == nullptr || src_vma == nullptr)
@@ -154,6 +190,16 @@ CopyPath
 Runtime::hipMemcpyAsync(DevPtr dst, DevPtr src, std::uint64_t bytes,
                         Stream &stream)
 {
+    if (aud != nullptr) {
+        aud->noteUse(src, "hipMemcpyAsync source");
+        aud->noteUse(dst, "hipMemcpyAsync destination");
+        // Enqueue orders the copy after everything the host did so far.
+        aud->raceEdge(audit::kHostAgent, agentOf(stream));
+        auditAccess(agentOf(stream), src, bytes, false,
+                    "hipMemcpyAsync read");
+        auditAccess(agentOf(stream), dst, bytes, true,
+                    "hipMemcpyAsync write");
+    }
     const vm::Vma *dst_vma = as.findVma(dst);
     const vm::Vma *src_vma = as.findVma(src);
     if (dst_vma == nullptr || src_vma == nullptr)
@@ -249,6 +295,18 @@ Runtime::launchKernel(const KernelDesc &desc,
     if (stream == nullptr)
         stream = &stream0;
 
+    if (aud != nullptr) {
+        aud->raceEdge(audit::kHostAgent, agentOf(*stream));
+        for (const auto &use : desc.buffers) {
+            std::string site = "kernel '" + desc.name + "'";
+            aud->noteUse(use.ptr, site.c_str());
+            // Descriptors carry no read/write split; treat the whole
+            // footprint as written (conservative for race purposes).
+            auditAccess(agentOf(*stream), use.ptr, use.footprint(), true,
+                        site.c_str());
+        }
+    }
+
     SimTime fault_time = 0.0;
     for (const auto &use : desc.buffers)
         fault_time += resolveKernelFaults(use);
@@ -282,12 +340,18 @@ void
 Runtime::deviceSynchronize()
 {
     hostClock.advanceTo(stream0.readyAt());
+    // hipDeviceSynchronize waits for every stream, so it orders all
+    // prior GPU work before subsequent host accesses.
+    if (aud != nullptr)
+        aud->raceEdgeAll(audit::kHostAgent);
 }
 
 void
 Runtime::streamSynchronize(Stream &stream)
 {
     hostClock.advanceTo(stream.readyAt());
+    if (aud != nullptr)
+        aud->raceEdge(agentOf(stream), audit::kHostAgent);
 }
 
 Event
@@ -315,6 +379,11 @@ Runtime::makeStream()
 SimTime
 Runtime::cpuFirstTouch(DevPtr ptr, std::uint64_t size, unsigned threads)
 {
+    if (aud != nullptr) {
+        aud->noteUse(ptr, "cpuFirstTouch");
+        auditAccess(audit::kHostAgent, ptr, std::max<std::uint64_t>(size, 1),
+                    true, "cpuFirstTouch");
+    }
     const vm::Vma *vma = as.findVma(ptr);
     if (vma == nullptr)
         fatal("cpuFirstTouch of unmapped pointer");
@@ -342,6 +411,10 @@ Runtime::cpuFirstTouch(DevPtr ptr, std::uint64_t size, unsigned threads)
 SimTime
 Runtime::cpuStream(DevPtr ptr, std::uint64_t bytes, unsigned threads)
 {
+    if (aud != nullptr) {
+        aud->noteUse(ptr, "cpuStream");
+        auditAccess(audit::kHostAgent, ptr, bytes, false, "cpuStream");
+    }
     const vm::Vma *vma = as.findVma(ptr);
     if (vma == nullptr)
         fatal("cpuStream of unmapped pointer");

@@ -26,6 +26,10 @@
 #include "hip/stream.hh"
 #include "vm/fault_handler.hh"
 
+namespace upm::audit {
+class Auditor;
+}
+
 namespace upm::hip {
 
 /** Runtime-level counters (profiling surface). */
@@ -89,7 +93,14 @@ class Runtime
     }
 
     /** hipMemGetInfo: counts ONLY hipMalloc allocations (real HIP
-     *  behaviour the paper documents in Section 3.2). */
+     *  behaviour the paper documents in Section 3.2). Memory consumed
+     *  by malloc / hipHostMalloc / hipMallocManaged is invisible here,
+     *  so fit checks against freeBytes silently over-commit. UPMSan
+     *  covers the blind spot from the other side: the audit layer's
+     *  allocation shadow (audit::Auditor::noteAlloc, fed by
+     *  alloc::AllocatorRegistry) tracks every allocator kind and flags
+     *  overlapping live ranges and use-after-free that such
+     *  over-commit can produce. */
     MemInfo hipMemGetInfo() const;
 
     // ---- Data movement -----------------------------------------------
@@ -160,10 +171,23 @@ class Runtime
     std::uint64_t peakBytesUsed() const { return peakBytes; }
     void resetPeak();
 
+    /**
+     * Attach UPMSan. The runtime feeds the simulated race detector:
+     * every modelled access (kernels, memcpys, cpuFirstTouch /
+     * cpuStream) becomes a page-granular vector-clock access, and
+     * enqueue / synchronize calls become happens-before edges. Raw
+     * hostPtr() accesses are NOT tracked.
+     */
+    void setAuditor(audit::Auditor *auditor) { aud = auditor; }
+
   private:
     /** Resolve GPU faults on a kernel buffer; @return time charged. */
     SimTime resolveKernelFaults(const BufferUse &use);
     void notePeak();
+    /** Feed one modelled access to the race detector (page range is
+     *  clamped to the pointer's VMA; no-op when unaudited). */
+    void auditAccess(unsigned agent, DevPtr ptr, std::uint64_t bytes,
+                     bool is_write, const char *site);
 
     vm::AddressSpace &as;
     alloc::AllocatorRegistry &registry;
@@ -181,6 +205,8 @@ class Runtime
 
     RuntimeStats runtimeStats;
     std::uint64_t peakBytes = 0;
+    /** UPMSan hook; null (no overhead) unless auditing is enabled. */
+    audit::Auditor *aud = nullptr;
 };
 
 } // namespace upm::hip

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "audit/auditor.hh"
 #include "common/log.hh"
 
 namespace upm::mem {
@@ -56,8 +57,18 @@ FrameAllocator::allocBlock(unsigned order, FrameId &base)
     }
 
     std::uint64_t n = 1ull << order;
-    for (std::uint64_t i = 0; i < n; ++i)
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if (aud != nullptr && aud->config().checkFrames &&
+            frameBusy[block + i]) {
+            aud->record(audit::ViolationKind::FrameDoubleAlloc,
+                        block + i,
+                        strprintf("buddy handed out frame %llu, already "
+                                  "busy (free-list/busy-bit divergence)",
+                                  static_cast<unsigned long long>(
+                                      block + i)));
+        }
         frameBusy[block + i] = true;
+    }
     freeCount -= n;
     base = block;
     return true;
@@ -67,12 +78,25 @@ void
 FrameAllocator::freeBlock(FrameId base, unsigned order)
 {
     std::uint64_t n = 1ull << order;
+    // Validate the whole block before mutating anything: an audited
+    // double free is recorded and ignored, leaving state intact.
     for (std::uint64_t i = 0; i < n; ++i) {
-        if (!frameBusy[base + i])
+        if (!frameBusy[base + i]) {
+            if (aud != nullptr && aud->config().checkFrames) {
+                aud->record(audit::ViolationKind::FrameDoubleFree,
+                            base + i,
+                            strprintf("free of frame %llu, which is not "
+                                      "allocated",
+                                      static_cast<unsigned long long>(
+                                          base + i)));
+                return;
+            }
             panic("double free of frame %llu",
                   static_cast<unsigned long long>(base + i));
-        frameBusy[base + i] = false;
+        }
     }
+    for (std::uint64_t i = 0; i < n; ++i)
+        frameBusy[base + i] = false;
     freeCount += n;
 
     // Merge with the buddy while possible.
@@ -299,6 +323,34 @@ FrameAllocator::freeFrames() const
     for (const auto &pool : stackPools)
         pooled += pool.size();
     return freeCount + pooled;
+}
+
+std::uint64_t
+FrameAllocator::auditLeaks(const std::vector<bool> &mapped,
+                           audit::Auditor &auditor) const
+{
+    if (!auditor.config().checkFrames)
+        return 0;
+    std::vector<bool> pooled(geom.numFrames(), false);
+    for (FrameId f : onDemandPool)
+        pooled[f] = true;
+    for (const auto &pool : stackPools) {
+        for (FrameId f : pool)
+            pooled[f] = true;
+    }
+    std::uint64_t leaked = 0;
+    for (FrameId f = 0; f < geom.numFrames(); ++f) {
+        if (!frameBusy[f] || pooled[f])
+            continue;
+        if (f < mapped.size() && mapped[f])
+            continue;
+        ++leaked;
+        auditor.record(audit::ViolationKind::FrameLeak, f,
+                       strprintf("frame %llu is allocated but mapped "
+                                 "by no page table at teardown",
+                                 static_cast<unsigned long long>(f)));
+    }
+    return leaked;
 }
 
 std::vector<std::uint64_t>

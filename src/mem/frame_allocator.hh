@@ -35,6 +35,10 @@
 #include "common/rng.hh"
 #include "mem/geometry.hh"
 
+namespace upm::audit {
+class Auditor;
+}
+
 namespace upm::mem {
 
 /** A physically contiguous run of frames. */
@@ -101,7 +105,7 @@ class FrameAllocator
      */
     bool allocInterleaved(std::uint64_t n, std::vector<FrameId> &out);
 
-    /** Free one frame. Double frees panic. */
+    /** Free one frame. Double frees panic (or report, when audited). */
     void freeFrame(FrameId frame);
 
     /** Free a contiguous range (page-by-page buddy merge). */
@@ -119,6 +123,23 @@ class FrameAllocator
     std::vector<std::uint64_t> perStackFree() const;
 
     const MemGeometry &geometry() const { return geom; }
+
+    /**
+     * Attach the UPMSan auditor. With an auditor attached,
+     * double-alloc/double-free become recorded violations instead of
+     * panics, so tests can assert on the exact failure class.
+     */
+    void setAuditor(audit::Auditor *auditor) { aud = auditor; }
+
+    /**
+     * Teardown leak check: every busy frame must either be referenced
+     * by a page table (@p mapped, indexed by FrameId) or parked in one
+     * of the free pools; anything else leaked. Reports FrameLeak per
+     * offending frame through @p auditor.
+     * @return leaked frame count.
+     */
+    std::uint64_t auditLeaks(const std::vector<bool> &mapped,
+                             audit::Auditor &auditor) const;
 
   private:
     /** Allocate one buddy block of @p order; @return base or fail. */
@@ -145,6 +166,8 @@ class FrameAllocator
     std::vector<std::deque<FrameId>> stackPools;
     unsigned nextStack = 0;
     SplitMix64 rng;
+    /** UPMSan hook; null (no overhead) unless auditing is enabled. */
+    audit::Auditor *aud = nullptr;
 };
 
 } // namespace upm::mem

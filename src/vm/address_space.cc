@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "audit/auditor.hh"
 #include "common/log.hh"
 
 namespace upm::vm {
@@ -259,8 +260,22 @@ AddressSpace::resolveGpuFault(Vpn first, std::uint64_t count)
         if (!sysTable.present(vpn))
             any_missing_sys = true;
     }
-    if (!any_missing_gpu)
+    if (!any_missing_gpu) {
+        // An XNACK replay arriving for a fully mapped range means the
+        // retry logic re-sent a fault the handler already resolved --
+        // wasted replay bandwidth on real hardware, a logic bug here.
+        if (aud != nullptr && aud->config().checkMirror) {
+            aud->record(audit::ViolationKind::XnackReplayMapped,
+                        addrOf(first),
+                        strprintf("GPU fault replay on [vpn 0x%llx, "
+                                  "+%llu) but every page is already "
+                                  "GPU-mapped",
+                                  static_cast<unsigned long long>(first),
+                                  static_cast<unsigned long long>(
+                                      last - first)));
+        }
         return GpuFaultKind::None;
+    }
 
     // Retry-able GPU page faults require XNACK unless the VMA was
     // GPU-mapped up-front (in which case there is nothing to resolve
@@ -342,6 +357,44 @@ std::vector<std::uint64_t>
 AddressSpace::stackLoadOf(VirtAddr base, std::uint64_t size) const
 {
     return frameAlloc.geometry().stackLoad(framesOf(base, size));
+}
+
+void
+AddressSpace::setAuditor(audit::Auditor *auditor)
+{
+    aud = auditor;
+    hmm.setAuditor(auditor);
+}
+
+std::uint64_t
+AddressSpace::auditMirrorConsistency(audit::Auditor &auditor) const
+{
+    if (!auditor.config().checkMirror)
+        return 0;
+    std::uint64_t violations = 0;
+    gpuPt.forRange(0, ~0ull, [&](Vpn vpn, const GpuPte &gpu_pte) {
+        auto sys_pte = sysTable.lookup(vpn);
+        if (!sys_pte) {
+            ++violations;
+            auditor.record(
+                audit::ViolationKind::StaleMirror, addrOf(vpn),
+                strprintf("GPU PTE for vpn 0x%llx (frame %llu) has no "
+                          "system PTE: the MMU notifier missed an "
+                          "invalidation",
+                          static_cast<unsigned long long>(vpn),
+                          static_cast<unsigned long long>(gpu_pte.frame)));
+        } else if (sys_pte->frame != gpu_pte.frame) {
+            ++violations;
+            auditor.record(
+                audit::ViolationKind::MirrorDivergence, addrOf(vpn),
+                strprintf("vpn 0x%llx: system PTE maps frame %llu but "
+                          "GPU PTE maps frame %llu",
+                          static_cast<unsigned long long>(vpn),
+                          static_cast<unsigned long long>(sys_pte->frame),
+                          static_cast<unsigned long long>(gpu_pte.frame)));
+        }
+    });
+    return violations;
 }
 
 } // namespace upm::vm

@@ -27,6 +27,10 @@
 #include "vm/hmm.hh"
 #include "vm/page_table.hh"
 
+namespace upm::audit {
+class Auditor;
+}
+
 namespace upm::vm {
 
 /** Which physical-frame source populates a VMA. */
@@ -178,6 +182,17 @@ class AddressSpace
     std::uint64_t gpuMajorFaults() const { return gpuMajorCount; }
     std::uint64_t gpuMinorFaults() const { return gpuMinorCount; }
 
+    /** Attach UPMSan to this address space and its HMM mirror. */
+    void setAuditor(audit::Auditor *auditor);
+
+    /**
+     * Full mirror cross-check: every GPU PTE must have a matching
+     * system PTE (else StaleMirror) mapping the same frame (else
+     * MirrorDivergence). Run at teardown by System::finalizeAudit().
+     * @return violations found.
+     */
+    std::uint64_t auditMirrorConsistency(audit::Auditor &auditor) const;
+
   private:
     Vma *findVmaMutable(VirtAddr addr);
 
@@ -204,6 +219,8 @@ class AddressSpace
     std::uint64_t cpuFaultCount = 0;
     std::uint64_t gpuMajorCount = 0;
     std::uint64_t gpuMinorCount = 0;
+    /** UPMSan hook; null (no overhead) unless auditing is enabled. */
+    audit::Auditor *aud = nullptr;
 };
 
 } // namespace upm::vm

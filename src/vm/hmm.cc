@@ -2,6 +2,9 @@
 
 #include <vector>
 
+#include "audit/auditor.hh"
+#include "common/log.hh"
+
 namespace upm::vm {
 
 std::uint64_t
@@ -9,8 +12,22 @@ HmmMirror::mirrorRange(Vpn begin, Vpn end)
 {
     std::vector<std::pair<Vpn, Pte>> missing;
     sysTable.forRange(begin, end, [&](Vpn vpn, const Pte &pte) {
-        if (!gpuTable.present(vpn))
+        if (!gpuTable.present(vpn)) {
             missing.emplace_back(vpn, pte);
+        } else if (aud != nullptr && aud->config().checkMirror) {
+            // Both tables map the page: HMM guarantees they agree.
+            auto gpu_pte = gpuTable.lookup(vpn);
+            if (gpu_pte->frame != pte.frame) {
+                aud->record(
+                    audit::ViolationKind::MirrorDivergence, addrOf(vpn),
+                    strprintf("vpn 0x%llx: system PTE maps frame %llu "
+                              "but GPU PTE maps frame %llu",
+                              static_cast<unsigned long long>(vpn),
+                              static_cast<unsigned long long>(pte.frame),
+                              static_cast<unsigned long long>(
+                                  gpu_pte->frame)));
+            }
+        }
     });
     for (const auto &[vpn, pte] : missing)
         gpuTable.insert(vpn, pte.frame, pte.flags);

@@ -18,6 +18,10 @@
 #include "vm/gpu_page_table.hh"
 #include "vm/page_table.hh"
 
+namespace upm::audit {
+class Auditor;
+}
+
 namespace upm::vm {
 
 /**
@@ -49,11 +53,16 @@ class HmmMirror
     /** Lifetime count of invalidated PTEs. */
     std::uint64_t invalidated() const { return invalidatedCount; }
 
+    /** Attach UPMSan: mirrorRange then cross-checks frames of PTEs
+     *  that are present on both sides (MirrorDivergence). */
+    void setAuditor(audit::Auditor *auditor) { aud = auditor; }
+
   private:
     const SystemPageTable &sysTable;
     GpuPageTable &gpuTable;
     std::uint64_t propagatedCount = 0;
     std::uint64_t invalidatedCount = 0;
+    audit::Auditor *aud = nullptr;
 };
 
 } // namespace upm::vm

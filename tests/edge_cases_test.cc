@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "audit/auditor.hh"
 #include "common/log.hh"
 #include "core/latency_probe.hh"
 #include "core/system.hh"
@@ -21,6 +22,15 @@ cfg1G()
 {
     core::SystemConfig cfg;
     cfg.geometry.capacityBytes = 1 * GiB;
+    return cfg;
+}
+
+core::SystemConfig
+cfg1GAudited()
+{
+    core::SystemConfig cfg = cfg1G();
+    cfg.audit.enabled = true;
+    cfg.audit.warnOnViolation = false;
     return cfg;
 }
 
@@ -125,6 +135,55 @@ TEST(EdgeCases, SystemSurvivesGpuViolation)
     rt.setXnack(true);
     EXPECT_NO_THROW(rt.launchKernel(k, nullptr));
     rt.hipFree(p);
+}
+
+TEST(EdgeCases, AuditedMisuseIsClassifiedNotJustFatal)
+{
+    // hipMemGetInfo only sees hipMalloc (the Section 3.2 blind spot),
+    // so a program can "pass" its fit check and still misuse memory.
+    // The auditor's allocation shadow sees every allocator kind and
+    // classifies the misuse precisely.
+    core::System sys(cfg1GAudited());
+    auto &rt = sys.runtime();
+    auto free_before = rt.hipMemGetInfo().freeBytes;
+    hip::DevPtr p = rt.hostMalloc(64 * MiB);
+    EXPECT_EQ(rt.hipMemGetInfo().freeBytes, free_before);  // blind spot
+
+    rt.cpuFirstTouch(p, 64 * MiB);
+    rt.hipFree(p);
+    EXPECT_THROW(rt.cpuFirstTouch(p, 4 * KiB), SimError);
+    EXPECT_GE(sys.auditor()->countOf(audit::ViolationKind::UseAfterFree),
+              1u);
+}
+
+TEST(EdgeCases, AuditedBoundaryClampingRaisesNoViolations)
+{
+    // Boundary-straddling accesses clamp to the VMA; under audit the
+    // clamping must not misread as an invariant violation.
+    core::System sys(cfg1GAudited());
+    auto &rt = sys.runtime();
+    rt.setXnack(true);
+    hip::DevPtr p = rt.hostMalloc(16 * KiB);
+    rt.cpuFirstTouch(p, 1 * MiB);  // past the VMA end
+    hip::KernelDesc k;
+    k.buffers.push_back({p, 16 * KiB, 1 * MiB});  // oversized footprint
+    rt.launchKernel(k, nullptr);
+    rt.deviceSynchronize();
+    rt.hipFree(p);
+    sys.finalizeAudit();
+    EXPECT_TRUE(sys.auditor()->clean()) << sys.auditor()->summary();
+}
+
+TEST(EdgeCases, AuditedOomRollbackLeaksNothing)
+{
+    // The OOM rollback path returns every partially-allocated frame;
+    // the teardown leak scan must agree.
+    core::System sys(cfg1GAudited());
+    auto &rt = sys.runtime();
+    EXPECT_THROW(rt.hipMalloc(2 * GiB), SimError);
+    sys.finalizeAudit();
+    EXPECT_EQ(sys.auditor()->countOf(audit::ViolationKind::FrameLeak), 0u);
+    EXPECT_TRUE(sys.auditor()->clean()) << sys.auditor()->summary();
 }
 
 TEST(EdgeCases, ManyStreamsGetDistinctIds)

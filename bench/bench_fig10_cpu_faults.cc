@@ -11,6 +11,7 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hh"
 #include "core/stream_probe.hh"
@@ -20,50 +21,86 @@ using AK = alloc::AllocatorKind;
 
 namespace {
 
-std::uint64_t
-faults(AK kind, bool xnack, core::FirstTouch touch)
+const struct
 {
-    core::System sys;
-    sys.runtime().setXnack(xnack);
-    core::StreamProbe probe(sys);
-    return probe.cpuTriad(kind, touch).pageFaults;
+    AK kind;
+    const char *name;
+} kAllocators[] = {
+    {AK::Malloc, "malloc"},
+    {AK::MallocRegistered, "malloc+register"},
+    {AK::HipMalloc, "hipMalloc"},
+    {AK::HipHostMalloc, "hipHostMalloc"},
+    {AK::HipMallocManaged, "hipMallocManaged"},
+};
+constexpr std::size_t kNumAllocators = std::size(kAllocators);
+
+/** The three columns of the figure for one allocator. */
+struct FaultConfig
+{
+    bool xnack;
+    core::FirstTouch touch;
+};
+
+FaultConfig
+configFor(std::size_t allocator, std::size_t column)
+{
+    switch (column) {
+      case 0:
+        return {false, core::FirstTouch::Cpu};
+      case 1:
+        return {true, core::FirstTouch::Cpu};
+      default:
+        // GPU init is only meaningful where the GPU can first-touch.
+        bool gpu_ok =
+            alloc::traitsOf(kAllocators[allocator].kind, true).onDemand;
+        return {gpu_ok, core::FirstTouch::Gpu};
+    }
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opt = bench::Options::parse(argc, argv);
     setQuiet(true);
     bench::banner("Figure 10",
                   "CPU page faults in CPU STREAM (3 x 610 MiB arrays)");
 
-    const struct
-    {
-        AK kind;
-        const char *name;
-    } allocators[] = {
-        {AK::Malloc, "malloc"},
-        {AK::MallocRegistered, "malloc+register"},
-        {AK::HipMalloc, "hipMalloc"},
-        {AK::HipHostMalloc, "hipHostMalloc"},
-        {AK::HipMallocManaged, "hipMallocManaged"},
-    };
+    bench::JsonReporter report("fig10_cpu_faults", opt.jsonPath);
 
+    // 15 independent STREAM runs (allocator x column), each on its
+    // own worker-local System.
+    const core::SystemConfig config;
+    std::vector<std::vector<std::uint64_t>> faults(
+        kNumAllocators, std::vector<std::uint64_t>(3, 0));
+    exec::globalPool().parallelFor(
+        kNumAllocators * 3, [&](std::size_t cell) {
+            std::size_t a = cell / 3;
+            std::size_t col = cell % 3;
+            FaultConfig fc = configFor(a, col);
+            core::System sys(config);
+            sys.runtime().setXnack(fc.xnack);
+            core::StreamProbe probe(sys);
+            faults[a][col] =
+                probe.cpuTriad(kAllocators[a].kind, fc.touch).pageFaults;
+        });
+
+    const char *columns[] = {"xnack0", "xnack1", "gpu_init"};
     std::printf("%-18s %14s %14s %14s\n", "allocator", "XNACK=0",
                 "XNACK=1", "GPU init");
-    for (const auto &a : allocators) {
-        std::uint64_t base = faults(a.kind, false, core::FirstTouch::Cpu);
-        std::uint64_t xnack = faults(a.kind, true, core::FirstTouch::Cpu);
-        // GPU init is only meaningful where the GPU can first-touch.
-        bool gpu_ok = alloc::traitsOf(a.kind, true).onDemand;
-        std::uint64_t gpu_init =
-            gpu_ok ? faults(a.kind, true, core::FirstTouch::Gpu)
-                   : faults(a.kind, false, core::FirstTouch::Gpu);
-        std::printf("%-18s %14llu %14llu %14llu\n", a.name,
-                    static_cast<unsigned long long>(base),
-                    static_cast<unsigned long long>(xnack),
-                    static_cast<unsigned long long>(gpu_init));
+    for (std::size_t a = 0; a < kNumAllocators; ++a) {
+        for (std::size_t col = 0; col < 3; ++col) {
+            report.point()
+                .param("allocator", std::string(kAllocators[a].name))
+                .param("config", std::string(columns[col]))
+                .metric("page_faults", faults[a][col]);
+        }
+        std::printf("%-18s %14llu %14llu %14llu\n", kAllocators[a].name,
+                    static_cast<unsigned long long>(faults[a][0]),
+                    static_cast<unsigned long long>(faults[a][1]),
+                    static_cast<unsigned long long>(faults[a][2]));
     }
+    report.write();
     return 0;
 }

@@ -13,7 +13,8 @@
  */
 
 #include <cstdio>
-#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench_util.hh"
 #include "workloads/workload.hh"
@@ -21,55 +22,78 @@
 using namespace upm;
 using namespace upm::workloads;
 
+namespace {
+
+/** One (app, model) run: its report plus the audit outcome. */
+struct RunCell
+{
+    RunReport report;
+    std::uint64_t violations = 0;
+    std::string auditSummary;  //!< non-empty only when not clean
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     // --audit: run every app under the UPMSan invariant auditor and
     // race detector, and fail if any run is not clean.
-    bool audit = false;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--audit") == 0) {
-            audit = true;
-        } else {
-            std::fprintf(stderr, "usage: %s [--audit]\n", argv[0]);
-            return 2;
-        }
-    }
+    auto opt = bench::Options::parse(argc, argv, /*allow_audit=*/true);
     core::SystemConfig cfg;
-    cfg.audit.enabled = audit;
+    cfg.audit.enabled = opt.audit;
 
     setQuiet(true);
     bench::banner("Figure 11",
                   "Six Rodinia apps: unified vs explicit model");
 
-    std::uint64_t total_violations = 0;
-    auto report_audit = [&](core::System &sys, const char *model) {
-        if (sys.auditor() == nullptr)
-            return;
-        sys.finalizeAudit();
-        total_violations += sys.auditor()->totalViolations();
-        if (!sys.auditor()->clean()) {
-            std::printf("  [%s] %s\n", model,
-                        sys.auditor()->summary().c_str());
-        }
-    };
+    bench::JsonReporter json("fig11_apps", opt.jsonPath);
 
+    // Each (app, model) run consumes a fresh System, so the whole
+    // suite fans out: task 2i runs app i explicit, task 2i+1 unified.
+    // Workload objects are constructed per task -- run() may keep
+    // per-instance scratch state.
+    const std::size_t num_apps = makeAllWorkloads().size();
+    std::vector<RunCell> cells(num_apps * 2);
+    exec::globalPool().parallelFor(num_apps * 2, [&](std::size_t t) {
+        auto workload = std::move(makeAllWorkloads()[t / 2]);
+        Model model = t % 2 == 0 ? Model::Explicit : Model::Unified;
+        core::System sys(cfg);
+        RunCell &cell = cells[t];
+        cell.report = workload->run(sys, model);
+        if (sys.auditor() != nullptr) {
+            sys.finalizeAudit();
+            cell.violations = sys.auditor()->totalViolations();
+            if (!sys.auditor()->clean())
+                cell.auditSummary = sys.auditor()->summary();
+        }
+    });
+
+    std::uint64_t total_violations = 0;
     std::printf("%-14s %21s %21s %19s %9s\n", "app",
                 "total (exp -> uni)", "compute (exp -> uni)",
                 "peak mem (MiB)", "validate");
-    for (auto &workload : makeAllWorkloads()) {
-        RunReport e, u;
-        {
-            core::System sys(cfg);
-            e = workload->run(sys, Model::Explicit);
-            report_audit(sys, "explicit");
-        }
-        {
-            core::System sys(cfg);
-            u = workload->run(sys, Model::Unified);
-            report_audit(sys, "unified");
+    for (std::size_t i = 0; i < num_apps; ++i) {
+        const RunReport &e = cells[2 * i].report;
+        const RunReport &u = cells[2 * i + 1].report;
+        for (const RunCell *cell : {&cells[2 * i], &cells[2 * i + 1]}) {
+            total_violations += cell->violations;
+            if (!cell->auditSummary.empty()) {
+                std::printf("  [%s] %s\n",
+                            modelName(cell->report.model),
+                            cell->auditSummary.c_str());
+            }
         }
         bool valid = e.checksum == u.checksum;
+        json.point()
+            .param("app", e.app)
+            .metric("explicit_total_ns", e.totalTime)
+            .metric("unified_total_ns", u.totalTime)
+            .metric("explicit_compute_ns", e.computeTime)
+            .metric("unified_compute_ns", u.computeTime)
+            .metric("explicit_peak_bytes", e.peakMemory)
+            .metric("unified_peak_bytes", u.peakMemory)
+            .metric("validated", static_cast<std::uint64_t>(valid));
         std::printf(
             "%-14s %7.1f->%7.1fms %4.2fx %6.2f->%6.2fms %5.2fx "
             "%5llu->%5llu %+4.0f%% %9s\n",
@@ -83,7 +107,8 @@ main(int argc, char **argv)
                      1.0),
             valid ? "OK" : "MISMATCH");
     }
-    if (audit) {
+    json.write();
+    if (opt.audit) {
         std::printf("UPMSan: %llu violation(s) across the suite\n",
                     static_cast<unsigned long long>(total_violations));
         if (total_violations > 0)

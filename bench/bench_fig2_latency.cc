@@ -22,16 +22,21 @@ using namespace upm;
 using AK = alloc::AllocatorKind;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opt = bench::Options::parse(argc, argv);
     setQuiet(true);
     bench::banner("Figure 2",
                   "Pointer-chase latency vs buffer size per allocator");
 
-    const std::vector<std::uint64_t> sizes = {
+    std::vector<std::uint64_t> sizes = {
         1 * KiB,   16 * KiB,  256 * KiB, 1 * MiB,  16 * MiB, 96 * MiB,
         128 * MiB, 256 * MiB, 512 * MiB, 1 * GiB,  2 * GiB,  4 * GiB,
     };
+    if (opt.smoke) {
+        sizes = {1 * KiB, 1 * MiB, 16 * MiB, 96 * MiB, 256 * MiB,
+                 512 * MiB};
+    }
     const struct
     {
         AK kind;
@@ -45,13 +50,32 @@ main()
     };
     constexpr std::size_t kNumAllocators = std::size(allocators);
 
-    // One measurement per (allocator, size); reused for both tables.
-    std::vector<std::vector<core::LatencyPoint>> points(kNumAllocators);
+    bench::JsonReporter report("fig2_latency", opt.jsonPath);
+
+    // One measurement per (allocator, size); every cell measures an
+    // independent buffer on its own worker-local System, so the whole
+    // grid fans out flat.
+    const core::SystemConfig config;
+    std::vector<std::vector<core::LatencyPoint>> points(
+        kNumAllocators, std::vector<core::LatencyPoint>(sizes.size()));
+    exec::globalPool().parallelFor(
+        kNumAllocators * sizes.size(), [&](std::size_t cell) {
+            std::size_t a = cell / sizes.size();
+            std::size_t s = cell % sizes.size();
+            core::System sys(config);
+            core::LatencyProbe probe(sys);
+            points[a][s] = probe.measure(allocators[a].kind, sizes[s],
+                                         core::FirstTouch::Cpu);
+        });
+
     for (std::size_t a = 0; a < kNumAllocators; ++a) {
-        core::System sys;
-        core::LatencyProbe probe(sys);
-        points[a] = probe.sweep(allocators[a].kind, sizes,
-                                core::FirstTouch::Cpu);
+        for (std::size_t s = 0; s < sizes.size(); ++s) {
+            report.point()
+                .param("allocator", std::string(allocators[a].name))
+                .param("size_bytes", sizes[s])
+                .metric("gpu_latency_ns", points[a][s].gpuLatency)
+                .metric("cpu_latency_ns", points[a][s].cpuLatency);
+        }
     }
 
     for (bool gpu_side : {true, false}) {
@@ -70,5 +94,6 @@ main()
             std::printf("\n");
         }
     }
+    report.write();
     return 0;
 }

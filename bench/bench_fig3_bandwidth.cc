@@ -13,6 +13,7 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hh"
 #include "core/stream_probe.hh"
@@ -36,54 +37,110 @@ const struct
     {AK::HipMallocManaged, "managed(X=1)", true},
     {AK::ManagedStatic, "__managed__", false},
 };
+constexpr std::size_t kNumAllocators = std::size(kAllocators);
+
+core::FirstTouch
+firstTouch(std::size_t ft)
+{
+    return ft == 0 ? core::FirstTouch::Cpu : core::FirstTouch::Gpu;
+}
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opt = bench::Options::parse(argc, argv);
     setQuiet(true);
     bench::banner("Figure 3",
                   "STREAM TRIAD bandwidth per allocator and first touch");
 
+    bench::JsonReporter report("fig3_bandwidth", opt.jsonPath);
+
+    // Every (allocator, first-touch) cell runs its TRIAD on a
+    // worker-local System; the GPU grid fans out flat.
+    const core::SystemConfig config;
+    std::vector<std::vector<double>> gpu_bw(
+        kNumAllocators, std::vector<double>(2, 0.0));
+    exec::globalPool().parallelFor(
+        kNumAllocators * 2, [&](std::size_t cell) {
+            std::size_t a = cell / 2;
+            std::size_t ft = cell % 2;
+            core::System sys(config);
+            sys.runtime().setXnack(kAllocators[a].xnack);
+            core::StreamProbe probe(sys);
+            gpu_bw[a][ft] =
+                probe.gpuTriad(kAllocators[a].kind, firstTouch(ft))
+                    .bandwidth;
+        });
+
     std::printf("\nGPU TRIAD (256 MiB arrays), GB/s:\n");
     std::printf("%-18s %14s %14s\n", "allocator", "CPU first-touch",
                 "GPU first-touch");
-    for (const auto &a : kAllocators) {
-        double bw[2];
-        for (int ft = 0; ft < 2; ++ft) {
-            core::System sys;
+    for (std::size_t a = 0; a < kNumAllocators; ++a) {
+        for (std::size_t ft = 0; ft < 2; ++ft) {
+            report.point()
+                .param("side", std::string("gpu"))
+                .param("allocator", std::string(kAllocators[a].name))
+                .param("first_touch",
+                       std::string(ft == 0 ? "cpu" : "gpu"))
+                .metric("bandwidth_gb_s", gpu_bw[a][ft]);
+        }
+        std::printf("%-18s %14.0f %14.0f\n", kAllocators[a].name,
+                    gpu_bw[a][0], gpu_bw[a][1]);
+    }
+
+    // CPU table: GPU first touch only applies to on-demand memory, so
+    // build the filtered cell list first, then fan it out.
+    struct CpuCell
+    {
+        std::size_t allocator;
+        std::size_t ft;
+        core::CpuStreamResult result;
+    };
+    std::vector<CpuCell> cpu_cells;
+    for (std::size_t a = 0; a < kNumAllocators; ++a) {
+        for (std::size_t ft = 0; ft < 2; ++ft) {
+            bool on_demand =
+                alloc::traitsOf(kAllocators[a].kind,
+                                kAllocators[a].xnack)
+                    .onDemand;
+            if (ft == 1 && !on_demand)
+                continue;
+            cpu_cells.push_back({a, ft, {}});
+        }
+    }
+    exec::globalPool().parallelFor(
+        cpu_cells.size(), [&](std::size_t i) {
+            CpuCell &cell = cpu_cells[i];
+            const auto &a = kAllocators[cell.allocator];
+            core::System sys(config);
             sys.runtime().setXnack(a.xnack);
             core::StreamProbe probe(sys);
-            bw[ft] = probe
-                         .gpuTriad(a.kind, ft == 0
-                                               ? core::FirstTouch::Cpu
-                                               : core::FirstTouch::Gpu)
-                         .bandwidth;
-        }
-        std::printf("%-18s %14.0f %14.0f\n", a.name, bw[0], bw[1]);
-    }
+            cell.result = probe.cpuTriad(a.kind, firstTouch(cell.ft));
+        });
 
     std::printf("\nCPU TRIAD (610 MiB arrays), GB/s (thread sweep):\n");
     std::printf("%-18s %-10s %8s %8s %8s %8s\n", "allocator",
                 "first-touch", "best", "@threads", "bw@9", "bw@24");
-    for (const auto &a : kAllocators) {
-        for (int ft = 0; ft < 2; ++ft) {
-            // GPU first touch is only meaningful for on-demand memory.
-            core::System probe_sys;
-            probe_sys.runtime().setXnack(a.xnack);
-            bool on_demand = alloc::traitsOf(a.kind, a.xnack).onDemand;
-            if (ft == 1 && !on_demand)
-                continue;
-            core::StreamProbe probe(probe_sys);
-            auto r = probe.cpuTriad(a.kind, ft == 0
-                                                ? core::FirstTouch::Cpu
-                                                : core::FirstTouch::Gpu);
-            std::printf("%-18s %-10s %8.0f %8u %8.0f %8.0f\n", a.name,
-                        ft == 0 ? "CPU" : "GPU", r.bandwidth,
-                        r.bestThreads, r.perThreadBandwidth[8],
-                        r.perThreadBandwidth[23]);
-        }
+    for (const auto &cell : cpu_cells) {
+        const auto &a = kAllocators[cell.allocator];
+        const auto &r = cell.result;
+        report.point()
+            .param("side", std::string("cpu"))
+            .param("allocator", std::string(a.name))
+            .param("first_touch",
+                   std::string(cell.ft == 0 ? "cpu" : "gpu"))
+            .metric("bandwidth_gb_s", r.bandwidth)
+            .metric("best_threads",
+                    static_cast<std::uint64_t>(r.bestThreads))
+            .metric("bandwidth_9t_gb_s", r.perThreadBandwidth[8])
+            .metric("bandwidth_24t_gb_s", r.perThreadBandwidth[23]);
+        std::printf("%-18s %-10s %8.0f %8u %8.0f %8.0f\n", a.name,
+                    cell.ft == 0 ? "CPU" : "GPU", r.bandwidth,
+                    r.bestThreads, r.perThreadBandwidth[8],
+                    r.perThreadBandwidth[23]);
     }
+    report.write();
     return 0;
 }

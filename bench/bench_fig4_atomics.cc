@@ -14,6 +14,7 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hh"
 #include "core/atomics_probe.hh"
@@ -22,50 +23,60 @@ using namespace upm;
 using core::AtomicType;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opt = bench::Options::parse(argc, argv);
     setQuiet(true);
     bench::banner("Figure 4",
                   "Isolated CPU and GPU atomics throughput (Gupdates/s)");
 
-    const std::uint64_t kSizes[] = {1, 1ull << 10, 1ull << 20, 1ull << 30};
-    const char *kSizeNames[] = {"1", "1K", "1M", "1G"};
+    std::vector<std::uint64_t> sizes = {1, 1ull << 10, 1ull << 20,
+                                        1ull << 30};
+    std::vector<const char *> size_names = {"1", "1K", "1M", "1G"};
+    if (opt.smoke) {
+        sizes = {1, 1ull << 10, 1ull << 20};
+        size_names = {"1", "1K", "1M"};
+    }
+    const std::vector<unsigned> cpu_threads = {1, 2, 3, 6, 12, 18, 24};
+    const std::vector<unsigned> gpu_threads = {64,   256,   1024, 3328,
+                                               6400, 12800, 24576};
 
     core::System sys;
     core::AtomicsProbe probe(sys);
+
+    bench::JsonReporter report("fig4_atomics", opt.jsonPath);
 
     for (AtomicType type : {AtomicType::Uint64, AtomicType::Fp64}) {
         const char *tname =
             type == AtomicType::Uint64 ? "UINT64" : "FP64";
 
-        std::printf("\nCPU threads sweep (%s):\n%-8s", tname, "array");
-        const unsigned cpu_threads[] = {1, 2, 3, 6, 12, 18, 24};
-        for (unsigned t : cpu_threads)
-            std::printf(" %8uT", t);
-        std::printf("\n");
-        for (std::size_t s = 0; s < 4; ++s) {
-            std::printf("%-8s", kSizeNames[s]);
-            for (unsigned t : cpu_threads) {
-                std::printf(" %9.3f",
-                            probe.cpuThroughput(kSizes[s], t, type));
-            }
-            std::printf("\n");
-        }
+        for (bool gpu_side : {false, true}) {
+            const auto &threads = gpu_side ? gpu_threads : cpu_threads;
+            auto grid =
+                probe.throughputGrid(gpu_side, sizes, threads, type);
 
-        std::printf("\nGPU threads sweep (%s):\n%-8s", tname, "array");
-        const unsigned gpu_threads[] = {64,   256,   1024, 3328,
-                                        6400, 12800, 24576};
-        for (unsigned t : gpu_threads)
-            std::printf(" %8uT", t);
-        std::printf("\n");
-        for (std::size_t s = 0; s < 4; ++s) {
-            std::printf("%-8s", kSizeNames[s]);
-            for (unsigned t : gpu_threads) {
-                std::printf(" %9.3f",
-                            probe.gpuThroughput(kSizes[s], t, type));
-            }
+            std::printf("\n%s threads sweep (%s):\n%-8s",
+                        gpu_side ? "GPU" : "CPU", tname, "array");
+            for (unsigned t : threads)
+                std::printf(" %8uT", t);
             std::printf("\n");
+            for (std::size_t s = 0; s < sizes.size(); ++s) {
+                std::printf("%-8s", size_names[s]);
+                for (std::size_t t = 0; t < threads.size(); ++t) {
+                    report.point()
+                        .param("type", std::string(tname))
+                        .param("side", std::string(gpu_side ? "gpu"
+                                                            : "cpu"))
+                        .param("elems", sizes[s])
+                        .param("threads",
+                               static_cast<std::uint64_t>(threads[t]))
+                        .metric("gupdates_per_s", grid[s][t]);
+                    std::printf(" %9.3f", grid[s][t]);
+                }
+                std::printf("\n");
+            }
         }
     }
+    report.write();
     return 0;
 }

@@ -14,6 +14,7 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hh"
 #include "core/atomics_probe.hh"
@@ -22,36 +23,58 @@ using namespace upm;
 using core::AtomicType;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opt = bench::Options::parse(argc, argv);
     setQuiet(true);
     bench::banner("Figure 5",
                   "Hybrid CPU+GPU atomics, relative to isolated runs");
 
-    const std::uint64_t kSizes[] = {1ull << 10, 1ull << 20};
-    const char *kSizeNames[] = {"1K", "1M"};
-    const unsigned cpu_threads[] = {1, 3, 6, 12};
-    const unsigned gpu_threads[] = {64,   1280,  3328, 6400,
-                                    10496, 24576};
+    std::vector<std::uint64_t> sizes = {1ull << 10, 1ull << 20};
+    std::vector<const char *> size_names = {"1K", "1M"};
+    std::vector<unsigned> cpu_threads = {1, 3, 6, 12};
+    std::vector<unsigned> gpu_threads = {64,   1280,  3328, 6400,
+                                         10496, 24576};
+    if (opt.smoke) {
+        cpu_threads = {1, 12};
+        gpu_threads = {64, 3328, 24576};
+    }
 
     core::System sys;
     core::AtomicsProbe probe(sys);
 
+    bench::JsonReporter report("fig5_hybrid", opt.jsonPath);
+
     for (AtomicType type : {AtomicType::Uint64, AtomicType::Fp64}) {
         const char *tname =
             type == AtomicType::Uint64 ? "UINT64" : "FP64";
-        for (std::size_t s = 0; s < 2; ++s) {
+        for (std::size_t s = 0; s < sizes.size(); ++s) {
+            auto grid = probe.hybridGrid(sizes[s], cpu_threads,
+                                         gpu_threads, type);
             std::printf("\n%s %s array -- rows: CPU threads, cols: GPU "
                         "threads; cells: cpuRel/gpuRel\n",
-                        tname, kSizeNames[s]);
+                        tname, size_names[s]);
             std::printf("%-6s", "");
             for (unsigned g : gpu_threads)
                 std::printf(" %11uG", g);
             std::printf("\n");
-            for (unsigned c : cpu_threads) {
-                std::printf("%4uC  ", c);
-                for (unsigned g : gpu_threads) {
-                    auto r = probe.hybrid(kSizes[s], c, g, type);
+            for (std::size_t c = 0; c < cpu_threads.size(); ++c) {
+                std::printf("%4uC  ", cpu_threads[c]);
+                for (std::size_t g = 0; g < gpu_threads.size(); ++g) {
+                    const auto &r = grid[c][g];
+                    report.point()
+                        .param("type", std::string(tname))
+                        .param("elems", sizes[s])
+                        .param("cpu_threads",
+                               static_cast<std::uint64_t>(
+                                   cpu_threads[c]))
+                        .param("gpu_threads",
+                               static_cast<std::uint64_t>(
+                                   gpu_threads[g]))
+                        .metric("cpu_relative", r.cpuRelative)
+                        .metric("gpu_relative", r.gpuRelative)
+                        .metric("cpu_ops_per_ns", r.cpuOpsPerNs)
+                        .metric("gpu_ops_per_ns", r.gpuOpsPerNs);
                     std::printf("  %4.2f/%4.2f ", r.cpuRelative,
                                 r.gpuRelative);
                 }
@@ -59,5 +82,6 @@ main()
             }
         }
     }
+    report.write();
     return 0;
 }

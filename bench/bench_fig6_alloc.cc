@@ -23,15 +23,18 @@ using namespace upm;
 using AK = alloc::AllocatorKind;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opt = bench::Options::parse(argc, argv);
     setQuiet(true);
     bench::banner("Figure 6", "Allocation/free time per allocator");
 
-    const std::vector<std::uint64_t> sizes = {
+    std::vector<std::uint64_t> sizes = {
         2,         32,        1 * KiB,   16 * KiB,  256 * KiB,
         2 * MiB,   16 * MiB,  32 * MiB,  256 * MiB, 1 * GiB,
     };
+    if (opt.smoke)
+        sizes = {32, 16 * KiB, 2 * MiB, 32 * MiB, 256 * MiB};
     const struct
     {
         AK kind;
@@ -44,6 +47,37 @@ main()
         {AK::HipMallocManaged, "managed(X=0)", false},
         {AK::HipMallocManaged, "managed(X=1)", true},
     };
+    constexpr std::size_t kNumAllocators = std::size(allocators);
+
+    bench::JsonReporter report("fig6_alloc", opt.jsonPath);
+
+    // Each (size, allocator) cell allocates on its own worker-local
+    // System; the grid fans out flat.
+    const core::SystemConfig config;
+    std::vector<std::vector<core::AllocSpeedPoint>> points(
+        sizes.size(),
+        std::vector<core::AllocSpeedPoint>(kNumAllocators));
+    exec::globalPool().parallelFor(
+        sizes.size() * kNumAllocators, [&](std::size_t cell) {
+            std::size_t s = cell / kNumAllocators;
+            std::size_t a = cell % kNumAllocators;
+            core::System sys(config);
+            sys.runtime().setXnack(allocators[a].xnack);
+            core::AllocProbe probe(sys);
+            points[s][a] = probe.measure(allocators[a].kind, sizes[s]);
+        });
+
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+        for (std::size_t a = 0; a < kNumAllocators; ++a) {
+            report.point()
+                .param("allocator", std::string(allocators[a].name))
+                .param("size_bytes", sizes[s])
+                .metric("alloc_ns", points[s][a].allocMean)
+                .metric("free_ns", points[s][a].freeMean)
+                .metric("chunks",
+                        static_cast<std::uint64_t>(points[s][a].chunks));
+        }
+    }
 
     for (bool is_free : {false, true}) {
         std::printf("\n%s time per call:\n%-10s",
@@ -51,13 +85,10 @@ main()
         for (const auto &a : allocators)
             std::printf(" %14s", a.name);
         std::printf("\n");
-        for (std::uint64_t size : sizes) {
-            std::printf("%-10s", bench::fmtBytes(size).c_str());
-            for (const auto &a : allocators) {
-                core::System sys;
-                sys.runtime().setXnack(a.xnack);
-                core::AllocProbe probe(sys);
-                auto point = probe.measure(a.kind, size);
+        for (std::size_t s = 0; s < sizes.size(); ++s) {
+            std::printf("%-10s", bench::fmtBytes(sizes[s]).c_str());
+            for (std::size_t a = 0; a < kNumAllocators; ++a) {
+                const auto &point = points[s][a];
                 std::printf(" %14s",
                             bench::fmtTime(is_free ? point.freeMean
                                                    : point.allocMean)
@@ -66,5 +97,6 @@ main()
             std::printf("\n");
         }
     }
+    report.write();
     return 0;
 }

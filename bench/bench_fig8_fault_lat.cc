@@ -17,13 +17,19 @@ using namespace upm;
 using core::FaultScenario;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opt = bench::Options::parse(argc, argv);
     setQuiet(true);
     bench::banner("Figure 8", "Single page-fault latency distribution");
 
     core::System sys;
-    core::FaultProbe probe(sys);
+    core::FaultProbe::Params params;
+    if (opt.smoke)
+        params.timedIterations = 20;
+    core::FaultProbe probe(sys, params);
+
+    bench::JsonReporter report("fig8_fault_lat", opt.jsonPath);
 
     const FaultScenario scenarios[] = {
         FaultScenario::Cpu1, FaultScenario::GpuMinor,
@@ -33,18 +39,29 @@ main()
                 "median", "p5", "p95", "max");
     for (auto s : scenarios) {
         auto stats = probe.latencyDistribution(s);
+        report.point()
+            .param("scenario", std::string(core::faultScenarioName(s)))
+            .param("iterations",
+                   static_cast<std::uint64_t>(params.timedIterations))
+            .metric("mean_ns", stats.mean())
+            .metric("median_ns", stats.median())
+            .metric("p5_ns", stats.percentile(5))
+            .metric("p95_ns", stats.percentile(95))
+            .metric("max_ns", stats.max());
         std::printf("%-12s %8.1fus %8.1fus %8.1fus %8.1fus %8.1fus\n",
                     core::faultScenarioName(s), stats.mean() / 1e3,
                     stats.median() / 1e3, stats.percentile(5) / 1e3,
                     stats.percentile(95) / 1e3, stats.max() / 1e3);
     }
 
-    std::printf("\nCPU fault latency histogram (log buckets, 100 "
-                "samples):\n");
+    std::printf("\nCPU fault latency histogram (log buckets, %u "
+                "samples):\n",
+                params.timedIterations);
     auto cpu = probe.latencyDistribution(FaultScenario::Cpu1);
     LogHistogram hist(4.0 * microseconds, 6);
     for (double v : cpu.values())
         hist.add(v);
     std::printf("%s", hist.render().c_str());
+    report.write();
     return 0;
 }

@@ -12,6 +12,7 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hh"
 #include "core/stream_probe.hh"
@@ -21,8 +22,9 @@ using namespace upm;
 using AK = alloc::AllocatorKind;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opt = bench::Options::parse(argc, argv);
     setQuiet(true);
     bench::banner("Figure 9",
                   "GPU UTCL1 translation misses in STREAM TRIAD");
@@ -40,27 +42,40 @@ main()
         {AK::HipMalloc, "hipMalloc", core::FirstTouch::Cpu},
     };
 
-    std::printf("%-18s %18s %14s\n", "allocator",
-                "UTCL1 misses (sum)", "vs hipMalloc");
+    bench::JsonReporter report("fig9_tlb", opt.jsonPath);
+
+    // Every case profiles its own worker-local System and counter
+    // session, so the five runs fan out.
+    const core::SystemConfig config;
+    std::vector<std::uint64_t> misses(std::size(cases), 0);
+    exec::globalPool().parallelFor(
+        std::size(cases), [&](std::size_t i) {
+            core::System sys(config);
+            prof::RocprofSession session(sys.counters());
+            session.start();
+            core::StreamProbe probe(sys);
+            probe.gpuTriad(cases[i].kind, cases[i].touch);
+            misses[i] = session.delta(
+                prof::gpu_counters::kUtcl1TranslationMiss);
+        });
+
     std::uint64_t hip_misses = 0;
-    std::uint64_t misses[std::size(cases)];
     for (std::size_t i = 0; i < std::size(cases); ++i) {
-        core::System sys;
-        prof::RocprofSession session(sys.counters());
-        session.start();
-        core::StreamProbe probe(sys);
-        probe.gpuTriad(cases[i].kind, cases[i].touch);
-        misses[i] = session.delta(
-            prof::gpu_counters::kUtcl1TranslationMiss);
         if (cases[i].kind == AK::HipMalloc)
             hip_misses = misses[i];
     }
+    std::printf("%-18s %18s %14s\n", "allocator",
+                "UTCL1 misses (sum)", "vs hipMalloc");
     for (std::size_t i = 0; i < std::size(cases); ++i) {
+        report.point()
+            .param("allocator", std::string(cases[i].name))
+            .metric("utcl1_misses", misses[i]);
         std::printf("%-18s %18llu %13.1fx\n", cases[i].name,
                     static_cast<unsigned long long>(misses[i]),
                     hip_misses ? static_cast<double>(misses[i]) /
                                      static_cast<double>(hip_misses)
                                : 0.0);
     }
+    report.write();
     return 0;
 }

@@ -1,18 +1,30 @@
 /**
  * @file
- * Shared helpers for the per-figure bench binaries: pretty units and
- * the standard header each bench prints (what it reproduces, at what
- * model scale).
+ * Shared helpers for the per-figure bench binaries: pretty units, the
+ * standard header each bench prints, the common command-line options
+ * (`--json <path>`, `--workers N`, `--smoke`, and per-bench extras),
+ * and the structured JSON reporter that records bench id, worker
+ * count, wall time and every sweep point's parameters and metrics --
+ * the `BENCH_*.json` artifacts CI uploads to track the perf
+ * trajectory. Metric values are printed with full precision, so two
+ * runs at different worker counts must produce byte-identical point
+ * arrays (only the wall-time field may differ).
  */
 
 #ifndef UPM_BENCH_BENCH_UTIL_HH
 #define UPM_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/log.hh"
 #include "common/units.hh"
+#include "exec/task_pool.hh"
 
 namespace upm::bench {
 
@@ -56,6 +68,192 @@ fmtTime(double ns)
         return strprintf("%.3g us", ns / 1e3);
     return strprintf("%.3g ns", ns);
 }
+
+/**
+ * Command-line options shared by every bench binary. `--workers`
+ * resizes the global sweep pool before any point runs; `--smoke`
+ * selects each bench's reduced-scale sweep (CI's bench-smoke step);
+ * `--audit` is accepted only where the bench supports it (fig. 11).
+ */
+struct Options
+{
+    std::string jsonPath;   //!< --json <path>; empty = no report
+    unsigned workers = 0;   //!< --workers N; 0 = UPM_WORKERS/default
+    bool smoke = false;     //!< --smoke: reduced-scale sweep
+    bool audit = false;     //!< --audit (benches that allow it)
+
+    static Options
+    parse(int argc, char **argv, bool allow_audit = false)
+    {
+        Options opt;
+        for (int i = 1; i < argc; ++i) {
+            const char *arg = argv[i];
+            if (std::strcmp(arg, "--json") == 0 && i + 1 < argc) {
+                opt.jsonPath = argv[++i];
+            } else if (std::strcmp(arg, "--workers") == 0 &&
+                       i + 1 < argc) {
+                long v = std::strtol(argv[++i], nullptr, 10);
+                opt.workers = v > 0 ? static_cast<unsigned>(v) : 1u;
+            } else if (std::strcmp(arg, "--smoke") == 0) {
+                opt.smoke = true;
+            } else if (allow_audit &&
+                       std::strcmp(arg, "--audit") == 0) {
+                opt.audit = true;
+            } else {
+                std::fprintf(stderr,
+                             "usage: %s [--json <path>] [--workers N] "
+                             "[--smoke]%s\n",
+                             argv[0], allow_audit ? " [--audit]" : "");
+                std::exit(2);
+            }
+        }
+        if (opt.workers > 0)
+            exec::setGlobalWorkers(opt.workers);
+        return opt;
+    }
+};
+
+/** One key under a point's "params" or "metrics" object. */
+struct JsonField
+{
+    std::string key;
+    std::string encoded;  //!< already-valid JSON value text
+};
+
+/** JSON-encode a string (quotes + minimal escapes). */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    out += "\"";
+    return out;
+}
+
+/**
+ * Collects one bench run's sweep points and writes the structured
+ * report. Disabled (all no-ops) when constructed with an empty path.
+ */
+class JsonReporter
+{
+  public:
+    /** A point under construction; chain param()/metric() calls. */
+    class Point
+    {
+      public:
+        Point &
+        param(const char *key, const std::string &v)
+        {
+            params.push_back({key, jsonEscape(v)});
+            return *this;
+        }
+
+        Point &
+        param(const char *key, std::uint64_t v)
+        {
+            params.push_back(
+                {key, strprintf("%llu",
+                                static_cast<unsigned long long>(v))});
+            return *this;
+        }
+
+        Point &
+        metric(const char *key, double v)
+        {
+            // %.17g round-trips doubles exactly: worker-count-
+            // independent runs yield byte-identical metrics.
+            metrics.push_back({key, strprintf("%.17g", v)});
+            return *this;
+        }
+
+        Point &
+        metric(const char *key, std::uint64_t v)
+        {
+            metrics.push_back(
+                {key, strprintf("%llu",
+                                static_cast<unsigned long long>(v))});
+            return *this;
+        }
+
+      private:
+        friend class JsonReporter;
+        std::vector<JsonField> params;
+        std::vector<JsonField> metrics;
+    };
+
+    JsonReporter(std::string bench_id, std::string path)
+        : benchId(std::move(bench_id)), filePath(std::move(path)),
+          start(std::chrono::steady_clock::now())
+    {}
+
+    bool enabled() const { return !filePath.empty(); }
+
+    /** Append a new point; fill it via the returned reference. */
+    Point &
+    point()
+    {
+        points.emplace_back();
+        return points.back();
+    }
+
+    /**
+     * Write the report: bench id, worker count, wall time since
+     * construction, and every point. Call once, after the sweep.
+     */
+    void
+    write()
+    {
+        if (!enabled())
+            return;
+        double wall_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        std::FILE *f = std::fopen(filePath.c_str(), "w");
+        if (f == nullptr)
+            fatal("cannot open JSON report path %s", filePath.c_str());
+        std::fprintf(f, "{\n  \"bench\": %s,\n",
+                     jsonEscape(benchId).c_str());
+        std::fprintf(f, "  \"workers\": %u,\n",
+                     exec::globalPool().workers());
+        std::fprintf(f, "  \"wall_ms\": %.3f,\n", wall_ms);
+        std::fprintf(f, "  \"points\": [\n");
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            std::fprintf(f, "    {\"params\": {");
+            writeFields(f, points[i].params);
+            std::fprintf(f, "}, \"metrics\": {");
+            writeFields(f, points[i].metrics);
+            std::fprintf(f, "}}%s\n",
+                         i + 1 < points.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+    }
+
+  private:
+    static void
+    writeFields(std::FILE *f, const std::vector<JsonField> &fields)
+    {
+        for (std::size_t i = 0; i < fields.size(); ++i) {
+            std::fprintf(f, "%s%s: %s", i ? ", " : "",
+                         jsonEscape(fields[i].key).c_str(),
+                         fields[i].encoded.c_str());
+        }
+    }
+
+    std::string benchId;
+    std::string filePath;
+    std::chrono::steady_clock::time_point start;
+    std::vector<Point> points;
+};
 
 } // namespace upm::bench
 

@@ -1,5 +1,6 @@
 #include "common/log.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -8,8 +9,11 @@ namespace upm {
 
 namespace {
 
-bool abortOnError = false;
-bool quietFlag = false;
+// Read from worker threads while sweeps run in parallel; atomics keep
+// the flags race-free (the emit path itself is fprintf, which POSIX
+// makes thread-safe per call).
+std::atomic<bool> abortOnError{false};
+std::atomic<bool> quietFlag{false};
 
 void
 emit(LogLevel level, const std::string &msg)

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Minimal scope guard: runs a callable on scope exit, including exit
+ * by exception. Used wherever a probe flips global-ish simulator mode
+ * (e.g. forced XNACK) that must be restored even if the measurement
+ * throws mid-way -- a leaked mode would silently change every
+ * subsequent measurement.
+ */
+
+#ifndef UPM_COMMON_SCOPE_GUARD_HH
+#define UPM_COMMON_SCOPE_GUARD_HH
+
+#include <utility>
+
+namespace upm {
+
+/** Invokes the stored callable on destruction unless released. */
+template <typename F>
+class ScopeExit
+{
+  public:
+    explicit ScopeExit(F fn) : fn(std::move(fn)) {}
+
+    ScopeExit(const ScopeExit &) = delete;
+    ScopeExit &operator=(const ScopeExit &) = delete;
+
+    ~ScopeExit()
+    {
+        if (armed)
+            fn();
+    }
+
+    /** Disarm: the callable will not run. */
+    void release() { armed = false; }
+
+  private:
+    F fn;
+    bool armed = true;
+};
+
+} // namespace upm
+
+#endif // UPM_COMMON_SCOPE_GUARD_HH

@@ -1,6 +1,7 @@
 #include "common/stats.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/log.hh"
@@ -11,12 +12,15 @@ void
 SampleStats::add(double v)
 {
     samples.push_back(v);
+    sortedCacheValid = false;
 }
 
 void
 SampleStats::add(const std::vector<double> &vs)
 {
     samples.insert(samples.end(), vs.begin(), vs.end());
+    if (!vs.empty())
+        sortedCacheValid = false;
 }
 
 double
@@ -69,8 +73,12 @@ SampleStats::percentile(double p) const
         return 0.0;
     if (p < 0.0 || p > 100.0)
         panic("percentile %.2f out of range [0, 100]", p);
-    std::vector<double> sorted = samples;
-    std::sort(sorted.begin(), sorted.end());
+    if (!sortedCacheValid) {
+        sortedCache = samples;
+        std::sort(sortedCache.begin(), sortedCache.end());
+        sortedCacheValid = true;
+    }
+    const std::vector<double> &sorted = sortedCache;
     if (sorted.size() == 1)
         return sorted.front();
     double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
@@ -108,9 +116,19 @@ LogHistogram::add(double v)
 {
     std::size_t idx = 0;
     if (v >= base) {
-        idx = static_cast<std::size_t>(std::log2(v / base));
-        if (idx >= counts.size())
+        // Bucket by the integer bit-width of floor(v / base):
+        // std::log2 can return just under the exact value for a
+        // power-of-two ratio, dropping a bucket-edge sample into the
+        // bucket below; truncation + bit_width cannot.
+        double ratio = v / base;
+        if (ratio >= 0x1p63) {
             idx = counts.size() - 1;
+        } else {
+            auto q = static_cast<std::uint64_t>(ratio);
+            idx = static_cast<std::size_t>(std::bit_width(q)) - 1;
+            if (idx >= counts.size())
+                idx = counts.size() - 1;
+        }
     }
     ++counts[idx];
     ++totalCount;

@@ -18,8 +18,11 @@ namespace upm {
 
 /**
  * Accumulates scalar samples and answers summary queries. Percentile
- * queries sort a copy lazily; suitable for the probe-sized sample sets
- * used here (10s to 100,000s of samples).
+ * queries keep a lazily-sorted cache that `add` invalidates, so a run
+ * of tail queries (fig. 8 reports p5/p50/p95 per scenario) sorts once
+ * instead of once per query. The cache makes percentile() logically
+ * const but not thread-safe: confine each SampleStats to one thread
+ * (the sweep engine's worker-local results are merged before query).
  */
 class SampleStats
 {
@@ -52,6 +55,9 @@ class SampleStats
 
   private:
     std::vector<double> samples;
+    /** Sorted copy of `samples`, rebuilt on query after any add. */
+    mutable std::vector<double> sortedCache;
+    mutable bool sortedCacheValid = false;
 };
 
 /** Geometric mean of a set of strictly positive values. */

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "exec/task_pool.hh"
+
 namespace upm::core {
 
 AllocSpeedPoint
@@ -37,6 +39,21 @@ AllocProbe::measure(alloc::AllocatorKind kind, std::uint64_t size_bytes)
     point.allocMean = alloc_total / static_cast<double>(n);
     point.freeMean = free_total / static_cast<double>(n);
     return point;
+}
+
+std::vector<AllocSpeedPoint>
+AllocProbe::sweep(alloc::AllocatorKind kind,
+                  const std::vector<std::uint64_t> &sizes)
+{
+    const SystemConfig &config = sys.config();
+    bool xnack = sys.runtime().xnack();
+    return exec::globalPool().parallelMap<AllocSpeedPoint>(
+        sizes.size(), [&](std::size_t i) {
+            System local(config);
+            local.runtime().setXnack(xnack);
+            AllocProbe probe(local, cfg);
+            return probe.measure(kind, sizes[i]);
+        });
 }
 
 } // namespace upm::core

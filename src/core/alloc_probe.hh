@@ -12,6 +12,7 @@
 #define UPM_CORE_ALLOC_PROBE_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "alloc/allocation.hh"
 #include "core/system.hh"
@@ -48,6 +49,15 @@ class AllocProbe
     /** Run the two-loop benchmark for one allocator and size. */
     AllocSpeedPoint measure(alloc::AllocatorKind kind,
                             std::uint64_t size_bytes);
+
+    /**
+     * Fig. 6 sweep over sizes: each point runs on its own worker-local
+     * System (same config and XNACK mode as the bound one), so results
+     * are bit-identical at any worker count.
+     */
+    std::vector<AllocSpeedPoint> sweep(
+        alloc::AllocatorKind kind,
+        const std::vector<std::uint64_t> &sizes);
 
   private:
     System &sys;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/task_pool.hh"
+
 namespace upm::core {
 
 namespace {
@@ -198,6 +200,46 @@ AtomicsProbe::hybrid(std::uint64_t elems, unsigned cpu_threads,
     result.gpuRelative =
         gpu_iso > 0.0 ? result.gpuOpsPerNs / gpu_iso : 1.0;
     return result;
+}
+
+std::vector<std::vector<double>>
+AtomicsProbe::throughputGrid(bool gpu_side,
+                             const std::vector<std::uint64_t> &elem_counts,
+                             const std::vector<unsigned> &thread_counts,
+                             AtomicType type) const
+{
+    const std::size_t cols = thread_counts.size();
+    std::vector<std::vector<double>> grid(
+        elem_counts.size(), std::vector<double>(cols, 0.0));
+    exec::globalPool().parallelFor(
+        elem_counts.size() * cols, [&](std::size_t cell) {
+            std::size_t s = cell / cols;
+            std::size_t t = cell % cols;
+            grid[s][t] = gpu_side
+                             ? gpuThroughput(elem_counts[s],
+                                             thread_counts[t], type)
+                             : cpuThroughput(elem_counts[s],
+                                             thread_counts[t], type);
+        });
+    return grid;
+}
+
+std::vector<std::vector<HybridAtomicsResult>>
+AtomicsProbe::hybridGrid(std::uint64_t elems,
+                         const std::vector<unsigned> &cpu_counts,
+                         const std::vector<unsigned> &gpu_counts,
+                         AtomicType type) const
+{
+    const std::size_t cols = gpu_counts.size();
+    std::vector<std::vector<HybridAtomicsResult>> grid(
+        cpu_counts.size(), std::vector<HybridAtomicsResult>(cols));
+    exec::globalPool().parallelFor(
+        cpu_counts.size() * cols, [&](std::size_t cell) {
+            grid[cell / cols][cell % cols] =
+                hybrid(elems, cpu_counts[cell / cols],
+                       gpu_counts[cell % cols], type);
+        });
+    return grid;
 }
 
 } // namespace upm::core

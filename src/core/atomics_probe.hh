@@ -18,6 +18,7 @@
 #define UPM_CORE_ATOMICS_PROBE_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "core/system.hh"
 
@@ -57,6 +58,26 @@ class AtomicsProbe
     HybridAtomicsResult hybrid(std::uint64_t elems, unsigned cpu_threads,
                                unsigned gpu_threads,
                                AtomicType type) const;
+
+    /**
+     * Fig. 4 grid: isolated throughput for every (array size, thread
+     * count) cell, fanned out over the worker pool. The probe holds
+     * only immutable calibration, so cells are independent and the
+     * grid is bit-identical at any worker count.
+     * @return result[size index][thread index].
+     */
+    std::vector<std::vector<double>> throughputGrid(
+        bool gpu_side, const std::vector<std::uint64_t> &elem_counts,
+        const std::vector<unsigned> &thread_counts, AtomicType type) const;
+
+    /**
+     * Fig. 5 grid: hybrid results for every (CPU threads, GPU threads)
+     * cell on one array, fanned out over the worker pool.
+     * @return result[cpu index][gpu index].
+     */
+    std::vector<std::vector<HybridAtomicsResult>> hybridGrid(
+        std::uint64_t elems, const std::vector<unsigned> &cpu_counts,
+        const std::vector<unsigned> &gpu_counts, AtomicType type) const;
 
   private:
     /** One damped fixed-point solve; either rate may be zero. */

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/scope_guard.hh"
+#include "exec/task_pool.hh"
 
 namespace upm::core {
 
@@ -45,6 +47,9 @@ FaultProbe::functionalFaults(FaultScenario scenario, std::uint64_t pages)
 {
     auto &as = sys.addressSpace();
     bool saved_xnack = as.xnackEnabled();
+    ScopeExit restore_xnack([&as, saved_xnack] {
+        as.setXnack(saved_xnack);
+    });
     as.setXnack(true);
 
     vm::VmaPolicy policy;  // mmap-fresh anonymous memory
@@ -70,25 +75,53 @@ FaultProbe::functionalFaults(FaultScenario scenario, std::uint64_t pages)
         break;
     }
     as.munmap(base);
-    as.setXnack(saved_xnack);
 }
 
 SampleStats
 FaultProbe::latencyDistribution(FaultScenario scenario)
 {
-    auto &handler = sys.faultHandler();
     vm::FaultType type = faultTypeOf(scenario);
+    const unsigned iters = cfg.timedIterations;
+    const unsigned chunk = std::max(1u, cfg.iterationsPerTask);
+    const std::size_t tasks = (iters + chunk - 1) / chunk;
+    const SystemConfig &config = sys.config();
 
-    for (unsigned i = 0; i < cfg.warmupIterations; ++i)
-        (void)handler.sampleColdLatency(type);
+    // Iteration i's sample depends only on taskSeed(rootSeed, i); the
+    // fixed chunking keeps task boundaries independent of the worker
+    // count, so the distribution is identical at 1 or N workers.
+    std::vector<std::vector<double>> parts(tasks);
+    exec::globalPool().parallelFor(tasks, [&](std::size_t t) {
+        System local(config);
+        FaultProbe probe(local, cfg);
+        auto &handler = local.faultHandler();
+        unsigned lo = static_cast<unsigned>(t) * chunk;
+        unsigned hi = std::min(iters, lo + chunk);
+        parts[t].reserve(hi - lo);
+        for (unsigned i = lo; i < hi; ++i) {
+            // One page, resolved through the real VM path, priced cold.
+            probe.functionalFaults(scenario, 1);
+            handler.reseed(exec::taskSeed(cfg.rootSeed, i));
+            parts[t].push_back(handler.sampleColdLatency(type));
+        }
+    });
 
     SampleStats stats;
-    for (unsigned i = 0; i < cfg.timedIterations; ++i) {
-        // One page, resolved through the real VM path, priced cold.
-        functionalFaults(scenario, 1);
-        stats.add(handler.sampleColdLatency(type));
-    }
+    for (const auto &part : parts)
+        stats.add(part);
     return stats;
+}
+
+std::vector<double>
+FaultProbe::throughputSweep(FaultScenario scenario,
+                            const std::vector<std::uint64_t> &pages)
+{
+    const SystemConfig &config = sys.config();
+    return exec::globalPool().parallelMap<double>(
+        pages.size(), [&](std::size_t i) {
+            System local(config);
+            FaultProbe probe(local, cfg);
+            return probe.throughput(scenario, pages[i]);
+        });
 }
 
 double

@@ -43,11 +43,19 @@ class FaultProbe
   public:
     struct Params
     {
-        unsigned warmupIterations = 10;
         unsigned timedIterations = 100;
         /** Pages resolved functionally before switching to the pure
          *  timing model (bounded by modelled capacity). */
         std::uint64_t functionalPageCap = 64 * 1024;
+        /**
+         * Root of the per-iteration latency-jitter seeds: iteration i
+         * samples with `exec::taskSeed(rootSeed, i)`, so the Fig. 8
+         * distribution is identical at any worker count.
+         */
+        std::uint64_t rootSeed = 0xfa17u;
+        /** Iterations one parallel task resolves (fixed so chunk
+         *  boundaries never depend on the worker count). */
+        unsigned iterationsPerTask = 16;
     };
 
     explicit FaultProbe(System &system) : FaultProbe(system, Params()) {}
@@ -61,6 +69,13 @@ class FaultProbe
 
     /** Throughput in pages/s for @p pages concurrent faults (Fig. 7). */
     double throughput(FaultScenario scenario, std::uint64_t pages);
+
+    /**
+     * Fig. 7 sweep over concurrent-page counts: each point resolves
+     * its functional faults on a worker-local System.
+     */
+    std::vector<double> throughputSweep(
+        FaultScenario scenario, const std::vector<std::uint64_t> &pages);
 
   private:
     /** Functionally fault a small region through the VM paths. */

@@ -1,5 +1,7 @@
 #include "core/latency_probe.hh"
 
+#include "common/scope_guard.hh"
+#include "exec/task_pool.hh"
 #include "hip/kernel.hh"
 
 namespace upm::core {
@@ -11,7 +13,12 @@ LatencyProbe::measure(alloc::AllocatorKind kind, std::uint64_t bytes,
     auto &rt = sys.runtime();
 
     // On-demand GPU touches need XNACK; remember and restore the mode.
+    // The guard restores even when allocation or measurement throws --
+    // a leaked forced mode would skew every later measurement.
     bool saved_xnack = rt.xnack();
+    ScopeExit restore_xnack([&rt, saved_xnack] {
+        rt.setXnack(saved_xnack);
+    });
     auto traits = alloc::traitsOf(kind, saved_xnack);
     if (traits.onDemand && first_touch == FirstTouch::Gpu)
         rt.setXnack(true);
@@ -35,7 +42,6 @@ LatencyProbe::measure(alloc::AllocatorKind kind, std::uint64_t bytes,
     point.cpuLatency = rt.perf().cpuChaseLatency(profile);
 
     rt.hipFree(ptr);
-    rt.setXnack(saved_xnack);
     return point;
 }
 
@@ -44,11 +50,17 @@ LatencyProbe::sweep(alloc::AllocatorKind kind,
                     const std::vector<std::uint64_t> &sizes,
                     FirstTouch first_touch)
 {
-    std::vector<LatencyPoint> points;
-    points.reserve(sizes.size());
-    for (std::uint64_t bytes : sizes)
-        points.push_back(measure(kind, bytes, first_touch));
-    return points;
+    // Each point measures an independent buffer on a fresh System, so
+    // the sweep fans out to worker-local Systems; a point's result
+    // depends only on (config, size), making the sweep bit-identical
+    // at any worker count.
+    const SystemConfig &config = sys.config();
+    return exec::globalPool().parallelMap<LatencyPoint>(
+        sizes.size(), [&](std::size_t i) {
+            System local(config);
+            LatencyProbe probe(local);
+            return probe.measure(kind, sizes[i], first_touch);
+        });
 }
 
 } // namespace upm::core

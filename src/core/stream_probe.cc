@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/scope_guard.hh"
+#include "exec/task_pool.hh"
 #include "prof/rocprof.hh"
 #include "tlb/tlb.hh"
 
@@ -79,11 +81,14 @@ StreamProbe::simulateTlbMisses(const Arrays &arrays)
     // Simulate `sampled` CUs: blocks are dispatched round-robin, so CU
     // k executes blocks k, k+228, ... For each block the TRIAD kernel
     // issues one translation request per touched page of b, c and a.
-    std::uint64_t misses = 0;
+    // Each CU owns a private UTCL1 over read-only span tables, so the
+    // per-CU walks fan out to the pool; the summation order is fixed,
+    // keeping the total exact at any worker count.
     tlb::FragTlbConfig tcfg;
     tcfg.entries = tlb_cal.utcl1Entries;
     tcfg.maxSpanPages = tlb_cal.utcl1MaxSpanPages;
-    for (unsigned cu = 0; cu < sampled; ++cu) {
+    std::vector<std::uint64_t> cu_misses(sampled, 0);
+    exec::globalPool().parallelFor(sampled, [&](std::size_t cu) {
         tlb::FragTlb utcl1(tcfg);
         for (unsigned iter = 0; iter < cfg.profiledIterations; ++iter) {
             for (std::uint64_t blk = cu; blk < blocks_per_array;
@@ -109,8 +114,11 @@ StreamProbe::simulateTlbMisses(const Arrays &arrays)
                 }
             }
         }
-        misses += utcl1.misses();
-    }
+        cu_misses[cu] = utcl1.misses();
+    });
+    std::uint64_t misses = 0;
+    for (std::uint64_t m : cu_misses)
+        misses += m;
     // Scale the sampled CUs to the whole GPU.
     return misses * total_cus / sampled;
 }
@@ -120,6 +128,9 @@ StreamProbe::gpuTriad(alloc::AllocatorKind kind, FirstTouch first_touch)
 {
     auto &rt = sys.runtime();
     bool saved_xnack = rt.xnack();
+    ScopeExit restore_xnack([&rt, saved_xnack] {
+        rt.setXnack(saved_xnack);
+    });
     auto traits = alloc::traitsOf(kind, saved_xnack);
     if (traits.onDemand || first_touch == FirstTouch::Gpu)
         rt.setXnack(true);
@@ -141,7 +152,6 @@ StreamProbe::gpuTriad(alloc::AllocatorKind kind, FirstTouch first_touch)
     sys.counters().add(prof::gpu_counters::kKernels, cfg.iterations);
 
     release(arrays);
-    rt.setXnack(saved_xnack);
     return result;
 }
 
@@ -150,6 +160,9 @@ StreamProbe::cpuTriad(alloc::AllocatorKind kind, FirstTouch first_touch)
 {
     auto &rt = sys.runtime();
     bool saved_xnack = rt.xnack();
+    ScopeExit restore_xnack([&rt, saved_xnack] {
+        rt.setXnack(saved_xnack);
+    });
     auto traits = alloc::traitsOf(kind, saved_xnack);
     if (traits.onDemand && first_touch == FirstTouch::Gpu)
         rt.setXnack(true);
@@ -184,7 +197,6 @@ StreamProbe::cpuTriad(alloc::AllocatorKind kind, FirstTouch first_touch)
                         cfg.iterations;
 
     release(arrays);
-    rt.setXnack(saved_xnack);
     return result;
 }
 

@@ -1,0 +1,149 @@
+#include "exec/task_pool.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+#include "common/rng.hh"
+
+namespace upm::exec {
+
+namespace {
+
+/** Set while this thread executes a pool task (nested calls inline). */
+thread_local bool insidePool = false;
+
+} // namespace
+
+std::uint64_t
+taskSeed(std::uint64_t root, std::uint64_t index)
+{
+    // Golden-ratio stride keeps adjacent task seeds decorrelated; the
+    // SplitMix64 step provides the avalanche.
+    SplitMix64 sm(root + 0x9e3779b97f4a7c15ull * (index + 1));
+    return sm.next();
+}
+
+unsigned
+defaultWorkers()
+{
+    if (const char *env = std::getenv("UPM_WORKERS")) {
+        unsigned long v = std::strtoul(env, nullptr, 10);
+        return static_cast<unsigned>(std::clamp(v, 1ul, 256ul));
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1u;
+}
+
+TaskPool::TaskPool(unsigned workers)
+    : workerCount(std::max(1u, workers))
+{
+    threads.reserve(workerCount);
+    for (unsigned w = 0; w < workerCount; ++w)
+        threads.emplace_back([this] { workerLoop(); });
+}
+
+TaskPool::~TaskPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        shutdown = true;
+    }
+    workCv.notify_all();
+    for (auto &t : threads)
+        t.join();
+}
+
+void
+TaskPool::parallelFor(std::size_t n,
+                      const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (insidePool) {
+        // Nested fan-out from a worker: run inline, in index order.
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::unique_lock<std::mutex> lock(mtx);
+    doneCv.wait(lock, [this] { return !batch.active; });
+    batch = Batch{};
+    batch.fn = &fn;
+    batch.count = n;
+    batch.active = true;
+    workCv.notify_all();
+    doneCv.wait(lock, [this] { return batch.done == batch.count; });
+    std::exception_ptr err = batch.error;
+    batch = Batch{};
+    // Wake any submitter queued behind this batch.
+    doneCv.notify_all();
+    lock.unlock();
+    if (err)
+        std::rethrow_exception(err);
+}
+
+void
+TaskPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    for (;;) {
+        workCv.wait(lock, [this] {
+            return shutdown || (batch.active && batch.next < batch.count);
+        });
+        if (shutdown)
+            return;
+        runTasks(batch, lock);
+    }
+}
+
+void
+TaskPool::runTasks(Batch &b, std::unique_lock<std::mutex> &lock)
+{
+    while (b.active && b.next < b.count) {
+        std::size_t i = b.next++;
+        const std::function<void(std::size_t)> *fn = b.fn;
+        lock.unlock();
+        std::exception_ptr err;
+        insidePool = true;
+        try {
+            (*fn)(i);
+        } catch (...) {
+            err = std::current_exception();
+        }
+        insidePool = false;
+        lock.lock();
+        if (err && (!b.error || i < b.firstError)) {
+            b.error = err;
+            b.firstError = i;
+        }
+        if (++b.done == b.count)
+            doneCv.notify_all();
+    }
+}
+
+namespace {
+
+std::mutex globalPoolMtx;
+std::unique_ptr<TaskPool> globalPoolInstance;
+
+} // namespace
+
+TaskPool &
+globalPool()
+{
+    std::lock_guard<std::mutex> lock(globalPoolMtx);
+    if (!globalPoolInstance)
+        globalPoolInstance = std::make_unique<TaskPool>();
+    return *globalPoolInstance;
+}
+
+void
+setGlobalWorkers(unsigned workers)
+{
+    std::lock_guard<std::mutex> lock(globalPoolMtx);
+    globalPoolInstance = std::make_unique<TaskPool>(std::max(1u, workers));
+}
+
+} // namespace upm::exec

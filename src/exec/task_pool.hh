@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Fixed-size worker pool for the embarrassingly parallel sweeps.
+ *
+ * Every figure bench runs its sweep points over independent per-point
+ * `System` instances, so the suite parallelizes without any shared
+ * simulator state. The pool guarantees *deterministic* results: task
+ * outputs are stored by task index, exceptions are rethrown for the
+ * lowest failing index, and randomness inside a task must derive from
+ * `taskSeed(root, index)` -- a SplitMix64 hash of a fixed root seed
+ * and the task index -- never from a generator shared across tasks.
+ * Under that contract a sweep is bit-identical at 1, 2 or N workers,
+ * regardless of scheduling order.
+ *
+ * A `parallelFor` issued from inside a pool task runs inline on the
+ * calling worker (nested fan-out would deadlock a fixed pool); the
+ * determinism contract makes inline execution indistinguishable.
+ */
+
+#ifndef UPM_EXEC_TASK_POOL_HH
+#define UPM_EXEC_TASK_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace upm::exec {
+
+/**
+ * Deterministic per-task seed: SplitMix64 mix of a fixed root seed and
+ * the task index. Depends only on (root, index), never on scheduling.
+ */
+std::uint64_t taskSeed(std::uint64_t root, std::uint64_t index);
+
+/**
+ * Worker count the global pool starts with: the `UPM_WORKERS`
+ * environment variable when set (clamped to >= 1), else the hardware
+ * concurrency (>= 1).
+ */
+unsigned defaultWorkers();
+
+/** Fixed-size thread pool with a blocking parallel-for. */
+class TaskPool
+{
+  public:
+    explicit TaskPool(unsigned workers = defaultWorkers());
+
+    TaskPool(const TaskPool &) = delete;
+    TaskPool &operator=(const TaskPool &) = delete;
+
+    ~TaskPool();
+
+    unsigned workers() const { return workerCount; }
+
+    /**
+     * Run `fn(i)` for every i in [0, n) and block until all complete.
+     * Tasks must be independent (see the determinism contract above).
+     * If tasks throw, the exception of the lowest-index failure is
+     * rethrown after every task has finished. Reentrant calls from a
+     * worker thread execute inline, in index order.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+    /**
+     * Run `fn(i)` for every i in [0, n) and collect the results in
+     * index order. Same contract as parallelFor.
+     */
+    template <typename T, typename F>
+    std::vector<T>
+    parallelMap(std::size_t n, F &&fn)
+    {
+        std::vector<T> results(n);
+        parallelFor(n, [&](std::size_t i) { results[i] = fn(i); });
+        return results;
+    }
+
+  private:
+    struct Batch
+    {
+        const std::function<void(std::size_t)> *fn = nullptr;
+        std::size_t count = 0;
+        std::size_t next = 0;      //!< next index to claim
+        std::size_t done = 0;      //!< completed tasks
+        std::size_t firstError = 0;
+        std::exception_ptr error;
+        bool active = false;
+    };
+
+    void workerLoop();
+    void runTasks(Batch &batch, std::unique_lock<std::mutex> &lock);
+
+    unsigned workerCount;
+    std::vector<std::thread> threads;
+    std::mutex mtx;
+    std::condition_variable workCv;  //!< workers wait for a batch
+    std::condition_variable doneCv;  //!< submitter waits for completion
+    Batch batch;
+    bool shutdown = false;
+};
+
+/**
+ * The process-wide pool the sweep loops use. Created lazily with
+ * `defaultWorkers()`; resize with `setGlobalWorkers`.
+ */
+TaskPool &globalPool();
+
+/**
+ * Replace the global pool with one of @p workers threads (>= 1).
+ * Must not be called while the global pool is executing a batch.
+ */
+void setGlobalWorkers(unsigned workers);
+
+} // namespace upm::exec
+
+#endif // UPM_EXEC_TASK_POOL_HH

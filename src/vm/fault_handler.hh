@@ -73,6 +73,13 @@ class FaultHandler
     SimTime sampleColdLatency(FaultType type);
 
     /**
+     * Reset the jitter RNG to @p seed. The parallel fault sweep seeds
+     * each task with `exec::taskSeed(root, index)` so a sample depends
+     * only on its task index, never on worker count or scheduling.
+     */
+    void reseed(std::uint64_t seed) { rng = SplitMix64(seed); }
+
+    /**
      * Total service time for @p pages concurrent faults of @p type.
      * @param cpu_cores number of faulting cores (CPU type only).
      */

@@ -54,6 +54,55 @@ TEST(SetAssocCache, InvalidateAndFlush)
     EXPECT_FALSE(cache.probe(128));
 }
 
+TEST(SetAssocCache, InvalidatedWayRefillsWithFreshLruStamp)
+{
+    // 2-way, 64 B lines, 8 sets: addresses 0, 1024, 2048, 3072 all
+    // map to set 0. Invalidating a line must not leave a stale LRU
+    // stamp behind: the way that refills the invalidated slot carries
+    // a *fresh* stamp, so the next eviction picks the genuinely
+    // oldest line, not the newcomer.
+    SetAssocCache cache({.sizeBytes = 1024, .assoc = 2, .lineSize = 64});
+    cache.access(0);     // A, stamp 1
+    cache.access(1024);  // B, stamp 2 (A is LRU)
+    EXPECT_TRUE(cache.invalidate(1024));
+    cache.access(2048);  // C fills B's invalidated way, fresh stamp
+    cache.access(3072);  // D must evict A (oldest), not C
+    EXPECT_FALSE(cache.probe(0));
+    EXPECT_TRUE(cache.probe(2048));
+    EXPECT_TRUE(cache.probe(3072));
+}
+
+TEST(SetAssocCache, InvalidWaysWinVictimSelectionOverValidLru)
+{
+    // With one way invalidated, a miss must allocate into the hole
+    // rather than evict a valid line -- even when the valid line's
+    // stamp is older than the invalidated way's stale stamp.
+    SetAssocCache cache({.sizeBytes = 1024, .assoc = 2, .lineSize = 64});
+    cache.access(0);     // A, stamp 1
+    cache.access(1024);  // B, stamp 2 (stale stamp > A's)
+    EXPECT_TRUE(cache.invalidate(1024));
+    cache.access(2048);  // must fill B's hole, keeping A resident
+    EXPECT_TRUE(cache.probe(0));
+    EXPECT_TRUE(cache.probe(2048));
+}
+
+TEST(SetAssocCache, FlushResetsLruOrdering)
+{
+    // After flush, eviction order reflects only post-flush accesses:
+    // the pre-flush stamps of A and B must not influence who is the
+    // victim once the set refills.
+    SetAssocCache cache({.sizeBytes = 1024, .assoc = 2, .lineSize = 64});
+    cache.access(0);     // A
+    cache.access(1024);  // B
+    cache.flush();
+    cache.access(1024);  // B again, now the *older* of the two
+    cache.access(2048);  // C
+    cache.access(3072);  // D evicts B (post-flush oldest)
+    EXPECT_FALSE(cache.probe(1024));
+    EXPECT_TRUE(cache.probe(2048));
+    EXPECT_TRUE(cache.probe(3072));
+}
+
 TEST(SetAssocCache, RejectsBadGeometry)
 {
     EXPECT_THROW(SetAssocCache({.sizeBytes = 1000, .assoc = 3,

@@ -200,6 +200,71 @@ TEST(Stats, LogHistogramBuckets)
     EXPECT_DOUBLE_EQ(h.bucketLow(3), 8.0);
 }
 
+TEST(Stats, LogHistogramExactPowerOfTwoEdges)
+{
+    // Regression: bucketing via std::log2 misplaced exact edges --
+    // floating rounding could land base*2^k in bucket k-1. The
+    // integer bit-width path must put every edge in bucket k.
+    LogHistogram h(1.0, 32);
+    for (unsigned k = 0; k < 31; ++k)
+        h.add(static_cast<double>(1ull << k));
+    for (unsigned k = 0; k < 31; ++k)
+        EXPECT_EQ(h.bucketCount(k), 1u) << "edge 2^" << k;
+
+    // Same property at a non-trivial base: edges are base*2^k.
+    LogHistogram h2(4.0 * 1e3, 6);
+    for (unsigned k = 0; k < 6; ++k)
+        h2.add(4.0e3 * static_cast<double>(1u << k));
+    for (unsigned k = 0; k < 6; ++k)
+        EXPECT_EQ(h2.bucketCount(k), 1u) << "edge base*2^" << k;
+
+    // Just below an edge stays in the lower bucket.
+    LogHistogram h3(1.0, 4);
+    h3.add(std::nextafter(4.0, 0.0));
+    EXPECT_EQ(h3.bucketCount(1), 1u);
+    EXPECT_EQ(h3.bucketCount(2), 0u);
+}
+
+TEST(Stats, LogHistogramHugeRatioClampsToLastBucket)
+{
+    // Ratios at or above 2^63 would overflow the uint64 conversion;
+    // they must clamp to the last bucket instead.
+    LogHistogram h(1.0, 4);
+    h.add(0x1p63);
+    h.add(1e300);
+    EXPECT_EQ(h.bucketCount(3), 2u);
+}
+
+TEST(Stats, PercentileCacheSurvivesInterleavedAdds)
+{
+    // Regression for the lazily-sorted percentile cache: results must
+    // match a freshly sorted reference after every add/percentile
+    // interleaving, i.e. add() invalidates the cache.
+    SampleStats s;
+    std::vector<double> reference;
+    MinStdRand rng(123);
+    auto check = [&] {
+        SampleStats fresh;
+        fresh.add(reference);
+        for (double p : {0.0, 50.0, 99.0, 100.0}) {
+            EXPECT_DOUBLE_EQ(s.percentile(p), fresh.percentile(p))
+                << "p" << p << " after " << reference.size()
+                << " samples";
+        }
+    };
+    for (int round = 0; round < 5; ++round) {
+        for (int i = 0; i < 20; ++i) {
+            double v = static_cast<double>(rng.next() % 1000);
+            s.add(v);
+            reference.push_back(v);
+        }
+        check();  // warms the cache...
+        s.add(-1.0);
+        reference.push_back(-1.0);
+        check();  // ...which the add above must have invalidated
+    }
+}
+
 TEST(Stats, LogHistogramValidation)
 {
     EXPECT_THROW(LogHistogram(0.0, 4), SimError);

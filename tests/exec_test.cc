@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the exec worker pool: task coverage, exception policy,
+ * seed determinism, and the headline contract -- probe sweeps are
+ * bit-identical at 1, 2, and 8 workers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "core/alloc_probe.hh"
+#include "core/fault_probe.hh"
+#include "core/latency_probe.hh"
+#include "core/system.hh"
+#include "exec/task_pool.hh"
+
+using namespace upm;
+
+namespace {
+
+/** Restore the global pool to its default size when a test exits. */
+class WorkerGuard
+{
+  public:
+    ~WorkerGuard() { exec::setGlobalWorkers(exec::defaultWorkers()); }
+};
+
+} // namespace
+
+TEST(TaskPool, RunsEveryIndexExactlyOnce)
+{
+    exec::TaskPool pool(4);
+    constexpr std::size_t kTasks = 100;
+    std::vector<std::atomic<int>> hits(kTasks);
+    pool.parallelFor(kTasks, [&](std::size_t i) { hits[i]++; });
+    for (std::size_t i = 0; i < kTasks; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(TaskPool, ZeroTasksIsANoop)
+{
+    exec::TaskPool pool(2);
+    pool.parallelFor(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(TaskPool, ParallelMapStoresByIndex)
+{
+    exec::TaskPool pool(4);
+    auto out = pool.parallelMap<std::uint64_t>(
+        64, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 64u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(TaskPool, LowestIndexExceptionWins)
+{
+    exec::TaskPool pool(4);
+    try {
+        pool.parallelFor(32, [](std::size_t i) {
+            if (i == 7 || i == 19)
+                throw std::runtime_error("task " + std::to_string(i));
+        });
+        FAIL() << "expected a rethrow";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "task 7");
+    }
+}
+
+TEST(TaskPool, NestedParallelForRunsInline)
+{
+    exec::TaskPool pool(2);
+    std::vector<std::atomic<int>> hits(16);
+    pool.parallelFor(4, [&](std::size_t outer) {
+        // A fixed pool would deadlock here if nesting blocked on the
+        // same workers; the inner call must run inline instead.
+        pool.parallelFor(4, [&](std::size_t inner) {
+            hits[outer * 4 + inner]++;
+        });
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "slot " << i;
+}
+
+TEST(TaskSeed, DependsOnlyOnRootAndIndex)
+{
+    EXPECT_EQ(exec::taskSeed(42, 7), exec::taskSeed(42, 7));
+    EXPECT_NE(exec::taskSeed(42, 7), exec::taskSeed(42, 8));
+    EXPECT_NE(exec::taskSeed(42, 7), exec::taskSeed(43, 7));
+}
+
+TEST(TaskSeed, ProducesDistinctStreams)
+{
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        seeds.insert(exec::taskSeed(0xfa17u, i));
+    EXPECT_EQ(seeds.size(), 1000u);
+}
+
+namespace {
+
+/**
+ * Run @p sweep under 1, 2, and 8 global workers and require the
+ * flattened numeric results to be identical -- the tentpole contract.
+ * @p sweep must return std::vector<double> of every result field.
+ */
+template <typename Sweep>
+void
+expectWorkerInvariant(Sweep &&sweep)
+{
+    WorkerGuard guard;
+    exec::setGlobalWorkers(1);
+    std::vector<double> serial = sweep();
+    for (unsigned workers : {2u, 8u}) {
+        exec::setGlobalWorkers(workers);
+        std::vector<double> parallel = sweep();
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(parallel[i], serial[i])
+                << "value " << i << " differs at " << workers
+                << " workers";
+        }
+    }
+}
+
+} // namespace
+
+TEST(ExecDeterminism, LatencySweepIsWorkerInvariant)
+{
+    const std::vector<std::uint64_t> sizes = {64 * KiB, 16 * MiB,
+                                              256 * MiB};
+    expectWorkerInvariant([&] {
+        core::System sys;
+        core::LatencyProbe probe(sys);
+        auto points = probe.sweep(
+            alloc::AllocatorKind::HipMallocManaged, sizes);
+        std::vector<double> flat;
+        for (const auto &p : points) {
+            flat.push_back(static_cast<double>(p.bufferBytes));
+            flat.push_back(p.gpuLatency);
+            flat.push_back(p.cpuLatency);
+        }
+        return flat;
+    });
+}
+
+TEST(ExecDeterminism, AllocSweepIsWorkerInvariant)
+{
+    const std::vector<std::uint64_t> sizes = {32, 2 * MiB, 256 * MiB};
+    expectWorkerInvariant([&] {
+        core::System sys;
+        core::AllocProbe probe(sys);
+        auto points =
+            probe.sweep(alloc::AllocatorKind::HipMalloc, sizes);
+        std::vector<double> flat;
+        for (const auto &p : points) {
+            flat.push_back(static_cast<double>(p.sizeBytes));
+            flat.push_back(p.allocMean);
+            flat.push_back(p.freeMean);
+            flat.push_back(static_cast<double>(p.chunks));
+        }
+        return flat;
+    });
+}
+
+TEST(ExecDeterminism, FaultLatencyDistributionIsWorkerInvariant)
+{
+    WorkerGuard guard;
+    core::FaultProbe::Params params;
+    params.timedIterations = 40;
+    auto run = [&] {
+        core::System sys;
+        core::FaultProbe probe(sys, params);
+        return probe.latencyDistribution(core::FaultScenario::GpuMinor)
+            .values();
+    };
+    exec::setGlobalWorkers(1);
+    auto serial = run();
+    for (unsigned workers : {2u, 8u}) {
+        exec::setGlobalWorkers(workers);
+        auto parallel = run();
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(parallel[i], serial[i])
+                << "sample " << i << " differs at " << workers
+                << " workers";
+        }
+    }
+}
+
+TEST(ExecDeterminism, FaultThroughputSweepIsWorkerInvariant)
+{
+    const std::vector<std::uint64_t> pages = {100, 10'000, 1'000'000};
+    expectWorkerInvariant([&] {
+        core::System sys;
+        core::FaultProbe probe(sys);
+        return probe.throughputSweep(core::FaultScenario::GpuMajor,
+                                     pages);
+    });
+}

@@ -32,6 +32,7 @@ main(int argc, char **argv)
     std::vector<std::uint64_t> sizes = {
         2,         32,        1 * KiB,   16 * KiB,  256 * KiB,
         2 * MiB,   16 * MiB,  32 * MiB,  256 * MiB, 1 * GiB,
+        4 * GiB,
     };
     if (opt.smoke)
         sizes = {32, 16 * KiB, 2 * MiB, 32 * MiB, 256 * MiB};

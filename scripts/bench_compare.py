@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json reports produced by bench_util.hh.
+
+Checks two things:
+
+ 1. Model equivalence: the two reports must describe the same sweep
+    (same bench id, same points in the same order) with *byte-identical*
+    params and metrics. Floats are compared as the literal text printed
+    by JsonReporter (%.17g round-trips doubles), so any bit-level drift
+    in a simulated metric fails the diff.
+
+ 2. Wall-clock: candidate wall_ms must not regress past --wall-tol
+    times the baseline (default 1.10, i.e. >10% regression fails).
+    Pass --metrics-only to skip the wall check (e.g. comparing runs
+    from different machines).
+
+Exit status: 0 on pass, 1 on any mismatch or regression.
+
+Usage:
+    bench_compare.py BASELINE.json CANDIDATE.json [--wall-tol 1.10]
+                     [--metrics-only]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    # parse_float=str preserves the exact float literal text, making
+    # the metric comparison a byte comparison rather than an epsilon.
+    with open(path) as f:
+        return json.load(f, parse_float=str)
+
+
+def diff_points(base, cand):
+    """Return a list of human-readable mismatch descriptions."""
+    problems = []
+    bp = base.get("points", [])
+    cp = cand.get("points", [])
+    if base.get("bench") != cand.get("bench"):
+        problems.append(
+            f"bench id differs: {base.get('bench')!r} vs "
+            f"{cand.get('bench')!r}")
+    if len(bp) != len(cp):
+        problems.append(f"point count differs: {len(bp)} vs {len(cp)}")
+    for i, (b, c) in enumerate(zip(bp, cp)):
+        for section in ("params", "metrics"):
+            bs, cs = b.get(section, {}), c.get(section, {})
+            if bs == cs:
+                continue
+            keys = sorted(set(bs) | set(cs))
+            for k in keys:
+                if bs.get(k) != cs.get(k):
+                    problems.append(
+                        f"point {i} {section}[{k!r}]: "
+                        f"{bs.get(k)!r} vs {cs.get(k)!r}")
+    return problems
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--wall-tol", type=float, default=1.10,
+                    help="max allowed candidate/baseline wall_ms ratio "
+                         "(default: 1.10)")
+    ap.add_argument("--metrics-only", action="store_true",
+                    help="skip the wall-clock comparison")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+
+    problems = diff_points(base, cand)
+    ok = not problems
+    for p in problems[:20]:
+        print(f"MISMATCH: {p}")
+    if len(problems) > 20:
+        print(f"... and {len(problems) - 20} more mismatches")
+    if ok:
+        n = len(base.get("points", []))
+        print(f"metrics: OK ({n} points byte-identical)")
+
+    base_wall = float(base.get("wall_ms", 0.0))
+    cand_wall = float(cand.get("wall_ms", 0.0))
+    if base_wall > 0.0:
+        ratio = cand_wall / base_wall
+        speed = base_wall / cand_wall if cand_wall > 0.0 else float("inf")
+        print(f"wall_ms: baseline {base_wall:.3f} -> candidate "
+              f"{cand_wall:.3f} (ratio {ratio:.3f}, "
+              f"speedup {speed:.2f}x)")
+        if not args.metrics_only and ratio > args.wall_tol:
+            print(f"REGRESSION: wall_ms ratio {ratio:.3f} exceeds "
+                  f"tolerance {args.wall_tol:.2f}")
+            ok = False
+
+    print("PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

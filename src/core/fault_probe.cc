@@ -64,14 +64,12 @@ FaultProbe::functionalFaults(FaultScenario scenario, std::uint64_t pages)
         as.resolveGpuFault(first, pages);
         break;
       case FaultScenario::GpuMinor:
-        for (std::uint64_t p = 0; p < pages; ++p)
-            as.resolveCpuFault(first + p);
+        as.resolveCpuFaultRange(first, first + pages);
         as.resolveGpuFault(first, pages);
         break;
       case FaultScenario::Cpu1:
       case FaultScenario::Cpu12:
-        for (std::uint64_t p = 0; p < pages; ++p)
-            as.resolveCpuFault(first + p);
+        as.resolveCpuFaultRange(first, first + pages);
         break;
     }
     as.munmap(base);

@@ -61,14 +61,19 @@ StreamProbe::simulateTlbMisses(const Arrays &arrays)
         std::uint64_t pages = arrays.bytes / mem::kPageSize;
         std::vector<std::pair<vm::Vpn, std::uint64_t>> spans(pages);
         vm::Vpn first = vm::vpnOf(base);
-        for (std::uint64_t p = 0; p < pages; ++p) {
-            if (as.gpuTable().present(first + p)) {
-                auto frag = as.gpuTable().fragmentOf(first + p);
-                spans[p] = {frag.base, frag.span};
-            } else {
-                spans[p] = {first + p, 1};
-            }
-        }
+        // Unmapped pages translate one page at a time; overwrite the
+        // mapped stretches from the fragment runs (no per-page walks).
+        for (std::uint64_t p = 0; p < pages; ++p)
+            spans[p] = {first + p, 1};
+        as.gpuTable().forEachFragmentRun(
+            first, first + pages,
+            [&](vm::Vpn seg_begin, std::uint64_t len,
+                std::uint8_t frag) {
+                std::uint64_t span = 1ull << frag;
+                for (vm::Vpn vpn = seg_begin; vpn < seg_begin + len;
+                     ++vpn)
+                    spans[vpn - first] = {vpn & ~(span - 1), span};
+            });
         return spans;
     };
     auto spans_a = spans_of(arrays.a);

@@ -25,9 +25,12 @@ System::finalizeAudit()
         return;
     as.auditMirrorConsistency(*aud);
     std::vector<bool> mapped(geom.numFrames(), false);
-    as.systemTable().forRange(0, ~0ull, [&](vm::Vpn, const vm::Pte &pte) {
-        if (pte.frame < mapped.size())
-            mapped[pte.frame] = true;
+    as.systemTable().forEachRun(0, ~0ull, [&](const vm::PteRun &run) {
+        for (std::uint64_t i = 0; i < run.len; ++i) {
+            vm::FrameId f = run.frameOf(run.vpn + i);
+            if (f < mapped.size())
+                mapped[f] = true;
+        }
     });
     frameAlloc.auditLeaks(mapped, *aud);
 }

@@ -49,13 +49,17 @@ PerfModel::profileRegion(const vm::AddressSpace &as, vm::VirtAddr base,
     vm::Vpn end = vm::vpnOf(base + size + mem::kPageSize - 1);
     std::uint64_t gpu_pages = 0;
     double translations = 0.0;
-    as.gpuTable().forRange(begin, end,
-                           [&](vm::Vpn, const vm::GpuPte &pte) {
-                               ++gpu_pages;
-                               translations +=
-                                   1.0 / static_cast<double>(
-                                             1ull << pte.fragment);
-                           });
+    as.gpuTable().forEachFragmentRun(
+        begin, end,
+        [&](vm::Vpn, std::uint64_t len, std::uint8_t frag) {
+            gpu_pages += len;
+            // Accumulate per page (not len/2^frag in one shot) so the
+            // partial sums -- and thus the reported doubles -- match
+            // the per-PTE walk bit for bit.
+            double inv = 1.0 / static_cast<double>(1ull << frag);
+            for (std::uint64_t i = 0; i < len; ++i)
+                translations += inv;
+        });
     profile.pagesGpuMapped = gpu_pages;
     std::uint64_t span1_pages = profile.pagesTotal - gpu_pages;
     translations += static_cast<double>(span1_pages);

@@ -217,13 +217,7 @@ Runtime::hipMemcpyAsync(DevPtr dst, DevPtr src, std::uint64_t bytes,
         vm::Vpn first = vm::vpnOf(dst);
         vm::Vpn last = vm::vpnOf(dst + bytes + mem::kPageSize - 1);
         last = std::min(last, vma->endVpn());
-        std::uint64_t missing = 0;
-        for (vm::Vpn vpn = first; vpn < last; ++vpn) {
-            if (!as.systemTable().present(vpn)) {
-                as.resolveCpuFault(vpn);
-                ++missing;
-            }
-        }
+        std::uint64_t missing = as.resolveCpuFaultRange(first, last);
         if (missing > 0) {
             runtimeStats.cpuFaultedPages += missing;
             fault_time =
@@ -256,13 +250,12 @@ Runtime::resolveKernelFaults(const BufferUse &use)
 
     std::uint64_t missing = 0;
     std::uint64_t sys_present = 0;
-    for (vm::Vpn vpn = first; vpn < last; ++vpn) {
-        if (!as.gpuTable().present(vpn)) {
-            ++missing;
-            if (as.systemTable().present(vpn))
-                ++sys_present;
-        }
-    }
+    as.gpuTable().forEachGap(
+        first, last, [&](vm::Vpn gap_begin, vm::Vpn gap_end) {
+            missing += gap_end - gap_begin;
+            sys_present +=
+                as.systemTable().presentInRange(gap_begin, gap_end);
+        });
     if (missing == 0)
         return 0.0;
 
@@ -392,13 +385,7 @@ Runtime::cpuFirstTouch(DevPtr ptr, std::uint64_t size, unsigned threads)
                              mem::kPageSize - 1);
     last = std::min(last, vma->endVpn());
 
-    std::uint64_t missing = 0;
-    for (vm::Vpn vpn = first; vpn < last; ++vpn) {
-        if (!as.systemTable().present(vpn)) {
-            as.resolveCpuFault(vpn);
-            ++missing;
-        }
-    }
+    std::uint64_t missing = as.resolveCpuFaultRange(first, last);
     if (missing == 0)
         return 0.0;
     runtimeStats.cpuFaultedPages += missing;

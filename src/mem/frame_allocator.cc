@@ -31,7 +31,7 @@ FrameAllocator::FrameAllocator(const MemGeometry &geometry,
                 (1ull << order) > remaining)) {
             --order;
         }
-        freeLists[order].insert(next);
+        freeLists[order].insert(next >> order);
         next += 1ull << order;
         remaining -= 1ull << order;
     }
@@ -47,13 +47,13 @@ FrameAllocator::allocBlock(unsigned order, FrameId &base)
     if (o > cfg.maxOrder)
         return false;
 
-    FrameId block = *freeLists[o].begin();
-    freeLists[o].erase(freeLists[o].begin());
+    FrameId block = freeLists[o].first() << o;
+    freeLists[o].erase(block >> o);
 
     // Split down to the requested order, keeping the upper halves free.
     while (o > order) {
         --o;
-        freeLists[o].insert(block + (1ull << o));
+        freeLists[o].insert((block + (1ull << o)) >> o);
     }
 
     std::uint64_t n = 1ull << order;
@@ -104,14 +104,13 @@ FrameAllocator::freeBlock(FrameId base, unsigned order)
     FrameId block = base;
     while (o < cfg.maxOrder) {
         FrameId buddy = block ^ (1ull << o);
-        auto it = freeLists[o].find(buddy);
-        if (it == freeLists[o].end())
+        if (!freeLists[o].contains(buddy >> o))
             break;
-        freeLists[o].erase(it);
+        freeLists[o].erase(buddy >> o);
         block = std::min(block, buddy);
         ++o;
     }
-    freeLists[o].insert(block);
+    freeLists[o].insert(block >> o);
 }
 
 std::vector<FrameRange>
@@ -312,8 +311,27 @@ FrameAllocator::freeFrame(FrameId frame)
 void
 FrameAllocator::freeRange(const FrameRange &range)
 {
-    for (std::uint64_t i = 0; i < range.count; ++i)
-        freeBlock(range.base + i, 0);
+    if (aud != nullptr) {
+        // Page-by-page fan-out reports every bad frame individually;
+        // eager merging makes the final buddy state identical.
+        for (std::uint64_t i = 0; i < range.count; ++i)
+            freeBlock(range.base + i, 0);
+        return;
+    }
+    // Decompose into maximal naturally-aligned blocks: O(log frames)
+    // buddy work per block instead of per page.
+    FrameId cur = range.base;
+    std::uint64_t remaining = range.count;
+    while (remaining > 0) {
+        unsigned align = cfg.maxOrder;
+        while (align > 0 && (cur & ((1ull << align) - 1)) != 0)
+            --align;
+        unsigned order =
+            std::min<unsigned>(align, floorLog2(remaining));
+        freeBlock(cur, order);
+        cur += 1ull << order;
+        remaining -= 1ull << order;
+    }
 }
 
 std::uint64_t

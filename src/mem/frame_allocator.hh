@@ -29,11 +29,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <set>
 #include <vector>
 
 #include "common/rng.hh"
 #include "mem/geometry.hh"
+#include "mem/interval_set.hh"
 
 namespace upm::audit {
 class Auditor;
@@ -108,7 +108,13 @@ class FrameAllocator
     /** Free one frame. Double frees panic (or report, when audited). */
     void freeFrame(FrameId frame);
 
-    /** Free a contiguous range (page-by-page buddy merge). */
+    /**
+     * Free a contiguous range as naturally-aligned buddy blocks --
+     * O(log frames) per block instead of per page. With an auditor
+     * attached it falls back to page-by-page frees so every bad frame
+     * is reported individually; eager merging makes the final buddy
+     * state identical either way.
+     */
     void freeRange(const FrameRange &range);
 
     /** @return the number of currently free frames. Frames parked in
@@ -155,8 +161,11 @@ class FrameAllocator
     FrameAllocatorConfig cfg;
     std::uint64_t freeCount = 0;
 
-    /** Free lists: per order, sorted set of block base frames. */
-    std::vector<std::set<FrameId>> freeLists;
+    /** Free lists: per order, coalesced interval set of block
+     *  *indices* (base >> order). Adjacent free blocks of one order
+     *  collapse into a single interval, so a freshly freed multi-GiB
+     *  run costs a handful of nodes instead of one per block. */
+    std::vector<IntervalSet> freeLists;
     /** Allocation state per frame, for double-free checking. */
     std::vector<bool> frameBusy;
 

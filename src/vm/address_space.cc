@@ -4,6 +4,7 @@
 
 #include "audit/auditor.hh"
 #include "common/log.hh"
+#include "mem/interval_set.hh"
 
 namespace upm::vm {
 
@@ -59,12 +60,36 @@ AddressSpace::munmap(VirtAddr base)
     const Vma &vma = it->second;
 
     hmm.invalidateRange(vma.beginVpn(), vma.endVpn());
-    std::vector<Vpn> mapped;
-    sysTable.forRange(vma.beginVpn(), vma.endVpn(),
-                      [&](Vpn vpn, const Pte &) { mapped.push_back(vpn); });
-    for (Vpn vpn : mapped) {
-        auto frame = sysTable.remove(vpn);
-        frameAlloc.freeFrame(*frame);
+    if (aud != nullptr) {
+        // Free each sub-run as it is cut so UPMSan sees the same
+        // per-frame event stream, in vpn order, as ever.
+        sysTable.removeRange(
+            vma.beginVpn(), vma.endVpn(), [&](const PteRun &cut) {
+                if (cut.scatter == nullptr) {
+                    frameAlloc.freeRange({cut.frame, cut.len});
+                } else {
+                    for (std::uint64_t i = 0; i < cut.len; ++i)
+                        frameAlloc.freeRange({cut.scatter[i], 1});
+                }
+            });
+    } else {
+        // Batch: accumulate the freed frames into merged intervals
+        // first, then hand the buddy a few big ranges. Eager buddy
+        // merging makes the final free-list state a pure function of
+        // the free frame set, so this is equivalent to per-run frees.
+        mem::IntervalSet freed;
+        sysTable.removeRange(
+            vma.beginVpn(), vma.endVpn(), [&](const PteRun &cut) {
+                if (cut.scatter == nullptr) {
+                    freed.insertRange(cut.frame, cut.len);
+                } else {
+                    for (std::uint64_t i = 0; i < cut.len; ++i)
+                        freed.insert(cut.scatter[i]);
+                }
+            });
+        freed.forEach([&](FrameId begin_frame, FrameId end_frame) {
+            frameAlloc.freeRange({begin_frame, end_frame - begin_frame});
+        });
     }
     backingStore.detach(base);
     vmas.erase(it);
@@ -100,13 +125,12 @@ AddressSpace::flagsFor(const Vma &vma) const
 
 void
 AddressSpace::mapFrames(const Vma &vma, Vpn vpn,
-                        const std::vector<FrameId> &frame_list)
+                        std::vector<FrameId> frame_list)
 {
-    PteFlags flags = flagsFor(vma);
-    for (std::size_t i = 0; i < frame_list.size(); ++i)
-        sysTable.insert(vpn + i, frame_list[i], flags);
+    std::uint64_t n = frame_list.size();
+    sysTable.insertFrames(vpn, std::move(frame_list), flagsFor(vma));
     if (vma.policy.gpuMapped)
-        hmm.mirrorRange(vpn, vpn + frame_list.size());
+        hmm.mirrorRange(vpn, vpn + n);
 }
 
 void
@@ -116,8 +140,8 @@ AddressSpace::mapRanges(const Vma &vma, Vpn vpn,
     PteFlags flags = flagsFor(vma);
     Vpn cursor = vpn;
     for (const auto &range : ranges) {
-        for (std::uint64_t i = 0; i < range.count; ++i, ++cursor)
-            sysTable.insert(cursor, range.base + i, flags);
+        sysTable.insertRange(cursor, range.count, range.base, flags);
+        cursor += range.count;
     }
     if (vma.policy.gpuMapped)
         hmm.mirrorRange(vpn, cursor);
@@ -134,17 +158,14 @@ AddressSpace::populateRange(VirtAddr base, std::uint64_t size)
     Vpn last = vpnOf(base + size + mem::kPageSize - 1);
     last = std::min(last, vma->endVpn());
 
-    // Collect the holes and populate them contiguously per hole.
+    // Collect the holes up front (populating mutates the table while a
+    // gap walk would be iterating), then fill them contiguously.
+    std::vector<std::pair<Vpn, Vpn>> holes;
+    sysTable.forEachGap(first, last, [&](Vpn gap_begin, Vpn gap_end) {
+        holes.emplace_back(gap_begin, gap_end);
+    });
     std::uint64_t populated = 0;
-    Vpn hole_start = first;
-    while (hole_start < last) {
-        while (hole_start < last && sysTable.present(hole_start))
-            ++hole_start;
-        if (hole_start >= last)
-            break;
-        Vpn hole_end = hole_start;
-        while (hole_end < last && !sysTable.present(hole_end))
-            ++hole_end;
+    for (const auto &[hole_start, hole_end] : holes) {
         std::uint64_t n = hole_end - hole_start;
 
         switch (vma->policy.placement) {
@@ -161,7 +182,7 @@ AddressSpace::populateRange(VirtAddr base, std::uint64_t size)
             if (!frameAlloc.allocInterleaved(n, frame_list))
                 fatal("out of physical memory populating '%s'",
                       vma->name.c_str());
-            mapFrames(*vma, hole_start, frame_list);
+            mapFrames(*vma, hole_start, std::move(frame_list));
             break;
           }
           case Placement::FaultBatch: {
@@ -178,7 +199,7 @@ AddressSpace::populateRange(VirtAddr base, std::uint64_t size)
             if (!frameAlloc.allocScattered(n, frame_list))
                 fatal("out of physical memory populating '%s'",
                       vma->name.c_str());
-            mapFrames(*vma, hole_start, frame_list);
+            mapFrames(*vma, hole_start, std::move(frame_list));
             break;
           }
         }
@@ -187,7 +208,6 @@ AddressSpace::populateRange(VirtAddr base, std::uint64_t size)
         else
             vma->pagesPlaced += n;
         populated += n;
-        hole_start = hole_end;
     }
     return populated;
 }
@@ -208,38 +228,52 @@ AddressSpace::pinAndMapGpu(VirtAddr base)
     vma.policy.gpuMapped = true;
     vma.policy.onDemand = false;
 
-    PteFlags flags = flagsFor(vma);
-    std::vector<std::pair<Vpn, FrameId>> present;
-    sysTable.forRange(vma.beginVpn(), vma.endVpn(),
-                      [&](Vpn vpn, const Pte &pte) {
-                          present.emplace_back(vpn, pte.frame);
-                      });
-    for (const auto &[vpn, frame] : present) {
-        (void)frame;
-        sysTable.setFlags(vpn, flags);
-    }
+    sysTable.setFlagsRange(vma.beginVpn(), vma.endVpn(), flagsFor(vma));
     hmm.mirrorRange(vma.beginVpn(), vma.endVpn());
 }
 
 void
 AddressSpace::resolveCpuFault(Vpn vpn)
 {
-    Vma *vma = findVmaMutable(addrOf(vpn));
+    resolveCpuFaultRange(vpn, vpn + 1);
+}
+
+std::uint64_t
+AddressSpace::resolveCpuFaultRange(Vpn first, Vpn last)
+{
+    Vma *vma = findVmaMutable(addrOf(first));
     if (vma == nullptr)
         fatal("CPU segfault: access to unmapped vpn 0x%llx",
-              static_cast<unsigned long long>(vpn));
+              static_cast<unsigned long long>(first));
     if (!vma->policy.cpuAccess)
         fatal("CPU access to CPU-inaccessible VMA '%s'", vma->name.c_str());
-    if (sysTable.present(vpn))
-        return;  // benign race: already resolved
+    last = std::min(last, vma->endVpn());
 
+    std::vector<std::pair<Vpn, Vpn>> holes;
+    std::uint64_t missing = 0;
+    sysTable.forEachGap(first, last, [&](Vpn gap_begin, Vpn gap_end) {
+        holes.emplace_back(gap_begin, gap_end);
+        missing += gap_end - gap_begin;
+    });
+    if (missing == 0)
+        return 0;  // benign race: already resolved
+
+    // One batched pool grab: the on-demand pool hands out the same
+    // frame sequence as `missing` single-frame grabs would.
     std::vector<FrameId> frame_list;
-    if (!frameAlloc.allocScattered(1, frame_list))
+    frame_list.reserve(missing);
+    if (!frameAlloc.allocScattered(missing, frame_list))
         fatal("out of physical memory on CPU fault");
     PteFlags flags = flagsFor(*vma);
-    sysTable.insert(vpn, frame_list[0], flags);
-    ++vma->pagesScattered;
-    ++cpuFaultCount;
+    std::size_t next = 0;
+    for (const auto &[gap_begin, gap_end] : holes) {
+        sysTable.insertFrames(gap_begin, frame_list.data() + next,
+                              gap_end - gap_begin, flags);
+        next += gap_end - gap_begin;
+    }
+    vma->pagesScattered += missing;
+    cpuFaultCount += missing;
+    return missing;
 }
 
 GpuFaultKind
@@ -252,14 +286,9 @@ AddressSpace::resolveGpuFault(Vpn first, std::uint64_t count)
 
     // A GPU-mapped region never faults once populated; reaching here
     // with the region fully present means no fault at all.
-    bool any_missing_gpu = false;
-    bool any_missing_sys = false;
-    for (Vpn vpn = first; vpn < last; ++vpn) {
-        if (!gpuPt.present(vpn))
-            any_missing_gpu = true;
-        if (!sysTable.present(vpn))
-            any_missing_sys = true;
-    }
+    std::uint64_t span = last > first ? last - first : 0;
+    bool any_missing_gpu = gpuPt.presentInRange(first, last) < span;
+    bool any_missing_sys = sysTable.presentInRange(first, last) < span;
     if (!any_missing_gpu) {
         // An XNACK replay arriving for a fully mapped range means the
         // retry logic re-sent a fault the handler already resolved --
@@ -295,10 +324,10 @@ AddressSpace::resolveGpuFault(Vpn first, std::uint64_t count)
     // fragments never form, exactly as the paper's TLB-miss counts
     // show for GPU-initialized on-demand memory.
     std::vector<Vpn> holes;
-    for (Vpn vpn = first; vpn < last; ++vpn) {
-        if (!sysTable.present(vpn))
+    sysTable.forEachGap(first, last, [&](Vpn gap_begin, Vpn gap_end) {
+        for (Vpn vpn = gap_begin; vpn < gap_end; ++vpn)
             holes.push_back(vpn);
-    }
+    });
     std::vector<mem::FrameRange> ranges;
     if (!frameAlloc.allocBatch(holes.size(), ranges))
         fatal("out of physical memory on GPU fault");
@@ -348,8 +377,17 @@ std::vector<FrameId>
 AddressSpace::framesOf(VirtAddr base, std::uint64_t size) const
 {
     std::vector<FrameId> out;
-    sysTable.forRange(vpnOf(base), vpnOf(base + size + mem::kPageSize - 1),
-                      [&](Vpn, const Pte &pte) { out.push_back(pte.frame); });
+    sysTable.forEachRun(vpnOf(base),
+                        vpnOf(base + size + mem::kPageSize - 1),
+                        [&](const PteRun &run) {
+                            if (run.scatter != nullptr) {
+                                out.insert(out.end(), run.scatter,
+                                           run.scatter + run.len);
+                                return;
+                            }
+                            for (std::uint64_t i = 0; i < run.len; ++i)
+                                out.push_back(run.frame + i);
+                        });
     return out;
 }
 

@@ -146,6 +146,15 @@ class AddressSpace
     void resolveCpuFault(Vpn vpn);
 
     /**
+     * Resolve CPU first-touch faults for every missing page in
+     * [first, last) in one batch: equivalent to calling
+     * resolveCpuFault per page (the scattered pool hands out the same
+     * frame sequence) without the per-page table walks.
+     * @return pages faulted in.
+     */
+    std::uint64_t resolveCpuFaultRange(Vpn first, Vpn last);
+
+    /**
      * Resolve a GPU fault batch on [first, first+count). Decides
      * minor (mirror only) vs major (allocate + map); honours XNACK.
      */
@@ -196,9 +205,10 @@ class AddressSpace
   private:
     Vma *findVmaMutable(VirtAddr addr);
 
-    /** Map a frame list page-by-page starting at @p vpn. */
+    /** Map a frame list as one run starting at @p vpn (adopts the
+     *  list: a non-contiguous batch becomes its scatter vector). */
     void mapFrames(const Vma &vma, Vpn vpn,
-                   const std::vector<FrameId> &frame_list);
+                   std::vector<FrameId> frame_list);
     /** Map contiguous ranges starting at @p vpn. */
     void mapRanges(const Vma &vma, Vpn vpn,
                    const std::vector<mem::FrameRange> &ranges);

@@ -7,29 +7,232 @@
 
 namespace upm::vm {
 
-void
-GpuPageTable::insert(Vpn vpn, FrameId frame, PteFlags flags)
+GpuPageTable::RunMap::const_iterator
+GpuPageTable::findRun(Vpn vpn) const
 {
-    auto [it, inserted] = entries.emplace(vpn, GpuPte{frame, flags, 0});
-    (void)it;
-    if (!inserted)
+    auto it = runs.upper_bound(vpn);
+    if (it == runs.begin())
+        return runs.end();
+    --it;
+    if (vpn >= it->first + it->second.len)
+        return runs.end();
+    return it;
+}
+
+std::vector<GpuPageTable::FragSeg>
+GpuPageTable::splitFrags(std::vector<FragSeg> &frags, std::uint64_t cut)
+{
+    std::vector<FragSeg> suffix;
+    std::size_t keep = 0;
+    for (const FragSeg &seg : frags) {
+        if (seg.off + seg.len <= cut) {
+            ++keep;
+            continue;
+        }
+        if (seg.off < cut) {
+            suffix.push_back(
+                {0, seg.off + seg.len - cut, seg.frag});
+        } else {
+            suffix.push_back({seg.off - cut, seg.len, seg.frag});
+        }
+    }
+    if (keep < frags.size() && frags[keep].off < cut) {
+        frags[keep].len = cut - frags[keep].off;
+        ++keep;
+    }
+    frags.resize(keep);
+    return suffix;
+}
+
+void
+GpuPageTable::insertRange(Vpn vpn, std::uint64_t len, FrameId frame,
+                          PteFlags flags)
+{
+    if (len == 0)
+        return;
+    auto next = runs.lower_bound(vpn);
+    auto prev = next;
+    bool merge_prev = false;
+    if (prev != runs.begin()) {
+        --prev;
+        if (vpn < prev->first + prev->second.len)
+            panic("GPU PTE for vpn 0x%llx already present",
+                  static_cast<unsigned long long>(vpn));
+        merge_prev = prev->second.scatter.empty() &&
+                     prev->first + prev->second.len == vpn &&
+                     prev->second.frame + prev->second.len == frame &&
+                     prev->second.flags == flags;
+    }
+    if (next != runs.end() && next->first < vpn + len)
         panic("GPU PTE for vpn 0x%llx already present",
-              static_cast<unsigned long long>(vpn));
+              static_cast<unsigned long long>(next->first));
+    bool merge_next = next != runs.end() &&
+                      next->second.scatter.empty() &&
+                      next->first == vpn + len &&
+                      next->second.frame == frame + len &&
+                      next->second.flags == flags;
+
+    if (merge_prev) {
+        Run &run = prev->second;
+        if (!run.frags.empty())
+            run.frags.push_back({run.len, len, 0});
+        run.len += len;
+        if (merge_next) {
+            if (!next->second.frags.empty())
+                materializeFrags(run);
+            if (!run.frags.empty()) {
+                materializeFrags(next->second);
+                for (const FragSeg &seg : next->second.frags)
+                    run.frags.push_back(
+                        {seg.off + run.len, seg.len, seg.frag});
+            }
+            run.len += next->second.len;
+            runs.erase(next);
+        }
+    } else if (merge_next) {
+        Run run;
+        run.len = len + next->second.len;
+        run.frame = frame;
+        run.flags = flags;
+        if (!next->second.frags.empty()) {
+            run.frags.reserve(next->second.frags.size() + 1);
+            run.frags.push_back({0, len, 0});
+            for (const FragSeg &seg : next->second.frags)
+                run.frags.push_back({seg.off + len, seg.len, seg.frag});
+        }
+        runs.erase(next);
+        runs.emplace(vpn, std::move(run));
+    } else {
+        Run run;
+        run.len = len;
+        run.frame = frame;
+        run.flags = flags;
+        runs.emplace_hint(next, vpn, std::move(run));
+    }
+    presentPages += len;
+}
+
+void
+GpuPageTable::insertFrames(Vpn vpn, const FrameId *frames,
+                           std::uint64_t n, PteFlags flags)
+{
+    if (n == 0)
+        return;
+    bool strided = true;
+    for (std::uint64_t i = 1; strided && i < n; ++i)
+        strided = frames[i] == frames[0] + i;
+    if (strided) {
+        insertRange(vpn, n, frames[0], flags);
+        return;
+    }
+
+    auto next = runs.lower_bound(vpn);
+    if (next != runs.begin()) {
+        auto prev = std::prev(next);
+        if (vpn < prev->first + prev->second.len)
+            panic("GPU PTE for vpn 0x%llx already present",
+                  static_cast<unsigned long long>(vpn));
+    }
+    if (next != runs.end() && next->first < vpn + n)
+        panic("GPU PTE for vpn 0x%llx already present",
+              static_cast<unsigned long long>(next->first));
+
+    Run run;
+    run.len = n;
+    run.frame = frames[0];
+    run.flags = flags;
+    run.scatter.assign(frames, frames + n);
+    runs.emplace_hint(next, vpn, std::move(run));
+    presentPages += n;
 }
 
 std::optional<GpuPte>
 GpuPageTable::lookup(Vpn vpn) const
 {
-    auto it = entries.find(vpn);
-    if (it == entries.end())
+    auto it = findRun(vpn);
+    if (it == runs.end())
         return std::nullopt;
-    return it->second;
+    std::uint64_t off = vpn - it->first;
+    std::uint8_t frag = 0;
+    if (!it->second.frags.empty()) {
+        auto seg = std::upper_bound(
+            it->second.frags.begin(), it->second.frags.end(), off,
+            [](std::uint64_t o, const FragSeg &s) { return o < s.off; });
+        --seg;
+        frag = seg->frag;
+    }
+    return GpuPte{frameAt(it, vpn), it->second.flags, frag};
+}
+
+std::optional<GpuPteRun>
+GpuPageTable::lookupRun(Vpn vpn) const
+{
+    auto it = findRun(vpn);
+    if (it == runs.end())
+        return std::nullopt;
+    return GpuPteRun{it->first, it->second.len, it->second.frame,
+                     it->second.flags,
+                     it->second.scatter.empty()
+                         ? nullptr
+                         : it->second.scatter.data()};
 }
 
 bool
 GpuPageTable::remove(Vpn vpn)
 {
-    return entries.erase(vpn) != 0;
+    return removeRange(vpn, vpn + 1) != 0;
+}
+
+std::uint64_t
+GpuPageTable::removeRange(Vpn begin, Vpn end)
+{
+    std::uint64_t removed = 0;
+    if (begin >= end)
+        return removed;
+    auto it = runs.upper_bound(begin);
+    if (it != runs.begin()) {
+        --it;
+        if (begin >= it->first + it->second.len)
+            ++it;
+    }
+    while (it != runs.end() && it->first < end) {
+        Vpn run_vpn = it->first;
+        Run run = std::move(it->second);
+        Vpn cut_begin = std::max(begin, run_vpn);
+        Vpn cut_end = std::min(end, run_vpn + run.len);
+        it = runs.erase(it);
+        if (cut_end < run_vpn + run.len) {
+            Run tail;
+            tail.len = run_vpn + run.len - cut_end;
+            tail.flags = run.flags;
+            if (run.scatter.empty()) {
+                tail.frame = run.frame + (cut_end - run_vpn);
+            } else {
+                tail.scatter.assign(
+                    run.scatter.begin() + (cut_end - run_vpn),
+                    run.scatter.end());
+                tail.frame = tail.scatter.front();
+            }
+            tail.frags = splitFrags(run.frags, cut_end - run_vpn);
+            it = runs.emplace_hint(it, cut_end, std::move(tail));
+        }
+        if (run_vpn < cut_begin) {
+            Run head;
+            head.len = cut_begin - run_vpn;
+            head.frame = run.frame;
+            head.flags = run.flags;
+            if (!run.scatter.empty()) {
+                run.scatter.resize(head.len);
+                head.scatter = std::move(run.scatter);
+            }
+            splitFrags(run.frags, cut_begin - run_vpn);
+            head.frags = std::move(run.frags);
+            runs.emplace(run_vpn, std::move(head));
+        }
+        removed += cut_end - cut_begin;
+    }
+    presentPages -= removed;
+    return removed;
 }
 
 namespace {
@@ -53,50 +256,167 @@ tzCount(std::uint64_t x)
 void
 GpuPageTable::recomputeFragments(Vpn begin, Vpn end)
 {
-    auto it = entries.lower_bound(begin);
-    while (it != entries.end() && it->first < end) {
-        // Find the maximal contiguous run starting here.
-        Vpn run_base = it->first;
-        FrameId frame_base = it->second.frame;
-        PteFlags flags = it->second.flags;
-        auto run_end_it = it;
-        Vpn run_len = 0;
-        while (run_end_it != entries.end() && run_end_it->first < end &&
-               run_end_it->first == run_base + run_len &&
-               run_end_it->second.frame == frame_base + run_len &&
-               run_end_it->second.flags == flags) {
-            ++run_len;
-            ++run_end_it;
-        }
+    if (begin >= end)
+        return;
 
-        // Stamp aligned power-of-two blocks over the run, greedily from
-        // the left, exactly as the driver does: the block size at each
-        // position is limited by the remaining run length and by the
-        // natural alignment of both the virtual and physical address.
-        Vpn pos = 0;
-        auto stamp_it = it;
-        while (pos < run_len) {
-            unsigned align = std::min(tzCount(run_base + pos),
-                                      tzCount(frame_base + pos));
-            unsigned len_log = floorLog2(run_len - pos);
+    // Phase 1: find the driver's contiguity stretches inside the
+    // window from per-page *values* — maximal sequences of present
+    // pages with consecutive frames and equal flags — so the result
+    // does not depend on how the mapping is split into stored runs.
+    // Greedily stamp each stretch with naturally-aligned power-of-two
+    // blocks; stamps are page-absolute and RLE-compressed.
+    struct Stamp
+    {
+        Vpn begin;
+        std::uint64_t len;
+        std::uint8_t frag;
+    };
+    std::vector<Stamp> stamps;
+    auto stampStretch = [&](Vpn s, Vpn e, FrameId frame0) {
+        Vpn v = s;
+        while (v < e) {
+            unsigned align =
+                std::min(tzCount(v), tzCount(frame0 + (v - s)));
+            unsigned len_log = floorLog2(e - v);
             unsigned frag = std::min({align, len_log, kMaxFragment});
             std::uint64_t block = 1ull << frag;
-            for (std::uint64_t i = 0; i < block; ++i, ++stamp_it)
-                stamp_it->second.fragment = static_cast<std::uint8_t>(frag);
-            pos += block;
+            if (!stamps.empty() &&
+                stamps.back().frag == static_cast<std::uint8_t>(frag) &&
+                stamps.back().begin + stamps.back().len == v) {
+                stamps.back().len += block;
+            } else {
+                stamps.push_back(
+                    {v, block, static_cast<std::uint8_t>(frag)});
+            }
+            v += block;
         }
-        it = run_end_it;
+    };
+
+    bool open = false;
+    Vpn s_begin = 0, s_end = 0;
+    FrameId s_frame = 0;
+    PteFlags s_flags;
+    forEachRun(begin, end, [&](const GpuPteRun &part) {
+        Vpn p = part.vpn;
+        while (p < part.end()) {
+            // Maximal internally frame-contiguous piece of the part.
+            FrameId f0 = part.frameOf(p);
+            Vpn piece_end;
+            if (part.scatter == nullptr) {
+                piece_end = part.end();
+            } else {
+                piece_end = p + 1;
+                while (piece_end < part.end() &&
+                       part.scatter[piece_end - part.vpn] ==
+                           f0 + (piece_end - p))
+                    ++piece_end;
+            }
+            if (open && p == s_end &&
+                f0 == s_frame + (s_end - s_begin) &&
+                part.flags == s_flags) {
+                s_end = piece_end;
+            } else {
+                if (open)
+                    stampStretch(s_begin, s_end, s_frame);
+                s_begin = p;
+                s_end = piece_end;
+                s_frame = f0;
+                s_flags = part.flags;
+                open = true;
+            }
+            p = piece_end;
+        }
+    });
+    if (open)
+        stampStretch(s_begin, s_end, s_frame);
+
+    // Phase 2: splice the stamps into each overlapped run's RLE. When
+    // a run's current per-page values already equal the stamps (the
+    // common case for scattered fault batches, where every fragment is
+    // and stays 0), skip the splice and keep the lazy representation.
+    std::size_t si = 0;
+    auto it = runs.upper_bound(begin);
+    if (it != runs.begin()) {
+        --it;
+        if (begin >= it->first + it->second.len)
+            ++it;
+    }
+    for (; it != runs.end() && it->first < end; ++it) {
+        Run &run = it->second;
+        Vpn wb = std::max(begin, it->first);
+        Vpn we = std::min(end, it->first + run.len);
+        if (wb >= we)
+            continue;
+        while (si < stamps.size() &&
+               stamps[si].begin + stamps[si].len <= wb)
+            ++si;
+
+        bool same = true;
+        std::size_t sj = si;
+        auto checkSpan = [&](Vpn cb, Vpn ce, std::uint8_t cur) {
+            while (same && cb < ce) {
+                while (sj < stamps.size() &&
+                       stamps[sj].begin + stamps[sj].len <= cb)
+                    ++sj;
+                if (sj >= stamps.size() || stamps[sj].begin > cb ||
+                    stamps[sj].frag != cur) {
+                    same = false;
+                    return;
+                }
+                cb = std::min<Vpn>(ce,
+                                   stamps[sj].begin + stamps[sj].len);
+            }
+        };
+        if (run.frags.empty()) {
+            checkSpan(wb, we, 0);
+        } else {
+            for (const FragSeg &seg : run.frags) {
+                Vpn sb = it->first + seg.off;
+                Vpn se = sb + seg.len;
+                if (se <= wb)
+                    continue;
+                if (sb >= we || !same)
+                    break;
+                checkSpan(std::max(wb, sb), std::min(we, se), seg.frag);
+            }
+        }
+        if (same)
+            continue;
+
+        materializeFrags(run);
+        auto suffix = splitFrags(run.frags, we - it->first);
+        splitFrags(run.frags, wb - it->first);
+        for (std::size_t sk = si;
+             sk < stamps.size() && stamps[sk].begin < we; ++sk) {
+            Vpn sb = std::max<Vpn>(stamps[sk].begin, wb);
+            Vpn se =
+                std::min<Vpn>(stamps[sk].begin + stamps[sk].len, we);
+            if (sb >= se)
+                continue;
+            run.frags.push_back(
+                {sb - it->first, se - sb, stamps[sk].frag});
+        }
+        std::size_t suffix_at = run.frags.size();
+        run.frags.insert(run.frags.end(), suffix.begin(), suffix.end());
+        for (std::size_t i = suffix_at; i < run.frags.size(); ++i)
+            run.frags[i].off += we - it->first;
+
+        bool all_zero = true;
+        for (const FragSeg &seg : run.frags)
+            all_zero = all_zero && seg.frag == 0;
+        if (all_zero)
+            run.frags.clear();
     }
 }
 
 Fragment
 GpuPageTable::fragmentOf(Vpn vpn) const
 {
-    auto it = entries.find(vpn);
-    if (it == entries.end())
+    auto pte = lookup(vpn);
+    if (!pte)
         panic("fragmentOf on absent vpn 0x%llx",
               static_cast<unsigned long long>(vpn));
-    std::uint64_t span = 1ull << it->second.fragment;
+    std::uint64_t span = 1ull << pte->fragment;
     return Fragment{vpn & ~(span - 1), span};
 }
 
@@ -104,10 +424,20 @@ std::vector<std::uint64_t>
 GpuPageTable::fragmentHistogram(Vpn begin, Vpn end) const
 {
     std::vector<std::uint64_t> histogram(kMaxFragment + 1, 0);
-    forRange(begin, end, [&](Vpn, const GpuPte &pte) {
-        ++histogram[pte.fragment];
-    });
+    forEachFragmentRun(begin, end,
+                       [&](Vpn, std::uint64_t len, std::uint8_t frag) {
+                           histogram[frag] += len;
+                       });
     return histogram;
+}
+
+std::uint64_t
+GpuPageTable::presentInRange(Vpn begin, Vpn end) const
+{
+    std::uint64_t n = 0;
+    forEachRun(begin, end,
+               [&](const GpuPteRun &run) { n += run.len; });
+    return n;
 }
 
 } // namespace upm::vm

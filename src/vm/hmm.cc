@@ -10,12 +10,13 @@ namespace upm::vm {
 std::uint64_t
 HmmMirror::mirrorRange(Vpn begin, Vpn end)
 {
-    std::vector<std::pair<Vpn, Pte>> missing;
-    sysTable.forRange(begin, end, [&](Vpn vpn, const Pte &pte) {
-        if (!gpuTable.present(vpn)) {
-            missing.emplace_back(vpn, pte);
-        } else if (aud != nullptr && aud->config().checkMirror) {
-            // Both tables map the page: HMM guarantees they agree.
+    if (aud != nullptr && aud->config().checkMirror) {
+        // Pages mapped on both sides must agree: fan out to the
+        // per-page cross-check only when the auditor is attached, so
+        // UPMSan coverage is unchanged at zero cost when off.
+        sysTable.forRange(begin, end, [&](Vpn vpn, const Pte &pte) {
+            if (!gpuTable.present(vpn))
+                return;
             auto gpu_pte = gpuTable.lookup(vpn);
             if (gpu_pte->frame != pte.frame) {
                 aud->record(
@@ -27,27 +28,54 @@ HmmMirror::mirrorRange(Vpn begin, Vpn end)
                               static_cast<unsigned long long>(
                                   gpu_pte->frame)));
             }
-        }
+        });
+    }
+
+    // Build the missing GPU runs from the system runs: each system run
+    // contributes its GPU-side gaps, preserving vpn order. Collect
+    // first (inserting while iterating would invalidate the walk). The
+    // scatter pointers alias system-table storage, which stays valid
+    // here: only the GPU table is mutated below.
+    struct Missing
+    {
+        Vpn vpn;
+        std::uint64_t len;
+        FrameId frame;
+        const FrameId *scatter;
+        PteFlags flags;
+    };
+    std::vector<Missing> missing;
+    std::uint64_t missing_pages = 0;
+    sysTable.forEachRun(begin, end, [&](const PteRun &run) {
+        gpuTable.forEachGap(run.vpn, run.end(), [&](Vpn gap_begin,
+                                                    Vpn gap_end) {
+            missing.push_back(
+                {gap_begin, gap_end - gap_begin, run.frameOf(gap_begin),
+                 run.scatter == nullptr
+                     ? nullptr
+                     : run.scatter + (gap_begin - run.vpn),
+                 run.flags});
+            missing_pages += gap_end - gap_begin;
+        });
     });
-    for (const auto &[vpn, pte] : missing)
-        gpuTable.insert(vpn, pte.frame, pte.flags);
-    if (!missing.empty())
+    for (const auto &m : missing) {
+        if (m.scatter == nullptr)
+            gpuTable.insertRange(m.vpn, m.len, m.frame, m.flags);
+        else
+            gpuTable.insertFrames(m.vpn, m.scatter, m.len, m.flags);
+    }
+    if (missing_pages != 0)
         gpuTable.recomputeFragments(begin, end);
-    propagatedCount += missing.size();
-    return missing.size();
+    propagatedCount += missing_pages;
+    return missing_pages;
 }
 
 std::uint64_t
 HmmMirror::invalidateRange(Vpn begin, Vpn end)
 {
-    std::vector<Vpn> present;
-    gpuTable.forRange(begin, end, [&](Vpn vpn, const GpuPte &) {
-        present.push_back(vpn);
-    });
-    for (Vpn vpn : present)
-        gpuTable.remove(vpn);
-    invalidatedCount += present.size();
-    return present.size();
+    std::uint64_t removed = gpuTable.removeRange(begin, end);
+    invalidatedCount += removed;
+    return removed;
 }
 
 } // namespace upm::vm

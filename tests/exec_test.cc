@@ -193,6 +193,31 @@ TEST(ExecDeterminism, FaultLatencyDistributionIsWorkerInvariant)
     }
 }
 
+TEST(ExecDeterminism, LargeAllocSweepIsWorkerInvariant)
+{
+    // >= 4 GiB of VA per point exercises the extent-coalesced range
+    // paths (batched map/unmap over millions of pages) rather than the
+    // per-page fallbacks; the sweep must still be bit-identical at
+    // any worker count.
+    const std::vector<std::uint64_t> sizes = {1 * GiB, 4 * GiB};
+    expectWorkerInvariant([&] {
+        core::System sys;
+        core::AllocProbe probe(sys);
+        std::vector<double> flat;
+        for (auto kind : {alloc::AllocatorKind::HipMalloc,
+                          alloc::AllocatorKind::HipMallocManaged}) {
+            auto points = probe.sweep(kind, sizes);
+            for (const auto &p : points) {
+                flat.push_back(static_cast<double>(p.sizeBytes));
+                flat.push_back(p.allocMean);
+                flat.push_back(p.freeMean);
+                flat.push_back(static_cast<double>(p.chunks));
+            }
+        }
+        return flat;
+    });
+}
+
 TEST(ExecDeterminism, FaultThroughputSweepIsWorkerInvariant)
 {
     const std::vector<std::uint64_t> pages = {100, 10'000, 1'000'000};

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "inject/config.hh"
 #include "workloads/workload.hh"
 
 using namespace upm;
@@ -39,7 +40,10 @@ main(int argc, char **argv)
 {
     // --audit: run every app under the UPMSan invariant auditor and
     // race detector, and fail if any run is not clean.
-    auto opt = bench::Options::parse(argc, argv, /*allow_audit=*/true);
+    // --inject: after the baseline table, run the UPMInject campaign
+    // (seeded fault injection over every app x model).
+    auto opt = bench::Options::parse(argc, argv, /*allow_audit=*/true,
+                                     /*allow_inject=*/true);
     core::SystemConfig cfg;
     cfg.audit.enabled = opt.audit;
 
@@ -114,5 +118,97 @@ main(int argc, char **argv)
         if (total_violations > 0)
             return 1;
     }
-    return 0;
+
+    // ---- UPMInject campaign --------------------------------------------
+    // Every app x model runs `--inject-runs` times under the standard
+    // campaign fault mix, each run with its own deterministic seed
+    // derived from the root. The survival contract: each run either
+    // completes with the clean run's checksum, or fails with a
+    // structured StatusError -- never an unstructured crash, a hang,
+    // or silent corruption. Per-task Systems keep the outcome
+    // independent of --workers.
+    unsigned campaign_failures = 0;
+    if (opt.inject) {
+        std::printf("\nUPMInject campaign: %u run(s) per config, "
+                    "root seed 0x%llx\n",
+                    opt.injectRuns,
+                    static_cast<unsigned long long>(opt.injectSeed));
+
+        struct CampaignCell
+        {
+            bool ok = false;
+            bool completed = false;
+            std::string outcome;
+            std::uint64_t seed = 0;
+            std::uint64_t events = 0;
+        };
+        const std::size_t tasks =
+            num_apps * 2 * static_cast<std::size_t>(opt.injectRuns);
+        std::vector<CampaignCell> camp(tasks);
+        exec::globalPool().parallelFor(tasks, [&](std::size_t t) {
+            std::size_t config = t / opt.injectRuns;
+            std::size_t app_idx = config / 2;
+            Model model =
+                config % 2 == 0 ? Model::Explicit : Model::Unified;
+            CampaignCell &cell = camp[t];
+            cell.seed = exec::taskSeed(opt.injectSeed, t);
+
+            core::SystemConfig icfg = cfg;
+            icfg.inject = inject::InjectConfig::campaign(cell.seed);
+            auto workload = std::move(makeAllWorkloads()[app_idx]);
+            core::System sys(icfg);
+            double expect =
+                cells[config].report.checksum;  // clean-run checksum
+            try {
+                RunReport r = workload->run(sys, model);
+                cell.completed = true;
+                if (r.checksum == expect) {
+                    cell.ok = true;
+                    cell.outcome = "completed, checksum OK";
+                } else {
+                    cell.outcome = strprintf(
+                        "SILENT CORRUPTION: checksum %.17g != %.17g",
+                        r.checksum, expect);
+                }
+            } catch (const StatusError &e) {
+                cell.ok = true;
+                cell.outcome =
+                    std::string("structured failure: ") + e.what();
+            } catch (const SimError &e) {
+                cell.outcome =
+                    std::string("UNSTRUCTURED ERROR: ") + e.what();
+            }
+            if (sys.injector() != nullptr)
+                cell.events = sys.injector()->totalEvents();
+        });
+
+        std::size_t completed = 0, structured = 0;
+        std::uint64_t total_events = 0;
+        for (std::size_t t = 0; t < tasks; ++t) {
+            const CampaignCell &cell = camp[t];
+            total_events += cell.events;
+            if (cell.ok) {
+                (cell.completed ? completed : structured) += 1;
+                continue;
+            }
+            ++campaign_failures;
+            std::size_t config = t / opt.injectRuns;
+            std::printf(
+                "  FAIL %-12s %-8s seed 0x%016llx: %s\n"
+                "       replay: task %zu of --inject-seed 0x%llx "
+                "(campaign seed above feeds InjectConfig::campaign)\n",
+                cells[config].report.app.c_str(),
+                modelName(config % 2 == 0 ? Model::Explicit
+                                          : Model::Unified),
+                static_cast<unsigned long long>(cell.seed),
+                cell.outcome.c_str(), t,
+                static_cast<unsigned long long>(opt.injectSeed));
+        }
+        std::printf("campaign: %zu run(s), %zu completed clean, "
+                    "%zu structured failure(s), %u violation(s), "
+                    "%llu injected event(s)\n",
+                    tasks, completed, structured, campaign_failures,
+                    static_cast<unsigned long long>(total_events));
+    }
+    return campaign_failures > 0 ? 1 : 0;
 }

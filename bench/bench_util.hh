@@ -82,8 +82,18 @@ struct Options
     bool smoke = false;     //!< --smoke: reduced-scale sweep
     bool audit = false;     //!< --audit (benches that allow it)
 
+    // UPMInject campaign flags (benches that allow them; fig. 11).
+    bool inject = false;                     //!< --inject
+    std::uint64_t injectSeed = 0x5eedfa11u;  //!< --inject-seed S
+    unsigned injectRuns = 3;                 //!< --inject-runs N
+
+    /** --oversubscribe F (oversubscription bench): sweep only the
+     *  given working-set/capacity factor. 0 = full sweep. */
+    double oversubscribe = 0.0;
+
     static Options
-    parse(int argc, char **argv, bool allow_audit = false)
+    parse(int argc, char **argv, bool allow_audit = false,
+          bool allow_inject = false, bool allow_oversubscribe = false)
     {
         Options opt;
         for (int i = 1; i < argc; ++i) {
@@ -99,11 +109,40 @@ struct Options
             } else if (allow_audit &&
                        std::strcmp(arg, "--audit") == 0) {
                 opt.audit = true;
+            } else if (allow_inject &&
+                       std::strcmp(arg, "--inject") == 0) {
+                opt.inject = true;
+            } else if (allow_inject &&
+                       std::strcmp(arg, "--inject-seed") == 0 &&
+                       i + 1 < argc) {
+                opt.injectSeed = std::strtoull(argv[++i], nullptr, 0);
+            } else if (allow_inject &&
+                       std::strcmp(arg, "--inject-runs") == 0 &&
+                       i + 1 < argc) {
+                long v = std::strtol(argv[++i], nullptr, 10);
+                opt.injectRuns = v > 0 ? static_cast<unsigned>(v) : 1u;
+            } else if (allow_oversubscribe &&
+                       std::strcmp(arg, "--oversubscribe") == 0 &&
+                       i + 1 < argc) {
+                double v = std::strtod(argv[++i], nullptr);
+                if (v <= 0.0) {
+                    std::fprintf(stderr,
+                                 "--oversubscribe needs a factor > 0\n");
+                    std::exit(2);
+                }
+                opt.oversubscribe = v;
             } else {
                 std::fprintf(stderr,
                              "usage: %s [--json <path>] [--workers N] "
-                             "[--smoke]%s\n",
-                             argv[0], allow_audit ? " [--audit]" : "");
+                             "[--smoke]%s%s%s\n",
+                             argv[0], allow_audit ? " [--audit]" : "",
+                             allow_inject
+                                 ? " [--inject] [--inject-seed S]"
+                                   " [--inject-runs N]"
+                                 : "",
+                             allow_oversubscribe
+                                 ? " [--oversubscribe F]"
+                                 : "");
                 std::exit(2);
             }
         }

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/status.hh"
 #include "common/units.hh"
 #include "vm/address_space.hh"
 
@@ -99,7 +100,7 @@ struct AllocCosts
     SimTime unregisterPerPage = 150.0;
 };
 
-/** One live allocation. */
+/** One live allocation (or the structured reason there isn't one). */
 struct Allocation
 {
     vm::VirtAddr addr = 0;
@@ -107,8 +108,24 @@ struct Allocation
     AllocatorKind kind = AllocatorKind::Malloc;
     /** Simulated time the allocate() call itself took. */
     SimTime allocTime = 0.0;
+    /** Why allocate() failed; Success for a live allocation. A failed
+     *  allocation owns no VMA and no frames (full rollback). */
+    Status status = Status::Success;
 
-    explicit operator bool() const { return size != 0; }
+    explicit operator bool() const
+    {
+        return status == Status::Success && size != 0;
+    }
+
+    /** A failed allocation of @p kind, carrying @p why. */
+    static Allocation
+    failed(AllocatorKind kind, Status why)
+    {
+        Allocation allocation;
+        allocation.kind = kind;
+        allocation.status = why;
+        return allocation;
+    }
 };
 
 } // namespace upm::alloc

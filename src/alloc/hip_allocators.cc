@@ -16,6 +16,21 @@ makeAllocation(vm::VirtAddr base, std::uint64_t size, AllocatorKind kind,
     return allocation;
 }
 
+/**
+ * Populate an up-front VMA; on OOM unmap it (reclaiming whatever was
+ * populated before the allocator ran dry) so a failed allocation
+ * leaks nothing. @return the populate status.
+ */
+Status
+populateOrUnwind(vm::AddressSpace &as, vm::VirtAddr base,
+                 std::uint64_t size)
+{
+    auto populated = as.tryPopulateRange(base, size);
+    if (!populated)
+        as.munmap(base);
+    return populated.status;
+}
+
 } // namespace
 
 Allocation
@@ -27,8 +42,12 @@ HipMallocAllocator::allocate(std::uint64_t size)
     policy.onDemand = false;
     policy.pinned = true;
     policy.placement = vm::Placement::Contiguous;
-    vm::VirtAddr base = as.mmapAnon(size, policy, "hipMalloc");
-    as.populateRange(base, size);
+    auto mapped = as.tryMmapAnon(size, policy, "hipMalloc");
+    if (!mapped)
+        return Allocation::failed(kind(), mapped.status);
+    vm::VirtAddr base = mapped.base;
+    if (Status st = populateOrUnwind(as, base, size); st != Status::Success)
+        return Allocation::failed(kind(), st);
 
     std::uint64_t pages = ceilDiv(size, mem::kPageSize);
     SimTime t = cost.hipMallocBase;
@@ -62,8 +81,12 @@ HipHostMallocAllocator::allocate(std::uint64_t size)
     policy.onDemand = false;
     policy.pinned = true;
     policy.placement = vm::Placement::Interleaved;
-    vm::VirtAddr base = as.mmapAnon(size, policy, "hipHostMalloc");
-    as.populateRange(base, size);
+    auto mapped = as.tryMmapAnon(size, policy, "hipHostMalloc");
+    if (!mapped)
+        return Allocation::failed(kind(), mapped.status);
+    vm::VirtAddr base = mapped.base;
+    if (Status st = populateOrUnwind(as, base, size); st != Status::Success)
+        return Allocation::failed(kind(), st);
 
     std::uint64_t pages = ceilDiv(size, mem::kPageSize);
     SimTime t = cost.hostMallocBase;
@@ -97,15 +120,22 @@ HipMallocManagedAllocator::allocate(std::uint64_t size)
         policy.gpuMapped = false;
         policy.onDemand = true;
         policy.placement = vm::Placement::Scattered;
-        vm::VirtAddr base = as.mmapAnon(size, policy, "hipMallocManaged");
-        return makeAllocation(base, size, kind(), cost.managedXnackAlloc);
+        auto mapped = as.tryMmapAnon(size, policy, "hipMallocManaged");
+        if (!mapped)
+            return Allocation::failed(kind(), mapped.status);
+        return makeAllocation(mapped.base, size, kind(),
+                              cost.managedXnackAlloc);
     }
     policy.gpuMapped = true;
     policy.onDemand = false;
     policy.pinned = true;
     policy.placement = vm::Placement::Interleaved;
-    vm::VirtAddr base = as.mmapAnon(size, policy, "hipMallocManaged");
-    as.populateRange(base, size);
+    auto mapped = as.tryMmapAnon(size, policy, "hipMallocManaged");
+    if (!mapped)
+        return Allocation::failed(kind(), mapped.status);
+    vm::VirtAddr base = mapped.base;
+    if (Status st = populateOrUnwind(as, base, size); st != Status::Success)
+        return Allocation::failed(kind(), st);
 
     std::uint64_t pages = ceilDiv(size, mem::kPageSize);
     SimTime t = cost.managedBase;
@@ -144,8 +174,12 @@ ManagedStaticAllocator::allocate(std::uint64_t size)
     policy.pinned = true;
     policy.uncachedGpu = true;
     policy.placement = vm::Placement::Interleaved;
-    vm::VirtAddr base = as.mmapAnon(size, policy, "__managed__");
-    as.populateRange(base, size);
+    auto mapped = as.tryMmapAnon(size, policy, "__managed__");
+    if (!mapped)
+        return Allocation::failed(kind(), mapped.status);
+    vm::VirtAddr base = mapped.base;
+    if (Status st = populateOrUnwind(as, base, size); st != Status::Success)
+        return Allocation::failed(kind(), st);
 
     // Statics are mapped at program load; charge the managed path.
     std::uint64_t pages = ceilDiv(size, mem::kPageSize);

@@ -10,10 +10,12 @@ MallocSim::allocate(std::uint64_t size)
     policy.gpuMapped = false;
     policy.onDemand = true;
     policy.placement = vm::Placement::Scattered;
-    vm::VirtAddr base = as.mmapAnon(size, policy, "malloc");
+    auto mapped = as.tryMmapAnon(size, policy, "malloc");
+    if (!mapped)
+        return Allocation::failed(kind(), mapped.status);
 
     Allocation allocation;
-    allocation.addr = base;
+    allocation.addr = mapped.base;
     allocation.size = size;
     allocation.kind = kind();
     if (size < cost.mallocMmapThreshold) {

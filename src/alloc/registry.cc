@@ -36,9 +36,20 @@ Allocation
 AllocatorRegistry::allocate(AllocatorKind kind, std::uint64_t size)
 {
     Allocation allocation = allocatorFor(kind).allocate(size);
+    if (!allocation)
+        return allocation;
     if (kind == AllocatorKind::MallocRegistered) {
+        SimTime register_time = 0.0;
+        Status st = hostRegister(allocation, register_time);
+        if (st != Status::Success) {
+            // The malloc half exists but cannot be pinned: unwind it
+            // so the failed composite leaks neither VA nor frames.
+            allocatorFor(AllocatorKind::Malloc).deallocate(allocation);
+            return Allocation::failed(AllocatorKind::MallocRegistered,
+                                      st);
+        }
         allocation.kind = AllocatorKind::MallocRegistered;
-        allocation.allocTime += hostRegister(allocation);
+        allocation.allocTime += register_time;
     }
     if (aud != nullptr)
         aud->noteAlloc(allocation.addr, allocation.size,
@@ -59,13 +70,18 @@ AllocatorRegistry::deallocate(Allocation &allocation)
     return extra + allocatorFor(allocation.kind).deallocate(allocation);
 }
 
-SimTime
-AllocatorRegistry::hostRegister(const Allocation &allocation)
+Status
+AllocatorRegistry::hostRegister(const Allocation &allocation,
+                                SimTime &time)
 {
-    as.pinAndMapGpu(allocation.addr);
+    time = 0.0;
+    Status st = as.pinAndMapGpu(allocation.addr);
+    if (st != Status::Success)
+        return st;
     std::uint64_t pages = ceilDiv(allocation.size, mem::kPageSize);
-    return cost.registerBase +
+    time = cost.registerBase +
            cost.registerPerPage * static_cast<double>(pages);
+    return Status::Success;
 }
 
 } // namespace upm::alloc

@@ -30,7 +30,12 @@ class AllocatorRegistry
     explicit AllocatorRegistry(vm::AddressSpace &address_space,
                                const AllocCosts &costs = {});
 
-    /** Allocate @p size bytes with the given allocator configuration. */
+    /**
+     * Allocate @p size bytes with the given allocator configuration.
+     * A failed allocation comes back with `status != Success` and no
+     * VMA or frames behind it; `MallocRegistered` unwinds its malloc
+     * half if the register half cannot pin.
+     */
     Allocation allocate(AllocatorKind kind, std::uint64_t size);
 
     /** Free an allocation. @return the simulated call time. */
@@ -38,9 +43,10 @@ class AllocatorRegistry
 
     /**
      * hipHostRegister an existing (malloc) allocation: pin + GPU-map.
-     * @return the simulated call time.
+     * @param time receives the simulated call time (0 on failure).
+     * @return Status::OutOfMemory when pinning cannot populate.
      */
-    SimTime hostRegister(const Allocation &allocation);
+    Status hostRegister(const Allocation &allocation, SimTime &time);
 
     vm::AddressSpace &addressSpace() { return as; }
     const AllocCosts &costs() const { return cost; }

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Recoverable-error surface shared by every layer.
+ *
+ * `Status` is the simulator-wide result code: `mem` reports
+ * exhaustion, `vm` reports bad requests and population failures,
+ * `alloc` threads them through the Table 1 allocators, and `hip`
+ * re-exports them as `hipError_t` (see hip/runtime.hh). The contract
+ * mirrors the paper's robustness finding: UPM has *no overcommit*, so
+ * capacity exhaustion must surface as a clean ENOMEM-equivalent the
+ * application can handle, never a crash.
+ *
+ * `StatusError` is the exception form for the convenience APIs that
+ * keep a value-returning signature (e.g. `Runtime::hipMalloc`
+ * returning a DevPtr). It derives from SimError so existing
+ * `EXPECT_THROW(..., SimError)` behaviour is preserved, but carries
+ * the structured code so callers can distinguish OOM from misuse.
+ */
+
+#ifndef UPM_COMMON_STATUS_HH
+#define UPM_COMMON_STATUS_HH
+
+#include <cstdint>
+
+#include "common/log.hh"
+
+namespace upm {
+
+/** Simulator-wide result codes (hipError_t-shaped). */
+enum class Status : std::uint8_t {
+    Success = 0,   //!< operation completed
+    OutOfMemory,   //!< physical frames or VA space exhausted (ENOMEM)
+    InvalidValue,  //!< malformed request (zero length, bad config)
+    NotFound,      //!< unknown pointer / base address
+    AccessFault,   //!< unresolvable access (XNACK-off GPU violation)
+    Timeout,       //!< bounded retry exhausted (injected HMM loss)
+};
+
+/** Human-readable status name ("hipSuccess"-style). */
+constexpr const char *
+statusName(Status status)
+{
+    switch (status) {
+      case Status::Success: return "Success";
+      case Status::OutOfMemory: return "OutOfMemory";
+      case Status::InvalidValue: return "InvalidValue";
+      case Status::NotFound: return "NotFound";
+      case Status::AccessFault: return "AccessFault";
+      case Status::Timeout: return "Timeout";
+    }
+    return "<unknown>";
+}
+
+/** SimError carrying a structured Status code. */
+class StatusError : public SimError
+{
+  public:
+    StatusError(Status status, const std::string &msg)
+        : SimError(std::string(statusName(status)) + ": " + msg),
+          statusCode(status)
+    {}
+
+    Status code() const { return statusCode; }
+
+  private:
+    Status statusCode;
+};
+
+} // namespace upm
+
+#endif // UPM_COMMON_STATUS_HH

@@ -16,6 +16,7 @@
 
 #include "audit/config.hh"
 #include "cache/atomic_unit.hh"
+#include "inject/config.hh"
 #include "cache/directory.hh"
 #include "cache/hierarchy.hh"
 #include "cache/infinity_cache.hh"
@@ -205,6 +206,8 @@ struct SystemConfig
     AtomicsCalib atomicsModel;
     /** UPMSan invariant auditor + race detector (off by default). */
     audit::AuditConfig audit;
+    /** UPMInject deterministic fault injection (off by default). */
+    inject::InjectConfig inject;
 
     unsigned numCus = 228;      //!< compute units (6 XCDs)
     unsigned numXcds = 6;

@@ -16,6 +16,12 @@ System::System(const SystemConfig &config)
         registry.setAuditor(aud.get());
         rt.setAuditor(aud.get());
     }
+    if (cfg.inject.enabled) {
+        inj = std::make_unique<inject::Injector>(cfg.inject);
+        frameAlloc.setInjector(inj.get());
+        faults.setInjector(inj.get());
+        rt.setInjector(inj.get());
+    }
 }
 
 void

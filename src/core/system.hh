@@ -16,6 +16,7 @@
 #include "alloc/registry.hh"
 #include "audit/auditor.hh"
 #include "core/apu.hh"
+#include "inject/injector.hh"
 #include "core/calibration.hh"
 #include "hip/runtime.hh"
 #include "mem/backing_store.hh"
@@ -58,6 +59,10 @@ class System
     audit::Auditor *auditor() { return aud.get(); }
     const audit::Auditor *auditor() const { return aud.get(); }
 
+    /** UPMInject, or null when cfg.inject.enabled is false. */
+    inject::Injector *injector() { return inj.get(); }
+    const inject::Injector *injector() const { return inj.get(); }
+
     /**
      * End-of-run whole-structure checks (cheap per-event hooks cannot
      * see them): full system/GPU page-table cross-check and the frame
@@ -81,6 +86,8 @@ class System
     prof::ProcessRss processRss;
     /** Created (and wired into every layer) only when auditing is on. */
     std::unique_ptr<audit::Auditor> aud;
+    /** Created (and wired into every layer) only when injecting. */
+    std::unique_ptr<inject::Injector> inj;
 };
 
 } // namespace upm::core

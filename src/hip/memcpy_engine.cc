@@ -1,5 +1,7 @@
 #include "hip/memcpy_engine.hh"
 
+#include "inject/injector.hh"
+
 namespace upm::hip {
 
 const char *
@@ -38,14 +40,38 @@ SimTime
 MemcpyEngine::transferTime(CopyPath path, std::uint64_t bytes) const
 {
     double rate;
+    bool via_sdma;
     switch (path) {
-      case CopyPath::SdmaPageable: rate = bw.sdmaPageableBw; break;
-      case CopyPath::SdmaPinned: rate = bw.sdmaPinnedBw; break;
-      case CopyPath::BlitHostDevice: rate = bw.blitH2DBw; break;
+      case CopyPath::SdmaPageable:
+        rate = bw.sdmaPageableBw;
+        via_sdma = true;
+        break;
+      case CopyPath::SdmaPinned:
+        rate = bw.sdmaPinnedBw;
+        via_sdma = true;
+        break;
+      case CopyPath::BlitHostDevice:
+        rate = bw.blitH2DBw;
+        via_sdma = false;
+        break;
       case CopyPath::BlitDeviceDevice:
-      default: rate = bw.blitD2DBw; break;
+      default:
+        rate = bw.blitD2DBw;
+        via_sdma = false;
+        break;
     }
-    return bw.memcpyBaseOverhead + static_cast<double>(bytes) / rate;
+    SimTime stall = 0.0;
+    if (inj != nullptr) {
+        if (via_sdma) {
+            stall = inj->sdmaStall();
+        } else {
+            // Blit kernels are HBM-bandwidth-bound, so a degraded
+            // channel scales the rate for the whole transfer.
+            rate *= inj->hbmDegradeFactor();
+        }
+    }
+    return bw.memcpyBaseOverhead + static_cast<double>(bytes) / rate +
+           stall;
 }
 
 } // namespace upm::hip

@@ -18,6 +18,10 @@
 #include "core/calibration.hh"
 #include "vm/address_space.hh"
 
+namespace upm::inject {
+class Injector;
+}
+
 namespace upm::hip {
 
 /** Which engine a copy went through (reported by the bench). */
@@ -42,15 +46,23 @@ class MemcpyEngine
     /** Select the path for a dst/src VMA pair. */
     CopyPath classify(const vm::Vma *dst, const vm::Vma *src) const;
 
-    /** Time to move @p bytes along @p path. */
+    /** Time to move @p bytes along @p path. SDMA paths may absorb an
+     *  injected engine stall; blit paths (HBM-bandwidth-bound) may
+     *  run during an injected channel-degradation episode. */
     SimTime transferTime(CopyPath path, std::uint64_t bytes) const;
 
     bool sdma() const { return sdmaEnabled; }
     void setSdma(bool enabled) { sdmaEnabled = enabled; }
 
+    /** Attach UPMInject; null (no overhead) unless injection is on. */
+    void setInjector(inject::Injector *injector) { inj = injector; }
+
   private:
     core::BandwidthCalib bw;
     bool sdmaEnabled;
+    /** UPMInject hook; the engine is logically const while the
+     *  injector advances its own decision streams. */
+    inject::Injector *inj = nullptr;
 };
 
 } // namespace upm::hip

@@ -5,6 +5,7 @@
 
 #include "audit/auditor.hh"
 #include "common/log.hh"
+#include "inject/injector.hh"
 
 namespace upm::hip {
 
@@ -63,16 +64,61 @@ Runtime::resetPeak()
     notePeak();
 }
 
-DevPtr
-Runtime::allocate(alloc::AllocatorKind kind, std::uint64_t size)
+hipError_t
+Runtime::fail(hipError_t error)
 {
+    lastErr = error;
+    return error;
+}
+
+hipError_t
+Runtime::hipGetLastError()
+{
+    hipError_t error = lastErr;
+    lastErr = hipSuccess;
+    return error;
+}
+
+void
+Runtime::setInjector(inject::Injector *injector)
+{
+    inj = injector;
+    copyEngine.setInjector(injector);
+}
+
+hipError_t
+Runtime::tryAllocate(alloc::AllocatorKind kind, std::uint64_t size,
+                     DevPtr &out)
+{
+    out = 0;
     alloc::Allocation allocation = registry.allocate(kind, size);
+    if (!allocation) {
+        return fail(allocation.status != Status::Success
+                        ? allocation.status
+                        : Status::InvalidValue);
+    }
     hostClock.advance(allocation.allocTime);
     DevPtr ptr = allocation.addr;
     if (kind == alloc::AllocatorKind::HipMalloc)
         hipMallocBytes += allocation.size;
     allocations.emplace(ptr, allocation);
     notePeak();
+    out = ptr;
+    return hipSuccess;
+}
+
+DevPtr
+Runtime::allocate(alloc::AllocatorKind kind, std::uint64_t size)
+{
+    DevPtr ptr = 0;
+    hipError_t error = tryAllocate(kind, size, ptr);
+    if (error != hipSuccess) {
+        throw StatusError(error,
+                          strprintf("%s of %llu bytes",
+                                    alloc::allocatorName(kind),
+                                    static_cast<unsigned long long>(
+                                        size)));
+    }
     return ptr;
 }
 
@@ -106,29 +152,33 @@ Runtime::managedStatic(std::uint64_t size)
     return allocate(alloc::AllocatorKind::ManagedStatic, size);
 }
 
-void
+hipError_t
 Runtime::hipFree(DevPtr ptr)
 {
     auto it = allocations.find(ptr);
     if (it == allocations.end())
-        fatal("hipFree of unknown pointer 0x%llx",
-              static_cast<unsigned long long>(ptr));
+        return fail(hipErrorNotFound);
     if (it->second.kind == alloc::AllocatorKind::HipMalloc)
         hipMallocBytes -= it->second.size;
     hostClock.advance(registry.deallocate(it->second));
     allocations.erase(it);
+    return hipSuccess;
 }
 
-void
+hipError_t
 Runtime::hipHostRegister(DevPtr ptr)
 {
     auto it = allocations.find(ptr);
     if (it == allocations.end())
-        fatal("hipHostRegister of unknown pointer 0x%llx",
-              static_cast<unsigned long long>(ptr));
-    hostClock.advance(registry.hostRegister(it->second));
+        return fail(hipErrorNotFound);
+    SimTime register_time = 0.0;
+    Status st = registry.hostRegister(it->second, register_time);
+    if (st != Status::Success)
+        return fail(st);
+    hostClock.advance(register_time);
     it->second.kind = alloc::AllocatorKind::MallocRegistered;
     notePeak();
+    return hipSuccess;
 }
 
 const alloc::Allocation &
@@ -163,8 +213,10 @@ Runtime::hipMemcpy(DevPtr dst, DevPtr src, std::uint64_t bytes)
     }
     const vm::Vma *dst_vma = as.findVma(dst);
     const vm::Vma *src_vma = as.findVma(src);
-    if (dst_vma == nullptr || src_vma == nullptr)
-        fatal("hipMemcpy on unmapped pointer");
+    if (dst_vma == nullptr || src_vma == nullptr) {
+        fail(hipErrorNotFound);
+        throw StatusError(Status::NotFound, "hipMemcpy on unmapped pointer");
+    }
 
     // Functional copy through the backing store.
     if (bytes > 0 && dst != src) {
@@ -202,8 +254,11 @@ Runtime::hipMemcpyAsync(DevPtr dst, DevPtr src, std::uint64_t bytes,
     }
     const vm::Vma *dst_vma = as.findVma(dst);
     const vm::Vma *src_vma = as.findVma(src);
-    if (dst_vma == nullptr || src_vma == nullptr)
-        fatal("hipMemcpyAsync on unmapped pointer");
+    if (dst_vma == nullptr || src_vma == nullptr) {
+        fail(hipErrorNotFound);
+        throw StatusError(Status::NotFound,
+                          "hipMemcpyAsync on unmapped pointer");
+    }
 
     if (bytes > 0 && dst != src) {
         std::memcpy(as.backing().hostPtr(dst, bytes),
@@ -217,11 +272,17 @@ Runtime::hipMemcpyAsync(DevPtr dst, DevPtr src, std::uint64_t bytes,
         vm::Vpn first = vm::vpnOf(dst);
         vm::Vpn last = vm::vpnOf(dst + bytes + mem::kPageSize - 1);
         last = std::min(last, vma->endVpn());
-        std::uint64_t missing = as.resolveCpuFaultRange(first, last);
-        if (missing > 0) {
-            runtimeStats.cpuFaultedPages += missing;
+        auto resolved = as.tryResolveCpuFaultRange(first, last);
+        if (!resolved) {
+            fail(resolved.status);
+            throw StatusError(resolved.status,
+                              "hipMemcpyAsync destination fault");
+        }
+        if (resolved.pages > 0) {
+            runtimeStats.cpuFaultedPages += resolved.pages;
             fault_time =
-                faults.serviceTime(vm::FaultType::Cpu, missing, 1);
+                faults.service(vm::FaultType::Cpu, resolved.pages, 1)
+                    .time;
         }
     }
 
@@ -260,16 +321,29 @@ Runtime::resolveKernelFaults(const BufferUse &use)
         return 0.0;
 
     if (!vma->policy.gpuMapped && !as.xnackEnabled()) {
-        fatal("GPU memory violation: kernel touches on-demand memory "
-              "'%s' with XNACK disabled",
-              vma->name.c_str());
+        fail(hipErrorIllegalAddress);
+        throw StatusError(
+            Status::AccessFault,
+            strprintf("GPU memory violation: kernel touches on-demand "
+                      "memory '%s' with XNACK disabled",
+                      vma->name.c_str()));
     }
 
     bool minor = sys_present == missing;
     auto kind = as.resolveGpuFault(first, last - first);
-    if (kind == vm::GpuFaultKind::Violation)
-        fatal("GPU fault on '%s' could not be resolved",
-              vma->name.c_str());
+    if (kind == vm::GpuFaultKind::Violation) {
+        fail(hipErrorIllegalAddress);
+        throw StatusError(Status::AccessFault,
+                          strprintf("GPU fault on '%s' could not be "
+                                    "resolved",
+                                    vma->name.c_str()));
+    }
+    if (kind == vm::GpuFaultKind::OutOfMemory) {
+        fail(hipErrorOutOfMemory);
+        throw StatusError(Status::OutOfMemory,
+                          strprintf("GPU fault on '%s': no free frames",
+                                    vma->name.c_str()));
+    }
 
     vm::FaultType type =
         minor ? vm::FaultType::GpuMinor : vm::FaultType::GpuMajor;
@@ -278,7 +352,17 @@ Runtime::resolveKernelFaults(const BufferUse &use)
     else
         runtimeStats.gpuFaultedPagesMajor += missing;
     notePeak();
-    return faults.serviceTime(type, missing);
+    auto service = faults.service(type, missing);
+    if (!service) {
+        // A wedged fault pipeline: the bounded retry gave up. Real
+        // hardware reports a GPU hang; simhip reports Timeout.
+        fail(service.status);
+        throw StatusError(service.status,
+                          strprintf("fault service on '%s' timed out "
+                                    "after %u retries",
+                                    vma->name.c_str(), service.retries));
+    }
+    return service.time;
 }
 
 SimTime
@@ -314,6 +398,11 @@ Runtime::launchKernel(const KernelDesc &desc,
         auto profile = perfModel.profileRegion(
             as, use.ptr, std::max<std::uint64_t>(use.footprint(), 1));
         mem_time += perfModel.gpuStreamTime(profile, use.trafficBytes);
+    }
+    if (inj != nullptr && mem_time > 0.0) {
+        // One HBM-degradation decision per kernel: the whole streaming
+        // phase runs at the degraded channel bandwidth.
+        mem_time /= inj->hbmDegradeFactor();
     }
     SimTime compute_time = perfModel.gpuComputeTime(desc.flops);
 
@@ -378,18 +467,29 @@ Runtime::cpuFirstTouch(DevPtr ptr, std::uint64_t size, unsigned threads)
                     true, "cpuFirstTouch");
     }
     const vm::Vma *vma = as.findVma(ptr);
-    if (vma == nullptr)
-        fatal("cpuFirstTouch of unmapped pointer");
+    if (vma == nullptr) {
+        fail(hipErrorNotFound);
+        throw StatusError(Status::NotFound,
+                          "cpuFirstTouch of unmapped pointer");
+    }
     vm::Vpn first = vm::vpnOf(ptr);
     vm::Vpn last = vm::vpnOf(ptr + std::max<std::uint64_t>(size, 1) +
                              mem::kPageSize - 1);
     last = std::min(last, vma->endVpn());
 
-    std::uint64_t missing = as.resolveCpuFaultRange(first, last);
+    auto resolved = as.tryResolveCpuFaultRange(first, last);
+    if (!resolved) {
+        fail(resolved.status);
+        throw StatusError(resolved.status,
+                          strprintf("CPU first touch of '%s'",
+                                    vma->name.c_str()));
+    }
+    std::uint64_t missing = resolved.pages;
     if (missing == 0)
         return 0.0;
     runtimeStats.cpuFaultedPages += missing;
-    SimTime t = faults.serviceTime(vm::FaultType::Cpu, missing, threads);
+    SimTime t =
+        faults.service(vm::FaultType::Cpu, missing, threads).time;
     hostClock.advance(t);
     notePeak();
     return t;
@@ -403,13 +503,20 @@ Runtime::cpuStream(DevPtr ptr, std::uint64_t bytes, unsigned threads)
         auditAccess(audit::kHostAgent, ptr, bytes, false, "cpuStream");
     }
     const vm::Vma *vma = as.findVma(ptr);
-    if (vma == nullptr)
-        fatal("cpuStream of unmapped pointer");
+    if (vma == nullptr) {
+        fail(hipErrorNotFound);
+        throw StatusError(Status::NotFound,
+                          "cpuStream of unmapped pointer");
+    }
     SimTime fault_time = 0.0;
     if (vma->policy.onDemand)
         fault_time = cpuFirstTouch(ptr, bytes, threads);
     auto profile = perfModel.profileRegion(as, ptr, bytes);
     SimTime t = perfModel.cpuStreamTime(profile, bytes, threads);
+    if (inj != nullptr && t > 0.0) {
+        // CPU streaming is served by the same HBM channels.
+        t /= inj->hbmDegradeFactor();
+    }
     hostClock.advance(t);
     return t + fault_time;
 }

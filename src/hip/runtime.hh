@@ -20,6 +20,7 @@
 
 #include "alloc/registry.hh"
 #include "common/clock.hh"
+#include "common/status.hh"
 #include "hip/kernel.hh"
 #include "hip/memcpy_engine.hh"
 #include "hip/perf_model.hh"
@@ -30,7 +31,34 @@ namespace upm::audit {
 class Auditor;
 }
 
+namespace upm::inject {
+class Injector;
+}
+
 namespace upm::hip {
+
+/**
+ * The HIP-shaped spelling of the simulator-wide Status codes. simhip
+ * keeps the two enums literally identical so a Status from any layer
+ * can be returned through the runtime without translation, while
+ * application-facing code reads like HIP.
+ */
+using hipError_t = Status;
+
+inline constexpr hipError_t hipSuccess = Status::Success;
+/** UPM has no overcommit: capacity exhaustion is a clean ENOMEM. */
+inline constexpr hipError_t hipErrorOutOfMemory = Status::OutOfMemory;
+inline constexpr hipError_t hipErrorInvalidValue = Status::InvalidValue;
+inline constexpr hipError_t hipErrorNotFound = Status::NotFound;
+inline constexpr hipError_t hipErrorIllegalAddress = Status::AccessFault;
+inline constexpr hipError_t hipErrorTimeout = Status::Timeout;
+
+/** hipGetErrorName analogue. */
+inline const char *
+hipErrorName(hipError_t error)
+{
+    return statusName(error);
+}
 
 /** Runtime-level counters (profiling surface). */
 struct RuntimeStats
@@ -64,7 +92,17 @@ class Runtime
             const mem::MemGeometry &geometry);
 
     // ---- Memory management -------------------------------------------
-    /** Allocate with any Table 1 configuration; charges host time. */
+    /**
+     * Allocate with any Table 1 configuration; charges host time.
+     * The status form: @p out receives the pointer on success and the
+     * error is returned (hipErrorOutOfMemory on exhaustion,
+     * hipErrorInvalidValue for a zero-byte request) with no partial
+     * state left behind.
+     */
+    hipError_t tryAllocate(alloc::AllocatorKind kind, std::uint64_t size,
+                           DevPtr &out);
+
+    /** Convenience form of tryAllocate(); throws StatusError. */
     DevPtr allocate(alloc::AllocatorKind kind, std::uint64_t size);
 
     DevPtr hipMalloc(std::uint64_t size);
@@ -75,11 +113,22 @@ class Runtime
     /** A __managed__ static variable (registered at "load time"). */
     DevPtr managedStatic(std::uint64_t size);
 
-    /** Free any allocation; charges host time. */
-    void hipFree(DevPtr ptr);
+    /** Free any allocation; charges host time.
+     *  @return hipErrorNotFound for a pointer simhip never returned. */
+    hipError_t hipFree(DevPtr ptr);
 
-    /** Pin + GPU-map an existing host allocation. */
-    void hipHostRegister(DevPtr ptr);
+    /** Pin + GPU-map an existing host allocation.
+     *  @return hipErrorNotFound for an unknown pointer,
+     *          hipErrorOutOfMemory when pinning cannot populate. */
+    hipError_t hipHostRegister(DevPtr ptr);
+
+    /** Last recorded runtime error; reading clears it (HIP's
+     *  hipGetLastError contract). Errors surfaced as StatusError
+     *  throws are recorded here too, before the throw. */
+    hipError_t hipGetLastError();
+
+    /** As hipGetLastError() without clearing. */
+    hipError_t hipPeekAtLastError() const { return lastErr; }
 
     /** The allocation record behind @p ptr (must exist). */
     const alloc::Allocation &allocationOf(DevPtr ptr) const;
@@ -180,10 +229,20 @@ class Runtime
      */
     void setAuditor(audit::Auditor *auditor) { aud = auditor; }
 
+    /**
+     * Attach UPMInject to the runtime and its copy engine (the fault
+     * handler and frame allocator are wired by core::System). Covers
+     * the SDMA-stall and HBM-degradation sites.
+     */
+    void setInjector(inject::Injector *injector);
+
   private:
-    /** Resolve GPU faults on a kernel buffer; @return time charged. */
+    /** Resolve GPU faults on a kernel buffer; @return time charged.
+     *  Throws StatusError on violation / OOM / injected timeout. */
     SimTime resolveKernelFaults(const BufferUse &use);
     void notePeak();
+    /** Record @p error as the sticky last error and return it. */
+    hipError_t fail(hipError_t error);
     /** Feed one modelled access to the race detector (page range is
      *  clamped to the pointer's VMA; no-op when unaudited). */
     void auditAccess(unsigned agent, DevPtr ptr, std::uint64_t bytes,
@@ -207,6 +266,10 @@ class Runtime
     std::uint64_t peakBytes = 0;
     /** UPMSan hook; null (no overhead) unless auditing is enabled. */
     audit::Auditor *aud = nullptr;
+    /** UPMInject hook; null (no overhead) unless injection is on. */
+    inject::Injector *inj = nullptr;
+    /** Sticky last error (hipGetLastError surface). */
+    hipError_t lastErr = hipSuccess;
 };
 
 } // namespace upm::hip

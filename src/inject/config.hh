@@ -1,0 +1,87 @@
+/**
+ * @file
+ * InjectConfig: which UPMInject fault sites fire, and how often.
+ *
+ * The master switch is `enabled`; when it is false no component holds
+ * an injector pointer and every hook compiles down to one untaken
+ * null check -- the same zero-overhead-when-off guarantee UPMSan's
+ * auditor gives (DESIGN.md §7/§10). All randomness derives from
+ * `seed` through per-site SplitMix64 streams, so an identical seed
+ * reproduces the identical injected-event sequence regardless of
+ * worker count (each core::System owns its injector, like its
+ * auditor).
+ */
+
+#ifndef UPM_INJECT_CONFIG_HH
+#define UPM_INJECT_CONFIG_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/units.hh"
+
+namespace upm::inject {
+
+struct InjectConfig
+{
+    /** Master switch; false means no injector is wired at all. */
+    bool enabled = false;
+
+    /** Root seed for the per-site decision streams. */
+    std::uint64_t seed = 0x1badc0deull;
+
+    /** P(a frame-allocation request fails) per FrameAllocator call. */
+    double frameAllocFailProb = 0.0;
+
+    /** P(an HMM fault-worker completion is dropped) per attempt; the
+     *  FaultHandler retries with backoff up to FaultCosts::maxRetries,
+     *  then reports Status::Timeout. */
+    double hmmDropProb = 0.0;
+
+    /** P(an HMM completion is delayed) and the delay multiplier. */
+    double hmmDelayProb = 0.0;
+    double hmmDelayFactor = 8.0;
+
+    /** P(a GPU fault batch suffers an XNACK replay storm) and the
+     *  bound on extra replay rounds (uniform in [1, max]). */
+    double xnackStormProb = 0.0;
+    unsigned xnackStormMaxReplays = 4;
+
+    /** P(an SDMA transfer stalls) and the stall duration. */
+    double sdmaStallProb = 0.0;
+    SimTime sdmaStallTime = 500.0 * microseconds;
+
+    /** P(a transient HBM channel degradation begins) per bandwidth
+     *  operation, the bandwidth multiplier while degraded, and how
+     *  many operations the episode lasts. */
+    double hbmDegradeProb = 0.0;
+    double hbmDegradeFactor = 0.5;
+    std::uint64_t hbmDegradeOps = 16;
+
+    /** Stop recording events (but keep counting) past this many. */
+    std::size_t maxRecorded = 4096;
+
+    /**
+     * The standard campaign mix: every site armed at moderate rates,
+     * derived from @p campaign_seed. Used by the Fig. 11 injection
+     * campaign (`bench_fig11_apps --inject`) and the CI seed matrix.
+     */
+    static InjectConfig
+    campaign(std::uint64_t campaign_seed)
+    {
+        InjectConfig cfg;
+        cfg.enabled = true;
+        cfg.seed = campaign_seed;
+        cfg.frameAllocFailProb = 0.02;
+        cfg.hmmDropProb = 0.05;
+        cfg.hmmDelayProb = 0.10;
+        cfg.xnackStormProb = 0.10;
+        cfg.sdmaStallProb = 0.10;
+        cfg.hbmDegradeProb = 0.05;
+        return cfg;
+    }
+};
+
+} // namespace upm::inject
+
+#endif // UPM_INJECT_CONFIG_HH

@@ -4,6 +4,7 @@
 
 #include "audit/auditor.hh"
 #include "common/log.hh"
+#include "inject/injector.hh"
 
 namespace upm::mem {
 
@@ -74,12 +75,13 @@ FrameAllocator::allocBlock(unsigned order, FrameId &base)
     return true;
 }
 
-void
+bool
 FrameAllocator::freeBlock(FrameId base, unsigned order)
 {
     std::uint64_t n = 1ull << order;
-    // Validate the whole block before mutating anything: an audited
-    // double free is recorded and ignored, leaving state intact.
+    // Validate the whole block before mutating anything: a double
+    // free is recorded (when audited) and rejected, leaving state
+    // intact either way.
     for (std::uint64_t i = 0; i < n; ++i) {
         if (!frameBusy[base + i]) {
             if (aud != nullptr && aud->config().checkFrames) {
@@ -89,10 +91,8 @@ FrameAllocator::freeBlock(FrameId base, unsigned order)
                                       "allocated",
                                       static_cast<unsigned long long>(
                                           base + i)));
-                return;
             }
-            panic("double free of frame %llu",
-                  static_cast<unsigned long long>(base + i));
+            return false;
         }
     }
     for (std::uint64_t i = 0; i < n; ++i)
@@ -111,11 +111,14 @@ FrameAllocator::freeBlock(FrameId base, unsigned order)
         ++o;
     }
     freeLists[o].insert(block >> o);
+    return true;
 }
 
-std::vector<FrameRange>
+std::optional<std::vector<FrameRange>>
 FrameAllocator::allocRun(std::uint64_t n_frames)
 {
+    if (inj != nullptr && inj->failFrameAlloc(n_frames))
+        return std::nullopt;
     std::vector<FrameRange> out;
     std::uint64_t remaining = n_frames;
     while (remaining > 0) {
@@ -135,7 +138,7 @@ FrameAllocator::allocRun(std::uint64_t n_frames)
         if (!ok) {
             for (const auto &r : out)
                 freeRange(r);
-            return {};
+            return std::nullopt;
         }
     }
 
@@ -188,6 +191,8 @@ FrameAllocator::refillOnDemandPool()
 bool
 FrameAllocator::allocScattered(std::uint64_t n, std::vector<FrameId> &out)
 {
+    if (inj != nullptr && inj->failFrameAlloc(n))
+        return false;
     std::size_t start_size = out.size();
     for (std::uint64_t i = 0; i < n; ++i) {
         if (onDemandPool.empty() && !refillOnDemandPool()) {
@@ -206,6 +211,8 @@ FrameAllocator::allocScattered(std::uint64_t n, std::vector<FrameId> &out)
 bool
 FrameAllocator::allocBatch(std::uint64_t n, std::vector<FrameRange> &out)
 {
+    if (inj != nullptr && inj->failFrameAlloc(n))
+        return false;
     std::size_t start_size = out.size();
     std::uint64_t remaining = n;
     unsigned run_order = floorLog2(cfg.faultBatchRun);
@@ -269,6 +276,8 @@ FrameAllocator::refillStackPools()
 bool
 FrameAllocator::allocInterleaved(std::uint64_t n, std::vector<FrameId> &out)
 {
+    if (inj != nullptr && inj->failFrameAlloc(n))
+        return false;
     std::size_t start_size = out.size();
     if (stackPools.empty())
         stackPools.resize(geom.numStacks());
@@ -299,24 +308,42 @@ FrameAllocator::allocInterleaved(std::uint64_t n, std::vector<FrameId> &out)
     return true;
 }
 
-void
+bool
 FrameAllocator::freeFrame(FrameId frame)
 {
-    if (frame >= geom.numFrames())
-        panic("free of out-of-range frame %llu",
-              static_cast<unsigned long long>(frame));
-    freeBlock(frame, 0);
+    if (frame >= geom.numFrames()) {
+        if (aud != nullptr && aud->config().checkFrames) {
+            aud->record(audit::ViolationKind::FrameDoubleFree, frame,
+                        strprintf("free of out-of-range frame %llu",
+                                  static_cast<unsigned long long>(frame)));
+        }
+        return false;
+    }
+    return freeBlock(frame, 0);
 }
 
-void
+bool
 FrameAllocator::freeRange(const FrameRange &range)
 {
+    if (range.base + range.count > geom.numFrames() ||
+        range.base + range.count < range.base) {
+        if (aud != nullptr && aud->config().checkFrames) {
+            aud->record(audit::ViolationKind::FrameDoubleFree, range.base,
+                        strprintf("free of out-of-range run [%llu, +%llu)",
+                                  static_cast<unsigned long long>(
+                                      range.base),
+                                  static_cast<unsigned long long>(
+                                      range.count)));
+        }
+        return false;
+    }
+    bool ok = true;
     if (aud != nullptr) {
         // Page-by-page fan-out reports every bad frame individually;
         // eager merging makes the final buddy state identical.
         for (std::uint64_t i = 0; i < range.count; ++i)
-            freeBlock(range.base + i, 0);
-        return;
+            ok = freeBlock(range.base + i, 0) && ok;
+        return ok;
     }
     // Decompose into maximal naturally-aligned blocks: O(log frames)
     // buddy work per block instead of per page.
@@ -328,10 +355,11 @@ FrameAllocator::freeRange(const FrameRange &range)
             --align;
         unsigned order =
             std::min<unsigned>(align, floorLog2(remaining));
-        freeBlock(cur, order);
+        ok = freeBlock(cur, order) && ok;
         cur += 1ull << order;
         remaining -= 1ull << order;
     }
+    return ok;
 }
 
 std::uint64_t

@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <vector>
 
 #include "common/rng.hh"
@@ -37,6 +38,10 @@
 
 namespace upm::audit {
 class Auditor;
+}
+
+namespace upm::inject {
+class Injector;
 }
 
 namespace upm::mem {
@@ -79,10 +84,12 @@ class FrameAllocator
      * Allocate @p n_frames as few large contiguous runs (largest-first
      * buddy decomposition). Used by up-front allocators.
      *
-     * @return the runs, or an empty vector if memory is exhausted
-     *         (all partial progress is rolled back).
+     * @return the runs, or std::nullopt if memory is exhausted (all
+     *         partial progress is rolled back). A zero-frame request
+     *         succeeds with an empty run list, so exhaustion is never
+     *         ambiguous.
      */
-    std::vector<FrameRange> allocRun(std::uint64_t n_frames);
+    std::optional<std::vector<FrameRange>> allocRun(std::uint64_t n_frames);
 
     /**
      * Allocate @p n single frames through the fragmented on-demand
@@ -105,8 +112,13 @@ class FrameAllocator
      */
     bool allocInterleaved(std::uint64_t n, std::vector<FrameId> &out);
 
-    /** Free one frame. Double frees panic (or report, when audited). */
-    void freeFrame(FrameId frame);
+    /**
+     * Free one frame. @return false on an out-of-range or
+     * not-allocated frame, leaving state intact (recorded as a
+     * violation when audited). Internal callers that *know* the frame
+     * is allocated treat false as an invariant break and panic.
+     */
+    bool freeFrame(FrameId frame);
 
     /**
      * Free a contiguous range as naturally-aligned buddy blocks --
@@ -114,8 +126,10 @@ class FrameAllocator
      * attached it falls back to page-by-page frees so every bad frame
      * is reported individually; eager merging makes the final buddy
      * state identical either way.
+     * @return false if any frame in the range was invalid (frames
+     *         before the bad block are still freed).
      */
-    void freeRange(const FrameRange &range);
+    bool freeRange(const FrameRange &range);
 
     /** @return the number of currently free frames. Frames parked in
      *  the on-demand / per-stack pools count as free, as Linux counts
@@ -138,6 +152,13 @@ class FrameAllocator
     void setAuditor(audit::Auditor *auditor) { aud = auditor; }
 
     /**
+     * Attach UPMInject. Every public allocation entry point consults
+     * the injector's frame-alloc site first, so a campaign can force
+     * clean OOM failures deep inside any allocator or fault path.
+     */
+    void setInjector(inject::Injector *injector) { inj = injector; }
+
+    /**
      * Teardown leak check: every busy frame must either be referenced
      * by a page table (@p mapped, indexed by FrameId) or parked in one
      * of the free pools; anything else leaked. Reports FrameLeak per
@@ -150,8 +171,9 @@ class FrameAllocator
   private:
     /** Allocate one buddy block of @p order; @return base or fail. */
     bool allocBlock(unsigned order, FrameId &base);
-    /** Return a block to the free lists, merging with buddies. */
-    void freeBlock(FrameId base, unsigned order);
+    /** Return a block to the free lists, merging with buddies.
+     *  @return false (state intact) if any frame was not allocated. */
+    bool freeBlock(FrameId base, unsigned order);
     /** Refill the on-demand pool from one buddy block. */
     bool refillOnDemandPool();
     /** Refill the per-stack pools used by allocInterleaved(). */
@@ -177,6 +199,8 @@ class FrameAllocator
     SplitMix64 rng;
     /** UPMSan hook; null (no overhead) unless auditing is enabled. */
     audit::Auditor *aud = nullptr;
+    /** UPMInject hook; null (no overhead) unless injection is on. */
+    inject::Injector *inj = nullptr;
 };
 
 } // namespace upm::mem

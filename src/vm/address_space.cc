@@ -20,6 +20,13 @@ constexpr std::uint64_t kGuardGap = 2 * mem::kPageSize;
  * base would cap every fragment regardless of physical contiguity.
  */
 constexpr std::uint64_t kVmaAlign = 2 * MiB;
+/**
+ * End of the simulated VA window. 1 TiB of simulated span is orders
+ * of magnitude above anything the benches map, so hitting this cap
+ * means the caller is asking for the impossible -- which must be a
+ * recoverable ENOMEM, not a crash, just like frame exhaustion.
+ */
+constexpr VirtAddr kVaEnd = kMmapBase + 1 * TiB;
 
 } // namespace
 
@@ -30,14 +37,29 @@ AddressSpace::AddressSpace(mem::FrameAllocator &frame_allocator,
 {
 }
 
-VirtAddr
-AddressSpace::mmapAnon(std::uint64_t size, const VmaPolicy &policy,
-                       std::string name)
+MmapResult
+AddressSpace::tryMmapAnon(std::uint64_t size, const VmaPolicy &policy,
+                          std::string name)
 {
     if (size == 0)
-        fatal("mmap of zero bytes");
+        return {Status::InvalidValue, 0};
     std::uint64_t span = roundUp(size, mem::kPageSize);
     VirtAddr base = roundUp(nextBase, kVmaAlign);
+    // VA-window exhaustion before any state changes: a huge request
+    // must leave the space exactly as it found it.
+    if (span > kVaEnd - base)
+        return {Status::OutOfMemory, 0};
+    // The bump allocator never reuses VA, so an overlap can only mean
+    // corrupted internal state or a hand-crafted request; reject it
+    // rather than silently aliasing someone else's backing.
+    auto next_vma = vmas.lower_bound(base);
+    if (next_vma != vmas.end() && next_vma->first < base + span)
+        return {Status::InvalidValue, 0};
+    if (next_vma != vmas.begin()) {
+        const Vma &prev = std::prev(next_vma)->second;
+        if (prev.base + prev.size > base)
+            return {Status::InvalidValue, 0};
+    }
     nextBase = base + span + kGuardGap;
 
     Vma vma;
@@ -47,30 +69,50 @@ AddressSpace::mmapAnon(std::uint64_t size, const VmaPolicy &policy,
     vma.name = std::move(name);
     vmas.emplace(base, vma);
     backingStore.attach(base, span);
-    return base;
+    return {Status::Success, base};
 }
 
-void
+VirtAddr
+AddressSpace::mmapAnon(std::uint64_t size, const VmaPolicy &policy,
+                       std::string name)
+{
+    auto result = tryMmapAnon(size, policy, std::move(name));
+    if (!result) {
+        throw StatusError(result.status,
+                          strprintf("mmap of %llu bytes",
+                                    static_cast<unsigned long long>(size)));
+    }
+    return result.base;
+}
+
+Status
 AddressSpace::munmap(VirtAddr base)
 {
     auto it = vmas.find(base);
     if (it == vmas.end())
-        panic("munmap of unknown base 0x%llx",
-              static_cast<unsigned long long>(base));
+        return Status::NotFound;
     const Vma &vma = it->second;
 
     hmm.invalidateRange(vma.beginVpn(), vma.endVpn());
+    // munmap *knows* every mapped frame is allocated (the page table
+    // said so); a failed free here is free-list/busy-bit divergence,
+    // an internal invariant break, and stays a panic.
     if (aud != nullptr) {
         // Free each sub-run as it is cut so UPMSan sees the same
         // per-frame event stream, in vpn order, as ever.
         sysTable.removeRange(
             vma.beginVpn(), vma.endVpn(), [&](const PteRun &cut) {
+                bool ok = true;
                 if (cut.scatter == nullptr) {
-                    frameAlloc.freeRange({cut.frame, cut.len});
+                    ok = frameAlloc.freeRange({cut.frame, cut.len});
                 } else {
                     for (std::uint64_t i = 0; i < cut.len; ++i)
-                        frameAlloc.freeRange({cut.scatter[i], 1});
+                        ok = frameAlloc.freeRange({cut.scatter[i], 1}) &&
+                             ok;
                 }
+                if (!ok)
+                    panic("munmap freed a frame the allocator says is "
+                          "not allocated");
             });
     } else {
         // Batch: accumulate the freed frames into merged intervals
@@ -88,11 +130,16 @@ AddressSpace::munmap(VirtAddr base)
                 }
             });
         freed.forEach([&](FrameId begin_frame, FrameId end_frame) {
-            frameAlloc.freeRange({begin_frame, end_frame - begin_frame});
+            if (!frameAlloc.freeRange(
+                    {begin_frame, end_frame - begin_frame})) {
+                panic("munmap freed a frame the allocator says is not "
+                      "allocated");
+            }
         });
     }
     backingStore.detach(base);
     vmas.erase(it);
+    return Status::Success;
 }
 
 const Vma *
@@ -147,13 +194,12 @@ AddressSpace::mapRanges(const Vma &vma, Vpn vpn,
         hmm.mirrorRange(vpn, cursor);
 }
 
-std::uint64_t
-AddressSpace::populateRange(VirtAddr base, std::uint64_t size)
+PopulateResult
+AddressSpace::tryPopulateRange(VirtAddr base, std::uint64_t size)
 {
     Vma *vma = findVmaMutable(base);
     if (vma == nullptr)
-        panic("populate of unmapped address 0x%llx",
-              static_cast<unsigned long long>(base));
+        return {Status::NotFound, 0};
     Vpn first = vpnOf(base);
     Vpn last = vpnOf(base + size + mem::kPageSize - 1);
     last = std::min(last, vma->endVpn());
@@ -167,29 +213,27 @@ AddressSpace::populateRange(VirtAddr base, std::uint64_t size)
     std::uint64_t populated = 0;
     for (const auto &[hole_start, hole_end] : holes) {
         std::uint64_t n = hole_end - hole_start;
-
+        // OOM mid-walk leaves earlier holes mapped; callers unwind by
+        // unmapping the whole VMA, which reclaims them.
         switch (vma->policy.placement) {
           case Placement::Contiguous: {
             auto ranges = frameAlloc.allocRun(n);
-            if (ranges.empty())
-                fatal("out of physical memory populating '%s'",
-                      vma->name.c_str());
-            mapRanges(*vma, hole_start, ranges);
+            if (!ranges)
+                return {Status::OutOfMemory, populated};
+            mapRanges(*vma, hole_start, *ranges);
             break;
           }
           case Placement::Interleaved: {
             std::vector<FrameId> frame_list;
             if (!frameAlloc.allocInterleaved(n, frame_list))
-                fatal("out of physical memory populating '%s'",
-                      vma->name.c_str());
+                return {Status::OutOfMemory, populated};
             mapFrames(*vma, hole_start, std::move(frame_list));
             break;
           }
           case Placement::FaultBatch: {
             std::vector<mem::FrameRange> ranges;
             if (!frameAlloc.allocBatch(n, ranges))
-                fatal("out of physical memory populating '%s'",
-                      vma->name.c_str());
+                return {Status::OutOfMemory, populated};
             mapRanges(*vma, hole_start, ranges);
             break;
           }
@@ -197,8 +241,7 @@ AddressSpace::populateRange(VirtAddr base, std::uint64_t size)
           default: {
             std::vector<FrameId> frame_list;
             if (!frameAlloc.allocScattered(n, frame_list))
-                fatal("out of physical memory populating '%s'",
-                      vma->name.c_str());
+                return {Status::OutOfMemory, populated};
             mapFrames(*vma, hole_start, std::move(frame_list));
             break;
           }
@@ -209,27 +252,43 @@ AddressSpace::populateRange(VirtAddr base, std::uint64_t size)
             vma->pagesPlaced += n;
         populated += n;
     }
-    return populated;
+    return {Status::Success, populated};
 }
 
-void
+std::uint64_t
+AddressSpace::populateRange(VirtAddr base, std::uint64_t size)
+{
+    auto result = tryPopulateRange(base, size);
+    if (!result) {
+        const Vma *vma = findVma(base);
+        throw StatusError(result.status,
+                          strprintf("populating '%s'",
+                                    vma != nullptr ? vma->name.c_str()
+                                                   : "<unmapped>"));
+    }
+    return result.pages;
+}
+
+Status
 AddressSpace::pinAndMapGpu(VirtAddr base)
 {
     auto it = vmas.find(base);
     if (it == vmas.end())
-        panic("pinAndMapGpu of unknown base 0x%llx",
-              static_cast<unsigned long long>(base));
+        return Status::NotFound;
     Vma &vma = it->second;
 
     // pin_user_pages drives missing pages through the ordinary CPU
     // fault path, so placement stays whatever the VMA had.
-    populateRange(vma.base, vma.size);
+    auto populated = tryPopulateRange(vma.base, vma.size);
+    if (!populated)
+        return populated.status;
     vma.policy.pinned = true;
     vma.policy.gpuMapped = true;
     vma.policy.onDemand = false;
 
     sysTable.setFlagsRange(vma.beginVpn(), vma.endVpn(), flagsFor(vma));
     hmm.mirrorRange(vma.beginVpn(), vma.endVpn());
+    return Status::Success;
 }
 
 void
@@ -238,15 +297,14 @@ AddressSpace::resolveCpuFault(Vpn vpn)
     resolveCpuFaultRange(vpn, vpn + 1);
 }
 
-std::uint64_t
-AddressSpace::resolveCpuFaultRange(Vpn first, Vpn last)
+PopulateResult
+AddressSpace::tryResolveCpuFaultRange(Vpn first, Vpn last)
 {
     Vma *vma = findVmaMutable(addrOf(first));
     if (vma == nullptr)
-        fatal("CPU segfault: access to unmapped vpn 0x%llx",
-              static_cast<unsigned long long>(first));
+        return {Status::AccessFault, 0};
     if (!vma->policy.cpuAccess)
-        fatal("CPU access to CPU-inaccessible VMA '%s'", vma->name.c_str());
+        return {Status::AccessFault, 0};
     last = std::min(last, vma->endVpn());
 
     std::vector<std::pair<Vpn, Vpn>> holes;
@@ -256,14 +314,14 @@ AddressSpace::resolveCpuFaultRange(Vpn first, Vpn last)
         missing += gap_end - gap_begin;
     });
     if (missing == 0)
-        return 0;  // benign race: already resolved
+        return {Status::Success, 0};  // benign race: already resolved
 
     // One batched pool grab: the on-demand pool hands out the same
     // frame sequence as `missing` single-frame grabs would.
     std::vector<FrameId> frame_list;
     frame_list.reserve(missing);
     if (!frameAlloc.allocScattered(missing, frame_list))
-        fatal("out of physical memory on CPU fault");
+        return {Status::OutOfMemory, 0};
     PteFlags flags = flagsFor(*vma);
     std::size_t next = 0;
     for (const auto &[gap_begin, gap_end] : holes) {
@@ -273,7 +331,20 @@ AddressSpace::resolveCpuFaultRange(Vpn first, Vpn last)
     }
     vma->pagesScattered += missing;
     cpuFaultCount += missing;
-    return missing;
+    return {Status::Success, missing};
+}
+
+std::uint64_t
+AddressSpace::resolveCpuFaultRange(Vpn first, Vpn last)
+{
+    auto result = tryResolveCpuFaultRange(first, last);
+    if (!result) {
+        throw StatusError(
+            result.status,
+            strprintf("CPU fault on vpn 0x%llx",
+                      static_cast<unsigned long long>(first)));
+    }
+    return result.pages;
 }
 
 GpuFaultKind
@@ -329,8 +400,11 @@ AddressSpace::resolveGpuFault(Vpn first, std::uint64_t count)
             holes.push_back(vpn);
     });
     std::vector<mem::FrameRange> ranges;
-    if (!frameAlloc.allocBatch(holes.size(), ranges))
-        fatal("out of physical memory on GPU fault");
+    if (!frameAlloc.allocBatch(holes.size(), ranges)) {
+        // Nothing has been inserted yet, so failing here is clean:
+        // the tables are exactly as they were before the fault.
+        return GpuFaultKind::OutOfMemory;
+    }
     std::vector<FrameId> frame_list;
     frame_list.reserve(holes.size());
     for (const auto &range : ranges) {

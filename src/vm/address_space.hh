@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/status.hh"
 #include "mem/backing_store.hh"
 #include "mem/frame_allocator.hh"
 #include "vm/gpu_page_table.hh"
@@ -89,10 +90,32 @@ struct Vma
 
 /** Outcome of a GPU access / fault-resolution attempt. */
 enum class GpuFaultKind : std::uint8_t {
-    None,       //!< already mapped, no fault
-    Minor,      //!< present in system table; mirrored to GPU table
-    Major,      //!< physical allocation performed
-    Violation,  //!< not resolvable (XNACK off); fatal on real HW
+    None,         //!< already mapped, no fault
+    Minor,        //!< present in system table; mirrored to GPU table
+    Major,        //!< physical allocation performed
+    Violation,    //!< not resolvable (XNACK off); fatal on real HW
+    OutOfMemory,  //!< no frames for a major fault (nothing mapped)
+};
+
+/** Outcome of tryMmapAnon(). */
+struct MmapResult
+{
+    Status status = Status::Success;
+    VirtAddr base = 0;
+
+    explicit operator bool() const { return status == Status::Success; }
+};
+
+/** Outcome of tryPopulateRange() / tryResolveCpuFaultRange(). */
+struct PopulateResult
+{
+    Status status = Status::Success;
+    /** Pages newly populated (may be nonzero even on failure: pages
+     *  mapped before the allocator ran dry stay mapped, and munmap
+     *  reclaims them). */
+    std::uint64_t pages = 0;
+
+    explicit operator bool() const { return status == Status::Success; }
 };
 
 /**
@@ -109,13 +132,23 @@ class AddressSpace
      * Create a VMA of @p size bytes (rounded up to pages) and attach
      * host backing. Up-front policies are NOT populated here; the
      * allocator layer calls populateRange so it can charge time.
-     * @return the base simulated virtual address.
+     *
+     * Recoverable failures: Status::InvalidValue for a zero-length or
+     * overlapping request, Status::OutOfMemory when the simulated VA
+     * window is exhausted. Nothing is mapped on failure.
      */
+    MmapResult tryMmapAnon(std::uint64_t size, const VmaPolicy &policy,
+                           std::string name = "");
+
+    /** Convenience form of tryMmapAnon(); throws StatusError. */
     VirtAddr mmapAnon(std::uint64_t size, const VmaPolicy &policy,
                       std::string name = "");
 
-    /** Unmap: free frames, drop PTEs from both tables, drop backing. */
-    void munmap(VirtAddr base);
+    /**
+     * Unmap: free frames, drop PTEs from both tables, drop backing.
+     * @return Status::NotFound for a base that is not a VMA.
+     */
+    Status munmap(VirtAddr base);
 
     const Vma *findVma(VirtAddr addr) const;
 
@@ -131,18 +164,28 @@ class AddressSpace
     /**
      * Populate [base, base+size) physically according to the VMA's
      * placement, mapping the GPU table if the policy says so.
-     * @return pages newly populated.
+     *
+     * Recoverable failures: Status::NotFound for an unmapped base,
+     * Status::OutOfMemory when the frame allocator runs dry (pages
+     * mapped before exhaustion stay mapped; munmap reclaims them).
      */
+    PopulateResult tryPopulateRange(VirtAddr base, std::uint64_t size);
+
+    /** Convenience form of tryPopulateRange(); throws StatusError.
+     *  @return pages newly populated. */
     std::uint64_t populateRange(VirtAddr base, std::uint64_t size);
 
     /**
      * hipHostRegister semantics: fault in any missing pages through
      * the normal CPU path (keeping the region's scattered placement),
      * pin every page, and map the region in the GPU page table.
+     * @return Status::NotFound for an unknown base; OOM propagates
+     *         from population (the region is left unpinned).
      */
-    void pinAndMapGpu(VirtAddr base);
+    Status pinAndMapGpu(VirtAddr base);
 
-    /** Resolve a CPU first-touch fault on @p vpn (one scattered page). */
+    /** Resolve a CPU first-touch fault on @p vpn (one scattered
+     *  page); throws StatusError on segfault / protection / OOM. */
     void resolveCpuFault(Vpn vpn);
 
     /**
@@ -150,13 +193,22 @@ class AddressSpace
      * [first, last) in one batch: equivalent to calling
      * resolveCpuFault per page (the scattered pool hands out the same
      * frame sequence) without the per-page table walks.
-     * @return pages faulted in.
+     *
+     * Recoverable failures: Status::AccessFault for an unmapped or
+     * CPU-inaccessible vpn (a real segfault), Status::OutOfMemory on
+     * frame exhaustion (nothing is mapped in that case).
      */
+    PopulateResult tryResolveCpuFaultRange(Vpn first, Vpn last);
+
+    /** Convenience form of tryResolveCpuFaultRange(); throws
+     *  StatusError. @return pages faulted in. */
     std::uint64_t resolveCpuFaultRange(Vpn first, Vpn last);
 
     /**
      * Resolve a GPU fault batch on [first, first+count). Decides
      * minor (mirror only) vs major (allocate + map); honours XNACK.
+     * A major fault that finds no free frames returns
+     * GpuFaultKind::OutOfMemory with no partial mappings.
      */
     GpuFaultKind resolveGpuFault(Vpn first, std::uint64_t count);
 

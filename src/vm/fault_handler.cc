@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/log.hh"
+#include "inject/injector.hh"
 
 namespace upm::vm {
 
@@ -75,6 +76,47 @@ FaultHandler::serviceTime(FaultType type, std::uint64_t pages,
         per_page /= speedup;
     }
     return per_page * n;
+}
+
+FaultService
+FaultHandler::service(FaultType type, std::uint64_t pages,
+                      unsigned cpu_cores)
+{
+    FaultService result;
+    SimTime base = serviceTime(type, pages, cpu_cores);
+    // The common case must stay bit-identical to serviceTime(): the
+    // byte-identical-baselines guarantee rests on this early return.
+    if (inj == nullptr) {
+        result.time = base;
+        return result;
+    }
+
+    SimTime attempt = base;
+    if (type != FaultType::Cpu) {
+        // GPU faults ride the HMM worker + XNACK replay pipeline; CPU
+        // faults resolve synchronously in the trap handler and only
+        // share the frame-allocation site.
+        unsigned storm = inj->xnackReplayStorm(pages);
+        result.replays = storm;
+        attempt += static_cast<SimTime>(storm) * base;
+        attempt *= inj->hmmDelayFactor();
+
+        while (inj->dropHmmCompletion()) {
+            if (result.retries == cost.maxRetries) {
+                result.status = Status::Timeout;
+                result.time = attempt;
+                return result;
+            }
+            ++result.retries;
+            attempt += cost.retryBackoff *
+                       std::pow(cost.retryBackoffGrowth,
+                                static_cast<double>(result.retries - 1));
+            // The re-sent fault pays the service pipeline again.
+            attempt += base;
+        }
+    }
+    result.time = attempt;
+    return result;
 }
 
 double

@@ -20,7 +20,12 @@
 #include <cstdint>
 
 #include "common/rng.hh"
+#include "common/status.hh"
 #include "common/units.hh"
+
+namespace upm::inject {
+class Injector;
+}
 
 namespace upm::vm {
 
@@ -54,10 +59,32 @@ struct FaultCosts
     /** mmap_lock-style contention factor for multi-core CPU faulting:
      *  aggregate rate = cores * rate1 / (1 + alpha * (cores - 1)). */
     double cpuContentionAlpha = 0.166;
+
+    // Bounded recovery from lost HMM fault-worker completions (only
+    // reachable under injection): attempts beyond maxRetries report
+    // Status::Timeout instead of hanging, the way amdgpu's fence
+    // timeout turns a wedged fault into a reported GPU hang.
+    unsigned maxRetries = 3;
+    SimTime retryBackoff = 20000.0;
+    double retryBackoffGrowth = 2.0;
 };
 
 /** Flavours of fault the model prices. */
 enum class FaultType : std::uint8_t { Cpu, GpuMinor, GpuMajor };
+
+/** Outcome of a full fault-service attempt (see service()). */
+struct FaultService
+{
+    Status status = Status::Success;
+    /** Total simulated time spent, including retries and backoff. */
+    SimTime time = 0.0;
+    /** Completion-drop retries performed (injection only). */
+    unsigned retries = 0;
+    /** Extra XNACK replay rounds suffered (injection only). */
+    unsigned replays = 0;
+
+    explicit operator bool() const { return status == Status::Success; }
+};
 
 /**
  * Prices faults; owns a deterministic RNG for latency jitter so the
@@ -86,6 +113,21 @@ class FaultHandler
     SimTime serviceTime(FaultType type, std::uint64_t pages,
                         unsigned cpu_cores = 1) const;
 
+    /**
+     * Full fault service with failure semantics: serviceTime() plus
+     * whatever UPMInject throws at the pipeline -- delayed HMM
+     * completions (time multiplier), XNACK replay storms (extra
+     * per-round service), and dropped completions (bounded
+     * retry-with-backoff; exhausting FaultCosts::maxRetries reports
+     * Status::Timeout). With no injector attached the result is
+     * exactly { Success, serviceTime(...) }, bit for bit.
+     */
+    FaultService service(FaultType type, std::uint64_t pages,
+                         unsigned cpu_cores = 1);
+
+    /** Attach UPMInject; null (the default) means no perturbation. */
+    void setInjector(inject::Injector *injector) { inj = injector; }
+
     /** Convenience: pages/s throughput for a scenario. */
     double throughput(FaultType type, std::uint64_t pages,
                       unsigned cpu_cores = 1) const;
@@ -97,6 +139,8 @@ class FaultHandler
 
     FaultCosts cost;
     SplitMix64 rng;
+    /** UPMInject hook; null (no overhead) unless injection is on. */
+    inject::Injector *inj = nullptr;
 };
 
 } // namespace upm::vm

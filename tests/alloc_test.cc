@@ -209,8 +209,12 @@ TEST_F(AllocTest, FreeOrderings)
 
 TEST_F(AllocTest, OutOfMemoryIsUserError)
 {
-    EXPECT_THROW(registry.allocate(AllocatorKind::HipMalloc, 1 * GiB),
-                 SimError);
+    std::uint64_t free_before = frames.freeFrames();
+    Allocation a = registry.allocate(AllocatorKind::HipMalloc, 1 * GiB);
+    EXPECT_FALSE(a);
+    EXPECT_EQ(a.status, Status::OutOfMemory);
+    // The failed allocation must not leak partially populated frames.
+    EXPECT_EQ(frames.freeFrames(), free_before);
 }
 
 /** Parameterized round-trip across every allocator kind. */

@@ -186,6 +186,62 @@ TEST(EdgeCases, AuditedOomRollbackLeaksNothing)
     EXPECT_TRUE(sys.auditor()->clean()) << sys.auditor()->summary();
 }
 
+TEST(EdgeCases, ZeroByteAllocationIsInvalidValue)
+{
+    core::System sys(cfg1G());
+    auto &rt = sys.runtime();
+    hip::DevPtr p = 0xabcd;
+    EXPECT_EQ(rt.tryAllocate(AK::HipMalloc, 0, p),
+              hip::hipErrorInvalidValue);
+    EXPECT_EQ(p, 0u);
+    EXPECT_EQ(rt.hipGetLastError(), hip::hipErrorInvalidValue);
+}
+
+TEST(EdgeCases, VaSpaceExhaustionIsOutOfMemory)
+{
+    core::System sys(cfg1G());
+    auto &as = sys.addressSpace();
+    // The anonymous VA window is 1 TiB; a 2 TiB reservation cannot fit
+    // regardless of physical capacity.
+    auto r = as.tryMmapAnon(2 * TiB, {}, "huge");
+    EXPECT_FALSE(r);
+    EXPECT_EQ(r.status, Status::OutOfMemory);
+
+    auto zero = as.tryMmapAnon(0, {}, "empty");
+    EXPECT_EQ(zero.status, Status::InvalidValue);
+}
+
+TEST(EdgeCases, UnknownAddressesReportNotFound)
+{
+    core::System sys(cfg1G());
+    auto &rt = sys.runtime();
+    EXPECT_EQ(sys.addressSpace().munmap(0xdead0000), Status::NotFound);
+    EXPECT_EQ(rt.hipFree(0xdead0000), hip::hipErrorNotFound);
+    EXPECT_EQ(rt.hipHostRegister(0xdead0000), hip::hipErrorNotFound);
+    EXPECT_EQ(rt.hipGetLastError(), hip::hipErrorNotFound);
+    EXPECT_EQ(rt.hipGetLastError(), hip::hipSuccess);
+
+    auto pop = sys.addressSpace().tryPopulateRange(0xdead0000, 4 * KiB);
+    EXPECT_EQ(pop.status, Status::NotFound);
+    EXPECT_EQ(pop.pages, 0u);
+}
+
+TEST(EdgeCases, LastErrorIsStickyUntilRead)
+{
+    core::System sys(cfg1G());
+    auto &rt = sys.runtime();
+    EXPECT_EQ(rt.hipPeekAtLastError(), hip::hipSuccess);
+    rt.hipFree(0xdead0000);
+    EXPECT_EQ(rt.hipPeekAtLastError(), hip::hipErrorNotFound);
+    // A successful call does not clear the sticky error (HIP keeps
+    // the last *error*, not the last status).
+    hip::DevPtr p = rt.hipMalloc(4096);
+    EXPECT_EQ(rt.hipPeekAtLastError(), hip::hipErrorNotFound);
+    EXPECT_EQ(rt.hipGetLastError(), hip::hipErrorNotFound);
+    EXPECT_EQ(rt.hipPeekAtLastError(), hip::hipSuccess);
+    rt.hipFree(p);
+}
+
 TEST(EdgeCases, ManyStreamsGetDistinctIds)
 {
     core::System sys(cfg1G());

@@ -43,7 +43,9 @@ TEST_F(HipTest, AllocateFreeAdvancesHostClock)
 
 TEST_F(HipTest, FreeingUnknownPointerIsUserError)
 {
-    EXPECT_THROW(rt.hipFree(0xdead000), SimError);
+    EXPECT_EQ(rt.hipFree(0xdead000), hipErrorNotFound);
+    EXPECT_EQ(rt.hipGetLastError(), hipErrorNotFound);
+    EXPECT_EQ(rt.hipGetLastError(), hipSuccess);  // cleared on read
 }
 
 TEST_F(HipTest, HostPtrRoundTrip)

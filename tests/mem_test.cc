@@ -106,26 +106,35 @@ TEST_F(FrameAllocatorTest, StartsFullyFree)
 TEST_F(FrameAllocatorTest, RunAllocationIsContiguous)
 {
     auto runs = alloc.allocRun(1000);
-    ASSERT_FALSE(runs.empty());
+    ASSERT_TRUE(runs.has_value());
     std::uint64_t total = 0;
-    for (const auto &r : runs)
+    for (const auto &r : *runs)
         total += r.count;
     EXPECT_EQ(total, 1000u);
     EXPECT_EQ(alloc.freeFrames(), geom.numFrames() - 1000);
     // A fresh allocator satisfies this as a single merged range.
-    EXPECT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs->size(), 1u);
 }
 
 TEST_F(FrameAllocatorTest, RunRoundTrip)
 {
     auto runs = alloc.allocRun(12345);
-    for (const auto &r : runs)
-        alloc.freeRange(r);
+    ASSERT_TRUE(runs.has_value());
+    for (const auto &r : *runs)
+        EXPECT_TRUE(alloc.freeRange(r));
     EXPECT_EQ(alloc.freeFrames(), geom.numFrames());
     // After full free, large runs are available again (buddy merge).
     auto again = alloc.allocRun(8192);
-    ASSERT_FALSE(again.empty());
-    EXPECT_EQ(again.size(), 1u);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(again->size(), 1u);
+}
+
+TEST_F(FrameAllocatorTest, ZeroFrameRunIsEmptySuccess)
+{
+    auto runs = alloc.allocRun(0);
+    ASSERT_TRUE(runs.has_value());
+    EXPECT_TRUE(runs->empty());
+    EXPECT_EQ(alloc.freeFrames(), geom.numFrames());
 }
 
 TEST_F(FrameAllocatorTest, ScatteredFramesAreDiscontiguous)
@@ -183,34 +192,38 @@ TEST_F(FrameAllocatorTest, BatchAllocatesShortRuns)
     EXPECT_EQ(total, 64u);
 }
 
-TEST_F(FrameAllocatorTest, DoubleFreePanics)
+TEST_F(FrameAllocatorTest, DoubleFreeIsRejected)
 {
     std::vector<FrameId> frames;
     ASSERT_TRUE(alloc.allocScattered(1, frames));
-    alloc.freeFrame(frames[0]);
-    EXPECT_THROW(alloc.freeFrame(frames[0]), SimError);
+    EXPECT_TRUE(alloc.freeFrame(frames[0]));
+    std::uint64_t free_before = alloc.freeFrames();
+    EXPECT_FALSE(alloc.freeFrame(frames[0]));
+    EXPECT_EQ(alloc.freeFrames(), free_before);
 }
 
-TEST_F(FrameAllocatorTest, OutOfRangeFreePanics)
+TEST_F(FrameAllocatorTest, OutOfRangeFreeIsRejected)
 {
-    EXPECT_THROW(alloc.freeFrame(geom.numFrames()), SimError);
+    EXPECT_FALSE(alloc.freeFrame(geom.numFrames()));
+    EXPECT_FALSE(alloc.freeRange({geom.numFrames() - 1, 2}));
+    EXPECT_EQ(alloc.freeFrames(), geom.numFrames());
 }
 
 TEST_F(FrameAllocatorTest, ExhaustionFailsCleanly)
 {
     auto runs = alloc.allocRun(geom.numFrames());
-    ASSERT_FALSE(runs.empty());
+    ASSERT_TRUE(runs.has_value());
     EXPECT_EQ(alloc.freeFrames(), 0u);
     std::vector<FrameId> frames;
     EXPECT_FALSE(alloc.allocScattered(1, frames));
     EXPECT_TRUE(frames.empty());
-    EXPECT_TRUE(alloc.allocRun(1).empty());
+    EXPECT_FALSE(alloc.allocRun(1).has_value());
 }
 
 TEST_F(FrameAllocatorTest, ScatteredRollbackOnPartialExhaustion)
 {
     auto runs = alloc.allocRun(geom.numFrames() - 10);
-    ASSERT_FALSE(runs.empty());
+    ASSERT_TRUE(runs.has_value());
     std::vector<FrameId> frames;
     EXPECT_FALSE(alloc.allocScattered(100, frames));
     EXPECT_TRUE(frames.empty());
@@ -239,14 +252,15 @@ TEST_P(FrameAllocatorProperty, MixedWorkloadConservesFrames)
     FrameAllocator alloc(geom);
     std::uint64_t n = GetParam();
 
-    std::vector<FrameRange> runs = alloc.allocRun(n);
+    auto runs = alloc.allocRun(n);
+    ASSERT_TRUE(runs.has_value());
     std::vector<FrameId> scattered, interleaved;
     ASSERT_TRUE(alloc.allocScattered(n / 2 + 1, scattered));
     ASSERT_TRUE(alloc.allocInterleaved(n / 3 + 1, interleaved));
 
     // No frame handed out twice.
     std::set<FrameId> seen;
-    for (const auto &r : runs) {
+    for (const auto &r : *runs) {
         for (std::uint64_t i = 0; i < r.count; ++i)
             EXPECT_TRUE(seen.insert(r.base + i).second);
     }
@@ -255,12 +269,12 @@ TEST_P(FrameAllocatorProperty, MixedWorkloadConservesFrames)
     for (FrameId f : interleaved)
         EXPECT_TRUE(seen.insert(f).second);
 
-    for (const auto &r : runs)
-        alloc.freeRange(r);
+    for (const auto &r : *runs)
+        EXPECT_TRUE(alloc.freeRange(r));
     for (FrameId f : scattered)
-        alloc.freeFrame(f);
+        EXPECT_TRUE(alloc.freeFrame(f));
     for (FrameId f : interleaved)
-        alloc.freeFrame(f);
+        EXPECT_TRUE(alloc.freeFrame(f));
     EXPECT_EQ(alloc.freeFrames(), geom.numFrames());
 }
 

@@ -37,8 +37,9 @@ base()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opt = bench::Options::parse(argc, argv);
     setQuiet(true);
     bench::banner("Ablations (model study, not a paper artifact)",
                   "Which mechanism produces which reproduced result");
@@ -93,5 +94,11 @@ main()
                     penalty, mal.cpuLatency, hip.cpuLatency,
                     penalty == 0.0 ? "  <- curves collapse" : "");
     }
+    bench::captureTrace(opt, base(), [](core::System &sys) {
+        core::StreamProbe::Params p;
+        p.gpuArrayBytes = 64 * MiB;
+        core::StreamProbe probe(sys, p);
+        probe.gpuTriad(AK::HipMalloc, core::FirstTouch::Cpu);
+    });
     return 0;
 }

@@ -102,5 +102,11 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(faults[a][2]));
     }
     report.write();
+    bench::captureTrace(opt, config, [&](core::System &sys) {
+        core::StreamProbe::Params p;
+        p.cpuArrayBytes = 64 * MiB;
+        core::StreamProbe probe(sys, p);
+        probe.cpuTriad(AK::Malloc, core::FirstTouch::Cpu);
+    });
     return 0;
 }

@@ -112,6 +112,10 @@ main(int argc, char **argv)
             valid ? "OK" : "MISMATCH");
     }
     json.write();
+    bench::captureTrace(opt, cfg, [&](core::System &sys) {
+        auto workload = std::move(makeAllWorkloads()[0]);
+        workload->run(sys, Model::Unified);
+    });
     if (opt.audit) {
         std::printf("UPMSan: %llu violation(s) across the suite\n",
                     static_cast<unsigned long long>(total_violations));

@@ -95,5 +95,9 @@ main(int argc, char **argv)
         }
     }
     report.write();
+    bench::captureTrace(opt, config, [&](core::System &sys) {
+        core::LatencyProbe probe(sys);
+        probe.measure(AK::HipMallocManaged, 2 * MiB);
+    });
     return 0;
 }

@@ -142,5 +142,11 @@ main(int argc, char **argv)
                     r.perThreadBandwidth[23]);
     }
     report.write();
+    bench::captureTrace(opt, config, [&](core::System &sys) {
+        core::StreamProbe::Params p;
+        p.gpuArrayBytes = 64 * MiB;
+        core::StreamProbe probe(sys, p);
+        probe.gpuTriad(AK::HipMallocManaged, core::FirstTouch::Cpu);
+    });
     return 0;
 }

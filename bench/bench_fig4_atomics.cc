@@ -78,5 +78,19 @@ main(int argc, char **argv)
         }
     }
     report.write();
+    // The atomics grids are analytic; the capture traces the runtime
+    // path a histogram run would take to fault its array in.
+    bench::captureTrace(opt, {}, [&](core::System &tsys) {
+        auto &rt = tsys.runtime();
+        rt.setXnack(true);
+        hip::DevPtr a = rt.hipMallocManaged(8 * MiB);
+        rt.cpuFirstTouch(a, 8 * MiB);
+        hip::KernelDesc k;
+        k.name = "atomic_histogram";
+        k.buffers.push_back({a, 8 * MiB, 8 * MiB});
+        rt.launchKernel(k, nullptr);
+        rt.deviceSynchronize();
+        rt.hipFree(a);
+    });
     return 0;
 }

@@ -83,5 +83,20 @@ main(int argc, char **argv)
         }
     }
     report.write();
+    // The hybrid grids are analytic; the capture traces the shared
+    // array both agents would contend on.
+    bench::captureTrace(opt, {}, [&](core::System &tsys) {
+        auto &rt = tsys.runtime();
+        rt.setXnack(true);
+        hip::DevPtr a = rt.hipMallocManaged(8 * MiB);
+        rt.cpuFirstTouch(a, 8 * MiB);
+        hip::KernelDesc k;
+        k.name = "hybrid_histogram";
+        k.buffers.push_back({a, 8 * MiB, 8 * MiB});
+        rt.launchKernel(k, nullptr);
+        rt.deviceSynchronize();
+        rt.cpuStream(a, 8 * MiB, 12);
+        rt.hipFree(a);
+    });
     return 0;
 }

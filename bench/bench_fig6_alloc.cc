@@ -99,5 +99,9 @@ main(int argc, char **argv)
         }
     }
     report.write();
+    bench::captureTrace(opt, config, [&](core::System &sys) {
+        core::AllocProbe probe(sys);
+        probe.measure(AK::HipMallocManaged, 2 * MiB);
+    });
     return 0;
 }

@@ -81,5 +81,10 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(page_counts.back()),
                 minor / major);
     report.write();
+    bench::captureTrace(opt, {}, [&](core::System &tsys) {
+        core::FaultProbe tprobe(tsys);
+        tprobe.throughput(FaultScenario::GpuMajor, 512);
+        tprobe.throughput(FaultScenario::Cpu1, 512);
+    });
     return 0;
 }

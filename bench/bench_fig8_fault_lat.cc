@@ -63,5 +63,10 @@ main(int argc, char **argv)
         hist.add(v);
     std::printf("%s", hist.render().c_str());
     report.write();
+    bench::captureTrace(opt, {}, [&](core::System &tsys) {
+        core::FaultProbe tprobe(tsys, params);
+        tprobe.throughput(FaultScenario::Cpu1, 64);
+        tsys.faultHandler().sampleColdLatency(vm::FaultType::Cpu);
+    });
     return 0;
 }

@@ -77,5 +77,11 @@ main(int argc, char **argv)
                                : 0.0);
     }
     report.write();
+    bench::captureTrace(opt, config, [&](core::System &sys) {
+        core::StreamProbe::Params p;
+        p.gpuArrayBytes = 64 * MiB;
+        core::StreamProbe probe(sys, p);
+        probe.gpuTriad(AK::HipMalloc, core::FirstTouch::Cpu);
+    });
     return 0;
 }

@@ -306,6 +306,29 @@ main(int argc, char **argv)
     }
 
     json.write();
+    {
+        // Traced capture: fill a small system to OOM so the failed
+        // AllocCalls and the recovery free/alloc land on the bus.
+        core::SystemConfig tcfg;
+        tcfg.geometry.capacityBytes = 512 * MiB;
+        bench::captureTrace(opt, tcfg, [&](core::System &sys) {
+            auto &rt = sys.runtime();
+            std::vector<hip::DevPtr> live;
+            hip::DevPtr p = 0;
+            while (rt.tryAllocate(AK::HipMalloc, 64 * MiB, p) ==
+                   hip::hipSuccess)
+                live.push_back(p);
+            if (!live.empty()) {
+                rt.hipFree(live.back());
+                live.pop_back();
+            }
+            if (rt.tryAllocate(AK::HipMalloc, mem::kPageSize, p) ==
+                hip::hipSuccess)
+                live.push_back(p);
+            for (hip::DevPtr q : live)
+                rt.hipFree(q);
+        });
+    }
     if (failures > 0) {
         std::printf("\n%d survival check(s) FAILED\n", failures);
         return 1;

@@ -50,8 +50,9 @@ runCase(const char *label, bool sdma, bool pinned_host, bool d2d)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opt = bench::Options::parse(argc, argv);
     setQuiet(true);
     bench::banner("Section 4.3", "Legacy hipMemcpy transfer bandwidth");
     std::printf("%-34s %-16s %13s\n", "transfer", "path", "bandwidth");
@@ -59,5 +60,15 @@ main()
     runCase("hipHostMalloc -> hipMalloc (SDMA)", true, true, false);
     runCase("malloc -> hipMalloc (SDMA off)", false, false, false);
     runCase("hipMalloc -> hipMalloc", true, false, true);
+    bench::captureTrace(opt, {}, [](core::System &sys) {
+        auto &rt = sys.runtime();
+        const std::uint64_t bytes = 4 * MiB;
+        hip::DevPtr src = rt.hostMalloc(bytes);
+        rt.cpuFirstTouch(src, bytes);
+        hip::DevPtr dst = rt.hipMalloc(bytes);
+        rt.hipMemcpy(dst, src, bytes);
+        rt.hipFree(dst);
+        rt.hipFree(src);
+    });
     return 0;
 }

@@ -71,8 +71,9 @@ row(const char *name, AK kind, bool xnack)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opt = bench::Options::parse(argc, argv);
     setQuiet(true);
     bench::banner("Table 1", "Memory allocators on MI300A");
     std::printf("| %-28s | %-10s | %-10s | %-9s |\n", "Allocator",
@@ -84,5 +85,17 @@ main()
     row("hipHostMalloc", AK::HipHostMalloc, false);
     row("hipMallocManaged", AK::HipMallocManaged, false);
     row("hipMallocManaged (XNACK=1)", AK::HipMallocManaged, true);
+    bench::captureTrace(opt, {}, [](core::System &sys) {
+        auto &rt = sys.runtime();
+        rt.setXnack(true);
+        hip::DevPtr p = rt.allocate(AK::HipMallocManaged, 4 * MiB);
+        rt.cpuFirstTouch(p, 4 * MiB);
+        hip::KernelDesc touch;
+        touch.name = "touch";
+        touch.buffers.push_back({p, 4 * MiB, 4 * MiB});
+        rt.launchKernel(touch, nullptr);
+        rt.deviceSynchronize();
+        rt.hipFree(p);
+    });
     return 0;
 }

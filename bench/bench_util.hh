@@ -24,7 +24,10 @@
 
 #include "common/log.hh"
 #include "common/units.hh"
+#include "core/system.hh"
 #include "exec/task_pool.hh"
+#include "trace/chrome_export.hh"
+#include "trace/tracer.hh"
 
 namespace upm::bench {
 
@@ -91,6 +94,13 @@ struct Options
      *  given working-set/capacity factor. 0 = full sweep. */
     double oversubscribe = 0.0;
 
+    // UPMTrace flags (every bench).
+    std::string tracePath;  //!< --trace <path>; empty = tracing off
+    /** --trace-filter <layer,...>; default all layers. */
+    std::uint32_t traceMask = 0x3f;
+    bool traceRing = false;         //!< --trace-ring [cap]
+    std::size_t traceRingCap = 0;   //!< 0 = TraceConfig default
+
     static Options
     parse(int argc, char **argv, bool allow_audit = false,
           bool allow_inject = false, bool allow_oversubscribe = false)
@@ -121,6 +131,28 @@ struct Options
                        i + 1 < argc) {
                 long v = std::strtol(argv[++i], nullptr, 10);
                 opt.injectRuns = v > 0 ? static_cast<unsigned>(v) : 1u;
+            } else if (std::strcmp(arg, "--trace") == 0 &&
+                       i + 1 < argc) {
+                opt.tracePath = argv[++i];
+            } else if (std::strcmp(arg, "--trace-filter") == 0 &&
+                       i + 1 < argc) {
+                std::string error;
+                opt.traceMask =
+                    trace::parseLayerList(argv[++i], &error);
+                if (opt.traceMask == 0) {
+                    std::fprintf(stderr, "--trace-filter: %s\n",
+                                 error.c_str());
+                    std::exit(2);
+                }
+            } else if (std::strcmp(arg, "--trace-ring") == 0) {
+                opt.traceRing = true;
+                // Optional capacity: consume the next arg iff numeric.
+                if (i + 1 < argc && argv[i + 1][0] != '\0' &&
+                    std::strspn(argv[i + 1], "0123456789") ==
+                        std::strlen(argv[i + 1])) {
+                    opt.traceRingCap = static_cast<std::size_t>(
+                        std::strtoull(argv[++i], nullptr, 10));
+                }
             } else if (allow_oversubscribe &&
                        std::strcmp(arg, "--oversubscribe") == 0 &&
                        i + 1 < argc) {
@@ -134,7 +166,9 @@ struct Options
             } else {
                 std::fprintf(stderr,
                              "usage: %s [--json <path>] [--workers N] "
-                             "[--smoke]%s%s%s\n",
+                             "[--smoke] [--trace <path>] "
+                             "[--trace-filter <layer,...>] "
+                             "[--trace-ring [cap]]%s%s%s\n",
                              argv[0], allow_audit ? " [--audit]" : "",
                              allow_inject
                                  ? " [--inject] [--inject-seed S]"
@@ -151,6 +185,68 @@ struct Options
         return opt;
     }
 };
+
+/**
+ * Apply the --trace flags to the SystemConfig a bench is about to
+ * construct Systems from. No-op unless --trace was given, so traced
+ * and untraced runs share one code path.
+ */
+inline void
+applyTrace(const Options &opt, core::SystemConfig &config)
+{
+    if (opt.tracePath.empty())
+        return;
+    config.trace.enabled = true;
+    config.trace.layerMask = opt.traceMask;
+    config.trace.ring = opt.traceRing;
+    if (opt.traceRingCap > 0)
+        config.trace.ringCapacity = opt.traceRingCap;
+}
+
+/**
+ * Write a traced System's event stream to the --trace path: Chrome
+ * trace JSON (Perfetto-loadable) in vector mode, the binary ring file
+ * in ring mode. No-op when the bench was not traced.
+ */
+inline void
+writeTrace(const Options &opt, core::System &sys)
+{
+    trace::Tracer *tr = sys.tracer();
+    if (opt.tracePath.empty() || tr == nullptr)
+        return;
+    bool ok = tr->ringSink() != nullptr
+                  ? tr->ringSink()->dump(opt.tracePath)
+                  : trace::writeChromeTrace(opt.tracePath, tr->events());
+    if (!ok)
+        fatal("cannot write trace to %s", opt.tracePath.c_str());
+    std::printf("UPMTrace: %llu event(s) -> %s\n",
+                static_cast<unsigned long long>(tr->emitted()),
+                opt.tracePath.c_str());
+}
+
+/**
+ * Run one representative traced scenario and write it to the --trace
+ * path. The sweep itself stays untraced (its per-task Systems die with
+ * their tasks, and its numbers must stay byte-identical with tracing
+ * on); the capture re-runs @p body on a single System built from
+ * @p config plus the trace flags. No-op without --trace.
+ */
+template <typename Body>
+inline void
+captureTrace(const Options &opt, const core::SystemConfig &config,
+             Body &&body)
+{
+    if (opt.tracePath.empty())
+        return;
+    core::SystemConfig traced = config;
+    applyTrace(opt, traced);
+    core::System sys(traced);
+    {
+        trace::TaskTraceScope scope(sys.tracer(), 0, 0);
+        body(sys);
+    }
+    writeTrace(opt, sys);
+}
 
 /** One key under a point's "params" or "metrics" object. */
 struct JsonField

@@ -85,8 +85,9 @@ upmUnified(double update_fraction)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opt = bench::Options::parse(argc, argv);
     setQuiet(true);
     bench::banner("Sections 1/2.1 (motivation)",
                   "UVM (discrete) vs explicit (discrete) vs UPM");
@@ -127,5 +128,16 @@ main()
                         "-- the paper's Section 2.1 caveat)\n");
         }
     }
+    bench::captureTrace(opt, {}, [](core::System &sys) {
+        auto &rt = sys.runtime();
+        hip::DevPtr u = rt.hipMalloc(16 * MiB);
+        rt.cpuStream(u, 16 * MiB, 24);
+        hip::KernelDesc k;
+        k.name = "uvm_compare";
+        k.buffers.push_back({u, 16 * MiB, 16 * MiB});
+        rt.launchKernel(k, nullptr);
+        rt.deviceSynchronize();
+        rt.hipFree(u);
+    });
     return 0;
 }

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Re-bless the golden trace files under tests/golden/.
+#
+# Run this after an *intentional* change to the UPMTrace event schema
+# or to one of the golden scenarios, then review the diff like any
+# other source change: the goldens are the committed contract for
+# what the simulator emits.
+#
+#   scripts/retrace.sh [build-dir]
+#
+# The build dir defaults to ./build and must already contain a
+# configured build (the script compiles upm_tests itself).
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+if [[ ! -f "$build/CMakeCache.txt" ]]; then
+    echo "error: $build is not a configured build dir" >&2
+    echo "  cmake -S $repo -B $build && $0 $build" >&2
+    exit 2
+fi
+
+cmake --build "$build" --target upm_tests -j "$(nproc)"
+
+UPM_BLESS_GOLDEN=1 "$build/tests/upm_tests" \
+    --gtest_filter='GoldenTrace.*'
+
+# Immediately verify the freshly blessed goldens reproduce, including
+# the 1/2/8-worker invariance the golden tests enforce.
+"$build/tests/upm_tests" --gtest_filter='GoldenTrace.*'
+
+echo
+echo "Blessed golden traces:"
+git -C "$repo" status --short tests/golden/

@@ -23,6 +23,7 @@
 #include "common/units.hh"
 #include "mem/frame_allocator.hh"
 #include "mem/geometry.hh"
+#include "trace/tracer.hh"
 #include "vm/fault_handler.hh"
 
 namespace upm::core {
@@ -208,6 +209,8 @@ struct SystemConfig
     audit::AuditConfig audit;
     /** UPMInject deterministic fault injection (off by default). */
     inject::InjectConfig inject;
+    /** UPMTrace structured event bus (off by default). */
+    trace::TraceConfig trace;
 
     unsigned numCus = 228;      //!< compute units (6 XCDs)
     unsigned numXcds = 6;

@@ -5,6 +5,7 @@
 #include "common/log.hh"
 #include "common/scope_guard.hh"
 #include "exec/task_pool.hh"
+#include "trace/tracer.hh"
 
 namespace upm::core {
 
@@ -90,6 +91,8 @@ FaultProbe::latencyDistribution(FaultScenario scenario)
     std::vector<std::vector<double>> parts(tasks);
     exec::globalPool().parallelFor(tasks, [&](std::size_t t) {
         System local(config);
+        trace::TaskTraceScope task_scope(local.tracer(), t,
+                                         exec::taskSeed(cfg.rootSeed, t));
         FaultProbe probe(local, cfg);
         auto &handler = local.faultHandler();
         unsigned lo = static_cast<unsigned>(t) * chunk;
@@ -117,6 +120,8 @@ FaultProbe::throughputSweep(FaultScenario scenario,
     return exec::globalPool().parallelMap<double>(
         pages.size(), [&](std::size_t i) {
             System local(config);
+            trace::TaskTraceScope task_scope(
+                local.tracer(), i, exec::taskSeed(cfg.rootSeed, i));
             FaultProbe probe(local, cfg);
             return probe.throughput(scenario, pages[i]);
         });

@@ -22,6 +22,16 @@ System::System(const SystemConfig &config)
         faults.setInjector(inj.get());
         rt.setInjector(inj.get());
     }
+    if (cfg.trace.enabled) {
+        trc = std::make_unique<trace::Tracer>(cfg.trace);
+        trc->setClock(&rt.clock());
+        frameAlloc.setTracer(trc.get());
+        as.setTracer(trc.get());  // wires the HMM mirror too
+        faults.setTracer(trc.get());
+        rt.setTracer(trc.get());  // wires the perf model too
+        if (inj)
+            inj->setTracer(trc.get());
+    }
 }
 
 void

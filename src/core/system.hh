@@ -26,6 +26,7 @@
 #include "prof/meminfo.hh"
 #include "prof/perf.hh"
 #include "prof/rocprof.hh"
+#include "trace/tracer.hh"
 #include "vm/address_space.hh"
 #include "vm/fault_handler.hh"
 
@@ -63,6 +64,10 @@ class System
     inject::Injector *injector() { return inj.get(); }
     const inject::Injector *injector() const { return inj.get(); }
 
+    /** UPMTrace, or null when cfg.trace.enabled is false. */
+    trace::Tracer *tracer() { return trc.get(); }
+    const trace::Tracer *tracer() const { return trc.get(); }
+
     /**
      * End-of-run whole-structure checks (cheap per-event hooks cannot
      * see them): full system/GPU page-table cross-check and the frame
@@ -88,6 +93,8 @@ class System
     std::unique_ptr<audit::Auditor> aud;
     /** Created (and wired into every layer) only when injecting. */
     std::unique_ptr<inject::Injector> inj;
+    /** Created (and wired into every layer) only when tracing. */
+    std::unique_ptr<trace::Tracer> trc;
 };
 
 } // namespace upm::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "trace/tracer.hh"
 
 namespace upm::hip {
 
@@ -66,6 +67,11 @@ PerfModel::profileRegion(const vm::AddressSpace &as, vm::VirtAddr base,
     if (profile.pagesTotal > 0 && translations > 0.0) {
         profile.avgFragmentSpan =
             static_cast<double>(profile.pagesTotal) / translations;
+    }
+    if (tr != nullptr) {
+        tr->emit(trace::EventKind::IcQuery, profile.pagesTotal, size,
+                 profile.pagesPresent, gpu_pages, 0,
+                 profile.icHitFraction);
     }
     return profile;
 }

@@ -27,6 +27,10 @@
 #include "core/calibration.hh"
 #include "vm/address_space.hh"
 
+namespace upm::trace {
+class Tracer;
+}
+
 namespace upm::hip {
 
 /** Placement/mapping summary of a virtual range, fed to the model. */
@@ -98,12 +102,18 @@ class PerfModel
     const cache::CacheHierarchy &cpuHierarchy() const { return cpuCaches; }
     const cache::InfinityCache &infinityCache() const { return ic; }
 
+    /** Attach UPMTrace: each profileRegion() emits an IcQuery event
+     *  carrying the Infinity Cache hit fraction it computed. */
+    void setTracer(trace::Tracer *tracer) { tr = tracer; }
+
   private:
     core::SystemConfig cfg;
     const mem::MemGeometry &geom;
     cache::InfinityCache ic;
     cache::CacheHierarchy gpuCaches;
     cache::CacheHierarchy cpuCaches;
+    /** UPMTrace hook; null (no overhead) unless tracing is on. */
+    trace::Tracer *tr = nullptr;
 };
 
 } // namespace upm::hip

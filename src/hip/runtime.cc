@@ -6,6 +6,7 @@
 #include "audit/auditor.hh"
 #include "common/log.hh"
 #include "inject/injector.hh"
+#include "trace/tracer.hh"
 
 namespace upm::hip {
 
@@ -86,6 +87,13 @@ Runtime::setInjector(inject::Injector *injector)
     copyEngine.setInjector(injector);
 }
 
+void
+Runtime::setTracer(trace::Tracer *tracer)
+{
+    tr = tracer;
+    perfModel.setTracer(tracer);
+}
+
 hipError_t
 Runtime::tryAllocate(alloc::AllocatorKind kind, std::uint64_t size,
                      DevPtr &out)
@@ -93,9 +101,17 @@ Runtime::tryAllocate(alloc::AllocatorKind kind, std::uint64_t size,
     out = 0;
     alloc::Allocation allocation = registry.allocate(kind, size);
     if (!allocation) {
-        return fail(allocation.status != Status::Success
-                        ? allocation.status
-                        : Status::InvalidValue);
+        hipError_t error = allocation.status != Status::Success
+                               ? allocation.status
+                               : Status::InvalidValue;
+        if (tr != nullptr) {
+            // Failed allocations are traced too: the oversubscription
+            // scenario's OOMs must be visible on the bus.
+            tr->emit(trace::EventKind::AllocCall, 0, size,
+                     static_cast<std::uint64_t>(kind),
+                     static_cast<std::uint64_t>(error));
+        }
+        return fail(error);
     }
     hostClock.advance(allocation.allocTime);
     DevPtr ptr = allocation.addr;
@@ -103,6 +119,11 @@ Runtime::tryAllocate(alloc::AllocatorKind kind, std::uint64_t size,
         hipMallocBytes += allocation.size;
     allocations.emplace(ptr, allocation);
     notePeak();
+    if (tr != nullptr) {
+        tr->emit(trace::EventKind::AllocCall, ptr, size,
+                 static_cast<std::uint64_t>(kind),
+                 static_cast<std::uint64_t>(hipSuccess));
+    }
     out = ptr;
     return hipSuccess;
 }
@@ -156,12 +177,21 @@ hipError_t
 Runtime::hipFree(DevPtr ptr)
 {
     auto it = allocations.find(ptr);
-    if (it == allocations.end())
+    if (it == allocations.end()) {
+        if (tr != nullptr) {
+            tr->emit(trace::EventKind::FreeCall, ptr,
+                     static_cast<std::uint64_t>(hipErrorNotFound));
+        }
         return fail(hipErrorNotFound);
+    }
     if (it->second.kind == alloc::AllocatorKind::HipMalloc)
         hipMallocBytes -= it->second.size;
     hostClock.advance(registry.deallocate(it->second));
     allocations.erase(it);
+    if (tr != nullptr) {
+        tr->emit(trace::EventKind::FreeCall, ptr,
+                 static_cast<std::uint64_t>(hipSuccess));
+    }
     return hipSuccess;
 }
 
@@ -231,10 +261,15 @@ Runtime::hipMemcpy(DevPtr dst, DevPtr src, std::uint64_t bytes)
         hostClock.advance(cpuFirstTouch(dst, bytes));
 
     CopyPath path = copyEngine.classify(dst_vma, src_vma);
-    hostClock.advance(copyEngine.transferTime(path, bytes));
+    SimTime transfer_time = copyEngine.transferTime(path, bytes);
+    hostClock.advance(transfer_time);
     ++runtimeStats.memcpyCalls;
     runtimeStats.bytesCopied += bytes;
     notePeak();
+    if (tr != nullptr) {
+        tr->emit(trace::EventKind::Memcpy, dst, src, bytes,
+                 static_cast<std::uint64_t>(path), 0, transfer_time);
+    }
     return path;
 }
 
@@ -287,11 +322,15 @@ Runtime::hipMemcpyAsync(DevPtr dst, DevPtr src, std::uint64_t bytes,
     }
 
     CopyPath path = copyEngine.classify(dst_vma, src_vma);
-    stream.enqueue(hostClock.now(),
-                   fault_time + copyEngine.transferTime(path, bytes));
+    SimTime transfer_time = copyEngine.transferTime(path, bytes);
+    stream.enqueue(hostClock.now(), fault_time + transfer_time);
     ++runtimeStats.memcpyCalls;
     runtimeStats.bytesCopied += bytes;
     notePeak();
+    if (tr != nullptr) {
+        tr->emit(trace::EventKind::Memcpy, dst, src, bytes,
+                 static_cast<std::uint64_t>(path), 1, transfer_time);
+    }
     return path;
 }
 
@@ -415,6 +454,10 @@ Runtime::launchKernel(const KernelDesc &desc,
 
     stream->enqueue(hostClock.now(), duration);
     ++runtimeStats.kernelsLaunched;
+    if (tr != nullptr) {
+        tr->emit(trace::EventKind::KernelLaunch, desc.buffers.size(), 0,
+                 0, 0, 0, duration, desc.name);
+    }
     return duration;
 }
 

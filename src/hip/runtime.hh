@@ -35,6 +35,10 @@ namespace upm::inject {
 class Injector;
 }
 
+namespace upm::trace {
+class Tracer;
+}
+
 namespace upm::hip {
 
 /**
@@ -236,6 +240,14 @@ class Runtime
      */
     void setInjector(inject::Injector *injector);
 
+    /**
+     * Attach UPMTrace to the runtime and its performance model:
+     * allocator calls (including failures), frees, memcpys with their
+     * classified path and transfer time, kernel launches, and Infinity
+     * Cache profile queries all land on the event bus.
+     */
+    void setTracer(trace::Tracer *tracer);
+
   private:
     /** Resolve GPU faults on a kernel buffer; @return time charged.
      *  Throws StatusError on violation / OOM / injected timeout. */
@@ -268,6 +280,8 @@ class Runtime
     audit::Auditor *aud = nullptr;
     /** UPMInject hook; null (no overhead) unless injection is on. */
     inject::Injector *inj = nullptr;
+    /** UPMTrace hook; null (no overhead) unless tracing is on. */
+    trace::Tracer *tr = nullptr;
     /** Sticky last error (hipGetLastError surface). */
     hipError_t lastErr = hipSuccess;
 };

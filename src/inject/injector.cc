@@ -1,6 +1,7 @@
 #include "inject/injector.hh"
 
 #include "common/log.hh"
+#include "trace/tracer.hh"
 
 namespace upm::inject {
 
@@ -45,6 +46,11 @@ Injector::record(Site site, std::string detail)
     auto s = static_cast<std::size_t>(site);
     ++counts[s];
     ++total;
+    if (tr != nullptr) {
+        tr->emit(trace::EventKind::InjectDecision,
+                 static_cast<std::uint64_t>(site), total - 1,
+                 decisions[s] - 1, 0, 0, 0.0, detail);
+    }
     if (log.size() < cfg.maxRecorded) {
         log.push_back({site, total - 1, decisions[s] - 1,
                        std::move(detail)});

@@ -33,6 +33,10 @@
 #include "common/units.hh"
 #include "inject/config.hh"
 
+namespace upm::trace {
+class Tracer;
+}
+
 namespace upm::inject {
 
 /** The fault sites UPMInject can perturb. */
@@ -109,6 +113,10 @@ class Injector
     /** One-line summary for a bench's campaign footer. */
     std::string summary() const;
 
+    /** Attach UPMTrace: every injected event (a record() call) also
+     *  lands on the trace bus as an InjectDecision event. */
+    void setTracer(trace::Tracer *tracer) { tr = tracer; }
+
   private:
     /** Draw the @p site stream; true with probability @p prob. */
     bool roll(Site site, double prob);
@@ -122,6 +130,8 @@ class Injector
     std::uint64_t total = 0;
     /** Remaining operations in the active HBM degradation episode. */
     std::uint64_t degradeOpsLeft = 0;
+    /** UPMTrace hook; null (no overhead) unless tracing is on. */
+    trace::Tracer *tr = nullptr;
 };
 
 } // namespace upm::inject

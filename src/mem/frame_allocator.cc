@@ -5,6 +5,7 @@
 #include "audit/auditor.hh"
 #include "common/log.hh"
 #include "inject/injector.hh"
+#include "trace/tracer.hh"
 
 namespace upm::mem {
 
@@ -55,6 +56,8 @@ FrameAllocator::allocBlock(unsigned order, FrameId &base)
     while (o > order) {
         --o;
         freeLists[o].insert((block + (1ull << o)) >> o);
+        if (tr != nullptr)
+            tr->emit(trace::EventKind::BuddySplit, block, o);
     }
 
     std::uint64_t n = 1ull << order;
@@ -137,7 +140,7 @@ FrameAllocator::allocRun(std::uint64_t n_frames)
         }
         if (!ok) {
             for (const auto &r : out)
-                freeRange(r);
+                releaseRange(r);
             return std::nullopt;
         }
     }
@@ -154,6 +157,13 @@ FrameAllocator::allocRun(std::uint64_t n_frames)
             merged.back().count += r.count;
         } else {
             merged.push_back(r);
+        }
+    }
+    if (tr != nullptr) {
+        for (const auto &r : merged) {
+            tr->emit(trace::EventKind::FrameAlloc, r.base, r.count,
+                     static_cast<std::uint64_t>(
+                         trace::AllocPath::Run));
         }
     }
     return merged;
@@ -185,6 +195,8 @@ FrameAllocator::refillOnDemandPool()
                 onDemandPool.push_back(f);
         }
     }
+    if (tr != nullptr)
+        tr->emit(trace::EventKind::PoolRefill, base, n, 0);
     return true;
 }
 
@@ -198,13 +210,15 @@ FrameAllocator::allocScattered(std::uint64_t n, std::vector<FrameId> &out)
         if (onDemandPool.empty() && !refillOnDemandPool()) {
             // Roll back.
             for (std::size_t j = start_size; j < out.size(); ++j)
-                freeFrame(out[j]);
+                releaseRange({out[j], 1});
             out.resize(start_size);
             return false;
         }
         out.push_back(onDemandPool.front());
         onDemandPool.pop_front();
     }
+    emitFrameAllocs(out, start_size,
+                    static_cast<unsigned>(trace::AllocPath::Scattered));
     return true;
 }
 
@@ -232,9 +246,17 @@ FrameAllocator::allocBatch(std::uint64_t n, std::vector<FrameRange> &out)
         }
         if (!ok) {
             for (std::size_t j = start_size; j < out.size(); ++j)
-                freeRange(out[j]);
+                releaseRange(out[j]);
             out.resize(start_size);
             return false;
+        }
+    }
+    if (tr != nullptr) {
+        for (std::size_t j = start_size; j < out.size(); ++j) {
+            tr->emit(trace::EventKind::FrameAlloc, out[j].base,
+                     out[j].count,
+                     static_cast<std::uint64_t>(
+                         trace::AllocPath::Batch));
         }
     }
     return true;
@@ -270,6 +292,8 @@ FrameAllocator::refillStackPools()
         for (std::size_t i = 0; i < list.size(); ++i)
             stackPools[s].push_back(list[(i + rot) % list.size()]);
     }
+    if (tr != nullptr)
+        tr->emit(trace::EventKind::PoolRefill, base, n, 1);
     return true;
 }
 
@@ -291,7 +315,7 @@ FrameAllocator::allocInterleaved(std::uint64_t n, std::vector<FrameId> &out)
         if (stackPools[nextStack].empty()) {
             if (!refillStackPools()) {
                 for (std::size_t j = start_size; j < out.size(); ++j)
-                    freeFrame(out[j]);
+                    releaseRange({out[j], 1});
                 out.resize(start_size);
                 return false;
             }
@@ -305,6 +329,9 @@ FrameAllocator::allocInterleaved(std::uint64_t n, std::vector<FrameId> &out)
         stackPools[stack].pop_front();
         nextStack = (stack + 1) % geom.numStacks();
     }
+    emitFrameAllocs(out, start_size,
+                    static_cast<unsigned>(
+                        trace::AllocPath::Interleaved));
     return true;
 }
 
@@ -319,7 +346,10 @@ FrameAllocator::freeFrame(FrameId frame)
         }
         return false;
     }
-    return freeBlock(frame, 0);
+    bool ok = freeBlock(frame, 0);
+    if (ok && tr != nullptr)
+        tr->emit(trace::EventKind::FrameFree, frame, 1);
+    return ok;
 }
 
 bool
@@ -343,10 +373,34 @@ FrameAllocator::freeRange(const FrameRange &range)
         // eager merging makes the final buddy state identical.
         for (std::uint64_t i = 0; i < range.count; ++i)
             ok = freeBlock(range.base + i, 0) && ok;
-        return ok;
+    } else {
+        // Decompose into maximal naturally-aligned blocks: O(log
+        // frames) buddy work per block instead of per page.
+        FrameId cur = range.base;
+        std::uint64_t remaining = range.count;
+        while (remaining > 0) {
+            unsigned align = cfg.maxOrder;
+            while (align > 0 && (cur & ((1ull << align) - 1)) != 0)
+                --align;
+            unsigned order =
+                std::min<unsigned>(align, floorLog2(remaining));
+            ok = freeBlock(cur, order) && ok;
+            cur += 1ull << order;
+            remaining -= 1ull << order;
+        }
     }
-    // Decompose into maximal naturally-aligned blocks: O(log frames)
-    // buddy work per block instead of per page.
+    if (ok && tr != nullptr)
+        tr->emit(trace::EventKind::FrameFree, range.base, range.count);
+    return ok;
+}
+
+void
+FrameAllocator::releaseRange(const FrameRange &range)
+{
+    // Rollback path: the frames were allocated moments ago and no
+    // FrameAlloc event has been emitted for them, so this must not
+    // emit FrameFree either. Same block decomposition as freeRange;
+    // eager merging yields the identical buddy state.
     FrameId cur = range.base;
     std::uint64_t remaining = range.count;
     while (remaining > 0) {
@@ -355,11 +409,41 @@ FrameAllocator::freeRange(const FrameRange &range)
             --align;
         unsigned order =
             std::min<unsigned>(align, floorLog2(remaining));
-        ok = freeBlock(cur, order) && ok;
+        if (!freeBlock(cur, order))
+            fatal("rollback free of unallocated frame %llu",
+                  static_cast<unsigned long long>(cur));
         cur += 1ull << order;
         remaining -= 1ull << order;
     }
-    return ok;
+}
+
+void
+FrameAllocator::emitFrameAllocs(const std::vector<FrameId> &out,
+                                std::size_t start, unsigned path)
+{
+    if (tr == nullptr)
+        return;
+    std::size_t i = start;
+    while (i < out.size()) {
+        std::size_t j = i + 1;
+        while (j < out.size() && out[j] == out[j - 1] + 1)
+            ++j;
+        tr->emit(trace::EventKind::FrameAlloc, out[i], j - i, path);
+        i = j;
+    }
+}
+
+std::vector<bool>
+FrameAllocator::busyMap() const
+{
+    std::vector<bool> held = frameBusy;
+    for (FrameId f : onDemandPool)
+        held[f] = false;
+    for (const auto &pool : stackPools) {
+        for (FrameId f : pool)
+            held[f] = false;
+    }
+    return held;
 }
 
 std::uint64_t

@@ -44,6 +44,10 @@ namespace upm::inject {
 class Injector;
 }
 
+namespace upm::trace {
+class Tracer;
+}
+
 namespace upm::mem {
 
 /** A physically contiguous run of frames. */
@@ -159,6 +163,24 @@ class FrameAllocator
     void setInjector(inject::Injector *injector) { inj = injector; }
 
     /**
+     * Attach UPMTrace. Emits FrameAlloc for every contiguous run
+     * handed to a caller, FrameFree for every successful caller free,
+     * BuddySplit on block splits and PoolRefill when the on-demand /
+     * per-stack pools pull a block. Rolled-back partial allocations
+     * emit nothing, so the event stream replays to exactly the set of
+     * caller-held frames.
+     */
+    void setTracer(trace::Tracer *tracer) { tr = tracer; }
+
+    /**
+     * Frames currently held by callers: busy and not parked in the
+     * on-demand / per-stack pools. Indexed by FrameId. This is the
+     * state the trace-replay tests reconstruct from FrameAlloc /
+     * FrameFree events.
+     */
+    std::vector<bool> busyMap() const;
+
+    /**
      * Teardown leak check: every busy frame must either be referenced
      * by a page table (@p mapped, indexed by FrameId) or parked in one
      * of the free pools; anything else leaked. Reports FrameLeak per
@@ -178,6 +200,13 @@ class FrameAllocator
     bool refillOnDemandPool();
     /** Refill the per-stack pools used by allocInterleaved(). */
     bool refillStackPools();
+    /** Return known-valid frames without emitting FrameFree (rollback
+     *  of partially-completed allocations). */
+    void releaseRange(const FrameRange &range);
+    /** Emit FrameAlloc events for out[start..], coalescing physically
+     *  adjacent frames into single run events. */
+    void emitFrameAllocs(const std::vector<FrameId> &out,
+                         std::size_t start, unsigned path);
 
     const MemGeometry &geom;
     FrameAllocatorConfig cfg;
@@ -201,6 +230,8 @@ class FrameAllocator
     audit::Auditor *aud = nullptr;
     /** UPMInject hook; null (no overhead) unless injection is on. */
     inject::Injector *inj = nullptr;
+    /** UPMTrace hook; null (no overhead) unless tracing is on. */
+    trace::Tracer *tr = nullptr;
 };
 
 } // namespace upm::mem

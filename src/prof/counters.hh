@@ -3,43 +3,22 @@
  * Named counter registry backing the profiling surfaces (rocprofv3 /
  * perf views). Probes and engines increment counters by name; the
  * profiler adapters read them.
+ *
+ * Since UPMTrace landed this is the per-System `trace::MetricsRegistry`
+ * (thread-safe, with histograms on top of the counter API). There is
+ * no process-global counter state anywhere: each System owns its own
+ * registry, which is what keeps multi-worker sweeps race-free.
  */
 
 #ifndef UPM_PROF_COUNTERS_HH
 #define UPM_PROF_COUNTERS_HH
 
-#include <cstdint>
-#include <map>
-#include <string>
-#include <vector>
+#include "trace/metrics.hh"
 
 namespace upm::prof {
 
-/** String-keyed monotonic counters. */
-class CounterRegistry
-{
-  public:
-    /** Add @p delta to counter @p name (created at zero on demand). */
-    void add(const std::string &name, std::uint64_t delta = 1);
-
-    /** Overwrite a counter (for gauge-style values). */
-    void set(const std::string &name, std::uint64_t value);
-
-    /** Read a counter; absent counters read zero. */
-    std::uint64_t read(const std::string &name) const;
-
-    /** Reset one counter to zero. */
-    void reset(const std::string &name);
-
-    /** Reset all counters. */
-    void resetAll();
-
-    /** All counter names in sorted order. */
-    std::vector<std::string> names() const;
-
-  private:
-    std::map<std::string, std::uint64_t> counters;
-};
+/** String-keyed counters (+ histograms); see trace::MetricsRegistry. */
+using CounterRegistry = trace::MetricsRegistry;
 
 } // namespace upm::prof
 

@@ -1,0 +1,93 @@
+#include "trace/chrome_export.hh"
+
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace upm::trace {
+
+namespace {
+
+std::string
+jsonString(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    out += "\"";
+    return out;
+}
+
+void
+appendEvent(std::string &out, const TraceEvent &ev, unsigned pid)
+{
+    // tid = layer index + 1 (tid 0 renders oddly in some viewers).
+    unsigned tid = static_cast<unsigned>(ev.layer) + 1;
+    out += strprintf("{\"name\": \"%s\", \"cat\": \"%s\", "
+                     "\"ph\": \"i\", \"s\": \"t\", "
+                     "\"ts\": %.17g, \"pid\": %u, \"tid\": %u, "
+                     "\"args\": {\"seq\": %llu",
+                     eventKindName(ev.kind), layerName(ev.layer),
+                     ev.time / 1e3, pid, tid,
+                     static_cast<unsigned long long>(ev.seq));
+    const std::uint64_t args[5] = {ev.a, ev.b, ev.c, ev.d, ev.e};
+    for (unsigned i = 0; i < 5; ++i) {
+        const char *name = argName(ev.kind, i);
+        if (name == nullptr)
+            continue;
+        out += strprintf(", \"%s\": %llu", name,
+                         static_cast<unsigned long long>(args[i]));
+    }
+    if (const char *vname = valueName(ev.kind); vname != nullptr)
+        out += strprintf(", \"%s\": %.17g", vname, ev.value);
+    if (!ev.detail.empty())
+        out += ", \"detail\": " + jsonString(ev.detail);
+    out += "}}";
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const std::vector<TraceEvent> &events, unsigned pid)
+{
+    std::string out = "{\"traceEvents\": [\n";
+    // Name one track per layer so Perfetto shows engine names instead
+    // of bare tids.
+    for (unsigned i = 0; i < kNumLayers; ++i) {
+        out += strprintf("{\"name\": \"thread_name\", \"ph\": \"M\", "
+                         "\"pid\": %u, \"tid\": %u, "
+                         "\"args\": {\"name\": \"%s\"}},\n",
+                         pid, i + 1,
+                         layerName(static_cast<Layer>(i)));
+    }
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        appendEvent(out, events[i], pid);
+        if (i + 1 < events.size())
+            out += ",";
+        out += "\n";
+    }
+    out += "],\n\"displayTimeUnit\": \"ns\"\n}\n";
+    return out;
+}
+
+bool
+writeChromeTrace(const std::string &path,
+                 const std::vector<TraceEvent> &events, unsigned pid)
+{
+    std::string body = chromeTraceJson(events, pid);
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    bool ok = std::fwrite(body.data(), 1, body.size(), f) ==
+              body.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+} // namespace upm::trace

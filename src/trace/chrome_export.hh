@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Chrome `trace_event` JSON export of a UPMTrace event stream.
+ *
+ * Writes the classic `{"traceEvents": [...]}` array format that
+ * Perfetto (ui.perfetto.dev) and chrome://tracing load directly. One
+ * named track (tid) per simulated engine layer; every event becomes an
+ * instant event ("ph":"i") carrying its kind-specific named args plus
+ * the bus sequence number, with `ts` in microseconds of simulated
+ * time. The encoding is fully deterministic -- fixed field order,
+ * `%.17g` for scalars -- so golden-trace tests can exact-diff the
+ * output bytes.
+ */
+
+#ifndef UPM_TRACE_CHROME_EXPORT_HH
+#define UPM_TRACE_CHROME_EXPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/event.hh"
+
+namespace upm::trace {
+
+/**
+ * Render @p events as a Chrome trace JSON document. @p pid labels the
+ * process track (sweeps use the task index so multi-task exports can
+ * be concatenated into one timeline).
+ */
+std::string chromeTraceJson(const std::vector<TraceEvent> &events,
+                            unsigned pid = 0);
+
+/** chromeTraceJson() straight to a file; false on I/O failure. */
+bool writeChromeTrace(const std::string &path,
+                      const std::vector<TraceEvent> &events,
+                      unsigned pid = 0);
+
+} // namespace upm::trace
+
+#endif // UPM_TRACE_CHROME_EXPORT_HH

@@ -1,0 +1,182 @@
+#include "trace/event.hh"
+
+namespace upm::trace {
+
+const char *
+layerName(Layer layer)
+{
+    switch (layer) {
+      case Layer::Vm: return "vm";
+      case Layer::Mem: return "mem";
+      case Layer::Cache: return "cache";
+      case Layer::Hip: return "hip";
+      case Layer::Inject: return "inject";
+      case Layer::Exec: return "exec";
+    }
+    return "?";
+}
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::VmaMap: return "vma_map";
+      case EventKind::VmaUnmap: return "vma_unmap";
+      case EventKind::ExtentMap: return "extent_map";
+      case EventKind::Populate: return "populate";
+      case EventKind::CpuFault: return "cpu_fault";
+      case EventKind::GpuFault: return "gpu_fault";
+      case EventKind::HmmMirror: return "hmm_mirror";
+      case EventKind::HmmInvalidate: return "hmm_invalidate";
+      case EventKind::FaultService: return "fault_service";
+      case EventKind::ColdFault: return "cold_fault";
+      case EventKind::FrameAlloc: return "frame_alloc";
+      case EventKind::FrameFree: return "frame_free";
+      case EventKind::BuddySplit: return "buddy_split";
+      case EventKind::PoolRefill: return "pool_refill";
+      case EventKind::CacheHit: return "cache_hit";
+      case EventKind::CacheFill: return "cache_fill";
+      case EventKind::CacheEvict: return "cache_evict";
+      case EventKind::IcQuery: return "ic_query";
+      case EventKind::AllocCall: return "alloc_call";
+      case EventKind::FreeCall: return "free_call";
+      case EventKind::Memcpy: return "memcpy";
+      case EventKind::KernelLaunch: return "kernel_launch";
+      case EventKind::InjectDecision: return "inject_decision";
+      case EventKind::TaskBegin: return "task_begin";
+      case EventKind::TaskEnd: return "task_end";
+    }
+    return "?";
+}
+
+Layer
+layerOf(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::VmaMap:
+      case EventKind::VmaUnmap:
+      case EventKind::ExtentMap:
+      case EventKind::Populate:
+      case EventKind::CpuFault:
+      case EventKind::GpuFault:
+      case EventKind::HmmMirror:
+      case EventKind::HmmInvalidate:
+      case EventKind::FaultService:
+      case EventKind::ColdFault:
+        return Layer::Vm;
+      case EventKind::FrameAlloc:
+      case EventKind::FrameFree:
+      case EventKind::BuddySplit:
+      case EventKind::PoolRefill:
+        return Layer::Mem;
+      case EventKind::CacheHit:
+      case EventKind::CacheFill:
+      case EventKind::CacheEvict:
+      case EventKind::IcQuery:
+        return Layer::Cache;
+      case EventKind::AllocCall:
+      case EventKind::FreeCall:
+      case EventKind::Memcpy:
+      case EventKind::KernelLaunch:
+        return Layer::Hip;
+      case EventKind::InjectDecision:
+        return Layer::Inject;
+      case EventKind::TaskBegin:
+      case EventKind::TaskEnd:
+        return Layer::Exec;
+    }
+    return Layer::Vm;
+}
+
+namespace {
+
+struct ArgNames
+{
+    const char *args[5];
+    const char *value;
+};
+
+ArgNames
+argNamesOf(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::VmaMap:
+        return {{"base", "bytes", "placement", "policy", nullptr},
+                nullptr};
+      case EventKind::VmaUnmap:
+        return {{"base", "bytes", "begin_vpn", "end_vpn", nullptr},
+                nullptr};
+      case EventKind::ExtentMap:
+        return {{"vpn", "pages", "frame", "scatter", nullptr}, nullptr};
+      case EventKind::Populate:
+        return {{"base", "pages", nullptr, nullptr, nullptr}, nullptr};
+      case EventKind::CpuFault:
+        return {{"vpn", "pages", nullptr, nullptr, nullptr}, nullptr};
+      case EventKind::GpuFault:
+        return {{"vpn", "pages", "kind", nullptr, nullptr}, nullptr};
+      case EventKind::HmmMirror:
+        return {{"begin_vpn", "end_vpn", "propagated", nullptr, nullptr},
+                nullptr};
+      case EventKind::HmmInvalidate:
+        return {{"begin_vpn", "end_vpn", "invalidated", nullptr,
+                 nullptr},
+                nullptr};
+      case EventKind::FaultService:
+        return {{"type", "pages", "retries", "replays", "status"},
+                "time_ns"};
+      case EventKind::ColdFault:
+        return {{"type", nullptr, nullptr, nullptr, nullptr},
+                "latency_ns"};
+      case EventKind::FrameAlloc:
+        return {{"frame", "count", "path", nullptr, nullptr}, nullptr};
+      case EventKind::FrameFree:
+        return {{"frame", "count", nullptr, nullptr, nullptr}, nullptr};
+      case EventKind::BuddySplit:
+        return {{"frame", "order", nullptr, nullptr, nullptr}, nullptr};
+      case EventKind::PoolRefill:
+        return {{"frame", "count", "pool", nullptr, nullptr}, nullptr};
+      case EventKind::CacheHit:
+      case EventKind::CacheFill:
+        return {{"line", nullptr, nullptr, nullptr, nullptr}, nullptr};
+      case EventKind::CacheEvict:
+        return {{"victim", "line", nullptr, nullptr, nullptr}, nullptr};
+      case EventKind::IcQuery:
+        return {{"pages", "bytes", "present", "gpu_mapped", nullptr},
+                "hit_fraction"};
+      case EventKind::AllocCall:
+        return {{"ptr", "bytes", "kind", "status", nullptr}, nullptr};
+      case EventKind::FreeCall:
+        return {{"ptr", "status", nullptr, nullptr, nullptr}, nullptr};
+      case EventKind::Memcpy:
+        return {{"dst", "src", "bytes", "path", "async"}, "time_ns"};
+      case EventKind::KernelLaunch:
+        return {{"buffers", nullptr, nullptr, nullptr, nullptr},
+                "time_ns"};
+      case EventKind::InjectDecision:
+        return {{"site", "sequence", "decision", nullptr, nullptr},
+                nullptr};
+      case EventKind::TaskBegin:
+        return {{"task", "seed", nullptr, nullptr, nullptr}, nullptr};
+      case EventKind::TaskEnd:
+        return {{"task", "events", nullptr, nullptr, nullptr}, nullptr};
+    }
+    return {{nullptr, nullptr, nullptr, nullptr, nullptr}, nullptr};
+}
+
+} // namespace
+
+const char *
+argName(EventKind kind, unsigned index)
+{
+    if (index >= 5)
+        return nullptr;
+    return argNamesOf(kind).args[index];
+}
+
+const char *
+valueName(EventKind kind)
+{
+    return argNamesOf(kind).value;
+}
+
+} // namespace upm::trace

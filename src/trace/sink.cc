@@ -1,0 +1,162 @@
+#include "trace/sink.hh"
+
+#include <cstdio>
+#include <cstring>
+
+namespace upm::trace {
+
+namespace {
+
+struct FileHeader
+{
+    char magic[4];          // "UPMT"
+    std::uint32_t version;
+    std::uint32_t recordSize;
+    std::uint32_t pad;
+    std::uint64_t recordCount;
+    std::uint64_t totalAccepted;
+};
+
+constexpr std::uint32_t kVersion = 1;
+
+PackedEvent
+pack(const TraceEvent &ev)
+{
+    PackedEvent rec{};
+    rec.time = ev.time;
+    rec.seq = ev.seq;
+    rec.a = ev.a;
+    rec.b = ev.b;
+    rec.c = ev.c;
+    rec.d = ev.d;
+    rec.e = ev.e;
+    rec.value = ev.value;
+    rec.layer = static_cast<std::uint8_t>(ev.layer);
+    rec.kind = static_cast<std::uint8_t>(ev.kind);
+    return rec;
+}
+
+} // namespace
+
+TraceEvent
+unpack(const PackedEvent &rec)
+{
+    TraceEvent ev;
+    ev.time = rec.time;
+    ev.seq = rec.seq;
+    ev.layer = static_cast<Layer>(rec.layer);
+    ev.kind = static_cast<EventKind>(rec.kind);
+    ev.a = rec.a;
+    ev.b = rec.b;
+    ev.c = rec.c;
+    ev.d = rec.d;
+    ev.e = rec.e;
+    ev.value = rec.value;
+    return ev;
+}
+
+RingBufferSink::RingBufferSink(std::size_t capacity)
+    : ring(capacity == 0 ? 1 : capacity)
+{}
+
+void
+RingBufferSink::accept(const TraceEvent &ev)
+{
+    ring[head] = pack(ev);
+    head = (head + 1) % ring.size();
+    if (count < ring.size())
+        ++count;
+    ++accepted;
+}
+
+std::size_t
+RingBufferSink::size() const
+{
+    return count;
+}
+
+std::uint64_t
+RingBufferSink::dropped() const
+{
+    return accepted - count;
+}
+
+std::vector<PackedEvent>
+RingBufferSink::snapshot() const
+{
+    std::vector<PackedEvent> out;
+    out.reserve(count);
+    // Oldest record: `head` when the ring has wrapped, 0 otherwise.
+    std::size_t start = count == ring.size() ? head : 0;
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(ring[(start + i) % ring.size()]);
+    return out;
+}
+
+std::vector<TraceEvent>
+RingBufferSink::events() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(count);
+    for (const PackedEvent &rec : snapshot())
+        out.push_back(unpack(rec));
+    return out;
+}
+
+void
+RingBufferSink::clear()
+{
+    head = 0;
+    count = 0;
+    accepted = 0;
+}
+
+bool
+RingBufferSink::dump(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        return false;
+    FileHeader hdr{};
+    std::memcpy(hdr.magic, "UPMT", 4);
+    hdr.version = kVersion;
+    hdr.recordSize = sizeof(PackedEvent);
+    hdr.recordCount = count;
+    hdr.totalAccepted = accepted;
+    bool ok = std::fwrite(&hdr, sizeof(hdr), 1, f) == 1;
+    std::vector<PackedEvent> recs = snapshot();
+    if (ok && !recs.empty())
+        ok = std::fwrite(recs.data(), sizeof(PackedEvent), recs.size(),
+                         f) == recs.size();
+    ok = std::fclose(f) == 0 && ok;
+    return ok;
+}
+
+bool
+RingBufferSink::read(const std::string &path,
+                     std::vector<PackedEvent> &out,
+                     std::uint64_t *total_accepted)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return false;
+    FileHeader hdr{};
+    bool ok = std::fread(&hdr, sizeof(hdr), 1, f) == 1 &&
+              std::memcmp(hdr.magic, "UPMT", 4) == 0 &&
+              hdr.version == kVersion &&
+              hdr.recordSize == sizeof(PackedEvent);
+    if (ok) {
+        out.resize(hdr.recordCount);
+        if (hdr.recordCount > 0)
+            ok = std::fread(out.data(), sizeof(PackedEvent),
+                            out.size(), f) == out.size();
+        if (ok && total_accepted != nullptr)
+            *total_accepted = hdr.totalAccepted;
+    }
+    std::fclose(f);
+    if (!ok)
+        out.clear();
+    return ok;
+}
+
+} // namespace upm::trace

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Trace sinks: where emitted events go.
+ *
+ * Two concrete sinks cover the two usage modes. `VectorSink` keeps the
+ * full event stream (including detail strings) for tests, golden
+ * traces and short runs. `RingBufferSink` packs each event into a
+ * fixed-size 72-byte binary record in a bounded ring, dropping the
+ * oldest records when full -- the mode full-scale sweeps use, where a
+ * million-page scattered allocation would otherwise make the event
+ * vector the largest allocation in the simulator.
+ */
+
+#ifndef UPM_TRACE_SINK_HH
+#define UPM_TRACE_SINK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/event.hh"
+
+namespace upm::trace {
+
+/** Destination for emitted events. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    virtual void accept(const TraceEvent &ev) = 0;
+};
+
+/** Keeps every event, detail strings included. */
+class VectorSink : public TraceSink
+{
+  public:
+    void accept(const TraceEvent &ev) override { eventsVec.push_back(ev); }
+
+    const std::vector<TraceEvent> &events() const { return eventsVec; }
+    void clear() { eventsVec.clear(); }
+
+  private:
+    std::vector<TraceEvent> eventsVec;
+};
+
+/**
+ * One packed binary trace record. POD, 72 bytes, so a ring of them is
+ * a single flat allocation and the on-disk format is a header plus a
+ * record array. The detail string is dropped (kind + args carry the
+ * identifying state).
+ */
+struct PackedEvent
+{
+    double time;
+    std::uint64_t seq;
+    std::uint64_t a, b, c, d, e;
+    double value;
+    std::uint8_t layer;
+    std::uint8_t kind;
+    std::uint8_t pad[6];
+};
+
+static_assert(sizeof(PackedEvent) == 72,
+              "PackedEvent layout drifted");
+
+/** Bounded ring of packed records; oldest records are overwritten. */
+class RingBufferSink : public TraceSink
+{
+  public:
+    explicit RingBufferSink(std::size_t capacity);
+
+    void accept(const TraceEvent &ev) override;
+
+    std::size_t capacity() const { return ring.size(); }
+    /** Records currently held (<= capacity). */
+    std::size_t size() const;
+    /** Events accepted but overwritten because the ring was full. */
+    std::uint64_t dropped() const;
+
+    /** The retained records, oldest first. */
+    std::vector<PackedEvent> snapshot() const;
+
+    /** Unpack the retained records, oldest first (detail is empty). */
+    std::vector<TraceEvent> events() const;
+
+    void clear();
+
+    /**
+     * Write the ring to @p path: "UPMT" magic, version, record size,
+     * record count, total-accepted count, then the records oldest
+     * first. Returns false on I/O failure.
+     */
+    bool dump(const std::string &path) const;
+
+    /** Read a file written by dump(). Returns false on a bad file. */
+    static bool read(const std::string &path,
+                     std::vector<PackedEvent> &out,
+                     std::uint64_t *total_accepted = nullptr);
+
+  private:
+    std::vector<PackedEvent> ring;
+    std::size_t head = 0;       //!< next slot to write
+    std::size_t count = 0;      //!< valid records
+    std::uint64_t accepted = 0; //!< total accept() calls
+};
+
+/** Unpack one binary record (detail comes back empty). */
+TraceEvent unpack(const PackedEvent &rec);
+
+} // namespace upm::trace
+
+#endif // UPM_TRACE_SINK_HH

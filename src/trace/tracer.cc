@@ -1,0 +1,84 @@
+#include "trace/tracer.hh"
+
+#include "common/log.hh"
+
+namespace upm::trace {
+
+std::uint32_t
+parseLayerList(const std::string &list, std::string *error)
+{
+    if (list.empty())
+        return 0x3f;
+    std::uint32_t mask = 0;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        std::string name = list.substr(pos, comma - pos);
+        bool found = false;
+        for (unsigned i = 0; i < kNumLayers; ++i) {
+            Layer layer = static_cast<Layer>(i);
+            if (name == layerName(layer)) {
+                mask |= layerBit(layer);
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            if (error != nullptr)
+                *error = strprintf("unknown trace layer '%s' "
+                                   "(expected vm,mem,cache,hip,"
+                                   "inject,exec)",
+                                   name.c_str());
+            return 0;
+        }
+        pos = comma + 1;
+        if (comma == list.size())
+            break;
+    }
+    return mask;
+}
+
+Tracer::Tracer(const TraceConfig &config) : cfg(config)
+{
+    if (cfg.ring)
+        sinkPtr = std::make_unique<RingBufferSink>(cfg.ringCapacity);
+    else
+        sinkPtr = std::make_unique<VectorSink>();
+}
+
+std::vector<TraceEvent>
+Tracer::events() const
+{
+    if (cfg.ring)
+        return static_cast<const RingBufferSink *>(sinkPtr.get())
+            ->events();
+    return static_cast<const VectorSink *>(sinkPtr.get())->events();
+}
+
+RingBufferSink *
+Tracer::ringSink()
+{
+    return cfg.ring ? static_cast<RingBufferSink *>(sinkPtr.get())
+                    : nullptr;
+}
+
+const RingBufferSink *
+Tracer::ringSink() const
+{
+    return cfg.ring ? static_cast<const RingBufferSink *>(sinkPtr.get())
+                    : nullptr;
+}
+
+void
+Tracer::clear()
+{
+    nextSeq = 0;
+    if (cfg.ring)
+        static_cast<RingBufferSink *>(sinkPtr.get())->clear();
+    else
+        static_cast<VectorSink *>(sinkPtr.get())->clear();
+}
+
+} // namespace upm::trace

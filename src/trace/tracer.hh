@@ -1,0 +1,161 @@
+/**
+ * @file
+ * UPMTrace: the structured event bus.
+ *
+ * Follows the UPMSan/UPMInject hook contract: every instrumented layer
+ * holds a `trace::Tracer *` that is null unless the owning System was
+ * configured with `trace.enabled`, and every emission site is guarded
+ * by a null check -- with tracing off the simulator does not execute a
+ * single extra branch beyond that check, and simulated outputs are
+ * byte-identical either way.
+ *
+ * Determinism contract: events are stamped with *simulated* time from
+ * the System's host clock and a per-tracer sequence number. Because
+ * each sweep task runs on its own System (and therefore its own
+ * Tracer), the event stream for a task is a pure function of its
+ * `exec::taskSeed` -- bit-identical at any worker count.
+ */
+
+#ifndef UPM_TRACE_TRACER_HH
+#define UPM_TRACE_TRACER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.hh"
+#include "trace/event.hh"
+#include "trace/sink.hh"
+
+namespace upm::trace {
+
+/** Per-System trace configuration (part of core::SystemConfig). */
+struct TraceConfig
+{
+    bool enabled = false;
+    /** Bitmask of layerBit(...); default all layers. */
+    std::uint32_t layerMask = 0x3f;
+    /** Use the compact binary ring buffer instead of the full vector
+     *  sink (full-scale sweeps; detail strings are dropped). */
+    bool ring = false;
+    /** Ring capacity in records when `ring` is set. */
+    std::size_t ringCapacity = 1u << 20;
+};
+
+/**
+ * Parse a comma-separated layer list ("vm,mem,hip") into a layer mask.
+ * Unknown names are reported through @p error (if non-null) and make
+ * the parse return 0. An empty list means all layers.
+ */
+std::uint32_t parseLayerList(const std::string &list,
+                             std::string *error = nullptr);
+
+/** The event bus one System's layers emit into. */
+class Tracer
+{
+  public:
+    explicit Tracer(const TraceConfig &config);
+
+    /** Cheap per-site filter: is @p layer being recorded? */
+    bool
+    wants(Layer layer) const
+    {
+        return (cfg.layerMask & layerBit(layer)) != 0;
+    }
+
+    /**
+     * Timestamp source. The System wires its runtime's host clock in
+     * here; until then events are stamped 0.0 (still deterministic).
+     */
+    void setClock(const SimClock *c) { clock = c; }
+
+    /** Emit an event. `ev.time`, `ev.seq` and `ev.layer` are filled
+     *  in here; callers set kind/args/value/detail. */
+    void
+    emit(TraceEvent ev)
+    {
+        ev.layer = layerOf(ev.kind);
+        if (!wants(ev.layer))
+            return;
+        ev.time = clock != nullptr ? clock->now() : 0.0;
+        ev.seq = nextSeq++;
+        sinkPtr->accept(ev);
+    }
+
+    /** Convenience: emit kind + integer args (+ scalar + detail). */
+    void
+    emit(EventKind kind, std::uint64_t a = 0, std::uint64_t b = 0,
+         std::uint64_t c = 0, std::uint64_t d = 0, std::uint64_t e = 0,
+         double value = 0.0, std::string detail = {})
+    {
+        TraceEvent ev;
+        ev.kind = kind;
+        ev.a = a;
+        ev.b = b;
+        ev.c = c;
+        ev.d = d;
+        ev.e = e;
+        ev.value = value;
+        ev.detail = std::move(detail);
+        emit(std::move(ev));
+    }
+
+    const TraceConfig &config() const { return cfg; }
+
+    /** Events emitted so far (ring mode: retained events only). */
+    std::vector<TraceEvent> events() const;
+
+    /** Total events accepted (ring mode: including overwritten). */
+    std::uint64_t emitted() const { return nextSeq; }
+
+    /** The ring sink, or null in vector mode. */
+    RingBufferSink *ringSink();
+    const RingBufferSink *ringSink() const;
+
+    /** Drop all recorded events (sequence numbering restarts too, so a
+     *  cleared tracer replays a scenario identically). */
+    void clear();
+
+  private:
+    TraceConfig cfg;
+    const SimClock *clock = nullptr;
+    std::uint64_t nextSeq = 0;
+    std::unique_ptr<TraceSink> sinkPtr;
+};
+
+/**
+ * RAII bracket for one sweep task: TaskBegin(task, seed) on entry,
+ * TaskEnd(task, events-emitted-inside) on exit. Null-tracer safe, so
+ * sweep bodies can use it unconditionally.
+ */
+class TaskTraceScope
+{
+  public:
+    TaskTraceScope(Tracer *tracer, std::uint64_t task, std::uint64_t seed)
+        : tr(tracer), idx(task)
+    {
+        if (tr != nullptr) {
+            tr->emit(EventKind::TaskBegin, idx, seed);
+            begin = tr->emitted();
+        }
+    }
+
+    ~TaskTraceScope()
+    {
+        if (tr != nullptr)
+            tr->emit(EventKind::TaskEnd, idx, tr->emitted() - begin);
+    }
+
+    TaskTraceScope(const TaskTraceScope &) = delete;
+    TaskTraceScope &operator=(const TaskTraceScope &) = delete;
+
+  private:
+    Tracer *tr;
+    std::uint64_t idx;
+    std::uint64_t begin = 0;
+};
+
+} // namespace upm::trace
+
+#endif // UPM_TRACE_TRACER_HH

@@ -5,6 +5,7 @@
 #include "audit/auditor.hh"
 #include "common/log.hh"
 #include "mem/interval_set.hh"
+#include "trace/tracer.hh"
 
 namespace upm::vm {
 
@@ -69,6 +70,15 @@ AddressSpace::tryMmapAnon(std::uint64_t size, const VmaPolicy &policy,
     vma.name = std::move(name);
     vmas.emplace(base, vma);
     backingStore.attach(base, span);
+    if (tr != nullptr) {
+        std::uint64_t bits =
+            (policy.cpuAccess ? 1u : 0u) | (policy.gpuMapped ? 2u : 0u) |
+            (policy.onDemand ? 4u : 0u) | (policy.pinned ? 8u : 0u) |
+            (policy.uncachedGpu ? 16u : 0u);
+        tr->emit(trace::EventKind::VmaMap, base, span,
+                 static_cast<std::uint64_t>(policy.placement), bits, 0,
+                 0.0, vmas.at(base).name);
+    }
     return {Status::Success, base};
 }
 
@@ -137,6 +147,10 @@ AddressSpace::munmap(VirtAddr base)
             }
         });
     }
+    if (tr != nullptr) {
+        tr->emit(trace::EventKind::VmaUnmap, vma.base, vma.size,
+                 vma.beginVpn(), vma.endVpn());
+    }
     backingStore.detach(base);
     vmas.erase(it);
     return Status::Success;
@@ -171,10 +185,28 @@ AddressSpace::flagsFor(const Vma &vma) const
 }
 
 void
+AddressSpace::emitListExtents(Vpn vpn, const FrameId *frames,
+                              std::uint64_t n)
+{
+    if (tr == nullptr)
+        return;
+    std::uint64_t i = 0;
+    while (i < n) {
+        std::uint64_t j = i + 1;
+        while (j < n && frames[j] == frames[j - 1] + 1)
+            ++j;
+        tr->emit(trace::EventKind::ExtentMap, vpn + i, j - i,
+                 frames[i], 1);
+        i = j;
+    }
+}
+
+void
 AddressSpace::mapFrames(const Vma &vma, Vpn vpn,
                         std::vector<FrameId> frame_list)
 {
     std::uint64_t n = frame_list.size();
+    emitListExtents(vpn, frame_list.data(), n);
     sysTable.insertFrames(vpn, std::move(frame_list), flagsFor(vma));
     if (vma.policy.gpuMapped)
         hmm.mirrorRange(vpn, vpn + n);
@@ -187,6 +219,10 @@ AddressSpace::mapRanges(const Vma &vma, Vpn vpn,
     PteFlags flags = flagsFor(vma);
     Vpn cursor = vpn;
     for (const auto &range : ranges) {
+        if (tr != nullptr) {
+            tr->emit(trace::EventKind::ExtentMap, cursor, range.count,
+                     range.base, 0);
+        }
         sysTable.insertRange(cursor, range.count, range.base, flags);
         cursor += range.count;
     }
@@ -252,6 +288,8 @@ AddressSpace::tryPopulateRange(VirtAddr base, std::uint64_t size)
             vma->pagesPlaced += n;
         populated += n;
     }
+    if (tr != nullptr)
+        tr->emit(trace::EventKind::Populate, base, populated);
     return {Status::Success, populated};
 }
 
@@ -325,12 +363,16 @@ AddressSpace::tryResolveCpuFaultRange(Vpn first, Vpn last)
     PteFlags flags = flagsFor(*vma);
     std::size_t next = 0;
     for (const auto &[gap_begin, gap_end] : holes) {
+        emitListExtents(gap_begin, frame_list.data() + next,
+                        gap_end - gap_begin);
         sysTable.insertFrames(gap_begin, frame_list.data() + next,
                               gap_end - gap_begin, flags);
         next += gap_end - gap_begin;
     }
     vma->pagesScattered += missing;
     cpuFaultCount += missing;
+    if (tr != nullptr)
+        tr->emit(trace::EventKind::CpuFault, first, missing);
     return {Status::Success, missing};
 }
 
@@ -360,6 +402,13 @@ AddressSpace::resolveGpuFault(Vpn first, std::uint64_t count)
     std::uint64_t span = last > first ? last - first : 0;
     bool any_missing_gpu = gpuPt.presentInRange(first, last) < span;
     bool any_missing_sys = sysTable.presentInRange(first, last) < span;
+    auto emit_fault = [&](GpuFaultKind kind) {
+        if (tr != nullptr) {
+            tr->emit(trace::EventKind::GpuFault, first, span,
+                     static_cast<std::uint64_t>(kind));
+        }
+        return kind;
+    };
     if (!any_missing_gpu) {
         // An XNACK replay arriving for a fully mapped range means the
         // retry logic re-sent a fault the handler already resolved --
@@ -374,19 +423,19 @@ AddressSpace::resolveGpuFault(Vpn first, std::uint64_t count)
                                   static_cast<unsigned long long>(
                                       last - first)));
         }
-        return GpuFaultKind::None;
+        return emit_fault(GpuFaultKind::None);
     }
 
     // Retry-able GPU page faults require XNACK unless the VMA was
     // GPU-mapped up-front (in which case there is nothing to resolve
     // on demand and a missing page is a real violation).
     if (!xnack)
-        return GpuFaultKind::Violation;
+        return emit_fault(GpuFaultKind::Violation);
 
     if (!any_missing_sys) {
         // Minor: physical pages exist, only the GPU mapping is absent.
         gpuMinorCount += hmm.mirrorRange(first, last);
-        return GpuFaultKind::Minor;
+        return emit_fault(GpuFaultKind::Minor);
     }
 
     // Major: thousands of wavefronts fault in arbitrary virtual order,
@@ -403,7 +452,7 @@ AddressSpace::resolveGpuFault(Vpn first, std::uint64_t count)
     if (!frameAlloc.allocBatch(holes.size(), ranges)) {
         // Nothing has been inserted yet, so failing here is clean:
         // the tables are exactly as they were before the fault.
-        return GpuFaultKind::OutOfMemory;
+        return emit_fault(GpuFaultKind::OutOfMemory);
     }
     std::vector<FrameId> frame_list;
     frame_list.reserve(holes.size());
@@ -417,12 +466,28 @@ AddressSpace::resolveGpuFault(Vpn first, std::uint64_t count)
         std::swap(holes[i - 1], holes[j]);
     }
     PteFlags flags = flagsFor(*vma);
-    for (std::size_t i = 0; i < holes.size(); ++i)
+    std::size_t run_end = 0; // exclusive end of the last emitted run
+    for (std::size_t i = 0; i < holes.size(); ++i) {
+        // The shuffled arrival order leaves little (vpn, frame)
+        // adjacency; coalesce what little there is, emitting each run
+        // exactly once (replay relies on non-overlapping extents).
+        if (tr != nullptr && i >= run_end) {
+            std::size_t j = i;
+            while (j + 1 < holes.size() &&
+                   holes[j + 1] == holes[j] + 1 &&
+                   frame_list[j + 1] == frame_list[j] + 1) {
+                ++j;
+            }
+            tr->emit(trace::EventKind::ExtentMap, holes[i], j - i + 1,
+                     frame_list[i], 1);
+            run_end = j + 1;
+        }
         sysTable.insert(holes[i], frame_list[i], flags);
+    }
     hmm.mirrorRange(first, last);
     vma->pagesPlaced += holes.size();
     gpuMajorCount += holes.size();
-    return GpuFaultKind::Major;
+    return emit_fault(GpuFaultKind::Major);
 }
 
 bool
@@ -476,6 +541,13 @@ AddressSpace::setAuditor(audit::Auditor *auditor)
 {
     aud = auditor;
     hmm.setAuditor(auditor);
+}
+
+void
+AddressSpace::setTracer(trace::Tracer *tracer)
+{
+    tr = tracer;
+    hmm.setTracer(tracer);
 }
 
 std::uint64_t

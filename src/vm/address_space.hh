@@ -32,6 +32,10 @@ namespace upm::audit {
 class Auditor;
 }
 
+namespace upm::trace {
+class Tracer;
+}
+
 namespace upm::vm {
 
 /** Which physical-frame source populates a VMA. */
@@ -247,6 +251,15 @@ class AddressSpace
     void setAuditor(audit::Auditor *auditor);
 
     /**
+     * Attach UPMTrace to this address space and its HMM mirror.
+     * Emits VmaMap/VmaUnmap, Populate, CpuFault/GpuFault batches and
+     * one ExtentMap event per contiguous (vpn, frame) run inserted
+     * into the system table -- the stream the trace-replay tests
+     * rebuild the final page table from.
+     */
+    void setTracer(trace::Tracer *tracer);
+
+    /**
      * Full mirror cross-check: every GPU PTE must have a matching
      * system PTE (else StaleMirror) mapping the same frame (else
      * MirrorDivergence). Run at teardown by System::finalizeAudit().
@@ -265,6 +278,10 @@ class AddressSpace
     void mapRanges(const Vma &vma, Vpn vpn,
                    const std::vector<mem::FrameRange> &ranges);
     PteFlags flagsFor(const Vma &vma) const;
+    /** Emit ExtentMap events for frames[0..n) mapped at consecutive
+     *  vpns from @p vpn, coalescing physically contiguous runs. */
+    void emitListExtents(Vpn vpn, const FrameId *frames,
+                         std::uint64_t n);
 
     mem::FrameAllocator &frameAlloc;
     mem::BackingStore &backingStore;
@@ -283,6 +300,8 @@ class AddressSpace
     std::uint64_t gpuMinorCount = 0;
     /** UPMSan hook; null (no overhead) unless auditing is enabled. */
     audit::Auditor *aud = nullptr;
+    /** UPMTrace hook; null (no overhead) unless tracing is on. */
+    trace::Tracer *tr = nullptr;
 };
 
 } // namespace upm::vm

@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "inject/injector.hh"
+#include "trace/tracer.hh"
 
 namespace upm::vm {
 
@@ -28,15 +29,25 @@ FaultHandler::lognormal(SimTime median, double sigma)
 SimTime
 FaultHandler::sampleColdLatency(FaultType type)
 {
+    SimTime latency;
     switch (type) {
       case FaultType::Cpu:
-        return lognormal(cost.cpuCold, cost.cpuSigma);
+        latency = lognormal(cost.cpuCold, cost.cpuSigma);
+        break;
       case FaultType::GpuMinor:
-        return lognormal(cost.gpuMinorCold, cost.gpuSigma);
+        latency = lognormal(cost.gpuMinorCold, cost.gpuSigma);
+        break;
       case FaultType::GpuMajor:
-        return lognormal(cost.gpuMajorCold, cost.gpuSigma);
+        latency = lognormal(cost.gpuMajorCold, cost.gpuSigma);
+        break;
+      default:
+        panic("unknown fault type");
     }
-    panic("unknown fault type");
+    if (tr != nullptr) {
+        tr->emit(trace::EventKind::ColdFault,
+                 static_cast<std::uint64_t>(type), 0, 0, 0, 0, latency);
+    }
+    return latency;
 }
 
 SimTime
@@ -84,11 +95,20 @@ FaultHandler::service(FaultType type, std::uint64_t pages,
 {
     FaultService result;
     SimTime base = serviceTime(type, pages, cpu_cores);
+    auto emit_service = [&](const FaultService &r) {
+        if (tr != nullptr) {
+            tr->emit(trace::EventKind::FaultService,
+                     static_cast<std::uint64_t>(type), pages, r.retries,
+                     r.replays, static_cast<std::uint64_t>(r.status),
+                     r.time);
+        }
+        return r;
+    };
     // The common case must stay bit-identical to serviceTime(): the
     // byte-identical-baselines guarantee rests on this early return.
     if (inj == nullptr) {
         result.time = base;
-        return result;
+        return emit_service(result);
     }
 
     SimTime attempt = base;
@@ -105,7 +125,7 @@ FaultHandler::service(FaultType type, std::uint64_t pages,
             if (result.retries == cost.maxRetries) {
                 result.status = Status::Timeout;
                 result.time = attempt;
-                return result;
+                return emit_service(result);
             }
             ++result.retries;
             attempt += cost.retryBackoff *
@@ -116,7 +136,7 @@ FaultHandler::service(FaultType type, std::uint64_t pages,
         }
     }
     result.time = attempt;
-    return result;
+    return emit_service(result);
 }
 
 double

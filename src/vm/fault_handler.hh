@@ -27,6 +27,10 @@ namespace upm::inject {
 class Injector;
 }
 
+namespace upm::trace {
+class Tracer;
+}
+
 namespace upm::vm {
 
 /** Calibrated constants; see core/calibration.hh for provenance. */
@@ -128,6 +132,10 @@ class FaultHandler
     /** Attach UPMInject; null (the default) means no perturbation. */
     void setInjector(inject::Injector *injector) { inj = injector; }
 
+    /** Attach UPMTrace: emits ColdFault per sampled latency and
+     *  FaultService per service() call (retry/replay chain included). */
+    void setTracer(trace::Tracer *tracer) { tr = tracer; }
+
     /** Convenience: pages/s throughput for a scenario. */
     double throughput(FaultType type, std::uint64_t pages,
                       unsigned cpu_cores = 1) const;
@@ -141,6 +149,8 @@ class FaultHandler
     SplitMix64 rng;
     /** UPMInject hook; null (no overhead) unless injection is on. */
     inject::Injector *inj = nullptr;
+    /** UPMTrace hook; null (no overhead) unless tracing is on. */
+    trace::Tracer *tr = nullptr;
 };
 
 } // namespace upm::vm

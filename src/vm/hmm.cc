@@ -4,6 +4,7 @@
 
 #include "audit/auditor.hh"
 #include "common/log.hh"
+#include "trace/tracer.hh"
 
 namespace upm::vm {
 
@@ -67,6 +68,8 @@ HmmMirror::mirrorRange(Vpn begin, Vpn end)
     if (missing_pages != 0)
         gpuTable.recomputeFragments(begin, end);
     propagatedCount += missing_pages;
+    if (tr != nullptr && missing_pages != 0)
+        tr->emit(trace::EventKind::HmmMirror, begin, end, missing_pages);
     return missing_pages;
 }
 
@@ -75,6 +78,8 @@ HmmMirror::invalidateRange(Vpn begin, Vpn end)
 {
     std::uint64_t removed = gpuTable.removeRange(begin, end);
     invalidatedCount += removed;
+    if (tr != nullptr && removed != 0)
+        tr->emit(trace::EventKind::HmmInvalidate, begin, end, removed);
     return removed;
 }
 

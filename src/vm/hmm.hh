@@ -22,6 +22,10 @@ namespace upm::audit {
 class Auditor;
 }
 
+namespace upm::trace {
+class Tracer;
+}
+
 namespace upm::vm {
 
 /**
@@ -57,12 +61,17 @@ class HmmMirror
      *  that are present on both sides (MirrorDivergence). */
     void setAuditor(audit::Auditor *auditor) { aud = auditor; }
 
+    /** Attach UPMTrace: emits HmmMirror / HmmInvalidate per range op
+     *  that actually touched at least one PTE. */
+    void setTracer(trace::Tracer *tracer) { tr = tracer; }
+
   private:
     const SystemPageTable &sysTable;
     GpuPageTable &gpuTable;
     std::uint64_t propagatedCount = 0;
     std::uint64_t invalidatedCount = 0;
     audit::Auditor *aud = nullptr;
+    trace::Tracer *tr = nullptr;
 };
 
 } // namespace upm::vm

@@ -90,7 +90,7 @@ main(int argc, char **argv)
         k.buffers.push_back({a, 8 * MiB, 8 * MiB});
         rt.launchKernel(k, nullptr);
         rt.deviceSynchronize();
-        rt.hipFree(a);
+        rt.freeChecked(a);
     });
     return 0;
 }

@@ -96,7 +96,7 @@ main(int argc, char **argv)
         rt.launchKernel(k, nullptr);
         rt.deviceSynchronize();
         rt.cpuStream(a, 8 * MiB, 12);
-        rt.hipFree(a);
+        rt.freeChecked(a);
     });
     return 0;
 }

@@ -135,18 +135,18 @@ runUpmPoint(const Config &c, double fraction, std::uint64_t capacity)
         hip::DevPtr q = 0;
         // A page is always reclaimable: drop one live chunk first.
         if (!live.empty()) {
-            rt.hipFree(live.back());
+            rt.freeChecked(live.back());
             live.pop_back();
         }
         out.recoveredAfter =
             rt.tryAllocate(c.kind, mem::kPageSize, q) ==
             hip::hipSuccess;
         if (out.recoveredAfter)
-            rt.hipFree(q);
+            rt.freeChecked(q);
     }
 
     for (hip::DevPtr p : live)
-        rt.hipFree(p);
+        rt.freeChecked(p);
     out.strandedFrames = total_frames - sys.frames().freeFrames();
     sys.finalizeAudit();
     out.frameLeaks =
@@ -319,14 +319,14 @@ main(int argc, char **argv)
                    hip::hipSuccess)
                 live.push_back(p);
             if (!live.empty()) {
-                rt.hipFree(live.back());
+                rt.freeChecked(live.back());
                 live.pop_back();
             }
             if (rt.tryAllocate(AK::HipMalloc, mem::kPageSize, p) ==
                 hip::hipSuccess)
                 live.push_back(p);
             for (hip::DevPtr q : live)
-                rt.hipFree(q);
+                rt.freeChecked(q);
         });
     }
     if (failures > 0) {

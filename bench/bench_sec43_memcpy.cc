@@ -67,8 +67,8 @@ main(int argc, char **argv)
         rt.cpuFirstTouch(src, bytes);
         hip::DevPtr dst = rt.hipMalloc(bytes);
         rt.hipMemcpy(dst, src, bytes);
-        rt.hipFree(dst);
-        rt.hipFree(src);
+        rt.freeChecked(dst);
+        rt.freeChecked(src);
     });
     return 0;
 }

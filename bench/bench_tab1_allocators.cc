@@ -95,7 +95,7 @@ main(int argc, char **argv)
         touch.buffers.push_back({p, 4 * MiB, 4 * MiB});
         rt.launchKernel(touch, nullptr);
         rt.deviceSynchronize();
-        rt.hipFree(p);
+        rt.freeChecked(p);
     });
     return 0;
 }

@@ -137,7 +137,7 @@ main(int argc, char **argv)
         k.buffers.push_back({u, 16 * MiB, 16 * MiB});
         rt.launchKernel(k, nullptr);
         rt.deviceSynchronize();
-        rt.hipFree(u);
+        rt.freeChecked(u);
     });
     return 0;
 }

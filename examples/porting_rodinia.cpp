@@ -62,7 +62,7 @@ main()
                         core::legacyFreeMemory(sys) / MiB),
                     static_cast<unsigned long long>(
                         core::reliableFreeMemory(sys) / MiB));
-        rt.hipFree(p);
+        rt.freeChecked(p);
     }
 
     // The payoff: hotspot in both models.

@@ -50,8 +50,8 @@ explicitModel(core::System &sys, std::uint64_t n)
 
     rt.hipMemcpy(h, d, n);              // copy_to_cpu(h, d, n);
 
-    rt.hipFree(h);
-    rt.hipFree(d);
+    rt.freeChecked(h);
+    rt.freeChecked(d);
     return rt.now() - start;
 }
 
@@ -77,7 +77,7 @@ unifiedModel(core::System &sys, std::uint64_t n)
     });
     rt.deviceSynchronize();             // gpu_synchronize();
 
-    rt.hipFree(u);
+    rt.freeChecked(u);
     return rt.now() - start;
 }
 

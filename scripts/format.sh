@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# clang-format the simulator sources (config: .clang-format).
+#
+# Usage: scripts/format.sh [--check]
+#
+#   (no flag)  rewrite files in place
+#   --check    print files that would change and exit 1 if any would
+#
+# Exits 0 with a notice when clang-format is not installed, so the
+# script is safe from gcc-only environments; the CI `format` job
+# installs a pinned clang-format and runs --check.
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+mode=${1:-fix}
+
+cf=$(command -v clang-format || true)
+if [ -z "$cf" ]; then
+    echo "format.sh: clang-format not found in PATH; skipping" \
+         "(install clang-format to format locally)"
+    exit 0
+fi
+
+mapfile -t files < <(find "$repo_root/src" "$repo_root/tests" \
+    "$repo_root/bench" "$repo_root/examples" \
+    \( -name '*.cc' -o -name '*.hh' -o -name '*.cpp' \) | sort)
+
+if [ "$mode" = "--check" ]; then
+    bad=0
+    for f in "${files[@]}"; do
+        if ! "$cf" --dry-run -Werror "$f" > /dev/null 2>&1; then
+            echo "format.sh: would reformat ${f#"$repo_root"/}"
+            bad=1
+        fi
+    done
+    if [ "$bad" -ne 0 ]; then
+        echo "format.sh: run scripts/format.sh to fix"
+        exit 1
+    fi
+    echo "format.sh: ${#files[@]} files clean"
+else
+    "$cf" -i "${files[@]}"
+    echo "format.sh: formatted ${#files[@]} files"
+fi

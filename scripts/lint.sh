@@ -1,22 +1,37 @@
 #!/usr/bin/env bash
-# Run clang-tidy (config: .clang-tidy) over the simulator sources.
+# Static analysis for the simulator tree.
 #
 # Usage: scripts/lint.sh [build-dir]
 #
-# Needs a configured build directory with compile_commands.json (the
-# top-level CMakeLists exports it unconditionally). Exits 0 and prints
-# a notice when clang-tidy is not installed, so the script is safe to
-# call from environments that only carry gcc; CI installs clang-tidy
-# and enforces it.
+# Two passes:
+#   1. UPMLint (tools/upmlint) -- the repo-specific contract checkers
+#      (status-discipline, determinism, hook-discipline,
+#      lock-discipline). Pure python3, always runs. When a build
+#      directory with compile_commands.json exists AND python3-clang
+#      is importable, UPMLint cross-checks the status pass against the
+#      clang AST; otherwise the token analysis runs alone.
+#   2. clang-tidy (config: .clang-tidy) when installed. Exits 0 with a
+#      notice when it is not, so the script is safe from gcc-only
+#      environments; CI installs clang-tidy and enforces it.
 set -euo pipefail
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}
 
+echo "lint.sh: UPMLint fixture suite"
+python3 "$repo_root/tools/upmlint/upmlint_test.py"
+
+echo "lint.sh: UPMLint over src/ bench/ tests/"
+upmlint_args=(--root "$repo_root" src bench tests)
+if [ -f "$build_dir/compile_commands.json" ]; then
+    upmlint_args+=(--compdb "$build_dir")
+fi
+python3 "$repo_root/tools/upmlint/upmlint.py" "${upmlint_args[@]}"
+
 tidy=$(command -v clang-tidy || true)
 if [ -z "$tidy" ]; then
     echo "lint.sh: clang-tidy not found in PATH; skipping (install" \
-         "clang-tidy to run the lint locally)"
+         "clang-tidy to run the full lint locally)"
     exit 0
 fi
 

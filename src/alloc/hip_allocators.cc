@@ -27,7 +27,7 @@ populateOrUnwind(vm::AddressSpace &as, vm::VirtAddr base,
 {
     auto populated = as.tryPopulateRange(base, size);
     if (!populated)
-        as.munmap(base);
+        as.munmapChecked(base);
     return populated.status;
 }
 
@@ -61,7 +61,7 @@ HipMallocAllocator::allocate(std::uint64_t size)
 SimTime
 HipMallocAllocator::deallocate(Allocation &allocation)
 {
-    as.munmap(allocation.addr);
+    as.munmapChecked(allocation.addr);
     std::uint64_t pages = ceilDiv(allocation.size, mem::kPageSize);
     SimTime t = cost.hipFreeBase;
     if (pages > cost.hipFreeCheapPages) {
@@ -100,7 +100,7 @@ HipHostMallocAllocator::allocate(std::uint64_t size)
 SimTime
 HipHostMallocAllocator::deallocate(Allocation &allocation)
 {
-    as.munmap(allocation.addr);
+    as.munmapChecked(allocation.addr);
     std::uint64_t pages = ceilDiv(allocation.size, mem::kPageSize);
     SimTime t = cost.hostFreeBase +
                 cost.hostFreePerPage * static_cast<double>(pages);
@@ -151,7 +151,7 @@ HipMallocManagedAllocator::deallocate(Allocation &allocation)
 {
     bool was_on_demand = as.findVma(allocation.addr) != nullptr &&
                          as.findVma(allocation.addr)->policy.onDemand;
-    as.munmap(allocation.addr);
+    as.munmapChecked(allocation.addr);
     SimTime t;
     if (was_on_demand) {
         t = cost.managedXnackFree;
@@ -191,7 +191,7 @@ ManagedStaticAllocator::allocate(std::uint64_t size)
 SimTime
 ManagedStaticAllocator::deallocate(Allocation &allocation)
 {
-    as.munmap(allocation.addr);
+    as.munmapChecked(allocation.addr);
     allocation = {};
     return cost.managedFreeBase;
 }

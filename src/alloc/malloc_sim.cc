@@ -32,7 +32,7 @@ MallocSim::allocate(std::uint64_t size)
 SimTime
 MallocSim::deallocate(Allocation &allocation)
 {
-    as.munmap(allocation.addr);
+    as.munmapChecked(allocation.addr);
     SimTime t;
     if (allocation.size < cost.mallocMmapThreshold) {
         t = cost.freeSmall;

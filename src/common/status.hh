@@ -26,8 +26,15 @@
 
 namespace upm {
 
-/** Simulator-wide result codes (hipError_t-shaped). */
-enum class Status : std::uint8_t {
+/**
+ * Simulator-wide result codes (hipError_t-shaped).
+ *
+ * The type is `[[nodiscard]]`: every function returning a Status is
+ * implicitly must-check, which is the status-discipline contract
+ * UPMLint enforces (DESIGN.md section 12). Deliberate discards are
+ * written `(void)call();` with a comment saying why.
+ */
+enum class [[nodiscard]] Status : std::uint8_t {
     Success = 0,   //!< operation completed
     OutOfMemory,   //!< physical frames or VA space exhausted (ENOMEM)
     InvalidValue,  //!< malformed request (zero length, bad config)

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Clang thread-safety annotation macros (lock-discipline contract).
+ *
+ * The simulator's mutex-holding classes (exec::TaskPool,
+ * trace::MetricsRegistry, the global pool registry) declare which
+ * fields each mutex guards and which functions require it, so clang's
+ * `-Wthread-safety` analysis can prove lock discipline at compile
+ * time. The CI `thread-safety` job builds with a pinned clang and
+ * `-Werror=thread-safety`; under gcc (which has no such analysis) the
+ * macros expand to nothing and the annotated code is plain C++.
+ *
+ * Use the `upm::Mutex` / `upm::MutexLock` / `upm::CondVar` wrappers
+ * from common/mutex.hh -- `std::mutex` itself carries no capability
+ * attributes in libstdc++, so the analysis cannot see it (UPMLint's
+ * lock-discipline checker flags raw `std::mutex` members for exactly
+ * that reason).
+ */
+
+#ifndef UPM_COMMON_THREAD_ANNOTATIONS_HH
+#define UPM_COMMON_THREAD_ANNOTATIONS_HH
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define UPM_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+
+#ifndef UPM_THREAD_ANNOTATION
+#define UPM_THREAD_ANNOTATION(x)
+#endif
+
+/** Marks a type as a lockable capability ("mutex"). */
+#define UPM_CAPABILITY(x) UPM_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type that acquires on construction, releases on
+ * destruction. */
+#define UPM_SCOPED_CAPABILITY UPM_THREAD_ANNOTATION(scoped_lockable)
+
+/** Field is only read/written while holding `x`. */
+#define UPM_GUARDED_BY(x) UPM_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer field whose pointee is guarded by `x`. */
+#define UPM_PT_GUARDED_BY(x) UPM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function must be called with `...` held (and does not release). */
+#define UPM_REQUIRES(...) \
+    UPM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function acquires `...` and returns holding it. */
+#define UPM_ACQUIRE(...) \
+    UPM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function releases `...`. */
+#define UPM_RELEASE(...) \
+    UPM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function acquires `...` when it returns the given value. */
+#define UPM_TRY_ACQUIRE(...) \
+    UPM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Function must be called WITHOUT `...` held. */
+#define UPM_EXCLUDES(...) UPM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Returns a reference to the capability guarding this object. */
+#define UPM_RETURN_CAPABILITY(x) UPM_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch: function deliberately skips the analysis. Every use
+ * needs a comment saying why (UPMLint treats it as an annotation, so
+ * it also satisfies the lock-discipline checker -- keep it rare). */
+#define UPM_NO_THREAD_SAFETY_ANALYSIS \
+    UPM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif // UPM_COMMON_THREAD_ANNOTATIONS_HH

@@ -73,7 +73,7 @@ FaultProbe::functionalFaults(FaultScenario scenario, std::uint64_t pages)
         as.resolveCpuFaultRange(first, first + pages);
         break;
     }
-    as.munmap(base);
+    as.munmapChecked(base);
 }
 
 SampleStats

@@ -138,7 +138,7 @@ HistogramEngine::run(const HistogramParams &params)
     for (std::uint64_t i = 0; i < params.elems; ++i)
         result.histogramSum += histogram[i];
 
-    rt.hipFree(buf);
+    rt.freeChecked(buf);
     return result;
 }
 

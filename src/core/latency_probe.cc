@@ -41,7 +41,7 @@ LatencyProbe::measure(alloc::AllocatorKind kind, std::uint64_t bytes,
     point.gpuLatency = rt.perf().gpuChaseLatency(profile);
     point.cpuLatency = rt.perf().cpuChaseLatency(profile);
 
-    rt.hipFree(ptr);
+    rt.freeChecked(ptr);
     return point;
 }
 

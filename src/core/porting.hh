@@ -79,7 +79,7 @@ class UnifiedBuffer
     release()
     {
         if (rt != nullptr && devPtr != 0)
-            rt->hipFree(devPtr);
+            rt->freeChecked(devPtr);
         rt = nullptr;
         devPtr = 0;
     }

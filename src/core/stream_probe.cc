@@ -38,9 +38,9 @@ void
 StreamProbe::release(Arrays &arrays)
 {
     auto &rt = sys.runtime();
-    rt.hipFree(arrays.a);
-    rt.hipFree(arrays.b);
-    rt.hipFree(arrays.c);
+    rt.freeChecked(arrays.a);
+    rt.freeChecked(arrays.b);
+    rt.freeChecked(arrays.c);
     arrays = {};
 }
 

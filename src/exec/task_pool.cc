@@ -46,7 +46,7 @@ TaskPool::TaskPool(unsigned workers)
 TaskPool::~TaskPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mtx);
+        MutexLock lock(mtx);
         shutdown = true;
     }
     workCv.notify_all();
@@ -67,19 +67,23 @@ TaskPool::parallelFor(std::size_t n,
         return;
     }
 
-    std::unique_lock<std::mutex> lock(mtx);
-    doneCv.wait(lock, [this] { return !batch.active; });
-    batch = Batch{};
-    batch.fn = &fn;
-    batch.count = n;
-    batch.active = true;
-    workCv.notify_all();
-    doneCv.wait(lock, [this] { return batch.done == batch.count; });
-    std::exception_ptr err = batch.error;
-    batch = Batch{};
-    // Wake any submitter queued behind this batch.
-    doneCv.notify_all();
-    lock.unlock();
+    std::exception_ptr err;
+    {
+        MutexLock lock(mtx);
+        while (batch.active)
+            doneCv.wait(lock);
+        batch = Batch{};
+        batch.fn = &fn;
+        batch.count = n;
+        batch.active = true;
+        workCv.notify_all();
+        while (batch.done != batch.count)
+            doneCv.wait(lock);
+        err = batch.error;
+        batch = Batch{};
+        // Wake any submitter queued behind this batch.
+        doneCv.notify_all();
+    }
     if (err)
         std::rethrow_exception(err);
 }
@@ -87,24 +91,23 @@ TaskPool::parallelFor(std::size_t n,
 void
 TaskPool::workerLoop()
 {
-    std::unique_lock<std::mutex> lock(mtx);
+    MutexLock lock(mtx);
     for (;;) {
-        workCv.wait(lock, [this] {
-            return shutdown || (batch.active && batch.next < batch.count);
-        });
+        while (!shutdown && !(batch.active && batch.next < batch.count))
+            workCv.wait(lock);
         if (shutdown)
             return;
-        runTasks(batch, lock);
+        runTasks(batch);
     }
 }
 
 void
-TaskPool::runTasks(Batch &b, std::unique_lock<std::mutex> &lock)
+TaskPool::runTasks(Batch &b) UPM_REQUIRES(mtx)
 {
     while (b.active && b.next < b.count) {
         std::size_t i = b.next++;
         const std::function<void(std::size_t)> *fn = b.fn;
-        lock.unlock();
+        mtx.unlock();
         std::exception_ptr err;
         insidePool = true;
         try {
@@ -113,7 +116,7 @@ TaskPool::runTasks(Batch &b, std::unique_lock<std::mutex> &lock)
             err = std::current_exception();
         }
         insidePool = false;
-        lock.lock();
+        mtx.lock();
         if (err && (!b.error || i < b.firstError)) {
             b.error = err;
             b.firstError = i;
@@ -125,15 +128,16 @@ TaskPool::runTasks(Batch &b, std::unique_lock<std::mutex> &lock)
 
 namespace {
 
-std::mutex globalPoolMtx;
-std::unique_ptr<TaskPool> globalPoolInstance;
+Mutex globalPoolMtx;
+std::unique_ptr<TaskPool>
+    globalPoolInstance UPM_GUARDED_BY(globalPoolMtx);
 
 } // namespace
 
 TaskPool &
 globalPool()
 {
-    std::lock_guard<std::mutex> lock(globalPoolMtx);
+    MutexLock lock(globalPoolMtx);
     if (!globalPoolInstance)
         globalPoolInstance = std::make_unique<TaskPool>();
     return *globalPoolInstance;
@@ -142,7 +146,7 @@ globalPool()
 void
 setGlobalWorkers(unsigned workers)
 {
-    std::lock_guard<std::mutex> lock(globalPoolMtx);
+    MutexLock lock(globalPoolMtx);
     globalPoolInstance = std::make_unique<TaskPool>(std::max(1u, workers));
 }
 

@@ -20,14 +20,15 @@
 #ifndef UPM_EXEC_TASK_POOL_HH
 #define UPM_EXEC_TASK_POOL_HH
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
 
 namespace upm::exec {
 
@@ -93,15 +94,16 @@ class TaskPool
     };
 
     void workerLoop();
-    void runTasks(Batch &batch, std::unique_lock<std::mutex> &lock);
+    /** Claim-and-run loop; drops the lock around each task body. */
+    void runTasks(Batch &b) UPM_REQUIRES(mtx);
 
     unsigned workerCount;
     std::vector<std::thread> threads;
-    std::mutex mtx;
-    std::condition_variable workCv;  //!< workers wait for a batch
-    std::condition_variable doneCv;  //!< submitter waits for completion
-    Batch batch;
-    bool shutdown = false;
+    Mutex mtx;
+    CondVar workCv;  //!< workers wait for a batch
+    CondVar doneCv;  //!< submitter waits for completion
+    Batch batch UPM_GUARDED_BY(mtx);
+    bool shutdown UPM_GUARDED_BY(mtx) = false;
 };
 
 /**

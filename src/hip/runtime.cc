@@ -72,6 +72,13 @@ Runtime::fail(hipError_t error)
     return error;
 }
 
+void
+Runtime::failThrow(hipError_t error, const std::string &msg)
+{
+    lastErr = error;
+    throw StatusError(error, msg);
+}
+
 hipError_t
 Runtime::hipGetLastError()
 {
@@ -195,6 +202,16 @@ Runtime::hipFree(DevPtr ptr)
     return hipSuccess;
 }
 
+void
+Runtime::freeChecked(DevPtr ptr)
+{
+    hipError_t error = hipFree(ptr);
+    if (error != hipSuccess) {
+        panic("freeChecked(0x%llx): %s",
+              static_cast<unsigned long long>(ptr), hipErrorName(error));
+    }
+}
+
 hipError_t
 Runtime::hipHostRegister(DevPtr ptr)
 {
@@ -243,10 +260,8 @@ Runtime::hipMemcpy(DevPtr dst, DevPtr src, std::uint64_t bytes)
     }
     const vm::Vma *dst_vma = as.findVma(dst);
     const vm::Vma *src_vma = as.findVma(src);
-    if (dst_vma == nullptr || src_vma == nullptr) {
-        fail(hipErrorNotFound);
-        throw StatusError(Status::NotFound, "hipMemcpy on unmapped pointer");
-    }
+    if (dst_vma == nullptr || src_vma == nullptr)
+        failThrow(hipErrorNotFound, "hipMemcpy on unmapped pointer");
 
     // Functional copy through the backing store.
     if (bytes > 0 && dst != src) {
@@ -289,11 +304,8 @@ Runtime::hipMemcpyAsync(DevPtr dst, DevPtr src, std::uint64_t bytes,
     }
     const vm::Vma *dst_vma = as.findVma(dst);
     const vm::Vma *src_vma = as.findVma(src);
-    if (dst_vma == nullptr || src_vma == nullptr) {
-        fail(hipErrorNotFound);
-        throw StatusError(Status::NotFound,
-                          "hipMemcpyAsync on unmapped pointer");
-    }
+    if (dst_vma == nullptr || src_vma == nullptr)
+        failThrow(hipErrorNotFound, "hipMemcpyAsync on unmapped pointer");
 
     if (bytes > 0 && dst != src) {
         std::memcpy(as.backing().hostPtr(dst, bytes),
@@ -308,11 +320,8 @@ Runtime::hipMemcpyAsync(DevPtr dst, DevPtr src, std::uint64_t bytes,
         vm::Vpn last = vm::vpnOf(dst + bytes + mem::kPageSize - 1);
         last = std::min(last, vma->endVpn());
         auto resolved = as.tryResolveCpuFaultRange(first, last);
-        if (!resolved) {
-            fail(resolved.status);
-            throw StatusError(resolved.status,
-                              "hipMemcpyAsync destination fault");
-        }
+        if (!resolved)
+            failThrow(resolved.status, "hipMemcpyAsync destination fault");
         if (resolved.pages > 0) {
             runtimeStats.cpuFaultedPages += resolved.pages;
             fault_time =
@@ -360,28 +369,23 @@ Runtime::resolveKernelFaults(const BufferUse &use)
         return 0.0;
 
     if (!vma->policy.gpuMapped && !as.xnackEnabled()) {
-        fail(hipErrorIllegalAddress);
-        throw StatusError(
-            Status::AccessFault,
-            strprintf("GPU memory violation: kernel touches on-demand "
-                      "memory '%s' with XNACK disabled",
-                      vma->name.c_str()));
+        failThrow(hipErrorIllegalAddress,
+                  strprintf("GPU memory violation: kernel touches "
+                            "on-demand memory '%s' with XNACK disabled",
+                            vma->name.c_str()));
     }
 
     bool minor = sys_present == missing;
     auto kind = as.resolveGpuFault(first, last - first);
     if (kind == vm::GpuFaultKind::Violation) {
-        fail(hipErrorIllegalAddress);
-        throw StatusError(Status::AccessFault,
-                          strprintf("GPU fault on '%s' could not be "
-                                    "resolved",
-                                    vma->name.c_str()));
+        failThrow(hipErrorIllegalAddress,
+                  strprintf("GPU fault on '%s' could not be resolved",
+                            vma->name.c_str()));
     }
     if (kind == vm::GpuFaultKind::OutOfMemory) {
-        fail(hipErrorOutOfMemory);
-        throw StatusError(Status::OutOfMemory,
-                          strprintf("GPU fault on '%s': no free frames",
-                                    vma->name.c_str()));
+        failThrow(hipErrorOutOfMemory,
+                  strprintf("GPU fault on '%s': no free frames",
+                            vma->name.c_str()));
     }
 
     vm::FaultType type =
@@ -395,11 +399,10 @@ Runtime::resolveKernelFaults(const BufferUse &use)
     if (!service) {
         // A wedged fault pipeline: the bounded retry gave up. Real
         // hardware reports a GPU hang; simhip reports Timeout.
-        fail(service.status);
-        throw StatusError(service.status,
-                          strprintf("fault service on '%s' timed out "
-                                    "after %u retries",
-                                    vma->name.c_str(), service.retries));
+        failThrow(service.status,
+                  strprintf("fault service on '%s' timed out after "
+                            "%u retries",
+                            vma->name.c_str(), service.retries));
     }
     return service.time;
 }
@@ -510,11 +513,8 @@ Runtime::cpuFirstTouch(DevPtr ptr, std::uint64_t size, unsigned threads)
                     true, "cpuFirstTouch");
     }
     const vm::Vma *vma = as.findVma(ptr);
-    if (vma == nullptr) {
-        fail(hipErrorNotFound);
-        throw StatusError(Status::NotFound,
-                          "cpuFirstTouch of unmapped pointer");
-    }
+    if (vma == nullptr)
+        failThrow(hipErrorNotFound, "cpuFirstTouch of unmapped pointer");
     vm::Vpn first = vm::vpnOf(ptr);
     vm::Vpn last = vm::vpnOf(ptr + std::max<std::uint64_t>(size, 1) +
                              mem::kPageSize - 1);
@@ -522,10 +522,8 @@ Runtime::cpuFirstTouch(DevPtr ptr, std::uint64_t size, unsigned threads)
 
     auto resolved = as.tryResolveCpuFaultRange(first, last);
     if (!resolved) {
-        fail(resolved.status);
-        throw StatusError(resolved.status,
-                          strprintf("CPU first touch of '%s'",
-                                    vma->name.c_str()));
+        failThrow(resolved.status,
+                  strprintf("CPU first touch of '%s'", vma->name.c_str()));
     }
     std::uint64_t missing = resolved.pages;
     if (missing == 0)
@@ -546,11 +544,8 @@ Runtime::cpuStream(DevPtr ptr, std::uint64_t bytes, unsigned threads)
         auditAccess(audit::kHostAgent, ptr, bytes, false, "cpuStream");
     }
     const vm::Vma *vma = as.findVma(ptr);
-    if (vma == nullptr) {
-        fail(hipErrorNotFound);
-        throw StatusError(Status::NotFound,
-                          "cpuStream of unmapped pointer");
-    }
+    if (vma == nullptr)
+        failThrow(hipErrorNotFound, "cpuStream of unmapped pointer");
     SimTime fault_time = 0.0;
     if (vma->policy.onDemand)
         fault_time = cpuFirstTouch(ptr, bytes, threads);

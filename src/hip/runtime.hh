@@ -121,6 +121,14 @@ class Runtime
      *  @return hipErrorNotFound for a pointer simhip never returned. */
     hipError_t hipFree(DevPtr ptr);
 
+    /**
+     * Teardown form of hipFree(): panics on failure. For call sites
+     * that free pointers they themselves allocated (workload and
+     * bench teardown), where hipErrorNotFound is a double-free or
+     * stale-pointer bug, never a condition to handle.
+     */
+    void freeChecked(DevPtr ptr);
+
     /** Pin + GPU-map an existing host allocation.
      *  @return hipErrorNotFound for an unknown pointer,
      *          hipErrorOutOfMemory when pinning cannot populate. */
@@ -255,6 +263,9 @@ class Runtime
     void notePeak();
     /** Record @p error as the sticky last error and return it. */
     hipError_t fail(hipError_t error);
+    /** Record @p error as the sticky last error and throw it as a
+     *  StatusError carrying @p msg. */
+    [[noreturn]] void failThrow(hipError_t error, const std::string &msg);
     /** Feed one modelled access to the race detector (page range is
      *  clamped to the pointer's VMA; no-op when unaudited). */
     void auditAccess(unsigned agent, DevPtr ptr, std::uint64_t bytes,

@@ -93,20 +93,23 @@ class FrameAllocator
      *         succeeds with an empty run list, so exhaustion is never
      *         ambiguous.
      */
-    std::optional<std::vector<FrameRange>> allocRun(std::uint64_t n_frames);
+    [[nodiscard]] std::optional<std::vector<FrameRange>>
+    allocRun(std::uint64_t n_frames);
 
     /**
      * Allocate @p n single frames through the fragmented on-demand
      * pool. Appends to @p out. @return false (and rolls back) on OOM.
      */
-    bool allocScattered(std::uint64_t n, std::vector<FrameId> &out);
+    [[nodiscard]] bool allocScattered(std::uint64_t n,
+                                      std::vector<FrameId> &out);
 
     /**
      * Allocate @p n frames in short contiguous runs of
      * `faultBatchRun` frames, as the GPU fault path does. Appends
      * ranges to @p out. @return false (and rolls back) on OOM.
      */
-    bool allocBatch(std::uint64_t n, std::vector<FrameRange> &out);
+    [[nodiscard]] bool allocBatch(std::uint64_t n,
+                                  std::vector<FrameRange> &out);
 
     /**
      * Allocate @p n single frames round-robin across stacks, the way
@@ -114,7 +117,8 @@ class FrameAllocator
      * hipMallocManaged without XNACK): stack-balanced but physically
      * discontiguous. Appends to @p out. @return false on OOM.
      */
-    bool allocInterleaved(std::uint64_t n, std::vector<FrameId> &out);
+    [[nodiscard]] bool allocInterleaved(std::uint64_t n,
+                                        std::vector<FrameId> &out);
 
     /**
      * Free one frame. @return false on an out-of-range or
@@ -122,7 +126,7 @@ class FrameAllocator
      * violation when audited). Internal callers that *know* the frame
      * is allocated treat false as an invariant break and panic.
      */
-    bool freeFrame(FrameId frame);
+    [[nodiscard]] bool freeFrame(FrameId frame);
 
     /**
      * Free a contiguous range as naturally-aligned buddy blocks --
@@ -133,7 +137,7 @@ class FrameAllocator
      * @return false if any frame in the range was invalid (frames
      *         before the bad block are still freed).
      */
-    bool freeRange(const FrameRange &range);
+    [[nodiscard]] bool freeRange(const FrameRange &range);
 
     /** @return the number of currently free frames. Frames parked in
      *  the on-demand / per-stack pools count as free, as Linux counts

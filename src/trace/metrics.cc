@@ -7,21 +7,21 @@ namespace upm::trace {
 void
 MetricsRegistry::add(const std::string &name, std::uint64_t delta)
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    MutexLock lock(mtx);
     counters[name] += delta;
 }
 
 void
 MetricsRegistry::set(const std::string &name, std::uint64_t value)
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    MutexLock lock(mtx);
     counters[name] = value;
 }
 
 std::uint64_t
 MetricsRegistry::read(const std::string &name) const
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    MutexLock lock(mtx);
     auto it = counters.find(name);
     return it == counters.end() ? 0 : it->second;
 }
@@ -29,7 +29,7 @@ MetricsRegistry::read(const std::string &name) const
 void
 MetricsRegistry::reset(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    MutexLock lock(mtx);
     auto it = counters.find(name);
     if (it != counters.end())
         it->second = 0;
@@ -38,7 +38,7 @@ MetricsRegistry::reset(const std::string &name)
 void
 MetricsRegistry::resetAll()
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    MutexLock lock(mtx);
     counters.clear();
     histograms.clear();
 }
@@ -46,7 +46,7 @@ MetricsRegistry::resetAll()
 std::vector<std::string>
 MetricsRegistry::names() const
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    MutexLock lock(mtx);
     std::vector<std::string> out;
     out.reserve(counters.size());
     for (const auto &[name, value] : counters)
@@ -58,7 +58,7 @@ void
 MetricsRegistry::observe(const std::string &name, double sample,
                          const std::vector<double> &bounds)
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    MutexLock lock(mtx);
     auto [it, inserted] = histograms.try_emplace(name);
     Histogram &h = it->second;
     if (inserted) {
@@ -83,7 +83,7 @@ MetricsRegistry::observe(const std::string &name, double sample,
 HistogramSnapshot
 MetricsRegistry::histogram(const std::string &name) const
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    MutexLock lock(mtx);
     HistogramSnapshot snap;
     auto it = histograms.find(name);
     if (it == histograms.end())
@@ -101,7 +101,7 @@ MetricsRegistry::histogram(const std::string &name) const
 std::vector<std::string>
 MetricsRegistry::histogramNames() const
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    MutexLock lock(mtx);
     std::vector<std::string> out;
     out.reserve(histograms.size());
     for (const auto &[name, h] : histograms)

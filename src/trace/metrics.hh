@@ -16,9 +16,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
 
 namespace upm::trace {
 
@@ -93,9 +95,9 @@ class MetricsRegistry
         double maxSample = 0.0;
     };
 
-    mutable std::mutex mtx;
-    std::map<std::string, std::uint64_t> counters;
-    std::map<std::string, Histogram> histograms;
+    mutable Mutex mtx;
+    std::map<std::string, std::uint64_t> counters UPM_GUARDED_BY(mtx);
+    std::map<std::string, Histogram> histograms UPM_GUARDED_BY(mtx);
 };
 
 } // namespace upm::trace

@@ -156,6 +156,16 @@ AddressSpace::munmap(VirtAddr base)
     return Status::Success;
 }
 
+void
+AddressSpace::munmapChecked(VirtAddr base)
+{
+    Status status = munmap(base);
+    if (status != Status::Success) {
+        panic("munmapChecked(0x%llx): %s",
+              static_cast<unsigned long long>(base), statusName(status));
+    }
+}
+
 const Vma *
 AddressSpace::findVma(VirtAddr addr) const
 {

@@ -102,7 +102,7 @@ enum class GpuFaultKind : std::uint8_t {
 };
 
 /** Outcome of tryMmapAnon(). */
-struct MmapResult
+struct [[nodiscard]] MmapResult
 {
     Status status = Status::Success;
     VirtAddr base = 0;
@@ -111,7 +111,7 @@ struct MmapResult
 };
 
 /** Outcome of tryPopulateRange() / tryResolveCpuFaultRange(). */
-struct PopulateResult
+struct [[nodiscard]] PopulateResult
 {
     Status status = Status::Success;
     /** Pages newly populated (may be nonzero even on failure: pages
@@ -153,6 +153,13 @@ class AddressSpace
      * @return Status::NotFound for a base that is not a VMA.
      */
     Status munmap(VirtAddr base);
+
+    /**
+     * Teardown form of munmap(): panics on failure. For callers
+     * unmapping a VMA they themselves created (allocator deallocate
+     * and rollback paths), where NotFound is a bookkeeping bug.
+     */
+    void munmapChecked(VirtAddr base);
 
     const Vma *findVma(VirtAddr addr) const;
 

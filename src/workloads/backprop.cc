@@ -136,15 +136,15 @@ Backprop::run(core::System &system, Model model)
     RunReport report =
         finishRun(system, name(), model, compute_time, checksum);
 
-    rt.hipFree(h_input);
-    rt.hipFree(h_weights);
-    rt.hipFree(h_hidden);
+    rt.freeChecked(h_input);
+    rt.freeChecked(h_weights);
+    rt.freeChecked(h_hidden);
     if (!unified) {
-        rt.hipFree(d_input);
-        rt.hipFree(d_weights);
-        rt.hipFree(d_hidden);
+        rt.freeChecked(d_input);
+        rt.freeChecked(d_weights);
+        rt.freeChecked(d_hidden);
     }
-    rt.hipFree(file_buf);
+    rt.freeChecked(file_buf);
     return report;
 }
 

@@ -30,8 +30,8 @@ Dwt2d::run(core::System &system, Model model)
     rt.cpuStream(h_image, bytes, system.config().numCpuCores);
     rt.advanceHost(cfg.decodeIo);
 
-    rt.hipFree(scratch);
-    rt.hipFree(file_buf);
+    rt.freeChecked(scratch);
+    rt.freeChecked(file_buf);
 
     hip::DevPtr d_image = h_image;
     hip::DevPtr d_tmp = rt.hipMalloc(bytes);  // transform ping buffer
@@ -98,10 +98,10 @@ Dwt2d::run(core::System &system, Model model)
     RunReport report =
         finishRun(system, name(), model, compute_time, checksum);
 
-    rt.hipFree(h_image);
-    rt.hipFree(d_tmp);
+    rt.freeChecked(h_image);
+    rt.freeChecked(d_tmp);
     if (!unified)
-        rt.hipFree(d_image);
+        rt.freeChecked(d_image);
     return report;
 }
 

@@ -100,19 +100,19 @@ Heartwall::run(core::System &system, Model model)
     RunReport report =
         finishRun(system, name(), model, compute_time, tracking_acc);
 
-    rt.hipFree(video);
+    rt.freeChecked(video);
     if (!unified) {
-        rt.hipFree(h_frame);
-        rt.hipFree(d_frame);
-        rt.hipFree(h_tmpl);
-        rt.hipFree(d_tmpl);
+        rt.freeChecked(h_frame);
+        rt.freeChecked(d_frame);
+        rt.freeChecked(h_tmpl);
+        rt.freeChecked(d_tmpl);
     } else if (v1) {
-        rt.hipFree(h_frame);
-        rt.hipFree(d_tmpl);
+        rt.freeChecked(h_frame);
+        rt.freeChecked(d_tmpl);
     } else {
-        rt.hipFree(d_frame);
-        rt.hipFree(d_frame_b);
-        rt.hipFree(d_tmpl);
+        rt.freeChecked(d_frame);
+        rt.freeChecked(d_frame_b);
+        rt.freeChecked(d_tmpl);
     }
     return report;
 }

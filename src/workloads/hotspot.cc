@@ -94,12 +94,12 @@ Hotspot::run(core::System &system, Model model)
     RunReport report =
         finishRun(system, name(), model, compute_time, checksum);
 
-    rt.hipFree(h_temp);
-    rt.hipFree(h_power);
-    rt.hipFree(d_temp_out);
+    rt.freeChecked(h_temp);
+    rt.freeChecked(h_power);
+    rt.freeChecked(d_temp_out);
     if (!unified) {
-        rt.hipFree(d_temp_in);
-        rt.hipFree(d_power);
+        rt.freeChecked(d_temp_in);
+        rt.freeChecked(d_power);
     }
     return report;
 }

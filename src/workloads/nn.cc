@@ -112,11 +112,11 @@ Nn::run(core::System &system, Model model)
     RunReport report =
         finishRun(system, name(), model, compute_time, best_acc);
 
-    rt.hipFree(h_records);
-    rt.hipFree(d_dist);
+    rt.freeChecked(h_records);
+    rt.freeChecked(d_dist);
     if (!unified) {
-        rt.hipFree(d_records);
-        rt.hipFree(h_dist);
+        rt.freeChecked(d_records);
+        rt.freeChecked(h_dist);
     }
     return report;
 }

@@ -114,13 +114,13 @@ Srad::run(core::System &system, Model model)
     RunReport report =
         finishRun(system, name(), model, compute_time, checksum);
 
-    rt.hipFree(h_image);
-    rt.hipFree(d_coeff);
-    rt.hipFree(d_sums);
-    rt.hipFree(stack_flag);
+    rt.freeChecked(h_image);
+    rt.freeChecked(d_coeff);
+    rt.freeChecked(d_sums);
+    rt.freeChecked(stack_flag);
     if (!unified) {
-        rt.hipFree(d_image);
-        rt.hipFree(h_sums);
+        rt.freeChecked(d_image);
+        rt.freeChecked(h_sums);
     }
     return report;
 }

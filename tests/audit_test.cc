@@ -144,7 +144,7 @@ TEST(AuditSeeded, FrameDoubleFreeRecordedNotFatal)
     auto &rt = sys.runtime();
     hip::DevPtr p = rt.hipMalloc(16 * KiB);
     mem::FrameId frame = rt.addressSpace().framesOf(p, 16 * KiB).at(0);
-    rt.hipFree(p);
+    EXPECT_EQ(rt.hipFree(p), hip::hipSuccess);
 
     // The frame went back to the buddy; freeing it again is the
     // double free. Audited, it is recorded and rejected, not fatal.
@@ -170,7 +170,7 @@ TEST(AuditSeeded, UseAfterFreeThroughRuntime)
     hip::DevPtr dst = rt.hipMalloc(64 * KiB);
     hip::DevPtr src = rt.hostMalloc(64 * KiB);
     rt.cpuFirstTouch(src, 64 * KiB);
-    rt.hipFree(src);
+    EXPECT_EQ(rt.hipFree(src), hip::hipSuccess);
 
     // The copy still faults (the VMA is gone), but the auditor first
     // classifies the misuse precisely.

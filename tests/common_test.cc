@@ -1,7 +1,7 @@
 /**
  * @file
  * Unit tests for the common module: units, logging, RNGs, statistics,
- * and the simulated clock.
+ * the simulated clock, the scope guard, and the Status surface.
  */
 
 #include <gtest/gtest.h>
@@ -13,7 +13,9 @@
 #include "common/clock.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "common/scope_guard.hh"
 #include "common/stats.hh"
+#include "common/status.hh"
 #include "common/units.hh"
 
 namespace upm {
@@ -299,6 +301,89 @@ TEST(Clock, ScopedTimerMeasuresDelta)
         clock.advance(42.0);
     }
     EXPECT_DOUBLE_EQ(elapsed, 42.0);
+}
+
+TEST(ScopeGuard, RunsOnScopeExit)
+{
+    int runs = 0;
+    {
+        ScopeExit guard([&] { ++runs; });
+        EXPECT_EQ(runs, 0);
+    }
+    EXPECT_EQ(runs, 1);
+}
+
+TEST(ScopeGuard, RunsOnExceptionUnwind)
+{
+    int runs = 0;
+    EXPECT_THROW(
+        {
+            ScopeExit guard([&] { ++runs; });
+            throw SimError("mid-measurement failure");
+        },
+        SimError);
+    EXPECT_EQ(runs, 1);
+}
+
+TEST(ScopeGuard, ReleaseDisarms)
+{
+    int runs = 0;
+    {
+        ScopeExit guard([&] { ++runs; });
+        guard.release();
+    }
+    EXPECT_EQ(runs, 0);
+}
+
+TEST(ScopeGuard, RollbackPattern)
+{
+    // The idiom the probes use: flip a mode, guard the restore, and
+    // release only once the whole measurement committed.
+    bool xnack = true;
+    {
+        xnack = false;
+        ScopeExit restore([&] { xnack = true; });
+        // measurement throws before release() -> mode restored
+    }
+    EXPECT_TRUE(xnack);
+}
+
+TEST(Status, NamesAreStable)
+{
+    EXPECT_STREQ(statusName(Status::Success), "Success");
+    EXPECT_STREQ(statusName(Status::OutOfMemory), "OutOfMemory");
+    EXPECT_STREQ(statusName(Status::InvalidValue), "InvalidValue");
+    EXPECT_STREQ(statusName(Status::NotFound), "NotFound");
+    EXPECT_STREQ(statusName(Status::AccessFault), "AccessFault");
+    EXPECT_STREQ(statusName(Status::Timeout), "Timeout");
+}
+
+TEST(Status, StatusErrorRoundTripsCode)
+{
+    for (Status s : {Status::OutOfMemory, Status::InvalidValue,
+                     Status::NotFound, Status::AccessFault,
+                     Status::Timeout}) {
+        StatusError err(s, "context");
+        EXPECT_EQ(err.code(), s);
+        // The message carries both the status name and the context.
+        EXPECT_NE(std::string(err.what()).find(statusName(s)),
+                  std::string::npos);
+        EXPECT_NE(std::string(err.what()).find("context"),
+                  std::string::npos);
+    }
+}
+
+TEST(Status, StatusErrorIsASimError)
+{
+    // Callers that only care about failure catch SimError; callers
+    // that recover (the OOM paths) catch StatusError and dispatch on
+    // code().
+    try {
+        throw StatusError(Status::OutOfMemory, "frames exhausted");
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("OutOfMemory"),
+                  std::string::npos);
+    }
 }
 
 } // namespace

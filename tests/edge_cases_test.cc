@@ -41,7 +41,7 @@ TEST(EdgeCases, SubPageAllocationsOccupyWholePages)
     hip::DevPtr p = rt.hipMalloc(1);  // 1 byte
     EXPECT_EQ(rt.allocationOf(p).size, 1u);
     EXPECT_EQ(sys.meminfo().usedBytes(), mem::kPageSize);
-    rt.hipFree(p);
+    EXPECT_EQ(rt.hipFree(p), hip::hipSuccess);
 }
 
 TEST(EdgeCases, ZeroByteMmapIsUserError)
@@ -58,7 +58,7 @@ TEST(EdgeCases, PartialPageFirstTouchMapsThePage)
     rt.cpuFirstTouch(p + 100, 1);  // touch one byte mid-page
     EXPECT_EQ(rt.addressSpace().cpuFaults(), 1u);
     EXPECT_TRUE(rt.addressSpace().cpuPresent(p));
-    rt.hipFree(p);
+    EXPECT_EQ(rt.hipFree(p), hip::hipSuccess);
 }
 
 TEST(EdgeCases, FirstTouchClampsToVmaEnd)
@@ -69,7 +69,7 @@ TEST(EdgeCases, FirstTouchClampsToVmaEnd)
     // Asking to touch past the VMA end must not fault outside it.
     rt.cpuFirstTouch(p, 1 * MiB);
     EXPECT_EQ(rt.addressSpace().cpuFaults(), 4u);
-    rt.hipFree(p);
+    EXPECT_EQ(rt.hipFree(p), hip::hipSuccess);
 }
 
 TEST(EdgeCases, KernelFootprintClampsToVma)
@@ -82,7 +82,7 @@ TEST(EdgeCases, KernelFootprintClampsToVma)
     k.buffers.push_back({p, 16 * KiB, 1 * MiB});  // oversized footprint
     EXPECT_NO_THROW(rt.launchKernel(k, nullptr));
     EXPECT_EQ(rt.stats().gpuFaultedPagesMajor, 4u);
-    rt.hipFree(p);
+    EXPECT_EQ(rt.hipFree(p), hip::hipSuccess);
 }
 
 TEST(EdgeCases, ZeroByteMemcpyIsHarmless)
@@ -92,8 +92,8 @@ TEST(EdgeCases, ZeroByteMemcpyIsHarmless)
     hip::DevPtr a = rt.hipMalloc(4096);
     hip::DevPtr b = rt.hipMalloc(4096);
     EXPECT_NO_THROW(rt.hipMemcpy(a, b, 0));
-    rt.hipFree(a);
-    rt.hipFree(b);
+    EXPECT_EQ(rt.hipFree(a), hip::hipSuccess);
+    EXPECT_EQ(rt.hipFree(b), hip::hipSuccess);
 }
 
 TEST(EdgeCases, SelfMemcpyKeepsData)
@@ -104,7 +104,7 @@ TEST(EdgeCases, SelfMemcpyKeepsData)
     rt.hostPtr<int>(a, 1)[0] = 7;
     rt.hipMemcpy(a, a, 4096);
     EXPECT_EQ(rt.hostPtr<int>(a, 1)[0], 7);
-    rt.hipFree(a);
+    EXPECT_EQ(rt.hipFree(a), hip::hipSuccess);
 }
 
 TEST(EdgeCases, SystemSurvivesFailedAllocation)
@@ -117,7 +117,7 @@ TEST(EdgeCases, SystemSurvivesFailedAllocation)
     EXPECT_EQ(sys.frames().freeFrames(), free0);
     // Normal operation continues.
     hip::DevPtr p = rt.hipMalloc(128 * MiB);
-    rt.hipFree(p);
+    EXPECT_EQ(rt.hipFree(p), hip::hipSuccess);
     EXPECT_EQ(sys.frames().freeFrames(), free0);
 }
 
@@ -134,7 +134,7 @@ TEST(EdgeCases, SystemSurvivesGpuViolation)
     EXPECT_FALSE(rt.addressSpace().gpuPresent(p));
     rt.setXnack(true);
     EXPECT_NO_THROW(rt.launchKernel(k, nullptr));
-    rt.hipFree(p);
+    EXPECT_EQ(rt.hipFree(p), hip::hipSuccess);
 }
 
 TEST(EdgeCases, AuditedMisuseIsClassifiedNotJustFatal)
@@ -150,7 +150,7 @@ TEST(EdgeCases, AuditedMisuseIsClassifiedNotJustFatal)
     EXPECT_EQ(rt.hipMemGetInfo().freeBytes, free_before);  // blind spot
 
     rt.cpuFirstTouch(p, 64 * MiB);
-    rt.hipFree(p);
+    EXPECT_EQ(rt.hipFree(p), hip::hipSuccess);
     EXPECT_THROW(rt.cpuFirstTouch(p, 4 * KiB), SimError);
     EXPECT_GE(sys.auditor()->countOf(audit::ViolationKind::UseAfterFree),
               1u);
@@ -169,7 +169,7 @@ TEST(EdgeCases, AuditedBoundaryClampingRaisesNoViolations)
     k.buffers.push_back({p, 16 * KiB, 1 * MiB});  // oversized footprint
     rt.launchKernel(k, nullptr);
     rt.deviceSynchronize();
-    rt.hipFree(p);
+    EXPECT_EQ(rt.hipFree(p), hip::hipSuccess);
     sys.finalizeAudit();
     EXPECT_TRUE(sys.auditor()->clean()) << sys.auditor()->summary();
 }
@@ -231,7 +231,7 @@ TEST(EdgeCases, LastErrorIsStickyUntilRead)
     core::System sys(cfg1G());
     auto &rt = sys.runtime();
     EXPECT_EQ(rt.hipPeekAtLastError(), hip::hipSuccess);
-    rt.hipFree(0xdead0000);
+    EXPECT_EQ(rt.hipFree(0xdead0000), hip::hipErrorNotFound);
     EXPECT_EQ(rt.hipPeekAtLastError(), hip::hipErrorNotFound);
     // A successful call does not clear the sticky error (HIP keeps
     // the last *error*, not the last status).
@@ -239,7 +239,7 @@ TEST(EdgeCases, LastErrorIsStickyUntilRead)
     EXPECT_EQ(rt.hipPeekAtLastError(), hip::hipErrorNotFound);
     EXPECT_EQ(rt.hipGetLastError(), hip::hipErrorNotFound);
     EXPECT_EQ(rt.hipPeekAtLastError(), hip::hipSuccess);
-    rt.hipFree(p);
+    EXPECT_EQ(rt.hipFree(p), hip::hipSuccess);
 }
 
 TEST(EdgeCases, ManyStreamsGetDistinctIds)

@@ -37,7 +37,7 @@ TEST_F(HipTest, AllocateFreeAdvancesHostClock)
     DevPtr p = rt.hipMalloc(64 * MiB);
     EXPECT_GT(rt.now(), t0);
     SimTime t1 = rt.now();
-    rt.hipFree(p);
+    EXPECT_EQ(rt.hipFree(p), hipSuccess);
     EXPECT_GT(rt.now(), t1);
 }
 
@@ -54,7 +54,7 @@ TEST_F(HipTest, HostPtrRoundTrip)
     auto *data = rt.hostPtr<std::uint32_t>(p, 1024);
     data[1023] = 77;
     EXPECT_EQ(rt.hostPtr<std::uint32_t>(p, 1024)[1023], 77u);
-    rt.hipFree(p);
+    EXPECT_EQ(rt.hipFree(p), hipSuccess);
 }
 
 TEST_F(HipTest, MemGetInfoOnlySeesHipMalloc)
@@ -71,9 +71,9 @@ TEST_F(HipTest, MemGetInfoOnlySeesHipMalloc)
     // The NUMA view (libnuma) sees everything.
     EXPECT_LE(sys.meminfo().freeBytes(),
               before.freeBytes - 256 * MiB + 1 * MiB);
-    rt.hipFree(host);
-    rt.hipFree(pinned);
-    rt.hipFree(dev);
+    EXPECT_EQ(rt.hipFree(host), hipSuccess);
+    EXPECT_EQ(rt.hipFree(pinned), hipSuccess);
+    EXPECT_EQ(rt.hipFree(dev), hipSuccess);
 }
 
 TEST_F(HipTest, MemcpyMovesBytes)
@@ -83,8 +83,8 @@ TEST_F(HipTest, MemcpyMovesBytes)
     rt.hostPtr<char>(src, 8192)[100] = 'x';
     rt.hipMemcpy(dst, src, 8192);
     EXPECT_EQ(rt.hostPtr<char>(dst, 8192)[100], 'x');
-    rt.hipFree(src);
-    rt.hipFree(dst);
+    EXPECT_EQ(rt.hipFree(src), hipSuccess);
+    EXPECT_EQ(rt.hipFree(dst), hipSuccess);
 }
 
 TEST_F(HipTest, MemcpyPathSelection)
@@ -128,8 +128,8 @@ TEST_F(HipTest, MemcpyIntoOnDemandDestinationFaultsIt)
     std::uint64_t faults_before = rt.addressSpace().cpuFaults();
     rt.hipMemcpy(dst, src, 1 * MiB);
     EXPECT_EQ(rt.addressSpace().cpuFaults() - faults_before, 256u);
-    rt.hipFree(src);
-    rt.hipFree(dst);
+    EXPECT_EQ(rt.hipFree(src), hipSuccess);
+    EXPECT_EQ(rt.hipFree(dst), hipSuccess);
 }
 
 TEST_F(HipTest, KernelRunsBodyAndTimesTraffic)
@@ -144,7 +144,7 @@ TEST_F(HipTest, KernelRunsBodyAndTimesTraffic)
     // >= launch overhead + traffic at <= peak bandwidth.
     EXPECT_GT(d, sys.config().compute.kernelLaunchOverhead);
     EXPECT_GT(d, 32.0 * MiB / tbps(3.7));
-    rt.hipFree(buf);
+    EXPECT_EQ(rt.hipFree(buf), hipSuccess);
 }
 
 TEST_F(HipTest, KernelOnMallocWithoutXnackIsViolation)
@@ -171,7 +171,7 @@ TEST_F(HipTest, KernelFaultAccounting)
     rt.launchKernel(k, nullptr);
     EXPECT_EQ(rt.stats().gpuFaultedPagesMajor, 256u);
     EXPECT_EQ(rt.stats().gpuFaultedPagesMinor, 0u);
-    rt.hipFree(buf);
+    EXPECT_EQ(rt.hipFree(buf), hipSuccess);
 }
 
 TEST_F(HipTest, CpuPreFaultTurnsGpuFaultsMinor)
@@ -184,7 +184,7 @@ TEST_F(HipTest, CpuPreFaultTurnsGpuFaultsMinor)
     rt.launchKernel(k, nullptr);
     EXPECT_EQ(rt.stats().gpuFaultedPagesMajor, 0u);
     EXPECT_EQ(rt.stats().gpuFaultedPagesMinor, 256u);
-    rt.hipFree(buf);
+    EXPECT_EQ(rt.hipFree(buf), hipSuccess);
 }
 
 TEST_F(HipTest, StreamsOverlapHostWork)
@@ -204,7 +204,7 @@ TEST_F(HipTest, StreamsOverlapHostWork)
     rt.streamSynchronize(s);
     // Kernel (~tens of us) fits inside the host work: no extra wait.
     EXPECT_DOUBLE_EQ(rt.now(), launch_at + 1.0 * milliseconds);
-    rt.hipFree(buf);
+    EXPECT_EQ(rt.hipFree(buf), hipSuccess);
 }
 
 TEST_F(HipTest, StreamSerializesItsOwnWork)
@@ -229,7 +229,7 @@ TEST_F(HipTest, EventsMeasureStreamTime)
     Event stop = rt.eventRecord(s);
     EXPECT_NEAR(rt.eventElapsed(start, stop), d, 1e-9);
     EXPECT_THROW(rt.eventElapsed(Event{}, stop), SimError);
-    rt.hipFree(buf);
+    EXPECT_EQ(rt.hipFree(buf), hipSuccess);
 }
 
 TEST_F(HipTest, MemcpyAsyncOverlaps)
@@ -243,8 +243,8 @@ TEST_F(HipTest, MemcpyAsyncOverlaps)
     EXPECT_GT(s.readyAt(), t0);
     rt.streamSynchronize(s);
     EXPECT_GT(rt.now(), t0);
-    rt.hipFree(h);
-    rt.hipFree(d);
+    EXPECT_EQ(rt.hipFree(h), hipSuccess);
+    EXPECT_EQ(rt.hipFree(d), hipSuccess);
 }
 
 TEST_F(HipTest, PeakMemoryTracksWorstCase)
@@ -252,8 +252,8 @@ TEST_F(HipTest, PeakMemoryTracksWorstCase)
     rt.resetPeak();
     DevPtr a = rt.hipMalloc(128 * MiB);
     DevPtr b = rt.hipMalloc(128 * MiB);
-    rt.hipFree(a);
-    rt.hipFree(b);
+    EXPECT_EQ(rt.hipFree(a), hipSuccess);
+    EXPECT_EQ(rt.hipFree(b), hipSuccess);
     EXPECT_GE(rt.peakBytesUsed(), 256 * MiB);
 }
 
@@ -261,7 +261,7 @@ TEST_F(HipTest, HostRegisterUpgradesAllocation)
 {
     DevPtr p = rt.hostMalloc(1 * MiB);
     rt.cpuFirstTouch(p, 1 * MiB);
-    rt.hipHostRegister(p);
+    EXPECT_EQ(rt.hipHostRegister(p), hipSuccess);
     EXPECT_EQ(rt.allocationOf(p).kind,
               alloc::AllocatorKind::MallocRegistered);
     EXPECT_TRUE(rt.addressSpace().gpuPresent(p));
@@ -270,7 +270,7 @@ TEST_F(HipTest, HostRegisterUpgradesAllocation)
     KernelDesc k;
     k.buffers.push_back({p, 1 * MiB, 1 * MiB});
     EXPECT_NO_THROW(rt.launchKernel(k, nullptr));
-    rt.hipFree(p);
+    EXPECT_EQ(rt.hipFree(p), hipSuccess);
 }
 
 TEST_F(HipTest, UncachedManagedStaticIsSlowFromGpu)
@@ -283,8 +283,8 @@ TEST_F(HipTest, UncachedManagedStaticIsSlowFromGpu)
     SimTime tm = rt.launchKernel(km, nullptr);
     SimTime th = rt.launchKernel(kh, nullptr);
     EXPECT_GT(tm, 5.0 * th);
-    rt.hipFree(m);
-    rt.hipFree(h);
+    EXPECT_EQ(rt.hipFree(m), hipSuccess);
+    EXPECT_EQ(rt.hipFree(h), hipSuccess);
 }
 
 } // namespace

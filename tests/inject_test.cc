@@ -51,9 +51,9 @@ runOpSequence(core::System &sys)
             rt.hipMemcpy(dev, managed, 1 * MiB);
         } catch (const StatusError &) {
         }
-        rt.hipFree(dev);
+        EXPECT_EQ(rt.hipFree(dev), hip::hipSuccess);
     }
-    rt.hipFree(managed);
+    EXPECT_EQ(rt.hipFree(managed), hip::hipSuccess);
 }
 
 TEST(InjectDeterminism, SameSeedSameEventLog)

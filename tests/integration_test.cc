@@ -156,10 +156,10 @@ TEST(Integration, MeminfoTracksWorkloadPeak)
     std::uint64_t used0 = sys.meminfo().usedBytes();
     hip::DevPtr a = rt.hipMalloc(256 * MiB);
     hip::DevPtr b = rt.hipMalloc(256 * MiB);
-    rt.hipFree(a);
+    EXPECT_EQ(rt.hipFree(a), hip::hipSuccess);
     EXPECT_EQ(sys.meminfo().usedBytes(), used0 + 256 * MiB);
     EXPECT_GE(rt.peakBytesUsed(), used0 + 512 * MiB);
-    rt.hipFree(b);
+    EXPECT_EQ(rt.hipFree(b), hip::hipSuccess);
 }
 
 TEST(Integration, RepeatedAllocFreeCyclesAreStable)
@@ -179,8 +179,8 @@ TEST(Integration, RepeatedAllocFreeCyclesAreStable)
         rt.launchKernel(k, nullptr);
         rt.deviceSynchronize();
         rt.hipMemcpy(a, b, 8 * MiB);
-        rt.hipFree(round % 2 ? a : b);
-        rt.hipFree(round % 2 ? b : a);
+        EXPECT_EQ(rt.hipFree(round % 2 ? a : b), hip::hipSuccess);
+        EXPECT_EQ(rt.hipFree(round % 2 ? b : a), hip::hipSuccess);
     }
     EXPECT_EQ(sys.frames().freeFrames(), free0);
     EXPECT_EQ(sys.backing().totalBytes(), 0u);

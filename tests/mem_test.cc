@@ -232,7 +232,7 @@ TEST_F(FrameAllocatorTest, ScatteredRollbackOnPartialExhaustion)
 
 TEST_F(FrameAllocatorTest, PerStackFreeSumsToTotal)
 {
-    alloc.allocRun(5000);
+    ASSERT_TRUE(alloc.allocRun(5000).has_value());
     auto per_stack = alloc.perStackFree();
     std::uint64_t total = 0;
     for (auto n : per_stack)

@@ -49,7 +49,7 @@ TEST_F(PerfModelTest, GpuLatencyPlateaus)
     EXPECT_NEAR(lat(1 * MiB), 104.0, 6.0);
     EXPECT_NEAR(lat(128 * MiB), 210.0, 10.0);
     EXPECT_GT(lat(2 * GiB), 300.0);
-    rt.hipFree(p);
+    EXPECT_EQ(rt.hipFree(p), hipSuccess);
 }
 
 TEST_F(PerfModelTest, CpuLatencyPlateaus)
@@ -63,7 +63,7 @@ TEST_F(PerfModelTest, CpuLatencyPlateaus)
     EXPECT_NEAR(lat(64 * MiB), 25.0, 8.0);
     EXPECT_GT(lat(2 * GiB), 210.0);
     EXPECT_LT(lat(2 * GiB), 245.0);
-    rt.hipFree(p);
+    EXPECT_EQ(rt.hipFree(p), hipSuccess);
 }
 
 TEST_F(PerfModelTest, CpuLatencyIsBelowGpuLatency)
@@ -75,7 +75,7 @@ TEST_F(PerfModelTest, CpuLatencyIsBelowGpuLatency)
                   rt.perf().gpuChaseLatency(prof))
             << ws;
     }
-    rt.hipFree(p);
+    EXPECT_EQ(rt.hipFree(p), hipSuccess);
 }
 
 TEST_F(PerfModelTest, MallocLosesInfinityCacheOnCpuSide)
@@ -93,8 +93,8 @@ TEST_F(PerfModelTest, MallocLosesInfinityCacheOnCpuSide)
     // The GPU side is allocator-insensitive (same working set).
     EXPECT_NEAR(rt.perf().gpuChaseLatency(mal_prof),
                 rt.perf().gpuChaseLatency(hip_prof), 3.0);
-    rt.hipFree(hip_buf);
-    rt.hipFree(mal_buf);
+    EXPECT_EQ(rt.hipFree(hip_buf), hipSuccess);
+    EXPECT_EQ(rt.hipFree(mal_buf), hipSuccess);
 }
 
 TEST_F(PerfModelTest, GpuBandwidthLadder)
@@ -119,10 +119,10 @@ TEST_F(PerfModelTest, GpuBandwidthLadder)
     DevPtr man = rt.managedStatic(64 * MiB);
     EXPECT_NEAR(rt.perf().gpuStreamBandwidth(profileOf(man, 64 * MiB)),
                 103.0, 5.0);
-    rt.hipFree(hip_buf);
-    rt.hipFree(pinned);
-    rt.hipFree(mal);
-    rt.hipFree(man);
+    EXPECT_EQ(rt.hipFree(hip_buf), hipSuccess);
+    EXPECT_EQ(rt.hipFree(pinned), hipSuccess);
+    EXPECT_EQ(rt.hipFree(mal), hipSuccess);
+    EXPECT_EQ(rt.hipFree(man), hipSuccess);
 }
 
 TEST_F(PerfModelTest, CpuBandwidthCases)
@@ -141,8 +141,8 @@ TEST_F(PerfModelTest, CpuBandwidthCases)
     double bw24 = rt.perf().cpuStreamBandwidth(prof_b, 24);
     EXPECT_GT(bw24, 170.0);
     EXPECT_LT(bw24, 178.0);
-    rt.hipFree(pinned);
-    rt.hipFree(mal);
+    EXPECT_EQ(rt.hipFree(pinned), hipSuccess);
+    EXPECT_EQ(rt.hipFree(mal), hipSuccess);
 }
 
 TEST_F(PerfModelTest, GpuInitRescuesMallocCpuBandwidth)
@@ -155,7 +155,7 @@ TEST_F(PerfModelTest, GpuInitRescuesMallocCpuBandwidth)
     rt.deviceSynchronize();
     auto prof = profileOf(mal, 256 * MiB);
     EXPECT_NEAR(rt.perf().cpuStreamBandwidth(prof, 24), 208.0, 3.0);
-    rt.hipFree(mal);
+    EXPECT_EQ(rt.hipFree(mal), hipSuccess);
 }
 
 TEST_F(PerfModelTest, FragmentSpanReflectsPlacement)
@@ -165,8 +165,8 @@ TEST_F(PerfModelTest, FragmentSpanReflectsPlacement)
 
     DevPtr pinned = rt.hipHostMalloc(64 * MiB);
     EXPECT_LT(profileOf(pinned, 64 * MiB).avgFragmentSpan, 4.0);
-    rt.hipFree(hip_buf);
-    rt.hipFree(pinned);
+    EXPECT_EQ(rt.hipFree(hip_buf), hipSuccess);
+    EXPECT_EQ(rt.hipFree(pinned), hipSuccess);
 }
 
 TEST_F(PerfModelTest, ComputeTimes)

@@ -113,8 +113,8 @@ TEST(FreeMemory, ReliableSeesAllAllocatorsLegacyDoesNot)
     hip::DevPtr dev = rt.hipMalloc(128 * MiB);
     EXPECT_EQ(legacyFreeMemory(sys), legacy0 - 128 * MiB);
     EXPECT_EQ(reliableFreeMemory(sys), reliable0 - 256 * MiB);
-    rt.hipFree(host);
-    rt.hipFree(dev);
+    EXPECT_EQ(rt.hipFree(host), hip::hipSuccess);
+    EXPECT_EQ(rt.hipFree(dev), hip::hipSuccess);
 }
 
 } // namespace

@@ -87,8 +87,8 @@ TEST_F(MemViewTest, NumaSeesEverythingAfterBacking)
     EXPECT_EQ(sys.meminfo().freeBytes(), free0 - 128 * MiB);
     EXPECT_EQ(sys.meminfo().usedBytes(), 128 * MiB);
 
-    rt.hipFree(p);
-    rt.hipFree(q);
+    EXPECT_EQ(rt.hipFree(p), hip::hipSuccess);
+    EXPECT_EQ(rt.hipFree(q), hip::hipSuccess);
     EXPECT_EQ(sys.meminfo().freeBytes(), free0);
 }
 
@@ -101,7 +101,7 @@ TEST_F(MemViewTest, PerStackFreeSumsToFree)
     for (auto b : per_stack)
         sum += b;
     EXPECT_EQ(sum, sys.meminfo().freeBytes());
-    rt.hipFree(p);
+    EXPECT_EQ(rt.hipFree(p), hip::hipSuccess);
 }
 
 TEST_F(MemViewTest, RssMissesHipMalloc)
@@ -119,9 +119,9 @@ TEST_F(MemViewTest, RssMissesHipMalloc)
     // ...and hipMemGetInfo only hipMalloc.
     EXPECT_EQ(rt.hipMemGetInfo().freeBytes,
               sys.meminfo().totalBytes() - 64 * MiB);
-    rt.hipFree(host);
-    rt.hipFree(pinned);
-    rt.hipFree(dev);
+    EXPECT_EQ(rt.hipFree(host), hip::hipSuccess);
+    EXPECT_EQ(rt.hipFree(pinned), hip::hipSuccess);
+    EXPECT_EQ(rt.hipFree(dev), hip::hipSuccess);
 }
 
 TEST_F(MemViewTest, PerfStatCountsFaultsInWindow)
@@ -137,7 +137,7 @@ TEST_F(MemViewTest, PerfStatCountsFaultsInWindow)
     EXPECT_EQ(perf.pageFaults(), 1024u);
     perf.recordDtlbMisses(12345);
     EXPECT_EQ(perf.dtlbLoadMisses(), 12345u);
-    rt.hipFree(p);
+    EXPECT_EQ(rt.hipFree(p), hip::hipSuccess);
 }
 
 } // namespace

@@ -83,7 +83,7 @@ TEST(System, SmallerApuVariantWorksEndToEnd)
     k.buffers.push_back({p, 64 * MiB, 64 * MiB});
     EXPECT_NO_THROW(rt.launchKernel(k, nullptr));
     rt.deviceSynchronize();
-    rt.hipFree(p);
+    EXPECT_EQ(rt.hipFree(p), hip::hipSuccess);
 }
 
 TEST(Calibration, BundleIsInternallyConsistent)

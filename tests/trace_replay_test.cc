@@ -171,7 +171,7 @@ seededWorkload(core::System &sys, std::uint64_t seed)
             if (live.empty())
                 break;
             std::size_t victim = (roll >> 8) % live.size();
-            rt.hipFree(live[victim].first);
+            EXPECT_EQ(rt.hipFree(live[victim].first), hip::hipSuccess);
             live.erase(live.begin() + victim);
             break;
           }
@@ -241,9 +241,9 @@ TEST(TraceReplayDirected, ReplaysAcrossRecoverableOom)
            hip::hipSuccess)
         held.push_back(p);
     ASSERT_FALSE(held.empty());
-    rt.hipFree(held.back());
+    EXPECT_EQ(rt.hipFree(held.back()), hip::hipSuccess);
     held.back() = rt.allocate(AllocatorKind::HipMalloc, 8 * MiB);
-    rt.hipFree(held.front());
+    EXPECT_EQ(rt.hipFree(held.front()), hip::hipSuccess);
     held.front() = rt.hostMalloc(4 * MiB);
     rt.cpuFirstTouch(held.front(), 4 * MiB);
 

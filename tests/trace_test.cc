@@ -66,7 +66,7 @@ scenarioFaultStorm(core::System &sys)
     k.buffers.push_back({p, 256 * KiB, 256 * KiB});
     rt.launchKernel(k, nullptr);
     rt.deviceSynchronize();
-    rt.hipFree(p);
+    EXPECT_EQ(rt.hipFree(p), hip::hipSuccess);
 }
 
 /** 2. hipMallocManaged populate: up-front stack-interleaved frames
@@ -78,7 +78,7 @@ scenarioManagedPopulate(core::System &sys)
     hip::DevPtr p = rt.allocate(AllocatorKind::HipMallocManaged,
                                 512 * KiB);
     rt.cpuStream(p, 512 * KiB, 8);
-    rt.hipFree(p);
+    EXPECT_EQ(rt.hipFree(p), hip::hipSuccess);
 }
 
 core::SystemConfig
@@ -102,10 +102,10 @@ scenarioOversubscription(core::System &sys)
     while (rt.tryAllocate(AllocatorKind::HipMalloc, 32 * MiB, p) ==
            hip::hipSuccess)
         held.push_back(p);
-    rt.hipFree(held.back());
+    EXPECT_EQ(rt.hipFree(held.back()), hip::hipSuccess);
     held.back() = rt.allocate(AllocatorKind::HipMalloc, 16 * MiB);
     for (auto q : held)
-        rt.hipFree(q);
+        EXPECT_EQ(rt.hipFree(q), hip::hipSuccess);
 }
 
 core::SystemConfig
@@ -130,8 +130,8 @@ scenarioSdmaStall(core::System &sys)
     hip::DevPtr dst = rt.hipMalloc(4 * MiB);
     rt.hipMemcpy(dst, src, 4 * MiB);
     rt.hipMemcpy(src, dst, 2 * MiB);
-    rt.hipFree(src);
-    rt.hipFree(dst);
+    EXPECT_EQ(rt.hipFree(src), hip::hipSuccess);
+    EXPECT_EQ(rt.hipFree(dst), hip::hipSuccess);
 }
 
 /** Run @p scenario once on a fresh traced System; return the export. */

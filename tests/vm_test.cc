@@ -303,7 +303,7 @@ TEST_F(AddressSpaceTest, PinAndMapGpuKeepsScatteredPlacement)
 {
     VirtAddr base = mapOnDemand(1 * MiB);
     as.resolveCpuFault(vpnOf(base));  // partial CPU history
-    as.pinAndMapGpu(base);
+    EXPECT_EQ(as.pinAndMapGpu(base), Status::Success);
     const Vma *vma = as.findVma(base);
     ASSERT_NE(vma, nullptr);
     EXPECT_TRUE(vma->policy.pinned);
@@ -324,7 +324,7 @@ TEST_F(AddressSpaceTest, MunmapFreesEverything)
     VirtAddr base = as.mmapAnon(2 * MiB, policy, "tmp");
     as.populateRange(base, 2 * MiB);
     std::uint64_t free_before = frames.freeFrames();
-    as.munmap(base);
+    EXPECT_EQ(as.munmap(base), Status::Success);
     EXPECT_EQ(frames.freeFrames(), free_before + 512);
     EXPECT_EQ(as.findVma(base), nullptr);
     EXPECT_FALSE(as.gpuPresent(base));

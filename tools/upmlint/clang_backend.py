@@ -1,0 +1,97 @@
+"""Optional libclang AST backend for the status-discipline checker.
+
+The token-level checker in checkers.py is the portable baseline; this
+module, used when the `clang.cindex` Python bindings are importable
+(CI installs python3-clang pinned to the same LLVM as the lint job),
+re-derives "ignored status return" findings from the real AST so
+macro-heavy or template call sites the lexer cannot see are still
+caught. Findings are merged and de-duplicated by the driver.
+"""
+
+import os
+
+try:
+    from clang import cindex
+    HAVE_CINDEX = True
+except ImportError:  # pragma: no cover - exercised only without clang
+    HAVE_CINDEX = False
+
+from checkers import Finding
+
+
+class Unavailable(RuntimeError):
+    pass
+
+
+STATUS_TYPES = ("upm::Status", "Status", "hipError_t",
+                "upm::hip::hipError_t")
+
+
+def _compile_args(db, path):
+    cmds = db.getCompileCommands(path)
+    if not cmds:
+        return None
+    args = list(cmds[0].arguments)[1:]
+    cleaned = []
+    skip = False
+    for a in args:
+        if skip:
+            skip = False
+            continue
+        if a in ("-o", "-c"):
+            skip = a == "-o"
+            continue
+        if os.path.basename(a) == os.path.basename(path):
+            continue
+        cleaned.append(a)
+    return cleaned
+
+
+def check_status_ast(root, files, compdb_dir):
+    if not HAVE_CINDEX:
+        raise Unavailable("python3-clang not installed")
+    if not compdb_dir or not os.path.exists(
+            os.path.join(compdb_dir, "compile_commands.json")):
+        raise Unavailable("no compile_commands.json (pass --compdb)")
+    try:
+        index = cindex.Index.create()
+        db = cindex.CompilationDatabase.fromDirectory(compdb_dir)
+    except cindex.LibclangError as err:
+        raise Unavailable(str(err))
+
+    findings = []
+    for path in files:
+        if not path.endswith((".cc", ".cpp")):
+            continue
+        args = _compile_args(db, path)
+        if args is None:
+            continue
+        tu = index.parse(path, args=args)
+        rel = os.path.relpath(path, root)
+        findings.extend(_scan_tu(tu, path, rel))
+    return findings
+
+
+def _scan_tu(tu, path, rel):
+    """A CALL_EXPR that is a direct child of a CompoundStmt is a full
+    expression statement: its result is discarded."""
+    out = []
+    for cur in tu.cursor.walk_preorder():
+        if cur.kind != cindex.CursorKind.COMPOUND_STMT:
+            continue
+        if cur.location.file is None or str(cur.location.file) != path:
+            continue
+        for child in cur.get_children():
+            if child.kind != cindex.CursorKind.CALL_EXPR:
+                continue
+            rtype = child.type.get_canonical().spelling
+            callee = child.referenced
+            name = callee.spelling if callee is not None else ""
+            statusish = any(rtype.endswith(t) for t in STATUS_TYPES) or \
+                (name.startswith("try") and rtype != "void")
+            if not statusish:
+                continue
+            out.append(Finding(
+                rel, child.location.line, "status",
+                "(libclang) return value of '%s' is ignored" % name))
+    return out

@@ -1,0 +1,275 @@
+"""Minimal C++ lexer and scope model for UPMLint.
+
+UPMLint's checkers need just enough syntactic structure to reason
+about the repo's contracts: a comment/string-aware token stream, the
+brace-nesting of each token, and per-function block trees for the
+dominance-style hook check. This is deliberately not a full C++
+parser -- the repo's consistent gem5-style layout makes a token-level
+analysis reliable -- and when the libclang Python bindings are
+available the driver cross-checks the status checker against the real
+AST (see upmlint.py).
+
+Suppressions: a `// upmlint: <checker>-ok` comment on the same line
+(or the line immediately above) silences one diagnostic and is
+collected here so every checker honours it uniformly.
+"""
+
+import bisect
+import re
+from dataclasses import dataclass, field
+
+
+# Token kinds.
+IDENT = "ident"
+NUMBER = "number"
+STRING = "string"
+CHAR = "char"
+PUNCT = "punct"
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUMBER_RE = re.compile(r"\.?[0-9](?:[0-9a-zA-Z_.']|[eEpP][+-])*")
+# Longest-first so `->*`, `<<=`, `...` lex as one token.
+_PUNCT_RE = re.compile(
+    r"->\*|<<=|>>=|\.\.\.|::|->|\+\+|--|<<|>>|<=|>=|==|!=|&&|\|\||"
+    r"[-+*/%^&|~!<>=,?:;.(){}\[\]#\\@]"
+)
+_SUPPRESS_RE = re.compile(r"upmlint:\s*([a-z-]+)-ok")
+
+
+@dataclass
+class Token:
+    kind: str
+    text: str
+    line: int
+    col: int
+    depth: int = 0  # brace-nesting depth after lexing
+
+
+@dataclass
+class SourceFile:
+    path: str
+    text: str
+    tokens: list = field(default_factory=list)
+    # line -> set of checker names suppressed on that line
+    suppressions: dict = field(default_factory=dict)
+    line_offsets: list = field(default_factory=list)
+
+    def suppressed(self, checker, line):
+        for probe in (line, line + 1):
+            if checker in self.suppressions.get(probe, set()):
+                return True
+        return False
+
+
+def lex(path, text):
+    """Tokenize C++ source, recording comment-based suppressions."""
+    src = SourceFile(path=path, text=text)
+    offsets = [0]
+    for m in re.finditer("\n", text):
+        offsets.append(m.end())
+    src.line_offsets = offsets
+
+    def linecol(pos):
+        line = bisect.bisect_right(offsets, pos)
+        return line, pos - offsets[line - 1] + 1
+
+    def note_suppression(comment, pos):
+        for m in _SUPPRESS_RE.finditer(comment):
+            line, _ = linecol(pos)
+            src.suppressions.setdefault(line, set()).add(m.group(1))
+
+    i, n = 0, len(text)
+    depth = 0
+    while i < n:
+        c = text[i]
+        if c in " \t\r\n":
+            i += 1
+            continue
+        if text.startswith("//", i):
+            end = text.find("\n", i)
+            end = n if end == -1 else end
+            note_suppression(text[i:end], i)
+            i = end
+            continue
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            end = n - 2 if end == -1 else end
+            note_suppression(text[i:end], i)
+            i = end + 2
+            continue
+        if text.startswith('R"', i):
+            # Raw string: R"delim( ... )delim"
+            m = re.match(r'R"([^(\s]*)\(', text[i:])
+            if m:
+                closer = ")" + m.group(1) + '"'
+                end = text.find(closer, i + m.end())
+                end = n if end == -1 else end + len(closer)
+                line, col = linecol(i)
+                src.tokens.append(Token(STRING, text[i:end], line, col, depth))
+                i = end
+                continue
+        if c == '"' or (c == "'" and not _looks_like_digit_sep(text, i)):
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            line, col = linecol(i)
+            kind = STRING if quote == '"' else CHAR
+            src.tokens.append(Token(kind, text[i : j + 1], line, col, depth))
+            i = j + 1
+            continue
+        m = _IDENT_RE.match(text, i)
+        if m:
+            line, col = linecol(i)
+            src.tokens.append(Token(IDENT, m.group(), line, col, depth))
+            i = m.end()
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+            m = _NUMBER_RE.match(text, i)
+            line, col = linecol(i)
+            src.tokens.append(Token(NUMBER, m.group(), line, col, depth))
+            i = m.end()
+            continue
+        m = _PUNCT_RE.match(text, i)
+        if m:
+            tok = m.group()
+            if tok == "{":
+                depth += 1
+            line, col = linecol(i)
+            src.tokens.append(Token(PUNCT, tok, line, col, depth))
+            if tok == "}":
+                depth = max(0, depth - 1)
+            i = m.end()
+            continue
+        i += 1  # unknown byte: skip
+    return src
+
+
+def _looks_like_digit_sep(text, i):
+    """C++14 digit separator: 1'000'000."""
+    return i > 0 and text[i - 1].isdigit() and i + 1 < len(text) and \
+        text[i + 1].isdigit()
+
+
+def match_paren(tokens, open_idx):
+    """Index of the `)` matching tokens[open_idx] == `(`; -1 if none."""
+    pairs = {"(": ")", "[": "]", "{": "}"}
+    opener = tokens[open_idx].text
+    closer = pairs[opener]
+    depth = 0
+    for j in range(open_idx, len(tokens)):
+        t = tokens[j].text
+        if t == opener:
+            depth += 1
+        elif t == closer:
+            depth -= 1
+            if depth == 0:
+                return j
+    return -1
+
+
+def match_brace_back(tokens, close_idx):
+    """Index of the `{` matching tokens[close_idx] == `}`; -1 if none."""
+    depth = 0
+    for j in range(close_idx, -1, -1):
+        t = tokens[j].text
+        if t == "}":
+            depth += 1
+        elif t == "{":
+            depth -= 1
+            if depth == 0:
+                return j
+    return -1
+
+
+@dataclass
+class Block:
+    """One `{ ... }` region with the tokens of its controlling clause.
+
+    `control` holds the tokens between the controlling keyword and the
+    opening brace (for `if (x) {` that is `if ( x )`); empty for bare
+    blocks and function bodies.
+    """
+
+    open_idx: int
+    close_idx: int
+    control: list = field(default_factory=list)
+    parent: object = None
+
+
+def enclosing_blocks(tokens, idx):
+    """Blocks (innermost first) whose braces enclose token `idx`.
+
+    Walks outwards by brace matching; for each block, collects the
+    controlling clause tokens immediately before its `{`.
+    """
+    blocks = []
+    j = idx
+    while True:
+        # Find the nearest unmatched `{` before j.
+        depth = 0
+        open_idx = -1
+        k = j
+        while k >= 0:
+            t = tokens[k].text
+            if t == "}":
+                depth += 1
+            elif t == "{":
+                if depth == 0:
+                    open_idx = k
+                    break
+                depth -= 1
+            k -= 1
+        if open_idx < 0:
+            break
+        blocks.append(Block(open_idx, -1, _control_clause(tokens, open_idx)))
+        j = open_idx - 1
+    return blocks
+
+
+def _control_clause(tokens, open_idx):
+    """Tokens of the `if (...)` / `while (...)` clause before a `{`."""
+    j = open_idx - 1
+    if j < 0 or tokens[j].text != ")":
+        # `else {`, `do {`, function body, class body, bare block.
+        if j >= 0 and tokens[j].kind == IDENT and tokens[j].text == "else":
+            return [tokens[j]]
+        return []
+    # Walk back over the parenthesized condition.
+    depth = 0
+    k = j
+    while k >= 0:
+        t = tokens[k].text
+        if t == ")":
+            depth += 1
+        elif t == "(":
+            depth -= 1
+            if depth == 0:
+                break
+        k -= 1
+    if k <= 0:
+        return []
+    head = tokens[k - 1]
+    if head.kind == IDENT and head.text in ("if", "while", "for", "switch"):
+        return tokens[k - 1 : j + 1]
+    return []
+
+
+def statement_start(tokens, idx):
+    """Index of the first token of the statement containing `idx`."""
+    j = idx - 1
+    while j >= 0:
+        t = tokens[j].text
+        if t in (";", "{", "}", ":") and tokens[j].kind == PUNCT:
+            # `:` only ends a statement for labels/access specifiers;
+            # approximate by requiring the next token to start a line.
+            if t == ":" and j > 0 and tokens[j - 1].text in ("public",
+                                                            "private",
+                                                            "protected",
+                                                            "default",
+                                                            "case"):
+                return j + 1
+            if t != ":":
+                return j + 1
+        j -= 1
+    return 0

@@ -1,0 +1,64 @@
+// UPMLint fixture: seeded determinism violations in a sim layer.
+//
+// The fake src/mem/ path puts this file under the determinism
+// contract. Each tagged line must fire exactly once.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+namespace upm::fixture {
+
+struct Page
+{
+    int frame = 0;
+};
+
+class DetBreaker
+{
+  public:
+    void
+    wallClockSources()
+    {
+        auto t0 = std::chrono::steady_clock::now();   // upmlint-expect: determinism
+        auto t1 = std::chrono::system_clock::now();   // upmlint-expect: determinism
+        std::random_device rd;                        // upmlint-expect: determinism
+        int r = rand();                               // upmlint-expect: determinism
+        long w = time(nullptr);                       // upmlint-expect: determinism
+        (void)t0; (void)t1; (void)rd; (void)r; (void)w;
+    }
+
+    void
+    unorderedIteration()
+    {
+        for (auto &entry : busyPages) {               // upmlint-expect: determinism
+            entry.second.frame += 1;
+        }
+        for (auto it = busyPages.begin();             // upmlint-expect: determinism
+             it != busyPages.end(); ++it) {
+            it->second.frame += 1;
+        }
+    }
+
+    void
+    orderedIterationIsFine()
+    {
+        for (auto &entry : sortedPages)
+            entry.second.frame += 1;
+        std::vector<int> keys;
+        for (int k : keyList)
+            keys.push_back(k);
+    }
+
+  private:
+    std::unordered_map<int, Page> busyPages;
+    std::map<int, Page> sortedPages;
+    std::vector<int> keyList;
+    std::map<Page *, int> byAddress;                  // upmlint-expect: determinism
+};
+
+} // namespace upm::fixture

@@ -1,0 +1,64 @@
+// UPMLint fixture: seeded lock-discipline violations.
+//
+// The lock contract: mutex-holding simulator classes use the
+// annotated upm::Mutex family (common/mutex.hh), guarded fields are
+// only touched with the mutex visibly held or under UPM_REQUIRES,
+// and bare .lock()/.unlock() only appears in annotated functions.
+
+#include <mutex>
+
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
+
+namespace upm::fixture {
+
+class BadRawMutex
+{
+  private:
+    std::mutex mtx;                    // upmlint-expect: locks
+    std::condition_variable cv;        // upmlint-expect: locks
+    int value = 0;
+};
+
+class BadGuardedAccess
+{
+  public:
+    void
+    unguardedWrite()
+    {
+        counter += 1;                  // upmlint-expect: locks
+    }
+
+    void
+    guardedWrite()
+    {
+        MutexLock lock(mtx);
+        counter += 1;                  // held: no finding
+    }
+
+    void
+    annotatedWrite() UPM_REQUIRES(mtx)
+    {
+        counter += 1;                  // REQUIRES: no finding
+    }
+
+    void
+    manualLock()
+    {
+        mtx.lock();                    // upmlint-expect: locks
+        counter += 1;                  // lock() counts as acquisition
+        mtx.unlock();                  // upmlint-expect: locks
+    }
+
+    void
+    annotatedManual() UPM_ACQUIRE(mtx)
+    {
+        mtx.lock();                    // annotated: no finding
+    }
+
+  private:
+    Mutex mtx;
+    int counter UPM_GUARDED_BY(mtx) = 0;
+};
+
+} // namespace upm::fixture

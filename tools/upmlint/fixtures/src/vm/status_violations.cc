@@ -1,0 +1,57 @@
+// UPMLint fixture: seeded status-discipline violations.
+//
+// Each line tagged `upmlint-expect: <checker>` below must produce
+// exactly one diagnostic from that checker; upmlint_test.py fails if
+// any tagged line is missed or any untagged line fires. The fixture
+// lives under a fake src/vm/ so the path-scoped checkers treat it as
+// simulator code. It is never compiled.
+
+#include "common/status.hh"
+
+namespace upm::fixture {
+
+struct FakeResult
+{
+    Status status = Status::Success;
+};
+
+class FakeSpace
+{
+  public:
+    Status munmap(int base);
+    FakeResult tryPopulateRange(int base, int size);
+    hipError_t hipFree(int ptr);
+    bool tryLock();
+    void touch();
+
+    void
+    violations()
+    {
+        munmap(1);              // upmlint-expect: status
+        tryPopulateRange(0, 4); // upmlint-expect: status
+        hipFree(9);             // upmlint-expect: status
+        this->munmap(2);        // upmlint-expect: status
+    }
+
+    void
+    cleanUses()
+    {
+        Status s = munmap(1);   // consumed: no finding
+        if (s != Status::Success)
+            touch();
+        (void)hipFree(9);       // explicit discard: no finding
+        FakeResult r = tryPopulateRange(0, 4);
+        if (r.status != Status::Success)
+            touch();
+        touch();                // void call: no finding
+        munmap(3);              // upmlint: status-ok (teardown best-effort)
+    }
+
+    Status
+    forwarded()
+    {
+        return munmap(4);       // returned: no finding
+    }
+};
+
+} // namespace upm::fixture

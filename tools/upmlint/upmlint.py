@@ -1,0 +1,287 @@
+#!/usr/bin/env python3
+"""UPMLint: repo-specific static analysis for the UPM simulator.
+
+Enforces the four machine-checkable contracts the simulator's eras
+rest on (DESIGN.md section 12): status-discipline, determinism,
+hook-discipline and lock-discipline. Runs anywhere python3 runs; when
+the libclang Python bindings are installed (CI pins them; see
+.github/workflows/ci.yml) the status checker is additionally
+cross-checked against the real clang AST via compile_commands.json.
+
+Usage:
+    tools/upmlint/upmlint.py [--root DIR] [--compdb BUILDDIR]
+                             [--checker NAME]... [PATH...]
+
+PATHs (files or directories, default: src bench tests) are linted;
+the project model is always built from the whole tree under --root so
+cross-file facts (status APIs, guarded fields, unordered members)
+stay complete. Exit status 1 when findings are reported.
+
+Suppressing one finding: append `// upmlint: <checker>-ok` (same line
+or the line above) with a short reason. Suppressions are themselves
+greppable, so the escape hatch stays auditable.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import checkers as ck  # noqa: E402
+from cxx import IDENT, STRING, lex, match_paren  # noqa: E402
+
+CHECKERS = {
+    "status": ck.check_status,
+    "determinism": ck.check_determinism,
+    "hooks": ck.check_hooks,
+    "locks": ck.check_locks,
+}
+
+SOURCE_EXTS = (".cc", ".hh", ".cpp", ".h")
+
+# Functions whose return is a Status in disguise or a must-check
+# success flag, beyond what the scanners below discover syntactically.
+EXTRA_STATUS_FUNCTIONS = ()
+
+STATUS_RETURN_TYPES = ("Status", "hipError_t")
+TRY_NAME_RE = re.compile(r"^try[A-Z]")
+
+
+class Project:
+    """Cross-file facts shared by every checker."""
+
+    def __init__(self):
+        self.status_functions = set(EXTRA_STATUS_FUNCTIONS)
+        # path -> set of unordered container identifiers declared there
+        self.unordered_by_file = {}
+        # path -> {field -> mutex} declared there
+        self.guarded_by_file = {}
+        # path -> set of project-relative include paths
+        self.includes = {}
+        self.files = {}  # path -> SourceFile
+
+    def _related(self, path):
+        """The file itself, its same-stem sibling, and its includes."""
+        rel = [path]
+        stem, ext = os.path.splitext(path)
+        for other in (stem + ".hh", stem + ".cc", stem + ".h"):
+            if other != path and other in self.files:
+                rel.append(other)
+        for inc in self.includes.get(path, ()):  # direct includes only
+            for known in self.files:
+                if known.endswith(inc):
+                    rel.append(known)
+        return rel
+
+    def unordered_names_for(self, path):
+        names = set()
+        for p in self._related(path):
+            names |= self.unordered_by_file.get(p, set())
+        return names
+
+    def guarded_fields_for(self, path):
+        fields = {}
+        for p in self._related(path):
+            fields.update(self.guarded_by_file.get(p, {}))
+        return fields
+
+
+def scan_file_facts(project, src):
+    toks = src.tokens
+    unordered = set()
+    guarded = {}
+    includes = set()
+    for i, t in enumerate(toks):
+        if t.text == "#" and i + 2 < len(toks) and \
+                toks[i + 1].text == "include" and \
+                toks[i + 2].kind == STRING:
+            includes.add(toks[i + 2].text.strip('"'))
+        if t.kind == IDENT and t.text in ck.UNORDERED_TYPES and \
+                i + 1 < len(toks) and toks[i + 1].text == "<":
+            j = _skip_template(toks, i + 1)
+            if 0 < j < len(toks) and toks[j].kind == IDENT:
+                unordered.add(toks[j].text)
+        if t.kind == IDENT and t.text == "UPM_GUARDED_BY" and i > 0 and \
+                toks[i - 1].kind == IDENT and i + 2 < len(toks) and \
+                toks[i + 1].text == "(":
+            close = match_paren(toks, i + 1)
+            if close == i + 3 and toks[i + 2].kind == IDENT:
+                guarded[toks[i - 1].text] = toks[i + 2].text
+        # Status-returning function declarations/definitions, try* APIs
+        # and [[nodiscard]] functions: `<type> name (`.
+        if t.kind == IDENT and i + 1 < len(toks) and \
+                toks[i + 1].text == "(":
+            name = t.text
+            is_try = bool(TRY_NAME_RE.match(name))
+            prev = toks[i - 1] if i > 0 else None
+            returns_status = (prev is not None and prev.kind == IDENT and
+                              prev.text in STATUS_RETURN_TYPES)
+            nodiscard = _preceded_by_nodiscard(toks, i)
+            if (is_try or returns_status or nodiscard) and \
+                    name not in ("if", "while", "for", "switch"):
+                # Only declarations introduce API names: require the
+                # previous token to be a type-ish ident, `&`, `*` or
+                # `]]` -- calls are prefixed by `.`/`->`/`(`/operators.
+                if prev is not None and (
+                        prev.kind == IDENT or
+                        prev.text in ("*", "&", "]")):
+                    project.status_functions.add(name)
+    project.unordered_by_file[src.path] = unordered
+    project.guarded_by_file[src.path] = guarded
+    project.includes[src.path] = includes
+
+
+def _skip_template(toks, lt_idx):
+    depth = 0
+    j = lt_idx
+    while j < len(toks):
+        txt = toks[j].text
+        if txt == "<":
+            depth += 1
+        elif txt in (">", ">>"):
+            depth -= 2 if txt == ">>" else 1
+            if depth <= 0:
+                return j + 1
+        elif txt in (";", "{"):
+            return -1
+        j += 1
+    return -1
+
+
+def _preceded_by_nodiscard(toks, name_idx):
+    """`[[nodiscard]] <type...> name(` within the last few tokens."""
+    j = name_idx - 1
+    seen = 0
+    while j >= 0 and seen < 8:
+        if toks[j].kind == IDENT and toks[j].text == "nodiscard":
+            return True
+        if toks[j].text in (";", "{", "}", ")"):
+            return False
+        j -= 1
+        seen += 1
+    return False
+
+
+def collect_sources(root, paths):
+    files = []
+    for p in paths:
+        full = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isfile(full):
+            files.append(full)
+            continue
+        for dirpath, dirnames, filenames in os.walk(full):
+            dirnames[:] = [d for d in dirnames
+                           if d not in ("build", ".git", "fixtures")]
+            for fn in sorted(filenames):
+                if fn.endswith(SOURCE_EXTS):
+                    files.append(os.path.join(dirpath, fn))
+    return sorted(set(files))
+
+
+def build_project(root, model_paths):
+    project = Project()
+    for path in collect_sources(root, model_paths):
+        rel = os.path.relpath(path, root)
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                text = f.read()
+        except OSError as err:
+            print("upmlint: cannot read %s: %s" % (rel, err),
+                  file=sys.stderr)
+            continue
+        src = lex(rel, text)
+        project.files[rel] = src
+        scan_file_facts(project, src)
+    return project
+
+
+def run(root, lint_paths, model_paths, selected, use_libclang="auto",
+        compdb=None):
+    project = build_project(root, model_paths)
+    wanted = collect_sources(root, lint_paths)
+    findings = []
+    for path in wanted:
+        rel = os.path.relpath(path, root)
+        src = project.files.get(rel)
+        if src is None:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                src = lex(rel, f.read())
+            scan_file_facts(project, src)
+            project.files[rel] = src
+        for name in selected:
+            findings.extend(CHECKERS[name](src, project))
+
+    if use_libclang != "off":
+        findings.extend(_libclang_cross_check(root, wanted, compdb,
+                                              use_libclang))
+
+    findings.sort(key=lambda f: (f.path, f.line, f.checker))
+    # De-duplicate (token and AST backends can agree on a finding).
+    seen = set()
+    unique = []
+    for f in findings:
+        key = (f.path, f.line, f.checker)
+        if key not in seen:
+            seen.add(key)
+            unique.append(f)
+    return unique
+
+
+def _libclang_cross_check(root, files, compdb, mode):
+    """AST-backed status check when python3-clang is installed."""
+    try:
+        import clang_backend
+    except ImportError:
+        return []
+    try:
+        return clang_backend.check_status_ast(root, files, compdb)
+    except clang_backend.Unavailable as err:
+        if mode == "on":
+            print("upmlint: libclang requested but unavailable: %s" % err,
+                  file=sys.stderr)
+            sys.exit(2)
+        return []
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="repo-specific static analysis for upmsim")
+    ap.add_argument("paths", nargs="*", default=None,
+                    help="files/directories to lint (default: src bench "
+                         "tests)")
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: two levels up from this "
+                         "script)")
+    ap.add_argument("--checker", action="append", choices=sorted(CHECKERS),
+                    help="run only this checker (repeatable)")
+    ap.add_argument("--compdb", default=None, metavar="BUILDDIR",
+                    help="build dir with compile_commands.json for the "
+                         "libclang backend")
+    ap.add_argument("--use-libclang", choices=("auto", "on", "off"),
+                    default="auto")
+    ap.add_argument("--model-paths", nargs="*", default=["src"],
+                    help="extra trees scanned for cross-file facts")
+    args = ap.parse_args(argv)
+
+    root = args.root or os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    lint_paths = args.paths or ["src", "bench", "tests"]
+    model_paths = sorted(set(args.model_paths) | set(lint_paths))
+    selected = args.checker or sorted(CHECKERS)
+
+    findings = run(root, lint_paths, model_paths, selected,
+                   args.use_libclang, args.compdb)
+    for f in findings:
+        print("%s:%d: [%s] %s" % (f.path, f.line, f.checker, f.message))
+    if findings:
+        print("upmlint: %d finding(s)" % len(findings), file=sys.stderr)
+        return 1
+    print("upmlint: clean (%d checker(s))" % len(selected),
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Fixture suite for UPMLint.
+
+Every fixture line tagged `// upmlint-expect: <checker>` must yield
+exactly one diagnostic of that checker at that file:line, and no
+untagged line may fire at all. This pins both directions: the
+checkers keep catching the seeded violation classes, and they do not
+regress into noise on the guarded/clean forms sitting next to them.
+
+Run directly (`python3 tools/upmlint/upmlint_test.py`) or via ctest
+(registered as `upmlint_fixtures` in tests/CMakeLists.txt).
+"""
+
+import os
+import re
+import sys
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, HERE)
+
+import upmlint  # noqa: E402
+from cxx import lex  # noqa: E402
+
+FIXTURE_ROOT = os.path.join(HERE, "fixtures")
+EXPECT_RE = re.compile(r"upmlint-expect:\s*([a-z-]+)")
+
+# The acceptance floor: the fixture suite must seed at least this many
+# violations overall and per checker class.
+MIN_TOTAL = 12
+MIN_PER_CHECKER = 3
+
+
+def expected_findings():
+    """(path, line, checker) tuples harvested from fixture comments."""
+    expected = set()
+    for dirpath, _, filenames in os.walk(FIXTURE_ROOT):
+        for fn in sorted(filenames):
+            if not fn.endswith((".cc", ".hh")):
+                continue
+            path = os.path.join(dirpath, fn)
+            rel = os.path.relpath(path, FIXTURE_ROOT)
+            with open(path, encoding="utf-8") as f:
+                for lineno, line in enumerate(f, start=1):
+                    for m in EXPECT_RE.finditer(line):
+                        expected.add((rel, lineno, m.group(1)))
+    return expected
+
+
+def actual_findings():
+    findings = upmlint.run(FIXTURE_ROOT, ["src"], ["src"],
+                           sorted(upmlint.CHECKERS), use_libclang="off")
+    return {(f.path, f.line, f.checker) for f in findings}
+
+
+class FixtureSuite(unittest.TestCase):
+    def test_every_seeded_violation_is_caught(self):
+        expected = expected_findings()
+        actual = actual_findings()
+        missed = expected - actual
+        self.assertFalse(
+            missed,
+            "seeded violations NOT caught:\n  " +
+            "\n  ".join("%s:%d [%s]" % m for m in sorted(missed)))
+
+    def test_no_findings_on_untagged_lines(self):
+        expected = expected_findings()
+        actual = actual_findings()
+        spurious = actual - expected
+        self.assertFalse(
+            spurious,
+            "diagnostics on clean fixture lines:\n  " +
+            "\n  ".join("%s:%d [%s]" % s for s in sorted(spurious)))
+
+    def test_fixture_floor(self):
+        expected = expected_findings()
+        self.assertGreaterEqual(len(expected), MIN_TOTAL)
+        by_checker = {}
+        for _, _, checker in expected:
+            by_checker[checker] = by_checker.get(checker, 0) + 1
+        for checker in upmlint.CHECKERS:
+            self.assertGreaterEqual(
+                by_checker.get(checker, 0), MIN_PER_CHECKER,
+                "fixture suite seeds too few '%s' violations" % checker)
+
+    def test_diagnostics_carry_file_and_line(self):
+        findings = upmlint.run(FIXTURE_ROOT, ["src"], ["src"],
+                               sorted(upmlint.CHECKERS),
+                               use_libclang="off")
+        for f in findings:
+            self.assertTrue(f.path.endswith(".cc"))
+            self.assertGreater(f.line, 0)
+            self.assertTrue(f.message)
+
+
+class LexerSanity(unittest.TestCase):
+    def test_strings_and_comments_are_opaque(self):
+        src = lex("t.cc", 'int x; // rand() in a comment\n'
+                          'const char *s = "rand()";\n')
+        idents = [t.text for t in src.tokens if t.kind == "ident"]
+        self.assertNotIn("rand", idents)
+
+    def test_suppression_collected(self):
+        src = lex("t.cc", "f();  // upmlint: status-ok (teardown)\n")
+        self.assertTrue(src.suppressed("status", 1))
+        self.assertFalse(src.suppressed("hooks", 1))
+
+    def test_depth_tracking(self):
+        src = lex("t.cc", "void f() { if (x) { y(); } }\n")
+        closing = [t for t in src.tokens if t.text == "}"]
+        self.assertEqual([t.depth for t in closing], [2, 1])
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -94,6 +94,10 @@ struct Options
      *  given working-set/capacity factor. 0 = full sweep. */
     double oversubscribe = 0.0;
 
+    /** --sockets N (multi-socket benches): run only the N-socket
+     *  configuration. 0 = the bench's full socket-count sweep. */
+    unsigned sockets = 0;
+
     // UPMTrace flags (every bench).
     std::string tracePath;  //!< --trace <path>; empty = tracing off
     /** --trace-filter <layer,...>; default all layers. */
@@ -103,7 +107,8 @@ struct Options
 
     static Options
     parse(int argc, char **argv, bool allow_audit = false,
-          bool allow_inject = false, bool allow_oversubscribe = false)
+          bool allow_inject = false, bool allow_oversubscribe = false,
+          bool allow_sockets = false)
     {
         Options opt;
         for (int i = 1; i < argc; ++i) {
@@ -163,12 +168,22 @@ struct Options
                     std::exit(2);
                 }
                 opt.oversubscribe = v;
+            } else if (allow_sockets &&
+                       std::strcmp(arg, "--sockets") == 0 &&
+                       i + 1 < argc) {
+                long v = std::strtol(argv[++i], nullptr, 10);
+                if (v <= 0) {
+                    std::fprintf(stderr,
+                                 "--sockets needs a count > 0\n");
+                    std::exit(2);
+                }
+                opt.sockets = static_cast<unsigned>(v);
             } else {
                 std::fprintf(stderr,
                              "usage: %s [--json <path>] [--workers N] "
                              "[--smoke] [--trace <path>] "
                              "[--trace-filter <layer,...>] "
-                             "[--trace-ring [cap]]%s%s%s\n",
+                             "[--trace-ring [cap]]%s%s%s%s\n",
                              argv[0], allow_audit ? " [--audit]" : "",
                              allow_inject
                                  ? " [--inject] [--inject-seed S]"
@@ -176,7 +191,8 @@ struct Options
                                  : "",
                              allow_oversubscribe
                                  ? " [--oversubscribe F]"
-                                 : "");
+                                 : "",
+                             allow_sockets ? " [--sockets N]" : "");
                 std::exit(2);
             }
         }

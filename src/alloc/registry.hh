@@ -13,6 +13,7 @@
 
 #include "alloc/hip_allocators.hh"
 #include "alloc/malloc_sim.hh"
+#include "vm/address_space.hh"
 
 namespace upm::audit {
 class Auditor;
@@ -50,6 +51,25 @@ class AllocatorRegistry
 
     vm::AddressSpace &addressSpace() { return as; }
     const AllocCosts &costs() const { return cost; }
+
+    /**
+     * Cross-socket placement mode for every allocation made after this
+     * call (each new VMA snapshots the mode at mmap time, numactl
+     * style). Forwards to vm::AddressSpace::setDefaultSocketPolicy;
+     * meaningless (but harmless) on a one-socket node.
+     */
+    void
+    setSocketPlacement(vm::SocketPolicy policy, unsigned home_socket = 0)
+    {
+        as.setDefaultSocketPolicy(policy, home_socket);
+    }
+
+    /** The placement mode new allocations will snapshot. */
+    vm::SocketPolicy
+    socketPlacement() const
+    {
+        return as.defaultSocketPolicy();
+    }
 
     /** Attach UPMSan: allocate/deallocate shadow the live-range map
      *  that powers the overlap and use-after-free checks. */

@@ -22,6 +22,7 @@ const char *const kKindNames[] = {
     "ic-stale-fill",
     "cpu-gpu-race",
     "gpu-gpu-race",
+    "cross-socket-owner",
 };
 
 } // namespace

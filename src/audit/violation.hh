@@ -45,6 +45,11 @@ enum class ViolationKind : std::uint8_t {
     // Simulated CPU <-> GPU happens-before races over pages.
     CpuGpuRace,  //!< CPU and GPU touch a page with no ordering edge
     GpuGpuRace,  //!< two streams touch a page with no ordering edge
+
+    // mem: multi-socket frame-shard invariants (appended so recorded
+    // kind ids stay stable).
+    CrossSocketOwner,  //!< a frame is mapped/busy outside the shard
+                       //!< that owns its global id range
 };
 
 /** Human-readable name of a violation kind. */

@@ -4,12 +4,37 @@
 
 namespace upm::core {
 
-Apu::Apu(const SystemConfig &config) : cfg(config)
+Status
+Apu::validate(const SystemConfig &config)
 {
-    if (cfg.numXcds == 0 || cfg.numCus % cfg.numXcds != 0)
-        fatal("CU count must divide across XCDs");
-    if (cfg.numCpuCores % 3 != 0)
-        fatal("CPU cores must divide across 3 CCDs");
+    if (config.numXcds == 0 || config.numCus == 0 ||
+        config.numCus % config.numXcds != 0) {
+        return Status::InvalidValue;
+    }
+    if (config.numCcds == 0 || config.numCpuCores == 0 ||
+        config.numCpuCores % config.numCcds != 0) {
+        return Status::InvalidValue;
+    }
+    if (config.numIods == 0)
+        return Status::InvalidValue;
+    if (config.numSockets == 0)
+        return Status::InvalidValue;
+    return Status::Success;
+}
+
+Apu::Apu(const SystemConfig &config, unsigned socket)
+    : cfg(config), socketId(socket)
+{
+    Status status = validate(cfg);
+    if (status != Status::Success) {
+        throw StatusError(
+            status,
+            strprintf("APU topology: %u CUs / %u XCDs, %u cores / %u "
+                      "CCDs, %u IODs, %u sockets (counts must be "
+                      "nonzero and divisible)",
+                      cfg.numCus, cfg.numXcds, cfg.numCpuCores,
+                      cfg.numCcds, cfg.numIods, cfg.numSockets));
+    }
 }
 
 unsigned
@@ -32,10 +57,10 @@ std::string
 Apu::description() const
 {
     return strprintf(
-        "MI300A model: %u CUs (%u XCDs x %u), %u CPU cores (3 CCDs x "
+        "MI300A model: %u CUs (%u XCDs x %u), %u CPU cores (%u CCDs x "
         "%u), %u HBM stacks, %.1f GiB modelled capacity (%.0f GiB real)",
         cfg.numCus, cfg.numXcds, cusPerXcd(), cfg.numCpuCores,
-        coresPerCcd(), cfg.geometry.numStacks,
+        numCcds(), coresPerCcd(), cfg.geometry.numStacks,
         static_cast<double>(cfg.geometry.capacityBytes) /
             static_cast<double>(GiB),
         static_cast<double>(cfg.realCapacityBytes) /

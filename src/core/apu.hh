@@ -2,7 +2,9 @@
  * @file
  * APU topology description (Fig. 1 of the paper): six XCDs with 38 CUs
  * each (228 presented as one device), three CCDs with 8 Zen4 cores,
- * four IODs carrying the HBM3 interfaces and Infinity Fabric.
+ * four IODs carrying the HBM3 interfaces and Infinity Fabric. All
+ * counts are config-driven; non-divisible geometries are rejected with
+ * Status::InvalidValue at validation.
  */
 
 #ifndef UPM_CORE_APU_HH
@@ -10,23 +12,36 @@
 
 #include <string>
 
+#include "common/status.hh"
 #include "core/calibration.hh"
 
 namespace upm::core {
 
-/** Static topology of one MI300A. */
+/** Static topology of one MI300A socket. */
 class Apu
 {
   public:
-    explicit Apu(const SystemConfig &config);
+    /** @param socket this APU's socket id on the node (0-based). */
+    explicit Apu(const SystemConfig &config, unsigned socket = 0);
+
+    /**
+     * Check a topology before building it: CU count must divide across
+     * XCDs and CPU cores across CCDs -- a remainder would silently
+     * truncate coresPerCcd()/cusPerXcd(). @return Status::InvalidValue
+     * for zero or non-divisible counts, Status::Success otherwise.
+     */
+    static Status validate(const SystemConfig &config);
 
     unsigned numCus() const { return cfg.numCus; }
     unsigned numXcds() const { return cfg.numXcds; }
     unsigned cusPerXcd() const { return cfg.numCus / cfg.numXcds; }
     unsigned numCpuCores() const { return cfg.numCpuCores; }
-    unsigned numCcds() const { return 3; }
-    unsigned coresPerCcd() const { return cfg.numCpuCores / 3; }
-    unsigned numIods() const { return 4; }
+    unsigned numCcds() const { return cfg.numCcds; }
+    unsigned coresPerCcd() const { return cfg.numCpuCores / cfg.numCcds; }
+    unsigned numIods() const { return cfg.numIods; }
+
+    /** This APU's socket id on the (possibly multi-APU) node. */
+    unsigned socket() const { return socketId; }
 
     /** XCD that owns compute unit @p cu. */
     unsigned xcdOfCu(unsigned cu) const;
@@ -41,6 +56,7 @@ class Apu
 
   private:
     SystemConfig cfg;
+    unsigned socketId = 0;
 };
 
 } // namespace upm::core

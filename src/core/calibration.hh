@@ -16,6 +16,7 @@
 
 #include "audit/config.hh"
 #include "cache/atomic_unit.hh"
+#include "fabric/fabric.hh"
 #include "inject/config.hh"
 #include "cache/directory.hh"
 #include "cache/hierarchy.hh"
@@ -211,10 +212,21 @@ struct SystemConfig
     inject::InjectConfig inject;
     /** UPMTrace structured event bus (off by default). */
     trace::TraceConfig trace;
+    /** Inter-APU xGMI link calibration (used when numSockets > 1). */
+    fabric::FabricConfig fabric;
 
     unsigned numCus = 228;      //!< compute units (6 XCDs)
     unsigned numXcds = 6;
     unsigned numCpuCores = 24;  //!< 3 CCDs x 8 Zen4 cores
+    unsigned numCcds = 3;       //!< CCDs per APU (Fig. 1)
+    unsigned numIods = 4;       //!< IODs per APU (Fig. 1)
+    /**
+     * APUs on the node. 1 models the paper's single MI300A; 4 models
+     * the Inter-APU paper's real deployment node. Each socket brings
+     * its own `geometry`-sized HBM shard, Apu topology and GPU
+     * page-table/IC state, joined by the `fabric` link model.
+     */
+    unsigned numSockets = 1;
     bool xnack = false;
     bool sdmaEnabled = true;
 

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Inter-APU characterization probe (bench_interapu).
+ *
+ * Mirrors the Inter-APU deep-dive's experiment shapes on a simulated
+ * N-socket node: for every (access socket, home socket) pair it homes
+ * a region on one socket, touches it from another, and reports the
+ * modelled stream bandwidth, dependent-load latency and remote fault
+ * service time -- local HBM when src == dst, the xGMI link model
+ * otherwise, with the asymmetry and per-hop taper visible in the
+ * numbers. A second entry point sweeps the cross-socket placement
+ * modes (home / first-touch / interleave / replicate) for one access
+ * socket, the way numactl policy sweeps do on real nodes.
+ *
+ * Deterministic: every metric is a pure function of (config, pair),
+ * so sweep results are independent of worker count and run order.
+ */
+
+#ifndef UPM_CORE_INTERAPU_PROBE_HH
+#define UPM_CORE_INTERAPU_PROBE_HH
+
+#include <cstdint>
+
+#include "core/system.hh"
+
+namespace upm::core {
+
+/** One (access socket, home socket) measurement. */
+struct InterApuPairResult
+{
+    unsigned accessSocket = 0;
+    unsigned homeSocket = 0;
+    unsigned hops = 0;          //!< 0 == local HBM
+    bool farDirection = false;  //!< penalized link direction
+    double remoteFraction = 0.0;
+    double gpuBandwidth = 0.0;  //!< bytes/ns
+    double cpuBandwidth = 0.0;  //!< bytes/ns
+    SimTime gpuLatency = 0.0;   //!< dependent-load chase, ns
+    SimTime cpuLatency = 0.0;
+    /** GPU-major fault-batch service time against the home socket. */
+    SimTime faultServiceTime = 0.0;
+};
+
+/** One placement-mode measurement (fixed access socket). */
+struct InterApuPlacementResult
+{
+    vm::SocketPolicy policy = vm::SocketPolicy::Home;
+    double remoteFraction = 0.0;
+    double gpuBandwidth = 0.0;  //!< bytes/ns
+    SimTime gpuLatency = 0.0;   //!< dependent-load chase, ns
+};
+
+/** Cross-socket prober bound to a (possibly one-socket) system. */
+class InterApuProbe
+{
+  public:
+    struct Params
+    {
+        /** Bytes homed/touched per measurement. */
+        std::uint64_t regionBytes = 64 * MiB;
+        /** CPU threads for the CPU bandwidth number. */
+        unsigned cpuThreads = 8;
+        /** Pages per batch in the fault-service number. */
+        std::uint64_t faultBatchPages = 512;
+    };
+
+    explicit InterApuProbe(System &system)
+        : InterApuProbe(system, Params())
+    {}
+
+    InterApuProbe(System &system, const Params &params)
+        : sys(system), cfg(params)
+    {}
+
+    /**
+     * Home a region on @p home_socket, access it from
+     * @p access_socket. src == dst measures local HBM.
+     */
+    InterApuPairResult measurePair(unsigned access_socket,
+                                   unsigned home_socket);
+
+    /**
+     * Allocate + populate a region under @p policy with the engine on
+     * @p access_socket, then profile the access from that socket.
+     */
+    InterApuPlacementResult measurePlacement(vm::SocketPolicy policy,
+                                             unsigned access_socket);
+
+    const Params &params() const { return cfg; }
+
+  private:
+    /** Allocate + first-touch one region; @return its pointer. */
+    hip::DevPtr populateRegion();
+
+    System &sys;
+    Params cfg;
+};
+
+} // namespace upm::core
+
+#endif // UPM_CORE_INTERAPU_PROBE_HH

@@ -4,28 +4,43 @@ namespace upm::core {
 
 System::System(const SystemConfig &config)
     : cfg(config), apuTopo(cfg), geom(cfg.geometry),
-      frameAlloc(geom, cfg.frames), as(frameAlloc, backingStore),
-      faults(cfg.faults), registry(as),
-      rt(as, registry, faults, cfg, geom), numaMeminfo(frameAlloc),
+      node(geom, cfg.frames, cfg.numSockets),
+      as(node.shard(0), backingStore), faults(cfg.faults), registry(as),
+      rt(as, registry, faults, cfg, geom), numaMeminfo(node.shard(0)),
       processRss(as)
 {
+    socketList.reserve(node.numSockets());
+    for (unsigned s = 0; s < node.numSockets(); ++s) {
+        socketList.push_back(
+            std::make_unique<Socket>(cfg, s, node.shard(s)));
+    }
+    if (node.numSockets() > 1) {
+        // The fabric exists only on multi-socket nodes; every consumer
+        // keeps a null default so the one-socket wiring stays byte
+        // identical to the pre-socket System.
+        fab = std::make_unique<fabric::Fabric>(cfg.fabric,
+                                               node.numSockets());
+        as.setNode(&node);
+        faults.setFabric(fab.get());
+        rt.perf().setFabric(fab.get(), node.framesPerSocket());
+    }
     if (cfg.audit.enabled) {
         aud = std::make_unique<audit::Auditor>(cfg.audit);
-        frameAlloc.setAuditor(aud.get());
+        node.setAuditor(aud.get());
         as.setAuditor(aud.get());
         registry.setAuditor(aud.get());
         rt.setAuditor(aud.get());
     }
     if (cfg.inject.enabled) {
         inj = std::make_unique<inject::Injector>(cfg.inject);
-        frameAlloc.setInjector(inj.get());
+        node.setInjector(inj.get());
         faults.setInjector(inj.get());
         rt.setInjector(inj.get());
     }
     if (cfg.trace.enabled) {
         trc = std::make_unique<trace::Tracer>(cfg.trace);
         trc->setClock(&rt.clock());
-        frameAlloc.setTracer(trc.get());
+        node.setTracer(trc.get());
         as.setTracer(trc.get());  // wires the HMM mirror too
         faults.setTracer(trc.get());
         rt.setTracer(trc.get());  // wires the perf model too
@@ -40,7 +55,7 @@ System::finalizeAudit()
     if (!aud)
         return;
     as.auditMirrorConsistency(*aud);
-    std::vector<bool> mapped(geom.numFrames(), false);
+    std::vector<bool> mapped(node.totalFrames(), false);
     as.systemTable().forEachRun(0, ~0ull, [&](const vm::PteRun &run) {
         for (std::uint64_t i = 0; i < run.len; ++i) {
             vm::FrameId f = run.frameOf(run.vpn + i);
@@ -48,7 +63,20 @@ System::finalizeAudit()
                 mapped[f] = true;
         }
     });
-    frameAlloc.auditLeaks(mapped, *aud);
+    // ReplicateRO replica frames live outside every page table (only
+    // the home copy is mapped); they still legitimately own their
+    // frames until munmap, so mark them before the leak scan.
+    as.forEachVma([&](const vm::Vma &vma) {
+        for (const auto &range : vma.replicaRanges) {
+            for (std::uint64_t i = 0; i < range.count; ++i) {
+                if (range.base + i < mapped.size())
+                    mapped[range.base + i] = true;
+            }
+        }
+    });
+    node.auditLeaks(mapped, *aud);
+    if (node.numSockets() > 1)
+        node.auditCrossShard(mapped, *aud);
 }
 
 } // namespace upm::core

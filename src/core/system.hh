@@ -2,26 +2,40 @@
  * @file
  * The System: one simulated MI300A node running one process.
  *
- * Wires the full stack together -- geometry, frame allocator, backing
- * store, address space, fault handler, allocator registry, HIP runtime,
- * profiling views -- in dependency order. Every probe, bench, example
- * and workload starts by constructing one of these.
+ * Wires the full stack together -- geometry, per-socket frame-allocator
+ * shards, backing store, address space, fault handler, allocator
+ * registry, HIP runtime, profiling views -- in dependency order. Every
+ * probe, bench, example and workload starts by constructing one of
+ * these.
+ *
+ * A node is one or more sockets (SystemConfig::numSockets). Each
+ * socket contributes an Apu topology, one geometry-sized HBM shard,
+ * and a NumaMeminfo view; sockets > 1 are joined by the xGMI link
+ * model (fabric::Fabric), which the address space (placement routing),
+ * fault handler (remote fault cost) and perf model (remote bandwidth
+ * mix) all consult. With numSockets == 1 the fabric is never created
+ * and the node degenerates to the classic single-APU wiring, byte
+ * identical to the pre-socket System.
  */
 
 #ifndef UPM_CORE_SYSTEM_HH
 #define UPM_CORE_SYSTEM_HH
 
 #include <memory>
+#include <vector>
 
 #include "alloc/registry.hh"
 #include "audit/auditor.hh"
 #include "core/apu.hh"
+#include "core/socket.hh"
+#include "fabric/fabric.hh"
 #include "inject/injector.hh"
 #include "core/calibration.hh"
 #include "hip/runtime.hh"
 #include "mem/backing_store.hh"
 #include "mem/frame_allocator.hh"
 #include "mem/geometry.hh"
+#include "mem/node.hh"
 #include "prof/counters.hh"
 #include "prof/meminfo.hh"
 #include "prof/perf.hh"
@@ -32,7 +46,7 @@
 
 namespace upm::core {
 
-/** One APU + one process, fully wired. */
+/** One node (1..N APUs) + one process, fully wired. */
 class System
 {
   public:
@@ -42,18 +56,36 @@ class System
     System &operator=(const System &) = delete;
 
     const SystemConfig &config() const { return cfg; }
+    /** Socket 0's topology (the classic single-APU accessor). */
     const Apu &apu() const { return apuTopo; }
 
     mem::MemGeometry &geometry() { return geom; }
-    mem::FrameAllocator &frames() { return frameAlloc; }
+    /** Socket 0's HBM shard. On a one-socket node this is the whole
+     *  physical memory, bit-identical to the legacy allocator; on a
+     *  multi-socket node use node() for the global view. */
+    mem::FrameAllocator &frames() { return node.shard(0); }
+    /** The sharded node-wide physical memory (global frame ids). */
+    mem::NodeMemory &nodeMemory() { return node; }
     mem::BackingStore &backing() { return backingStore; }
     vm::AddressSpace &addressSpace() { return as; }
     vm::FaultHandler &faultHandler() { return faults; }
     alloc::AllocatorRegistry &allocators() { return registry; }
     hip::Runtime &runtime() { return rt; }
 
+    // ---- Sockets and the fabric ----------------------------------------
+    unsigned numSockets() const { return node.numSockets(); }
+    Socket &socket(unsigned s) { return *socketList[s]; }
+    const Socket &socket(unsigned s) const { return *socketList[s]; }
+    /** The xGMI link model, or null on a one-socket node. */
+    fabric::Fabric *fabric() { return fab.get(); }
+    const fabric::Fabric *fabric() const { return fab.get(); }
+
     prof::CounterRegistry &counters() { return counterRegistry; }
+    /** Socket 0's NUMA meminfo view (see meminfo(unsigned)). */
     prof::NumaMeminfo &meminfo() { return numaMeminfo; }
+    /** Socket @p s's NUMA meminfo view: its shard's frames and its
+     *  stacks only, the way libnuma reports one node at a time. */
+    prof::NumaMeminfo &meminfo(unsigned s) { return socketList[s]->meminfo; }
     prof::ProcessRss &rss() { return processRss; }
 
     /** The UPMSan auditor, or null when cfg.audit.enabled is false. */
@@ -70,9 +102,11 @@ class System
 
     /**
      * End-of-run whole-structure checks (cheap per-event hooks cannot
-     * see them): full system/GPU page-table cross-check and the frame
-     * leak scan. Call after the workload is done, before reading
-     * auditor()->violations(). No-op when auditing is off.
+     * see them): full system/GPU page-table cross-check, the per-shard
+     * frame leak scan, and -- on multi-socket nodes -- the cross-shard
+     * ownership audit (every mapped frame busy in the socket that owns
+     * its global id range). Call after the workload is done, before
+     * reading auditor()->violations(). No-op when auditing is off.
      */
     void finalizeAudit();
 
@@ -80,7 +114,8 @@ class System
     SystemConfig cfg;
     Apu apuTopo;
     mem::MemGeometry geom;
-    mem::FrameAllocator frameAlloc;
+    /** Per-socket HBM shards over the global frame space. */
+    mem::NodeMemory node;
     mem::BackingStore backingStore;
     vm::AddressSpace as;
     vm::FaultHandler faults;
@@ -89,6 +124,12 @@ class System
     prof::CounterRegistry counterRegistry;
     prof::NumaMeminfo numaMeminfo;
     prof::ProcessRss processRss;
+    /** Per-socket slices (Apu + shard ref + meminfo); unique_ptr
+     *  because Socket carries a reference member. */
+    std::vector<std::unique_ptr<Socket>> socketList;
+    /** xGMI link model; created only when numSockets > 1 so a
+     *  one-socket System never consults it (byte-identity). */
+    std::unique_ptr<fabric::Fabric> fab;
     /** Created (and wired into every layer) only when auditing is on. */
     std::unique_ptr<audit::Auditor> aud;
     /** Created (and wired into every layer) only when injecting. */

@@ -1,0 +1,103 @@
+#include "fabric/fabric.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace upm::fabric {
+
+const char *
+topologyName(Topology topology)
+{
+    switch (topology) {
+      case Topology::Auto: return "auto";
+      case Topology::FullMesh: return "full-mesh";
+      case Topology::Ring: return "ring";
+    }
+    return "?";
+}
+
+Fabric::Fabric(const FabricConfig &config, unsigned num_sockets)
+    : cfg(config), sockets(num_sockets)
+{
+    if (sockets == 0)
+        fatal("fabric needs at least one socket");
+    if (cfg.linkBandwidth <= 0.0)
+        fatal("fabric link bandwidth must be positive");
+    if (cfg.asymmetryFactor <= 0.0 || cfg.asymmetryFactor > 1.0)
+        fatal("fabric asymmetry factor must be in (0, 1]");
+    if (cfg.perHopBandwidthTaper <= 0.0 || cfg.perHopBandwidthTaper > 1.0)
+        fatal("fabric per-hop taper must be in (0, 1]");
+    topo = cfg.topology;
+    if (topo == Topology::Auto)
+        topo = sockets <= 4 ? Topology::FullMesh : Topology::Ring;
+}
+
+unsigned
+Fabric::hopDistance(unsigned src, unsigned dst) const
+{
+    if (src >= sockets || dst >= sockets)
+        panic("hopDistance(%u, %u) on a %u-socket fabric", src, dst,
+              sockets);
+    if (src == dst)
+        return 0;
+    if (topo == Topology::FullMesh)
+        return 1;
+    unsigned d = src > dst ? src - dst : dst - src;
+    return std::min(d, sockets - d);
+}
+
+unsigned
+Fabric::diameter() const
+{
+    if (sockets <= 1)
+        return 0;
+    if (topo == Topology::FullMesh)
+        return 1;
+    return sockets / 2;
+}
+
+SimTime
+Fabric::remoteLatency(unsigned src, unsigned dst) const
+{
+    unsigned hops = hopDistance(src, dst);
+    if (hops == 0)
+        return 0.0;
+    return latencyForHops(static_cast<double>(hops),
+                          farDirection(src, dst) ? 1.0 : 0.0);
+}
+
+SimTime
+Fabric::latencyForHops(double hops, double far_fraction) const
+{
+    if (hops <= 0.0)
+        return 0.0;
+    return hops * (cfg.hopLatency +
+                   far_fraction * cfg.farDirectionLatency);
+}
+
+double
+Fabric::linkBandwidth(unsigned src, unsigned dst) const
+{
+    unsigned hops = hopDistance(src, dst);
+    if (hops == 0)
+        return 0.0;  // no fabric crossing; callers use local HBM
+    return bandwidthForHops(static_cast<double>(hops),
+                            farDirection(src, dst) ? 1.0 : 0.0);
+}
+
+double
+Fabric::bandwidthForHops(double hops, double far_fraction) const
+{
+    if (hops <= 0.0)
+        return 0.0;
+    double bw = cfg.linkBandwidth *
+                (1.0 - far_fraction * (1.0 - cfg.asymmetryFactor));
+    // Each hop past the first forwards through an intermediate IOD.
+    if (hops > 1.0)
+        bw *= std::pow(cfg.perHopBandwidthTaper, hops - 1.0);
+    return bw;
+}
+
+} // namespace upm::fabric

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Inter-APU Infinity Fabric (xGMI) link model.
+ *
+ * The Inter-APU follow-up paper ("Inter-APU Communication on AMD
+ * MI300A Systems via Infinity Fabric: a Deep Dive", PAPERS.md)
+ * measures the 4-socket MI300A node real deployments run: every APU
+ * pair is joined by xGMI links whose bandwidth is a small fraction of
+ * local HBM (tens of GB/s per direction vs multiple TB/s locally),
+ * whose dependent-load latency adds hundreds of nanoseconds on top of
+ * the local HBM plateau, and which are *asymmetric* -- the two
+ * directions of one pair do not achieve the same bandwidth. This
+ * module encodes those anchors as a topology-aware cost model the
+ * perf model and fault handler fold into their existing timing paths.
+ *
+ * Topologies: the real 4-socket node is fully connected (every pair is
+ * one hop). Larger simulated systems (the 8-socket sweeps) fall back
+ * to a ring, where hop distance grows with socket distance and both
+ * the latency adder and the bandwidth taper compound per hop --
+ * reproducing the paper's "worse with distance" qualitative result at
+ * scales the real node does not reach.
+ *
+ * Like every calibrated model in this repo, all queries are pure
+ * functions of (config, topology, src, dst): deterministic, no clocks,
+ * no RNG.
+ */
+
+#ifndef UPM_FABRIC_FABRIC_HH
+#define UPM_FABRIC_FABRIC_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+
+namespace upm::fabric {
+
+/** Link-graph shape between sockets. */
+enum class Topology : std::uint8_t {
+    Auto,      //!< FullMesh up to 4 sockets, Ring beyond
+    FullMesh,  //!< every pair is one hop (the real 4-APU node)
+    Ring,      //!< bidirectional ring; hop distance grows with N
+};
+
+const char *topologyName(Topology topology);
+
+/** Calibrated xGMI link constants (Inter-APU paper anchors). */
+struct FabricConfig
+{
+    Topology topology = Topology::Auto;
+    /**
+     * Peak unidirectional bandwidth of one xGMI pair link in the
+     * "near" direction, bytes/ns. The Inter-APU paper measures
+     * point-to-point peer transfers in the tens of GB/s -- two orders
+     * of magnitude below local HBM.
+     */
+    double linkBandwidth = gbps(48.0);
+    /**
+     * Direction asymmetry: the "far" direction (higher socket id to
+     * lower) reaches only this fraction of linkBandwidth. The paper's
+     * deep-dive finds the two directions of one pair measurably
+     * unequal.
+     */
+    double asymmetryFactor = 0.80;
+    /** Fraction of the previous hop's bandwidth each extra hop keeps
+     *  (store-and-forward through intermediate IODs). */
+    double perHopBandwidthTaper = 0.85;
+    /** Dependent-load latency added per xGMI hop, ns. Remote HBM sits
+     *  hundreds of ns above the ~340 ns local plateau. */
+    SimTime hopLatency = 350.0;
+    /** Extra latency the far direction pays per hop (asymmetric
+     *  request/response routing), ns. */
+    SimTime farDirectionLatency = 45.0;
+    /** Extra fault-service cost per hop when the faulting agent and
+     *  the owning shard sit on different sockets, ns: the retry loop
+     *  crosses the fabric for the page-table update round trip. */
+    SimTime remoteFaultPerHop = 2600.0;
+};
+
+/**
+ * The link model for an N-socket node. Immutable after construction;
+ * all queries are pure.
+ */
+class Fabric
+{
+  public:
+    Fabric(const FabricConfig &config, unsigned num_sockets);
+
+    unsigned numSockets() const { return sockets; }
+
+    /** The shape actually in effect after Auto resolution. */
+    Topology effectiveTopology() const { return topo; }
+
+    /** xGMI hops between two sockets (0 when src == dst). */
+    unsigned hopDistance(unsigned src, unsigned dst) const;
+
+    /** Largest hopDistance() over all socket pairs. */
+    unsigned diameter() const;
+
+    /** True when src -> dst runs in the penalized "far" direction. */
+    bool
+    farDirection(unsigned src, unsigned dst) const
+    {
+        return src > dst;
+    }
+
+    /** Added dependent-load latency for src touching dst's HBM, ns. */
+    SimTime remoteLatency(unsigned src, unsigned dst) const;
+
+    /** Latency adder for a fractional mean hop count (region profiles
+     *  average over pages); @p far_fraction weights the asymmetric
+     *  direction term. */
+    SimTime latencyForHops(double hops, double far_fraction) const;
+
+    /** Achievable bandwidth src -> dst over the fabric, bytes/ns. */
+    double linkBandwidth(unsigned src, unsigned dst) const;
+
+    /** Bandwidth cap for a fractional mean hop count / far mix. */
+    double bandwidthForHops(double hops, double far_fraction) const;
+
+    /** Extra fault-service time for a fault resolved @p hops away. */
+    SimTime
+    remoteFaultCost(unsigned hops) const
+    {
+        return cfg.remoteFaultPerHop * static_cast<double>(hops);
+    }
+
+    const FabricConfig &config() const { return cfg; }
+
+  private:
+    FabricConfig cfg;
+    unsigned sockets;
+    Topology topo;
+};
+
+} // namespace upm::fabric
+
+#endif // UPM_FABRIC_FABRIC_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "fabric/fabric.hh"
 #include "trace/tracer.hh"
 
 namespace upm::hip {
@@ -42,6 +43,44 @@ PerfModel::profileRegion(const vm::AddressSpace &as, vm::VirtAddr base,
     profile.stackBalance = geom.stackBalance(frames);
     profile.scatteredFraction = vma->scatteredFraction();
     profile.icHitFraction = ic.hitFraction(frames);
+
+    if (fab != nullptr && framesPerSocket > 0 &&
+        vma->policy.socketPolicy != vm::SocketPolicy::ReplicateRO) {
+        // Remote-page mix against the accessing socket. ReplicateRO
+        // regions read their local replica, so they stay fully local.
+        unsigned access = as.currentSocket();
+        std::uint64_t remote = 0;
+        std::uint64_t far_pages = 0;
+        double hop_sum = 0.0;
+        for (vm::FrameId frame : frames) {
+            unsigned owner =
+                static_cast<unsigned>(frame / framesPerSocket);
+            if (owner >= fab->numSockets())
+                owner = fab->numSockets() - 1;
+            if (owner == access)
+                continue;
+            ++remote;
+            hop_sum += static_cast<double>(
+                fab->hopDistance(access, owner));
+            if (fab->farDirection(access, owner))
+                ++far_pages;
+        }
+        if (remote > 0) {
+            profile.remoteFraction =
+                static_cast<double>(remote) /
+                static_cast<double>(frames.size());
+            profile.avgRemoteHops =
+                hop_sum / static_cast<double>(remote);
+            profile.farRemoteFraction =
+                static_cast<double>(far_pages) /
+                static_cast<double>(remote);
+            if (tr != nullptr) {
+                tr->emitAt(access, trace::EventKind::RemoteAccess,
+                           access, remote, far_pages, 0, 0,
+                           profile.avgRemoteHops);
+            }
+        }
+    }
 
     // Fragment span: pages-weighted harmonic mean across the GPU PTEs
     // of the range, i.e. translations needed per page. Missing GPU
@@ -98,7 +137,24 @@ PerfModel::gpuStreamBandwidth(const RegionProfile &profile) const
     // The paper finds GPU bandwidth insensitive to first-touch agent;
     // only the raw memory peak bounds it beyond the terms above.
     eff = std::min(eff, bw.memPeak);
-    return eff;
+    return fabricMix(eff, profile);
+}
+
+double
+PerfModel::fabricMix(double local_bw, const RegionProfile &profile) const
+{
+    if (fab == nullptr || profile.remoteFraction <= 0.0)
+        return local_bw;
+    // Harmonic mix: a stream touching local and remote pages in
+    // sequence spends time proportional to fraction / bandwidth on
+    // each, so the blended rate is the weighted harmonic mean of the
+    // local rate and the (much lower, hop-tapered, direction-
+    // asymmetric) xGMI cap.
+    double remote_bw = fab->bandwidthForHops(profile.avgRemoteHops,
+                                             profile.farRemoteFraction);
+    double inv = (1.0 - profile.remoteFraction) / local_bw +
+                 profile.remoteFraction / remote_bw;
+    return 1.0 / inv;
 }
 
 double
@@ -122,7 +178,7 @@ PerfModel::cpuStreamBandwidth(const RegionProfile &profile,
         cap *= 1.0 - bw.cpuBiasedDeclinePerThread *
                          static_cast<double>(extra);
     }
-    return std::min(issue, cap);
+    return fabricMix(std::min(issue, cap), profile);
 }
 
 SimTime
@@ -131,7 +187,14 @@ PerfModel::gpuChaseLatency(const RegionProfile &profile) const
     // GPU chase latency is allocator-insensitive in the paper; the
     // hardware walker hides fragment differences behind the (long)
     // dependent-load path, so only the working set matters.
-    return gpuCaches.avgLatency(profile.bytes, profile.icHitFraction);
+    SimTime latency =
+        gpuCaches.avgLatency(profile.bytes, profile.icHitFraction);
+    if (fab != nullptr && profile.remoteFraction > 0.0) {
+        latency += profile.remoteFraction *
+                   fab->latencyForHops(profile.avgRemoteHops,
+                                       profile.farRemoteFraction);
+    }
+    return latency;
 }
 
 SimTime
@@ -142,7 +205,13 @@ PerfModel::cpuChaseLatency(const RegionProfile &profile) const
     double ic_hit = profile.icHitFraction *
                     (1.0 - cfg.bandwidth.icScatterPenalty *
                                profile.scatteredFraction);
-    return cpuCaches.avgLatency(profile.bytes, ic_hit);
+    SimTime latency = cpuCaches.avgLatency(profile.bytes, ic_hit);
+    if (fab != nullptr && profile.remoteFraction > 0.0) {
+        latency += profile.remoteFraction *
+                   fab->latencyForHops(profile.avgRemoteHops,
+                                       profile.farRemoteFraction);
+    }
+    return latency;
 }
 
 SimTime

@@ -27,6 +27,10 @@
 #include "core/calibration.hh"
 #include "vm/address_space.hh"
 
+namespace upm::fabric {
+class Fabric;
+}
+
 namespace upm::trace {
 class Tracer;
 }
@@ -53,6 +57,17 @@ struct RegionProfile
     bool pinned = false;
     bool uncachedGpu = false;
     bool gpuMapped = false;
+
+    // Multi-socket placement (all zero on a single-socket node, which
+    // leaves every downstream formula untouched).
+    /** Fraction of present pages owned by a different socket than the
+     *  accessing one (ReplicateRO regions count as fully local). */
+    double remoteFraction = 0.0;
+    /** Mean xGMI hops to the remote pages' owners. */
+    double avgRemoteHops = 0.0;
+    /** Fraction of remote pages reached in the penalized far
+     *  direction. */
+    double farRemoteFraction = 0.0;
 };
 
 /**
@@ -106,12 +121,36 @@ class PerfModel
      *  carrying the Infinity Cache hit fraction it computed. */
     void setTracer(trace::Tracer *tracer) { tr = tracer; }
 
+    /**
+     * Attach the xGMI model (multi-socket Systems only). With a fabric
+     * attached, profileRegion() computes the remote-page mix of each
+     * region against the address space's current socket, stream
+     * bandwidth harmonically mixes the xGMI cap over that mix, and
+     * chase latency gains the per-hop adder. Null (the default) keeps
+     * every query byte-identical to the single-socket model.
+     * @p frames_per_socket maps global frame ids to owner sockets.
+     */
+    void
+    setFabric(const fabric::Fabric *fabric_model,
+              std::uint64_t frames_per_socket)
+    {
+        fab = fabric_model;
+        framesPerSocket = frames_per_socket;
+    }
+
   private:
+    /** Harmonic local/xGMI bandwidth blend for a region's remote mix
+     *  (identity when no fabric or no remote pages). */
+    double fabricMix(double local_bw, const RegionProfile &profile) const;
+
     core::SystemConfig cfg;
     const mem::MemGeometry &geom;
     cache::InfinityCache ic;
     cache::CacheHierarchy gpuCaches;
     cache::CacheHierarchy cpuCaches;
+    /** xGMI model; null on single-socket Systems. */
+    const fabric::Fabric *fab = nullptr;
+    std::uint64_t framesPerSocket = 0;
     /** UPMTrace hook; null (no overhead) unless tracing is on. */
     trace::Tracer *tr = nullptr;
 };

@@ -10,8 +10,10 @@
 namespace upm::mem {
 
 FrameAllocator::FrameAllocator(const MemGeometry &geometry,
-                               const FrameAllocatorConfig &config)
-    : geom(geometry), cfg(config), rng(config.seed)
+                               const FrameAllocatorConfig &config,
+                               FrameId base_frame, unsigned socket)
+    : geom(geometry), cfg(config), baseF(base_frame), socketId(socket),
+      rng(config.seed)
 {
     if (cfg.maxOrder > 20)
         fatal("buddy max order %u too large", cfg.maxOrder);
@@ -19,6 +21,12 @@ FrameAllocator::FrameAllocator(const MemGeometry &geometry,
         fatal("on-demand refill order exceeds max order");
     if (cfg.faultBatchRun == 0)
         fatal("fault batch run must be nonzero");
+    // Global and shard-local frame ids must map to the same HBM stack
+    // (stackOfFrame is frame % numStacks), or one shard's notion of
+    // stack balance would disagree with the Infinity Cache model's.
+    if (baseF % geom.numStacks() != 0)
+        fatal("shard base frame %llu not stack-aligned (%u stacks)",
+              static_cast<unsigned long long>(baseF), geom.numStacks());
 
     freeLists.resize(cfg.maxOrder + 1);
     frameBusy.assign(geom.numFrames(), false);
@@ -57,7 +65,8 @@ FrameAllocator::allocBlock(unsigned order, FrameId &base)
         --o;
         freeLists[o].insert((block + (1ull << o)) >> o);
         if (tr != nullptr)
-            tr->emit(trace::EventKind::BuddySplit, block, o);
+            tr->emitAt(socketId, trace::EventKind::BuddySplit,
+                       block + baseF, o);
     }
 
     std::uint64_t n = 1ull << order;
@@ -65,11 +74,11 @@ FrameAllocator::allocBlock(unsigned order, FrameId &base)
         if (aud != nullptr && aud->config().checkFrames &&
             frameBusy[block + i]) {
             aud->record(audit::ViolationKind::FrameDoubleAlloc,
-                        block + i,
+                        block + i + baseF,
                         strprintf("buddy handed out frame %llu, already "
                                   "busy (free-list/busy-bit divergence)",
                                   static_cast<unsigned long long>(
-                                      block + i)));
+                                      block + i + baseF)));
         }
         frameBusy[block + i] = true;
     }
@@ -89,11 +98,11 @@ FrameAllocator::freeBlock(FrameId base, unsigned order)
         if (!frameBusy[base + i]) {
             if (aud != nullptr && aud->config().checkFrames) {
                 aud->record(audit::ViolationKind::FrameDoubleFree,
-                            base + i,
+                            base + i + baseF,
                             strprintf("free of frame %llu, which is not "
                                       "allocated",
                                       static_cast<unsigned long long>(
-                                          base + i)));
+                                          base + i + baseF)));
             }
             return false;
         }
@@ -159,11 +168,14 @@ FrameAllocator::allocRun(std::uint64_t n_frames)
             merged.push_back(r);
         }
     }
+    for (auto &r : merged)
+        r.base += baseF;
     if (tr != nullptr) {
         for (const auto &r : merged) {
-            tr->emit(trace::EventKind::FrameAlloc, r.base, r.count,
-                     static_cast<std::uint64_t>(
-                         trace::AllocPath::Run));
+            tr->emitAt(socketId, trace::EventKind::FrameAlloc, r.base,
+                       r.count,
+                       static_cast<std::uint64_t>(
+                           trace::AllocPath::Run));
         }
     }
     return merged;
@@ -196,7 +208,8 @@ FrameAllocator::refillOnDemandPool()
         }
     }
     if (tr != nullptr)
-        tr->emit(trace::EventKind::PoolRefill, base, n, 0);
+        tr->emitAt(socketId, trace::EventKind::PoolRefill, base + baseF,
+                   n, 0);
     return true;
 }
 
@@ -206,6 +219,8 @@ FrameAllocator::allocScattered(std::uint64_t n, std::vector<FrameId> &out)
     if (inj != nullptr && inj->failFrameAlloc(n))
         return false;
     std::size_t start_size = out.size();
+    // Appended ids stay shard-local until success so the rollback path
+    // can feed them straight back to the local buddy.
     for (std::uint64_t i = 0; i < n; ++i) {
         if (onDemandPool.empty() && !refillOnDemandPool()) {
             // Roll back.
@@ -217,6 +232,8 @@ FrameAllocator::allocScattered(std::uint64_t n, std::vector<FrameId> &out)
         out.push_back(onDemandPool.front());
         onDemandPool.pop_front();
     }
+    for (std::size_t j = start_size; j < out.size(); ++j)
+        out[j] += baseF;
     emitFrameAllocs(out, start_size,
                     static_cast<unsigned>(trace::AllocPath::Scattered));
     return true;
@@ -251,12 +268,14 @@ FrameAllocator::allocBatch(std::uint64_t n, std::vector<FrameRange> &out)
             return false;
         }
     }
+    for (std::size_t j = start_size; j < out.size(); ++j)
+        out[j].base += baseF;
     if (tr != nullptr) {
         for (std::size_t j = start_size; j < out.size(); ++j) {
-            tr->emit(trace::EventKind::FrameAlloc, out[j].base,
-                     out[j].count,
-                     static_cast<std::uint64_t>(
-                         trace::AllocPath::Batch));
+            tr->emitAt(socketId, trace::EventKind::FrameAlloc,
+                       out[j].base, out[j].count,
+                       static_cast<std::uint64_t>(
+                           trace::AllocPath::Batch));
         }
     }
     return true;
@@ -293,7 +312,8 @@ FrameAllocator::refillStackPools()
             stackPools[s].push_back(list[(i + rot) % list.size()]);
     }
     if (tr != nullptr)
-        tr->emit(trace::EventKind::PoolRefill, base, n, 1);
+        tr->emitAt(socketId, trace::EventKind::PoolRefill, base + baseF,
+                   n, 1);
     return true;
 }
 
@@ -329,6 +349,8 @@ FrameAllocator::allocInterleaved(std::uint64_t n, std::vector<FrameId> &out)
         stackPools[stack].pop_front();
         nextStack = (stack + 1) % geom.numStacks();
     }
+    for (std::size_t j = start_size; j < out.size(); ++j)
+        out[j] += baseF;
     emitFrameAllocs(out, start_size,
                     static_cast<unsigned>(
                         trace::AllocPath::Interleaved));
@@ -338,28 +360,33 @@ FrameAllocator::allocInterleaved(std::uint64_t n, std::vector<FrameId> &out)
 bool
 FrameAllocator::freeFrame(FrameId frame)
 {
-    if (frame >= geom.numFrames()) {
+    if (!ownsFrame(frame)) {
         if (aud != nullptr && aud->config().checkFrames) {
             aud->record(audit::ViolationKind::FrameDoubleFree, frame,
-                        strprintf("free of out-of-range frame %llu",
-                                  static_cast<unsigned long long>(frame)));
+                        strprintf("free of out-of-shard frame %llu "
+                                  "(shard owns [%llu, +%llu))",
+                                  static_cast<unsigned long long>(frame),
+                                  static_cast<unsigned long long>(baseF),
+                                  static_cast<unsigned long long>(
+                                      geom.numFrames())));
         }
         return false;
     }
-    bool ok = freeBlock(frame, 0);
+    bool ok = freeBlock(frame - baseF, 0);
     if (ok && tr != nullptr)
-        tr->emit(trace::EventKind::FrameFree, frame, 1);
+        tr->emitAt(socketId, trace::EventKind::FrameFree, frame, 1);
     return ok;
 }
 
 bool
 FrameAllocator::freeRange(const FrameRange &range)
 {
-    if (range.base + range.count > geom.numFrames() ||
+    if (!ownsFrame(range.base) ||
+        range.base - baseF + range.count > geom.numFrames() ||
         range.base + range.count < range.base) {
         if (aud != nullptr && aud->config().checkFrames) {
             aud->record(audit::ViolationKind::FrameDoubleFree, range.base,
-                        strprintf("free of out-of-range run [%llu, +%llu)",
+                        strprintf("free of out-of-shard run [%llu, +%llu)",
                                   static_cast<unsigned long long>(
                                       range.base),
                                   static_cast<unsigned long long>(
@@ -367,16 +394,17 @@ FrameAllocator::freeRange(const FrameRange &range)
         }
         return false;
     }
+    FrameId local_base = range.base - baseF;
     bool ok = true;
     if (aud != nullptr) {
         // Page-by-page fan-out reports every bad frame individually;
         // eager merging makes the final buddy state identical.
         for (std::uint64_t i = 0; i < range.count; ++i)
-            ok = freeBlock(range.base + i, 0) && ok;
+            ok = freeBlock(local_base + i, 0) && ok;
     } else {
         // Decompose into maximal naturally-aligned blocks: O(log
         // frames) buddy work per block instead of per page.
-        FrameId cur = range.base;
+        FrameId cur = local_base;
         std::uint64_t remaining = range.count;
         while (remaining > 0) {
             unsigned align = cfg.maxOrder;
@@ -390,7 +418,8 @@ FrameAllocator::freeRange(const FrameRange &range)
         }
     }
     if (ok && tr != nullptr)
-        tr->emit(trace::EventKind::FrameFree, range.base, range.count);
+        tr->emitAt(socketId, trace::EventKind::FrameFree, range.base,
+                   range.count);
     return ok;
 }
 
@@ -428,7 +457,8 @@ FrameAllocator::emitFrameAllocs(const std::vector<FrameId> &out,
         std::size_t j = i + 1;
         while (j < out.size() && out[j] == out[j - 1] + 1)
             ++j;
-        tr->emit(trace::EventKind::FrameAlloc, out[i], j - i, path);
+        tr->emitAt(socketId, trace::EventKind::FrameAlloc, out[i],
+                   j - i, path);
         i = j;
     }
 }
@@ -472,13 +502,15 @@ FrameAllocator::auditLeaks(const std::vector<bool> &mapped,
     for (FrameId f = 0; f < geom.numFrames(); ++f) {
         if (!frameBusy[f] || pooled[f])
             continue;
-        if (f < mapped.size() && mapped[f])
+        FrameId global = f + baseF;
+        if (global < mapped.size() && mapped[global])
             continue;
         ++leaked;
-        auditor.record(audit::ViolationKind::FrameLeak, f,
+        auditor.record(audit::ViolationKind::FrameLeak, global,
                        strprintf("frame %llu is allocated but mapped "
                                  "by no page table at teardown",
-                                 static_cast<unsigned long long>(f)));
+                                 static_cast<unsigned long long>(
+                                     global)));
     }
     return leaked;
 }

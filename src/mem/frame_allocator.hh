@@ -77,12 +77,21 @@ struct FrameAllocatorConfig
  *
  * All operations are O(log frames) except the bulk helpers, which are
  * linear in the number of returned frames.
+ *
+ * Sharding: on a multi-socket node each socket's HBM is one
+ * FrameAllocator shard covering the *global* frame window
+ * [baseFrame, baseFrame + totalFrames()). Every public API speaks
+ * global frame ids (allocations come back offset, frees are
+ * translated); internal buddy state stays shard-local. The default
+ * base of 0 makes the single-socket allocator bit-identical to the
+ * unsharded one.
  */
 class FrameAllocator
 {
   public:
     FrameAllocator(const MemGeometry &geometry,
-                   const FrameAllocatorConfig &config = {});
+                   const FrameAllocatorConfig &config = {},
+                   FrameId base_frame = 0, unsigned socket = 0);
 
     /**
      * Allocate @p n_frames as few large contiguous runs (largest-first
@@ -147,6 +156,19 @@ class FrameAllocator
     /** @return total frames managed. */
     std::uint64_t totalFrames() const { return geom.numFrames(); }
 
+    /** First global frame id of this shard (0 when unsharded). */
+    FrameId baseFrame() const { return baseF; }
+
+    /** Socket owning this shard (0 when unsharded). */
+    unsigned socket() const { return socketId; }
+
+    /** @return true iff global frame @p frame belongs to this shard. */
+    bool
+    ownsFrame(FrameId frame) const
+    {
+        return frame >= baseF && frame - baseF < geom.numFrames();
+    }
+
     /** @return free frames per stack (for the NUMA meminfo model). */
     std::vector<std::uint64_t> perStackFree() const;
 
@@ -178,17 +200,18 @@ class FrameAllocator
 
     /**
      * Frames currently held by callers: busy and not parked in the
-     * on-demand / per-stack pools. Indexed by FrameId. This is the
-     * state the trace-replay tests reconstruct from FrameAlloc /
-     * FrameFree events.
+     * on-demand / per-stack pools. Indexed by *shard-local* frame id
+     * (global id minus baseFrame()). This is the state the
+     * trace-replay tests reconstruct from FrameAlloc / FrameFree
+     * events.
      */
     std::vector<bool> busyMap() const;
 
     /**
      * Teardown leak check: every busy frame must either be referenced
-     * by a page table (@p mapped, indexed by FrameId) or parked in one
-     * of the free pools; anything else leaked. Reports FrameLeak per
-     * offending frame through @p auditor.
+     * by a page table (@p mapped, indexed by *global* FrameId) or
+     * parked in one of the free pools; anything else leaked. Reports
+     * FrameLeak per offending frame through @p auditor.
      * @return leaked frame count.
      */
     std::uint64_t auditLeaks(const std::vector<bool> &mapped,
@@ -214,6 +237,10 @@ class FrameAllocator
 
     const MemGeometry &geom;
     FrameAllocatorConfig cfg;
+    /** Global frame id of this shard's first frame. */
+    FrameId baseF = 0;
+    /** Socket owning this shard; stamps trace events. */
+    unsigned socketId = 0;
     std::uint64_t freeCount = 0;
 
     /** Free lists: per order, coalesced interval set of block

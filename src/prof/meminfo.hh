@@ -50,8 +50,17 @@ class NumaMeminfo
         return frames.totalFrames() * mem::kPageSize;
     }
 
-    /** Free bytes per HBM stack (numactl -H style detail). */
+    /**
+     * Free bytes per HBM stack (numactl -H style detail). Reports only
+     * this view's socket: under a sharded multi-socket allocator each
+     * NumaMeminfo wraps one socket's shard, so the stacks here are that
+     * socket's stacks -- not a node-wide mix (the pre-shard view
+     * silently blended every socket's stacks into one vector).
+     */
     std::vector<std::uint64_t> perStackFreeBytes() const;
+
+    /** The socket whose shard this view reports (0 on one socket). */
+    unsigned socket() const { return frames.socket(); }
 
   private:
     const mem::FrameAllocator &frames;

@@ -37,6 +37,10 @@ appendEvent(std::string &out, const TraceEvent &ev, unsigned pid)
                      eventKindName(ev.kind), layerName(ev.layer),
                      ev.time / 1e3, pid, tid,
                      static_cast<unsigned long long>(ev.seq));
+    // Socket 0 (every single-socket event) is elided so existing
+    // golden traces stay byte-identical.
+    if (ev.socket != 0)
+        out += strprintf(", \"socket\": %u", ev.socket);
     const std::uint64_t args[5] = {ev.a, ev.b, ev.c, ev.d, ev.e};
     for (unsigned i = 0; i < 5; ++i) {
         const char *name = argName(ev.kind, i);

@@ -45,6 +45,8 @@ eventKindName(EventKind kind)
       case EventKind::InjectDecision: return "inject_decision";
       case EventKind::TaskBegin: return "task_begin";
       case EventKind::TaskEnd: return "task_end";
+      case EventKind::PagePlace: return "page_place";
+      case EventKind::RemoteAccess: return "remote_access";
     }
     return "?";
 }
@@ -63,6 +65,7 @@ layerOf(EventKind kind)
       case EventKind::HmmInvalidate:
       case EventKind::FaultService:
       case EventKind::ColdFault:
+      case EventKind::PagePlace:
         return Layer::Vm;
       case EventKind::FrameAlloc:
       case EventKind::FrameFree:
@@ -78,6 +81,7 @@ layerOf(EventKind kind)
       case EventKind::FreeCall:
       case EventKind::Memcpy:
       case EventKind::KernelLaunch:
+      case EventKind::RemoteAccess:
         return Layer::Hip;
       case EventKind::InjectDecision:
         return Layer::Inject;
@@ -159,6 +163,12 @@ argNamesOf(EventKind kind)
         return {{"task", "seed", nullptr, nullptr, nullptr}, nullptr};
       case EventKind::TaskEnd:
         return {{"task", "events", nullptr, nullptr, nullptr}, nullptr};
+      case EventKind::PagePlace:
+        return {{"vpn", "pages", "owner", "mode", nullptr}, nullptr};
+      case EventKind::RemoteAccess:
+        return {{"socket", "remote_pages", "far_pages", nullptr,
+                 nullptr},
+                "mean_hops"};
     }
     return {{nullptr, nullptr, nullptr, nullptr, nullptr}, nullptr};
 }

@@ -84,6 +84,13 @@ enum class EventKind : std::uint8_t {
     // exec: sweep-task boundaries
     TaskBegin,     //!< a=task index
     TaskEnd,       //!< a=task index
+
+    // Multi-socket events (appended so packed kind ids stay stable).
+    PagePlace,     //!< a=vpn, b=pages, c=owner socket, d=SocketPolicy
+                   //!< (vm layer: node-routed page placement)
+    RemoteAccess,  //!< a=access socket, b=remote pages, c=far pages,
+                   //!< value=mean xGMI hops (hip layer: region profile
+                   //!< crossed the fabric)
 };
 
 const char *eventKindName(EventKind kind);
@@ -108,6 +115,10 @@ struct TraceEvent
     std::uint64_t seq = 0;
     Layer layer = Layer::Vm;
     EventKind kind = EventKind::VmaMap;
+    /** Socket the emitting engine ran on (0 on single-socket nodes;
+     *  mem events stamp the owning shard, vm/hip events the accessing
+     *  socket). */
+    std::uint8_t socket = 0;
     std::uint64_t a = 0, b = 0, c = 0, d = 0, e = 0;
     double value = 0.0;
     /** Free-form context (VMA / kernel / site name); dropped by the

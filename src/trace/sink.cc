@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/log.hh"
+
 namespace upm::trace {
 
 namespace {
@@ -16,8 +18,6 @@ struct FileHeader
     std::uint64_t recordCount;
     std::uint64_t totalAccepted;
 };
-
-constexpr std::uint32_t kVersion = 1;
 
 PackedEvent
 pack(const TraceEvent &ev)
@@ -33,6 +33,7 @@ pack(const TraceEvent &ev)
     rec.value = ev.value;
     rec.layer = static_cast<std::uint8_t>(ev.layer);
     rec.kind = static_cast<std::uint8_t>(ev.kind);
+    rec.socket = ev.socket;
     return rec;
 }
 
@@ -46,6 +47,7 @@ unpack(const PackedEvent &rec)
     ev.seq = rec.seq;
     ev.layer = static_cast<Layer>(rec.layer);
     ev.kind = static_cast<EventKind>(rec.kind);
+    ev.socket = rec.socket;
     ev.a = rec.a;
     ev.b = rec.b;
     ev.c = rec.c;
@@ -119,7 +121,7 @@ RingBufferSink::dump(const std::string &path) const
         return false;
     FileHeader hdr{};
     std::memcpy(hdr.magic, "UPMT", 4);
-    hdr.version = kVersion;
+    hdr.version = kTraceFormatVersion;
     hdr.recordSize = sizeof(PackedEvent);
     hdr.recordCount = count;
     hdr.totalAccepted = accepted;
@@ -135,21 +137,43 @@ RingBufferSink::dump(const std::string &path) const
 bool
 RingBufferSink::read(const std::string &path,
                      std::vector<PackedEvent> &out,
-                     std::uint64_t *total_accepted)
+                     std::uint64_t *total_accepted, std::string *error)
 {
+    auto failWith = [&](const std::string &why) {
+        if (error != nullptr)
+            *error = why;
+        return false;
+    };
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (f == nullptr)
-        return false;
+        return failWith("cannot open " + path);
     FileHeader hdr{};
-    bool ok = std::fread(&hdr, sizeof(hdr), 1, f) == 1 &&
-              std::memcmp(hdr.magic, "UPMT", 4) == 0 &&
-              hdr.version == kVersion &&
-              hdr.recordSize == sizeof(PackedEvent);
+    bool ok = true;
+    if (std::fread(&hdr, sizeof(hdr), 1, f) != 1) {
+        ok = failWith(path + ": truncated UPMT header");
+    } else if (std::memcmp(hdr.magic, "UPMT", 4) != 0) {
+        ok = failWith(path + ": not a UPMT trace (bad magic)");
+    } else if (hdr.version != kTraceFormatVersion) {
+        // An unknown version means an unknown record layout; decoding
+        // it would silently misparse (v1 dumps predate the socket
+        // field). Refuse with the versions spelled out.
+        ok = failWith(strprintf(
+            "%s: UPMT format version %u, but this reader only "
+            "understands version %u; re-record the trace",
+            path.c_str(), hdr.version, kTraceFormatVersion));
+    } else if (hdr.recordSize != sizeof(PackedEvent)) {
+        ok = failWith(strprintf("%s: record size %u != expected %u",
+                                path.c_str(), hdr.recordSize,
+                                static_cast<unsigned>(
+                                    sizeof(PackedEvent))));
+    }
     if (ok) {
         out.resize(hdr.recordCount);
-        if (hdr.recordCount > 0)
-            ok = std::fread(out.data(), sizeof(PackedEvent),
-                            out.size(), f) == out.size();
+        if (hdr.recordCount > 0 &&
+            std::fread(out.data(), sizeof(PackedEvent), out.size(), f) !=
+                out.size()) {
+            ok = failWith(path + ": truncated record array");
+        }
         if (ok && total_accepted != nullptr)
             *total_accepted = hdr.totalAccepted;
     }

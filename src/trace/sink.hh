@@ -48,6 +48,12 @@ class VectorSink : public TraceSink
  * a single flat allocation and the on-disk format is a header plus a
  * record array. The detail string is dropped (kind + args carry the
  * identifying state).
+ *
+ * Format version 2 (kTraceFormatVersion): the first former pad byte
+ * now carries the emitting socket. The record stays 72 bytes, but a
+ * v1 reader would silently miss the socket field -- which is exactly
+ * why the header version was bumped and readers reject any version
+ * they do not know (see RingBufferSink::read).
  */
 struct PackedEvent
 {
@@ -57,11 +63,16 @@ struct PackedEvent
     double value;
     std::uint8_t layer;
     std::uint8_t kind;
-    std::uint8_t pad[6];
+    std::uint8_t socket;
+    std::uint8_t pad[5];
 };
 
 static_assert(sizeof(PackedEvent) == 72,
               "PackedEvent layout drifted");
+
+/** Version stamped into the "UPMT" file header. v1: no socket field;
+ *  v2: socket in the byte after `kind`. */
+inline constexpr std::uint32_t kTraceFormatVersion = 2;
 
 /** Bounded ring of packed records; oldest records are overwritten. */
 class RingBufferSink : public TraceSink
@@ -92,10 +103,16 @@ class RingBufferSink : public TraceSink
      */
     bool dump(const std::string &path) const;
 
-    /** Read a file written by dump(). Returns false on a bad file. */
+    /**
+     * Read a file written by dump(). Returns false on a bad file and
+     * reports *why* through @p error (if non-null): an unknown header
+     * version in particular is rejected with a clear message instead
+     * of decoding records whose layout this reader does not know.
+     */
     static bool read(const std::string &path,
                      std::vector<PackedEvent> &out,
-                     std::uint64_t *total_accepted = nullptr);
+                     std::uint64_t *total_accepted = nullptr,
+                     std::string *error = nullptr);
 
   private:
     std::vector<PackedEvent> ring;

@@ -89,8 +89,25 @@ class Tracer
          std::uint64_t c = 0, std::uint64_t d = 0, std::uint64_t e = 0,
          double value = 0.0, std::string detail = {})
     {
+        emitAt(0, kind, a, b, c, d, e, value, std::move(detail));
+    }
+
+    /**
+     * As emit(), stamping the event with the emitting engine's socket.
+     * Multi-socket-aware layers (shard allocators, the routed VM
+     * paths, the fabric-aware perf model) use this; socket 0 produces
+     * events identical to the plain emit() form, so single-socket
+     * streams are unchanged byte for byte.
+     */
+    void
+    emitAt(unsigned socket, EventKind kind, std::uint64_t a = 0,
+           std::uint64_t b = 0, std::uint64_t c = 0, std::uint64_t d = 0,
+           std::uint64_t e = 0, double value = 0.0,
+           std::string detail = {})
+    {
         TraceEvent ev;
         ev.kind = kind;
+        ev.socket = static_cast<std::uint8_t>(socket);
         ev.a = a;
         ev.b = b;
         ev.c = c;

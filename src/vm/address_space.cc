@@ -5,6 +5,7 @@
 #include "audit/auditor.hh"
 #include "common/log.hh"
 #include "mem/interval_set.hh"
+#include "mem/node.hh"
 #include "trace/tracer.hh"
 
 namespace upm::vm {
@@ -28,8 +29,26 @@ constexpr std::uint64_t kVmaAlign = 2 * MiB;
  * recoverable ENOMEM, not a crash, just like frame exhaustion.
  */
 constexpr VirtAddr kVaEnd = kMmapBase + 1 * TiB;
+/**
+ * Socket-interleave granularity: 2 MiB chunks, matching the VMA / GPU
+ * fragment alignment so interleaving never splits a large fragment.
+ */
+constexpr std::uint64_t kSocketChunkPages = (2 * MiB) / mem::kPageSize;
 
 } // namespace
+
+const char *
+socketPolicyName(SocketPolicy policy)
+{
+    switch (policy) {
+      case SocketPolicy::Default: return "default";
+      case SocketPolicy::Home: return "home";
+      case SocketPolicy::FirstTouch: return "first-touch";
+      case SocketPolicy::Interleave: return "interleave";
+      case SocketPolicy::ReplicateRO: return "replicate-ro";
+    }
+    return "?";
+}
 
 AddressSpace::AddressSpace(mem::FrameAllocator &frame_allocator,
                            mem::BackingStore &backing_store)
@@ -67,6 +86,11 @@ AddressSpace::tryMmapAnon(std::uint64_t size, const VmaPolicy &policy,
     vma.base = base;
     vma.size = span;
     vma.policy = policy;
+    if (vma.policy.socketPolicy == SocketPolicy::Default) {
+        vma.policy.socketPolicy = defSocketPolicy;
+        vma.policy.homeSocket = defHomeSocket;
+    }
+    vma.nextSocket = vma.policy.homeSocket;
     vma.name = std::move(name);
     vmas.emplace(base, vma);
     backingStore.attach(base, span);
@@ -114,11 +138,10 @@ AddressSpace::munmap(VirtAddr base)
             vma.beginVpn(), vma.endVpn(), [&](const PteRun &cut) {
                 bool ok = true;
                 if (cut.scatter == nullptr) {
-                    ok = frameAlloc.freeRange({cut.frame, cut.len});
+                    ok = freeRouted({cut.frame, cut.len});
                 } else {
                     for (std::uint64_t i = 0; i < cut.len; ++i)
-                        ok = frameAlloc.freeRange({cut.scatter[i], 1}) &&
-                             ok;
+                        ok = freeRouted({cut.scatter[i], 1}) && ok;
                 }
                 if (!ok)
                     panic("munmap freed a frame the allocator says is "
@@ -140,12 +163,16 @@ AddressSpace::munmap(VirtAddr base)
                 }
             });
         freed.forEach([&](FrameId begin_frame, FrameId end_frame) {
-            if (!frameAlloc.freeRange(
-                    {begin_frame, end_frame - begin_frame})) {
+            if (!freeRouted({begin_frame, end_frame - begin_frame})) {
                 panic("munmap freed a frame the allocator says is not "
                       "allocated");
             }
         });
+    }
+    for (const auto &replica : vma.replicaRanges) {
+        if (!freeRouted(replica))
+            panic("munmap freed a replica frame the allocator says is "
+                  "not allocated");
     }
     if (tr != nullptr) {
         tr->emit(trace::EventKind::VmaUnmap, vma.base, vma.size,
@@ -257,50 +284,143 @@ AddressSpace::tryPopulateRange(VirtAddr base, std::uint64_t size)
         holes.emplace_back(gap_begin, gap_end);
     });
     std::uint64_t populated = 0;
+    bool interleave_sockets =
+        node != nullptr && node->numSockets() > 1 &&
+        vma->policy.socketPolicy == SocketPolicy::Interleave;
     for (const auto &[hole_start, hole_end] : holes) {
         std::uint64_t n = hole_end - hole_start;
         // OOM mid-walk leaves earlier holes mapped; callers unwind by
         // unmapping the whole VMA, which reclaims them.
-        switch (vma->policy.placement) {
-          case Placement::Contiguous: {
-            auto ranges = frameAlloc.allocRun(n);
-            if (!ranges)
+        if (interleave_sockets) {
+            // Chunked round-robin across sockets, 2 MiB at a time.
+            Vpn cursor = hole_start;
+            std::uint64_t remaining = n;
+            while (remaining > 0) {
+                std::uint64_t take =
+                    std::min<std::uint64_t>(remaining, kSocketChunkPages);
+                if (!allocAndMap(*vma, sourceFor(*vma), cursor, take))
+                    return {Status::OutOfMemory, populated};
+                cursor += take;
+                remaining -= take;
+                populated += take;
+            }
+        } else {
+            if (!allocAndMap(*vma, sourceFor(*vma), hole_start, n))
                 return {Status::OutOfMemory, populated};
-            mapRanges(*vma, hole_start, *ranges);
-            break;
-          }
-          case Placement::Interleaved: {
-            std::vector<FrameId> frame_list;
-            if (!frameAlloc.allocInterleaved(n, frame_list))
-                return {Status::OutOfMemory, populated};
-            mapFrames(*vma, hole_start, std::move(frame_list));
-            break;
-          }
-          case Placement::FaultBatch: {
-            std::vector<mem::FrameRange> ranges;
-            if (!frameAlloc.allocBatch(n, ranges))
-                return {Status::OutOfMemory, populated};
-            mapRanges(*vma, hole_start, ranges);
-            break;
-          }
-          case Placement::Scattered:
-          default: {
-            std::vector<FrameId> frame_list;
-            if (!frameAlloc.allocScattered(n, frame_list))
-                return {Status::OutOfMemory, populated};
-            mapFrames(*vma, hole_start, std::move(frame_list));
-            break;
-          }
+            populated += n;
         }
-        if (vma->policy.placement == Placement::Scattered)
-            vma->pagesScattered += n;
-        else
-            vma->pagesPlaced += n;
-        populated += n;
+    }
+    if (populated > 0 && node != nullptr && node->numSockets() > 1 &&
+        vma->policy.socketPolicy == SocketPolicy::ReplicateRO) {
+        if (!replicate(*vma, populated))
+            return {Status::OutOfMemory, populated};
     }
     if (tr != nullptr)
         tr->emit(trace::EventKind::Populate, base, populated);
     return {Status::Success, populated};
+}
+
+mem::FrameAllocator &
+AddressSpace::sourceFor(const Vma &vma)
+{
+    if (node == nullptr)
+        return frameAlloc;
+    unsigned sockets = node->numSockets();
+    switch (vma.policy.socketPolicy) {
+      case SocketPolicy::FirstTouch:
+        return node->shard(curSocket % sockets);
+      case SocketPolicy::Interleave: {
+        // Rotating cursor: populate chunks and fault batches take the
+        // next socket in turn (const_cast: the cursor is placement
+        // bookkeeping, not logical VMA state).
+        Vma &mut = const_cast<Vma &>(vma);
+        unsigned s = mut.nextSocket % sockets;
+        mut.nextSocket = (s + 1) % sockets;
+        return node->shard(s);
+      }
+      case SocketPolicy::Home:
+      case SocketPolicy::ReplicateRO:
+      default:
+        return node->shard(vma.policy.homeSocket % sockets);
+    }
+}
+
+bool
+AddressSpace::allocAndMap(Vma &vma, mem::FrameAllocator &src, Vpn vpn,
+                          std::uint64_t n)
+{
+    switch (vma.policy.placement) {
+      case Placement::Contiguous: {
+        auto ranges = src.allocRun(n);
+        if (!ranges)
+            return false;
+        mapRanges(vma, vpn, *ranges);
+        break;
+      }
+      case Placement::Interleaved: {
+        std::vector<FrameId> frame_list;
+        if (!src.allocInterleaved(n, frame_list))
+            return false;
+        mapFrames(vma, vpn, std::move(frame_list));
+        break;
+      }
+      case Placement::FaultBatch: {
+        std::vector<mem::FrameRange> ranges;
+        if (!src.allocBatch(n, ranges))
+            return false;
+        mapRanges(vma, vpn, ranges);
+        break;
+      }
+      case Placement::Scattered:
+      default: {
+        std::vector<FrameId> frame_list;
+        if (!src.allocScattered(n, frame_list))
+            return false;
+        mapFrames(vma, vpn, std::move(frame_list));
+        break;
+      }
+    }
+    if (vma.policy.placement == Placement::Scattered)
+        vma.pagesScattered += n;
+    else
+        vma.pagesPlaced += n;
+    if (node != nullptr && tr != nullptr) {
+        tr->emitAt(src.socket(), trace::EventKind::PagePlace, vpn, n,
+                   src.socket(),
+                   static_cast<std::uint64_t>(vma.policy.socketPolicy));
+    }
+    return true;
+}
+
+bool
+AddressSpace::freeRouted(const mem::FrameRange &range)
+{
+    return node != nullptr ? node->freeRange(range)
+                           : frameAlloc.freeRange(range);
+}
+
+bool
+AddressSpace::replicate(Vma &vma, std::uint64_t n)
+{
+    unsigned sockets = node->numSockets();
+    unsigned home = vma.policy.homeSocket % sockets;
+    for (unsigned s = 0; s < sockets; ++s) {
+        if (s == home)
+            continue;
+        auto ranges = node->shard(s).allocRun(n);
+        if (!ranges)
+            return false;
+        for (const auto &range : *ranges) {
+            vma.replicaRanges.push_back(range);
+            if (tr != nullptr) {
+                tr->emitAt(s, trace::EventKind::PagePlace,
+                           vma.beginVpn(), range.count, s,
+                           static_cast<std::uint64_t>(
+                               SocketPolicy::ReplicateRO));
+            }
+        }
+    }
+    return true;
 }
 
 std::uint64_t
@@ -366,9 +486,10 @@ AddressSpace::tryResolveCpuFaultRange(Vpn first, Vpn last)
 
     // One batched pool grab: the on-demand pool hands out the same
     // frame sequence as `missing` single-frame grabs would.
+    mem::FrameAllocator &src = sourceFor(*vma);
     std::vector<FrameId> frame_list;
     frame_list.reserve(missing);
-    if (!frameAlloc.allocScattered(missing, frame_list))
+    if (!src.allocScattered(missing, frame_list))
         return {Status::OutOfMemory, 0};
     PteFlags flags = flagsFor(*vma);
     std::size_t next = 0;
@@ -381,8 +502,14 @@ AddressSpace::tryResolveCpuFaultRange(Vpn first, Vpn last)
     }
     vma->pagesScattered += missing;
     cpuFaultCount += missing;
+    if (node != nullptr && tr != nullptr) {
+        tr->emitAt(src.socket(), trace::EventKind::PagePlace, first,
+                   missing, src.socket(),
+                   static_cast<std::uint64_t>(
+                       vma->policy.socketPolicy));
+    }
     if (tr != nullptr)
-        tr->emit(trace::EventKind::CpuFault, first, missing);
+        tr->emitAt(curSocket, trace::EventKind::CpuFault, first, missing);
     return {Status::Success, missing};
 }
 
@@ -414,8 +541,8 @@ AddressSpace::resolveGpuFault(Vpn first, std::uint64_t count)
     bool any_missing_sys = sysTable.presentInRange(first, last) < span;
     auto emit_fault = [&](GpuFaultKind kind) {
         if (tr != nullptr) {
-            tr->emit(trace::EventKind::GpuFault, first, span,
-                     static_cast<std::uint64_t>(kind));
+            tr->emitAt(curSocket, trace::EventKind::GpuFault, first,
+                       span, static_cast<std::uint64_t>(kind));
         }
         return kind;
     };
@@ -458,8 +585,9 @@ AddressSpace::resolveGpuFault(Vpn first, std::uint64_t count)
         for (Vpn vpn = gap_begin; vpn < gap_end; ++vpn)
             holes.push_back(vpn);
     });
+    mem::FrameAllocator &src = sourceFor(*vma);
     std::vector<mem::FrameRange> ranges;
-    if (!frameAlloc.allocBatch(holes.size(), ranges)) {
+    if (!src.allocBatch(holes.size(), ranges)) {
         // Nothing has been inserted yet, so failing here is clean:
         // the tables are exactly as they were before the fault.
         return emit_fault(GpuFaultKind::OutOfMemory);
@@ -497,6 +625,12 @@ AddressSpace::resolveGpuFault(Vpn first, std::uint64_t count)
     hmm.mirrorRange(first, last);
     vma->pagesPlaced += holes.size();
     gpuMajorCount += holes.size();
+    if (node != nullptr && tr != nullptr) {
+        tr->emitAt(src.socket(), trace::EventKind::PagePlace, first,
+                   holes.size(), src.socket(),
+                   static_cast<std::uint64_t>(
+                       vma->policy.socketPolicy));
+    }
     return emit_fault(GpuFaultKind::Major);
 }
 
@@ -544,6 +678,15 @@ std::vector<std::uint64_t>
 AddressSpace::stackLoadOf(VirtAddr base, std::uint64_t size) const
 {
     return frameAlloc.geometry().stackLoad(framesOf(base, size));
+}
+
+void
+AddressSpace::setDefaultSocketPolicy(SocketPolicy policy, unsigned home)
+{
+    // Default-to-Default would recurse at mmap time; resolve it here.
+    defSocketPolicy =
+        policy == SocketPolicy::Default ? SocketPolicy::Home : policy;
+    defHomeSocket = home;
 }
 
 void

@@ -32,6 +32,10 @@ namespace upm::audit {
 class Auditor;
 }
 
+namespace upm::mem {
+class NodeMemory;
+}
+
 namespace upm::trace {
 class Tracer;
 }
@@ -46,6 +50,21 @@ enum class Placement : std::uint8_t {
     FaultBatch,   //!< GPU first-touch: short contiguous runs
 };
 
+/**
+ * Which socket's HBM shard serves a VMA on a multi-socket node.
+ * Irrelevant (and ignored) on a single-socket System, where no
+ * NodeMemory is attached and every allocation takes the legacy path.
+ */
+enum class SocketPolicy : std::uint8_t {
+    Default,      //!< resolve to the address space's default at mmap
+    Home,         //!< every page on the VMA's home socket
+    FirstTouch,   //!< pages land on the socket that faults them in
+    Interleave,   //!< 2 MiB chunks round-robin across all sockets
+    ReplicateRO,  //!< home copy plus a read-only replica per socket
+};
+
+const char *socketPolicyName(SocketPolicy policy);
+
 /** Per-VMA policy (set by the allocator layer). */
 struct VmaPolicy
 {
@@ -58,6 +77,10 @@ struct VmaPolicy
     /** GPU accesses bypass GPU caches (managed statics). */
     bool uncachedGpu = false;
     Placement placement = Placement::Scattered;
+    /** Cross-socket placement; Default defers to the address space. */
+    SocketPolicy socketPolicy = SocketPolicy::Default;
+    /** Home socket for Home / ReplicateRO placement. */
+    unsigned homeSocket = 0;
 };
 
 /** One mapped region. */
@@ -75,6 +98,12 @@ struct Vma
     /** Pages populated through any placement-friendly path
      *  (contiguous, interleaved, or GPU fault batches). */
     std::uint64_t pagesPlaced = 0;
+
+    /** Interleave rotation cursor (next socket to receive a chunk). */
+    unsigned nextSocket = 0;
+    /** ReplicateRO: replica runs on non-home sockets, freed with the
+     *  VMA (not mapped by any page table; the leak scan is told). */
+    std::vector<mem::FrameRange> replicaRanges;
 
     double
     scatteredFraction() const
@@ -249,6 +278,26 @@ class AddressSpace
     bool xnackEnabled() const { return xnack; }
     void setXnack(bool enabled) { xnack = enabled; }
 
+    /**
+     * Attach the multi-socket frame shards. Null (the default) keeps
+     * the legacy single-allocator paths -- byte-identical behaviour.
+     * With a node attached, allocations route to shards per the VMA's
+     * SocketPolicy and frees route by global frame id.
+     */
+    void setNode(mem::NodeMemory *node_memory) { node = node_memory; }
+    mem::NodeMemory *nodeMemory() { return node; }
+
+    /** Socket the currently-executing engine runs on (stamps
+     *  first-touch placement; 0 on single-socket nodes). */
+    void setCurrentSocket(unsigned socket) { curSocket = socket; }
+    unsigned currentSocket() const { return curSocket; }
+
+    /** Placement applied to VMAs mapped with SocketPolicy::Default.
+     *  @p policy must itself not be Default. */
+    void setDefaultSocketPolicy(SocketPolicy policy, unsigned home = 0);
+    SocketPolicy defaultSocketPolicy() const { return defSocketPolicy; }
+    unsigned defaultHomeSocket() const { return defHomeSocket; }
+
     /** Lifetime counters (profiling surface). */
     std::uint64_t cpuFaults() const { return cpuFaultCount; }
     std::uint64_t gpuMajorFaults() const { return gpuMajorCount; }
@@ -289,6 +338,19 @@ class AddressSpace
      *  vpns from @p vpn, coalescing physically contiguous runs. */
     void emitListExtents(Vpn vpn, const FrameId *frames,
                          std::uint64_t n);
+    /** Shard serving @p vma's next allocation on this fault/populate
+     *  path (the legacy allocator when no node is attached). */
+    mem::FrameAllocator &sourceFor(const Vma &vma);
+    /** Allocate @p n frames from @p src per @p vma's placement and map
+     *  them at @p vpn. @return false on OOM (nothing mapped). */
+    bool allocAndMap(Vma &vma, mem::FrameAllocator &src, Vpn vpn,
+                     std::uint64_t n);
+    /** Free a frame run through the node (shard-routed) or the legacy
+     *  allocator. */
+    bool freeRouted(const mem::FrameRange &range);
+    /** ReplicateRO: allocate read-only replicas of @p n pages on every
+     *  non-home socket. @return false on OOM. */
+    bool replicate(Vma &vma, std::uint64_t n);
 
     mem::FrameAllocator &frameAlloc;
     mem::BackingStore &backingStore;
@@ -299,6 +361,11 @@ class AddressSpace
     std::map<VirtAddr, Vma> vmas;
     VirtAddr nextBase;
     bool xnack = false;
+    /** Multi-socket shards; null on a single-socket System. */
+    mem::NodeMemory *node = nullptr;
+    unsigned curSocket = 0;
+    SocketPolicy defSocketPolicy = SocketPolicy::Home;
+    unsigned defHomeSocket = 0;
     /** Shuffles the virtual arrival order of GPU major faults. */
     SplitMix64 faultRng{0x6f4au};
 

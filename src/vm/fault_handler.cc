@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/log.hh"
+#include "fabric/fabric.hh"
 #include "inject/injector.hh"
 #include "trace/tracer.hh"
 
@@ -27,7 +28,7 @@ FaultHandler::lognormal(SimTime median, double sigma)
 }
 
 SimTime
-FaultHandler::sampleColdLatency(FaultType type)
+FaultHandler::sampleColdLatency(FaultType type, unsigned hops)
 {
     SimTime latency;
     switch (type) {
@@ -43,6 +44,10 @@ FaultHandler::sampleColdLatency(FaultType type)
       default:
         panic("unknown fault type");
     }
+    // A remote fault's allocation + PTE propagation crosses the xGMI
+    // fabric; the cold path pays the full round trip, undiluted.
+    if (fab != nullptr && hops > 0)
+        latency += fab->remoteFaultCost(hops);
     if (tr != nullptr) {
         tr->emit(trace::EventKind::ColdFault,
                  static_cast<std::uint64_t>(type), 0, 0, 0, 0, latency);
@@ -52,7 +57,7 @@ FaultHandler::sampleColdLatency(FaultType type)
 
 SimTime
 FaultHandler::serviceTime(FaultType type, std::uint64_t pages,
-                          unsigned cpu_cores) const
+                          unsigned cpu_cores, unsigned hops) const
 {
     if (pages == 0)
         return 0.0;
@@ -86,15 +91,23 @@ FaultHandler::serviceTime(FaultType type, std::uint64_t pages,
                                     static_cast<double>(cpu_cores - 1));
         per_page /= speedup;
     }
+    if (fab != nullptr && hops > 0) {
+        // Steady-state remote faults pipeline their PTE propagation
+        // over the fabric, so each page pays the link latency (not the
+        // full round trip), plus one pipeline-entry round trip per
+        // batch. hops == 0 leaves the local arithmetic untouched.
+        per_page += fab->latencyForHops(hops, 0.5);
+        return per_page * n + fab->remoteFaultCost(hops);
+    }
     return per_page * n;
 }
 
 FaultService
 FaultHandler::service(FaultType type, std::uint64_t pages,
-                      unsigned cpu_cores)
+                      unsigned cpu_cores, unsigned hops)
 {
     FaultService result;
-    SimTime base = serviceTime(type, pages, cpu_cores);
+    SimTime base = serviceTime(type, pages, cpu_cores, hops);
     auto emit_service = [&](const FaultService &r) {
         if (tr != nullptr) {
             tr->emit(trace::EventKind::FaultService,
@@ -141,9 +154,9 @@ FaultHandler::service(FaultType type, std::uint64_t pages,
 
 double
 FaultHandler::throughput(FaultType type, std::uint64_t pages,
-                         unsigned cpu_cores) const
+                         unsigned cpu_cores, unsigned hops) const
 {
-    SimTime total = serviceTime(type, pages, cpu_cores);
+    SimTime total = serviceTime(type, pages, cpu_cores, hops);
     if (total <= 0.0)
         return 0.0;
     return static_cast<double>(pages) / total * 1e9;  // pages per second

@@ -23,6 +23,10 @@
 #include "common/status.hh"
 #include "common/units.hh"
 
+namespace upm::fabric {
+class Fabric;
+}
+
 namespace upm::inject {
 class Injector;
 }
@@ -100,8 +104,13 @@ class FaultHandler
     explicit FaultHandler(const FaultCosts &costs = {},
                           std::uint64_t seed = 0xfa17u);
 
-    /** Sample a cold, isolated single-fault latency (lognormal). */
-    SimTime sampleColdLatency(FaultType type);
+    /**
+     * Sample a cold, isolated single-fault latency (lognormal).
+     * @param hops xGMI hops to the faulted page's owning socket; a
+     *        remote fault pays the full cross-fabric round trip on top
+     *        (0, the default, is exactly the local model).
+     */
+    SimTime sampleColdLatency(FaultType type, unsigned hops = 0);
 
     /**
      * Reset the jitter RNG to @p seed. The parallel fault sweep seeds
@@ -113,9 +122,13 @@ class FaultHandler
     /**
      * Total service time for @p pages concurrent faults of @p type.
      * @param cpu_cores number of faulting cores (CPU type only).
+     * @param hops xGMI hops to the owning socket: remote faults pay a
+     *        per-batch pipeline-entry cost plus a per-page propagation
+     *        adder from the fabric model. With hops 0 or no fabric
+     *        attached the arithmetic is exactly the local model.
      */
     SimTime serviceTime(FaultType type, std::uint64_t pages,
-                        unsigned cpu_cores = 1) const;
+                        unsigned cpu_cores = 1, unsigned hops = 0) const;
 
     /**
      * Full fault service with failure semantics: serviceTime() plus
@@ -127,10 +140,18 @@ class FaultHandler
      * exactly { Success, serviceTime(...) }, bit for bit.
      */
     FaultService service(FaultType type, std::uint64_t pages,
-                         unsigned cpu_cores = 1);
+                         unsigned cpu_cores = 1, unsigned hops = 0);
 
     /** Attach UPMInject; null (the default) means no perturbation. */
     void setInjector(inject::Injector *injector) { inj = injector; }
+
+    /** Attach the xGMI link model; null (the default) keeps every
+     *  fault local and the timing byte-identical to the 1-socket
+     *  model. */
+    void setFabric(const fabric::Fabric *fabric_model)
+    {
+        fab = fabric_model;
+    }
 
     /** Attach UPMTrace: emits ColdFault per sampled latency and
      *  FaultService per service() call (retry/replay chain included). */
@@ -138,7 +159,7 @@ class FaultHandler
 
     /** Convenience: pages/s throughput for a scenario. */
     double throughput(FaultType type, std::uint64_t pages,
-                      unsigned cpu_cores = 1) const;
+                      unsigned cpu_cores = 1, unsigned hops = 0) const;
 
     const FaultCosts &costs() const { return cost; }
 
@@ -147,6 +168,8 @@ class FaultHandler
 
     FaultCosts cost;
     SplitMix64 rng;
+    /** xGMI model; null on a single-socket System (no remote cost). */
+    const fabric::Fabric *fab = nullptr;
     /** UPMInject hook; null (no overhead) unless injection is on. */
     inject::Injector *inj = nullptr;
     /** UPMTrace hook; null (no overhead) unless tracing is on. */

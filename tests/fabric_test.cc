@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the xGMI link model (fabric::Fabric) and the config-driven
+ * APU topology validation it scales out with. The quantitative anchors
+ * come from the Inter-APU deep-dive: remote bandwidth orders below
+ * local HBM, direction asymmetry on every pair, and cost compounding
+ * with hop distance.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/apu.hh"
+#include "core/system.hh"
+#include "fabric/fabric.hh"
+
+namespace upm::fabric {
+namespace {
+
+TEST(Fabric, AutoTopologyResolvesBySocketCount)
+{
+    FabricConfig cfg;
+    EXPECT_EQ(Fabric(cfg, 2).effectiveTopology(), Topology::FullMesh);
+    EXPECT_EQ(Fabric(cfg, 4).effectiveTopology(), Topology::FullMesh);
+    EXPECT_EQ(Fabric(cfg, 5).effectiveTopology(), Topology::Ring);
+    EXPECT_EQ(Fabric(cfg, 8).effectiveTopology(), Topology::Ring);
+}
+
+TEST(Fabric, FullMeshHopsAreZeroOrOne)
+{
+    Fabric fab(FabricConfig{}, 4);
+    for (unsigned s = 0; s < 4; ++s) {
+        for (unsigned d = 0; d < 4; ++d)
+            EXPECT_EQ(fab.hopDistance(s, d), s == d ? 0u : 1u);
+    }
+    EXPECT_EQ(fab.diameter(), 1u);
+}
+
+TEST(Fabric, RingHopsTakeTheShortWayAround)
+{
+    Fabric fab(FabricConfig{}, 8);
+    EXPECT_EQ(fab.hopDistance(0, 0), 0u);
+    EXPECT_EQ(fab.hopDistance(0, 1), 1u);
+    EXPECT_EQ(fab.hopDistance(0, 4), 4u);
+    EXPECT_EQ(fab.hopDistance(0, 7), 1u);
+    EXPECT_EQ(fab.hopDistance(2, 6), 4u);
+    EXPECT_EQ(fab.hopDistance(6, 2), 4u);
+    EXPECT_EQ(fab.diameter(), 4u);
+}
+
+TEST(Fabric, DirectionAsymmetry)
+{
+    FabricConfig cfg;
+    Fabric fab(cfg, 4);
+    // Near direction (low id -> high id) runs at the link peak; the
+    // far direction reaches only asymmetryFactor of it.
+    double near = fab.linkBandwidth(0, 1);
+    double far = fab.linkBandwidth(1, 0);
+    EXPECT_DOUBLE_EQ(near, cfg.linkBandwidth);
+    EXPECT_DOUBLE_EQ(far, cfg.linkBandwidth * cfg.asymmetryFactor);
+    EXPECT_LT(far, near);
+    // Latency is asymmetric the same way.
+    EXPECT_LT(fab.remoteLatency(0, 1), fab.remoteLatency(1, 0));
+}
+
+TEST(Fabric, BandwidthTapersPerHop)
+{
+    FabricConfig cfg;
+    Fabric fab(cfg, 8);
+    double prev = fab.bandwidthForHops(1.0, 0.0);
+    EXPECT_DOUBLE_EQ(prev, cfg.linkBandwidth);
+    for (double hops = 2.0; hops <= 4.0; hops += 1.0) {
+        double bw = fab.bandwidthForHops(hops, 0.0);
+        EXPECT_DOUBLE_EQ(bw, prev * cfg.perHopBandwidthTaper);
+        prev = bw;
+    }
+}
+
+TEST(Fabric, LatencyGrowsLinearlyWithHops)
+{
+    FabricConfig cfg;
+    Fabric fab(cfg, 8);
+    EXPECT_DOUBLE_EQ(fab.latencyForHops(1.0, 0.0), cfg.hopLatency);
+    EXPECT_DOUBLE_EQ(fab.latencyForHops(3.0, 0.0),
+                     3.0 * cfg.hopLatency);
+    // The far direction pays its adder per hop.
+    EXPECT_DOUBLE_EQ(fab.latencyForHops(1.0, 1.0),
+                     cfg.hopLatency + cfg.farDirectionLatency);
+    EXPECT_DOUBLE_EQ(
+        fab.remoteLatency(0, 1),
+        fab.latencyForHops(1.0, 0.0));
+    EXPECT_DOUBLE_EQ(
+        fab.remoteLatency(1, 0),
+        fab.latencyForHops(1.0, 1.0));
+}
+
+TEST(Fabric, RemoteFaultCostCompoundsPerHop)
+{
+    FabricConfig cfg;
+    Fabric fab(cfg, 8);
+    EXPECT_DOUBLE_EQ(fab.remoteFaultCost(0), 0.0);
+    EXPECT_DOUBLE_EQ(fab.remoteFaultCost(1), cfg.remoteFaultPerHop);
+    EXPECT_DOUBLE_EQ(fab.remoteFaultCost(3),
+                     3.0 * cfg.remoteFaultPerHop);
+}
+
+TEST(Fabric, RemoteIsOrdersBelowLocalHbm)
+{
+    // The headline Inter-APU anchor: xGMI peer bandwidth is tens of
+    // GB/s while local HBM streams at TB/s.
+    core::SystemConfig sys_cfg;
+    Fabric fab(sys_cfg.fabric, 4);
+    EXPECT_LT(fab.linkBandwidth(0, 1) * 20.0,
+              sys_cfg.bandwidth.memPeak);
+}
+
+TEST(Fabric, QueriesAreDeterministic)
+{
+    FabricConfig cfg;
+    Fabric a(cfg, 8);
+    Fabric b(cfg, 8);
+    for (unsigned s = 0; s < 8; ++s) {
+        for (unsigned d = 0; d < 8; ++d) {
+            EXPECT_EQ(a.hopDistance(s, d), b.hopDistance(s, d));
+            EXPECT_DOUBLE_EQ(a.linkBandwidth(s, d),
+                             b.linkBandwidth(s, d));
+            EXPECT_DOUBLE_EQ(a.remoteLatency(s, d),
+                             b.remoteLatency(s, d));
+        }
+    }
+}
+
+TEST(ApuValidate, RejectsZeroAndNonDivisibleTopologies)
+{
+    core::SystemConfig cfg;
+    EXPECT_EQ(core::Apu::validate(cfg), Status::Success);
+
+    core::SystemConfig bad = cfg;
+    bad.numSockets = 0;
+    EXPECT_EQ(core::Apu::validate(bad), Status::InvalidValue);
+
+    bad = cfg;
+    bad.numCcds = 0;
+    EXPECT_EQ(core::Apu::validate(bad), Status::InvalidValue);
+
+    bad = cfg;
+    bad.numIods = 0;
+    EXPECT_EQ(core::Apu::validate(bad), Status::InvalidValue);
+
+    // Non-divisible core/CCD split: the pre-fix topology silently
+    // truncated coresPerCcd(); now it is rejected up front.
+    bad = cfg;
+    bad.numCcds = 5;
+    ASSERT_NE(bad.numCpuCores % bad.numCcds, 0u);
+    EXPECT_EQ(core::Apu::validate(bad), Status::InvalidValue);
+
+    bad = cfg;
+    bad.numXcds = 5;
+    ASSERT_NE(bad.numCus % bad.numXcds, 0u);
+    EXPECT_EQ(core::Apu::validate(bad), Status::InvalidValue);
+
+    EXPECT_THROW(core::Apu{bad}, StatusError);
+}
+
+} // namespace
+} // namespace upm::fabric

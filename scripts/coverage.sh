@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Line-coverage gate for the trace subsystem and the VM layer.
+# Line-coverage gate for the trace subsystem, the VM layer and the
+# event-core scheduler.
 #
 # Builds the test suite with gcc's --coverage instrumentation in a
 # dedicated build dir, runs it once, then summarizes per-file line
-# coverage for src/trace and src/vm with gcov and enforces the
+# coverage for src/trace, src/vm and src/sched with gcov and enforces the
 # checked-in floor in scripts/coverage_baseline.txt.
 #
 #   scripts/coverage.sh [build-dir]          # gate against baseline

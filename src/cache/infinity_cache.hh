@@ -60,6 +60,17 @@ class InfinityCache
     double hitFractionFromStackLoad(
         const std::vector<std::uint64_t> &pages_per_stack) const;
 
+    /**
+     * Bytes of the working set this cache covers: per stack,
+     * min(stack load, stack capacity), summed in stack order. The
+     * building block hitFractionFromStackLoad() divides by total load;
+     * multi-socket callers sum coveredBytes() across each socket's own
+     * cache instead, so each socket's 256 MiB covers only the frames
+     * its shard owns.
+     */
+    double coveredBytes(
+        const std::vector<std::uint64_t> &pages_per_stack) const;
+
     std::uint64_t capacity() const { return cfg.capacityBytes; }
     std::uint64_t sliceCapacity() const { return sliceBytes; }
     SimTime hitLatency() const { return cfg.hitLatency; }

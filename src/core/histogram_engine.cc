@@ -1,12 +1,12 @@
 #include "core/histogram_engine.hh"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "cache/atomic_unit.hh"
 #include "cache/directory.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "sched/time_heap.hh"
 
 namespace upm::core {
 
@@ -57,65 +57,94 @@ HistogramEngine::run(const HistogramParams &params)
     }
 
     // Per-line availability timestamps enforce atomic serialization.
-    std::unordered_map<std::uint64_t, SimTime> line_free_at;
+    // A dense vector keyed by line id: deterministic by construction
+    // (the unordered map it replaces kept SimTime behind hashed keys,
+    // the pattern the determinism contract bans from sim layers).
+    std::uint64_t last_line =
+        (params.elems * sizeof(std::uint64_t) - 1) / 64;
+    std::vector<SimTime> line_free_at(last_line + 1, 0.0);
     HistogramResult result;
 
-    // Round-robin the agents by current clock (cheap event loop: pick
-    // the least-advanced runnable agent each step).
-    std::uint64_t remaining = static_cast<std::uint64_t>(agents.size()) *
-                              params.opsPerThread;
-    result.totalOps = remaining;
-    while (remaining > 0) {
-        Agent *next = nullptr;
-        for (auto &agent : agents) {
-            if (agent.ops_done >= params.opsPerThread)
-                continue;
-            if (next == nullptr || agent.clock < next->clock)
-                next = &agent;
-        }
-
+    // One atomic update by @p agent: draw an index, bump the
+    // functional histogram, pay work + ownership transfer + line
+    // serialization. Unowned lines of a cache-resident histogram come
+    // from the shared level, not from memory (the directory prices the
+    // worst case).
+    auto step = [&](Agent &agent) {
         std::uint64_t idx =
-            next->gpu
-                ? next->gpu_rng.nextBelow(params.elems)
-                : next->cpu_rng.nextBelow(
+            agent.gpu
+                ? agent.gpu_rng.nextBelow(params.elems)
+                : agent.cpu_rng.nextBelow(
                       static_cast<std::uint32_t>(std::min<std::uint64_t>(
                           params.elems, 0xffffffffull)));
         ++histogram[idx];
         std::uint64_t line = idx * sizeof(std::uint64_t) / 64;
 
-        // Work + ownership transfer + line serialization. Unowned
-        // lines of a cache-resident histogram come from the shared
-        // level, not from memory (the directory prices the worst case).
         bool was_unowned =
             directory.ownerOf(line) == cache::Owner::None;
-        SimTime work = next->gpu ? cal.gpuOpLatencyL2 * 0.02
+        SimTime work = agent.gpu ? cal.gpuOpLatencyL2 * 0.02
                                  : cal.cpuWork;
-        SimTime xfer = next->gpu
+        SimTime xfer = agent.gpu
                            ? directory.gpuAtomic(line)
                            : directory.cpuAtomic(
                                  line, static_cast<unsigned>(
-                                           next - agents.data()) %
+                                           &agent - agents.data()) %
                                            sys.config().numCpuCores);
-        if (!next->gpu && was_unowned &&
+        if (!agent.gpu && was_unowned &&
             params.elems * sizeof(std::uint64_t) <= cal.cpuAggL2Bytes) {
             xfer = cal.cpuCleanNear;
         }
-        if (!next->gpu && params.type == AtomicType::Fp64)
+        if (!agent.gpu && params.type == AtomicType::Fp64)
             xfer *= cal.casFactor;
 
-        SimTime service = next->gpu ? unit.lineServiceTime()
+        SimTime service = agent.gpu ? unit.lineServiceTime()
                                     : cal.cpuLineService;
-        SimTime start = next->clock + work;
-        auto it = line_free_at.find(line);
-        if (it != line_free_at.end() && it->second > start) {
+        SimTime start = agent.clock + work;
+        if (line_free_at[line] > start) {
             ++result.lineConflicts;
-            start = it->second;
+            start = line_free_at[line];
         }
         SimTime done = start + xfer;
         line_free_at[line] = done + service;
-        next->clock = done;
-        ++next->ops_done;
-        --remaining;
+        agent.clock = done;
+        ++agent.ops_done;
+    };
+
+    std::uint64_t remaining = static_cast<std::uint64_t>(agents.size()) *
+                              params.opsPerThread;
+    result.totalOps = remaining;
+    if (params.impl == HistogramImpl::Scan) {
+        // Reference loop: pick the least-advanced runnable agent each
+        // step by linear scan (lowest index among same-clock ties).
+        while (remaining > 0) {
+            Agent *next = nullptr;
+            for (auto &agent : agents) {
+                if (agent.ops_done >= params.opsPerThread)
+                    continue;
+                if (next == nullptr || agent.clock < next->clock)
+                    next = &agent;
+            }
+            step(*next);
+            --remaining;
+        }
+    } else {
+        // Event-calendar loop: the same total order out of a TimeHeap
+        // keyed (clock, agent index). Each agent is in the heap at
+        // most once, so the (when, key) pair is already unique and the
+        // pop sequence reproduces the scan byte for byte in O(log n).
+        sched::TimeHeap<std::uint32_t> ready;
+        for (std::size_t i = 0; i < agents.size(); ++i) {
+            if (params.opsPerThread > 0)
+                ready.push(agents[i].clock, i,
+                           static_cast<std::uint32_t>(i));
+        }
+        while (!ready.empty()) {
+            auto entry = ready.pop();
+            Agent &agent = agents[entry.payload];
+            step(agent);
+            if (agent.ops_done < params.opsPerThread)
+                ready.push(agent.clock, entry.key, entry.payload);
+        }
     }
 
     // Makespan per agent class -> throughput.

@@ -24,6 +24,17 @@
 
 namespace upm::core {
 
+/**
+ * Agent scheduling implementation. Both pick the least-advanced agent
+ * (lowest index among same-clock ties) and are byte-identical; Scan is
+ * the O(ops x agents) reference loop kept for differential testing and
+ * the speedup baseline, Calendar the O(ops x log agents) TimeHeap port.
+ */
+enum class HistogramImpl : std::uint8_t {
+    Calendar,
+    Scan,
+};
+
 /** Histogram run configuration. */
 struct HistogramParams
 {
@@ -34,6 +45,7 @@ struct HistogramParams
     /** Atomic updates performed per simulated thread. */
     unsigned opsPerThread = 200;
     std::uint64_t seed = 42;
+    HistogramImpl impl = HistogramImpl::Calendar;
 };
 
 /** Outcome of one run. */

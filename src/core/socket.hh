@@ -13,6 +13,7 @@
 #ifndef UPM_CORE_SOCKET_HH
 #define UPM_CORE_SOCKET_HH
 
+#include "cache/infinity_cache.hh"
 #include "core/apu.hh"
 #include "core/calibration.hh"
 #include "mem/frame_allocator.hh"
@@ -31,11 +32,17 @@ struct Socket
     mem::FrameAllocator &frames;
     /** libnuma-style view of this socket's shard only. */
     prof::NumaMeminfo meminfo;
+    /** This socket's own 256 MiB Infinity Cache, keyed off the shard:
+     *  it caches only traffic to frames this shard owns. On a
+     *  multi-socket node PerfModel queries each socket's instance for
+     *  its slice of a working set instead of pooling everything into
+     *  one cache (setSocketCaches). */
+    cache::InfinityCache icache;
 
     Socket(const SystemConfig &config, unsigned socket_id,
            mem::FrameAllocator &shard)
         : id(socket_id), apu(config, socket_id), frames(shard),
-          meminfo(shard)
+          meminfo(shard), icache(shard.geometry(), config.infinityCache)
     {
     }
 

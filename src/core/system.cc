@@ -9,6 +9,7 @@ System::System(const SystemConfig &config)
       rt(as, registry, faults, cfg, geom), numaMeminfo(node.shard(0)),
       processRss(as)
 {
+    rt.setCalendar(&calendar);
     socketList.reserve(node.numSockets());
     for (unsigned s = 0; s < node.numSockets(); ++s) {
         socketList.push_back(
@@ -23,6 +24,13 @@ System::System(const SystemConfig &config)
         as.setNode(&node);
         faults.setFabric(fab.get());
         rt.perf().setFabric(fab.get(), node.framesPerSocket());
+        // Per-socket Infinity Caches: each shard's working-set slice
+        // is covered by its own socket's 256 MiB, not a pooled cache.
+        std::vector<const cache::InfinityCache *> caches;
+        caches.reserve(socketList.size());
+        for (const auto &socket : socketList)
+            caches.push_back(&socket->icache);
+        rt.perf().setSocketCaches(std::move(caches));
     }
     if (cfg.audit.enabled) {
         aud = std::make_unique<audit::Auditor>(cfg.audit);

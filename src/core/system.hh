@@ -40,6 +40,7 @@
 #include "prof/meminfo.hh"
 #include "prof/perf.hh"
 #include "prof/rocprof.hh"
+#include "sched/calendar.hh"
 #include "trace/tracer.hh"
 #include "vm/address_space.hh"
 #include "vm/fault_handler.hh"
@@ -71,6 +72,9 @@ class System
     vm::FaultHandler &faultHandler() { return faults; }
     alloc::AllocatorRegistry &allocators() { return registry; }
     hip::Runtime &runtime() { return rt; }
+    /** The discrete-event calendar every timed runtime operation posts
+     *  completion events to (one FIFO queue per engine). */
+    sched::EventCalendar &eventCalendar() { return calendar; }
 
     // ---- Sockets and the fabric ----------------------------------------
     unsigned numSockets() const { return node.numSockets(); }
@@ -121,6 +125,8 @@ class System
     vm::FaultHandler faults;
     alloc::AllocatorRegistry registry;
     hip::Runtime rt;
+    /** Per-System event calendar; wired into the runtime at birth. */
+    sched::EventCalendar calendar;
     prof::CounterRegistry counterRegistry;
     prof::NumaMeminfo numaMeminfo;
     prof::ProcessRss processRss;

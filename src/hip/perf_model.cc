@@ -42,7 +42,9 @@ PerfModel::profileRegion(const vm::AddressSpace &as, vm::VirtAddr base,
     profile.pagesPresent = frames.size();
     profile.stackBalance = geom.stackBalance(frames);
     profile.scatteredFraction = vma->scatteredFraction();
-    profile.icHitFraction = ic.hitFraction(frames);
+    profile.icHitFraction = socketCaches.size() > 1
+                                ? socketIcHitFraction(frames)
+                                : ic.hitFraction(frames);
 
     if (fab != nullptr && framesPerSocket > 0 &&
         vma->policy.socketPolicy != vm::SocketPolicy::ReplicateRO) {
@@ -113,6 +115,41 @@ PerfModel::profileRegion(const vm::AddressSpace &as, vm::VirtAddr base,
                  profile.icHitFraction);
     }
     return profile;
+}
+
+double
+PerfModel::socketIcHitFraction(
+    const std::vector<mem::FrameId> &frames) const
+{
+    if (frames.empty())
+        return 1.0;
+    // Partition the working set by owning shard (global frame id /
+    // frames-per-socket) and rebase each partition to shard-local
+    // ids: each socket's cache covers only the load on its own
+    // stacks. Frames past the last shard clamp onto it, matching
+    // NodeMemory::socketOfFrame.
+    std::vector<std::vector<mem::FrameId>> per_socket(
+        socketCaches.size());
+    for (mem::FrameId frame : frames) {
+        std::size_t owner =
+            framesPerSocket > 0
+                ? static_cast<std::size_t>(frame / framesPerSocket)
+                : 0;
+        if (owner >= per_socket.size())
+            owner = per_socket.size() - 1;
+        per_socket[owner].push_back(
+            frame - static_cast<mem::FrameId>(owner) * framesPerSocket);
+    }
+    double covered = 0.0;
+    for (std::size_t s = 0; s < per_socket.size(); ++s) {
+        if (per_socket[s].empty())
+            continue;
+        covered += socketCaches[s]->coveredBytes(
+            geom.stackLoad(per_socket[s]));
+    }
+    double total =
+        static_cast<double>(frames.size()) * mem::kPageSize;
+    return covered / total;
 }
 
 double

@@ -138,6 +138,22 @@ class PerfModel
         framesPerSocket = frames_per_socket;
     }
 
+    /**
+     * Attach per-socket Infinity Cache instances (multi-socket Systems
+     * only; one per shard, in socket order). With caches attached,
+     * profileRegion() partitions a working set's frames by owning
+     * shard and asks each socket's own cache how much of its slice it
+     * covers -- so a set spread over N sockets can exploit N x 256 MiB,
+     * and a set homed on one socket is bounded by that socket's cache
+     * alone, instead of everything pooling into a single cache.
+     * Empty (the default) keeps the single-cache model and its bytes.
+     */
+    void
+    setSocketCaches(std::vector<const cache::InfinityCache *> caches)
+    {
+        socketCaches = std::move(caches);
+    }
+
   private:
     /** Harmonic local/xGMI bandwidth blend for a region's remote mix
      *  (identity when no fabric or no remote pages). */
@@ -148,9 +164,15 @@ class PerfModel
     cache::InfinityCache ic;
     cache::CacheHierarchy gpuCaches;
     cache::CacheHierarchy cpuCaches;
+    /** Per-socket working-set hit fraction (multi-socket only). */
+    double socketIcHitFraction(
+        const std::vector<mem::FrameId> &frames) const;
+
     /** xGMI model; null on single-socket Systems. */
     const fabric::Fabric *fab = nullptr;
     std::uint64_t framesPerSocket = 0;
+    /** Per-socket IC instances; empty on single-socket Systems. */
+    std::vector<const cache::InfinityCache *> socketCaches;
     /** UPMTrace hook; null (no overhead) unless tracing is on. */
     trace::Tracer *tr = nullptr;
 };

@@ -6,6 +6,7 @@
 #include "audit/auditor.hh"
 #include "common/log.hh"
 #include "inject/injector.hh"
+#include "sched/calendar.hh"
 #include "trace/tracer.hh"
 
 namespace upm::hip {
@@ -118,9 +119,15 @@ Runtime::tryAllocate(alloc::AllocatorKind kind, std::uint64_t size,
                      static_cast<std::uint64_t>(kind),
                      static_cast<std::uint64_t>(error));
         }
+        ++runtimeStats.failedAllocCalls;
         return fail(error);
     }
     hostClock.advance(allocation.allocTime);
+    ++runtimeStats.allocCalls;
+    if (cal != nullptr) {
+        cal->schedule(sched::EngineId::Host, hostClock.now(),
+                      allocation.allocTime);
+    }
     DevPtr ptr = allocation.addr;
     if (kind == alloc::AllocatorKind::HipMalloc)
         hipMallocBytes += allocation.size;
@@ -193,7 +200,11 @@ Runtime::hipFree(DevPtr ptr)
     }
     if (it->second.kind == alloc::AllocatorKind::HipMalloc)
         hipMallocBytes -= it->second.size;
-    hostClock.advance(registry.deallocate(it->second));
+    SimTime free_time = registry.deallocate(it->second);
+    hostClock.advance(free_time);
+    ++runtimeStats.freeCalls;
+    if (cal != nullptr)
+        cal->schedule(sched::EngineId::Host, hostClock.now(), free_time);
     allocations.erase(it);
     if (tr != nullptr) {
         tr->emit(trace::EventKind::FreeCall, ptr,
@@ -223,6 +234,10 @@ Runtime::hipHostRegister(DevPtr ptr)
     if (st != Status::Success)
         return fail(st);
     hostClock.advance(register_time);
+    if (cal != nullptr) {
+        cal->schedule(sched::EngineId::Host, hostClock.now(),
+                      register_time);
+    }
     it->second.kind = alloc::AllocatorKind::MallocRegistered;
     notePeak();
     return hipSuccess;
@@ -280,6 +295,13 @@ Runtime::hipMemcpy(DevPtr dst, DevPtr src, std::uint64_t bytes)
     hostClock.advance(transfer_time);
     ++runtimeStats.memcpyCalls;
     runtimeStats.bytesCopied += bytes;
+    runtimeStats.memcpyTimeNs += transfer_time;
+    if (cal != nullptr) {
+        // A synchronous copy completes on the host timeline; the SDMA
+        // engine's queue records its occupancy.
+        cal->schedule(sched::EngineId::Sdma, hostClock.now(),
+                      transfer_time);
+    }
     notePeak();
     if (tr != nullptr) {
         tr->emit(trace::EventKind::Memcpy, dst, src, bytes,
@@ -335,6 +357,16 @@ Runtime::hipMemcpyAsync(DevPtr dst, DevPtr src, std::uint64_t bytes,
     stream.enqueue(hostClock.now(), fault_time + transfer_time);
     ++runtimeStats.memcpyCalls;
     runtimeStats.bytesCopied += bytes;
+    runtimeStats.memcpyTimeNs += transfer_time;
+    if (cal != nullptr) {
+        // The async copy completes on the stream's timeline.
+        if (fault_time > 0.0) {
+            cal->schedule(sched::EngineId::Fault,
+                          stream.readyAt() - transfer_time, fault_time);
+        }
+        cal->schedule(sched::EngineId::Sdma, stream.readyAt(),
+                      transfer_time);
+    }
     notePeak();
     if (tr != nullptr) {
         tr->emit(trace::EventKind::Memcpy, dst, src, bytes,
@@ -404,6 +436,10 @@ Runtime::resolveKernelFaults(const BufferUse &use)
                             "%u retries",
                             vma->name.c_str(), service.retries));
     }
+    if (cal != nullptr) {
+        cal->schedule(sched::EngineId::Fault,
+                      hostClock.now() + service.time, service.time);
+    }
     return service.time;
 }
 
@@ -457,6 +493,12 @@ Runtime::launchKernel(const KernelDesc &desc,
 
     stream->enqueue(hostClock.now(), duration);
     ++runtimeStats.kernelsLaunched;
+    runtimeStats.kernelTimeNs += duration;
+    if (cal != nullptr) {
+        // The kernel completes when its stream slot drains.
+        cal->schedule(sched::EngineId::Kernel, stream->readyAt(),
+                      duration);
+    }
     if (tr != nullptr) {
         tr->emit(trace::EventKind::KernelLaunch, desc.buffers.size(), 0,
                  0, 0, 0, duration, desc.name);
@@ -470,6 +512,8 @@ Runtime::deviceSynchronize()
     hostClock.advanceTo(stream0.readyAt());
     // hipDeviceSynchronize waits for every stream, so it orders all
     // prior GPU work before subsequent host accesses.
+    if (cal != nullptr)
+        cal->runUntil(hostClock.now());
     if (aud != nullptr)
         aud->raceEdgeAll(audit::kHostAgent);
 }
@@ -478,6 +522,8 @@ void
 Runtime::streamSynchronize(Stream &stream)
 {
     hostClock.advanceTo(stream.readyAt());
+    if (cal != nullptr)
+        cal->runUntil(hostClock.now());
     if (aud != nullptr)
         aud->raceEdge(agentOf(stream), audit::kHostAgent);
 }
@@ -532,6 +578,8 @@ Runtime::cpuFirstTouch(DevPtr ptr, std::uint64_t size, unsigned threads)
     SimTime t =
         faults.service(vm::FaultType::Cpu, missing, threads).time;
     hostClock.advance(t);
+    if (cal != nullptr)
+        cal->schedule(sched::EngineId::Fault, hostClock.now(), t);
     notePeak();
     return t;
 }
@@ -556,6 +604,10 @@ Runtime::cpuStream(DevPtr ptr, std::uint64_t bytes, unsigned threads)
         t /= inj->hbmDegradeFactor();
     }
     hostClock.advance(t);
+    if (cal != nullptr) {
+        // CPU streaming occupies the cache+DRAM subsystem.
+        cal->schedule(sched::EngineId::CacheDram, hostClock.now(), t);
+    }
     return t + fault_time;
 }
 
@@ -563,6 +615,8 @@ void
 Runtime::advanceHost(SimTime duration)
 {
     hostClock.advance(duration);
+    if (cal != nullptr)
+        cal->schedule(sched::EngineId::Host, hostClock.now(), duration);
 }
 
 } // namespace upm::hip

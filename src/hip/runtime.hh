@@ -39,6 +39,10 @@ namespace upm::trace {
 class Tracer;
 }
 
+namespace upm::sched {
+class EventCalendar;
+}
+
 namespace upm::hip {
 
 /**
@@ -64,7 +68,9 @@ hipErrorName(hipError_t error)
     return statusName(error);
 }
 
-/** Runtime-level counters (profiling surface). */
+/** Runtime-level counters (profiling surface). The *TimeNs totals are
+ *  summed in call order, so a trace replay that folds event values in
+ *  sequence order reproduces them byte-exactly. */
 struct RuntimeStats
 {
     std::uint64_t kernelsLaunched = 0;
@@ -73,6 +79,13 @@ struct RuntimeStats
     std::uint64_t gpuFaultedPagesMajor = 0;
     std::uint64_t gpuFaultedPagesMinor = 0;
     std::uint64_t cpuFaultedPages = 0;
+    std::uint64_t allocCalls = 0;
+    std::uint64_t failedAllocCalls = 0;
+    std::uint64_t freeCalls = 0;
+    /** Sum of modelled kernel durations (excluding queue wait). */
+    SimTime kernelTimeNs = 0.0;
+    /** Sum of modelled memcpy transfer times (sync and async). */
+    SimTime memcpyTimeNs = 0.0;
 };
 
 /** hipMemGetInfo result. */
@@ -256,6 +269,17 @@ class Runtime
      */
     void setTracer(trace::Tracer *tracer);
 
+    /**
+     * Attach the event calendar (sched::EventCalendar). Every timed
+     * runtime operation then posts a completion event on its engine's
+     * queue -- host work on Host, copies on Sdma, fault service on
+     * Fault, kernels on Kernel -- and the synchronize calls drain the
+     * calendar up to the synchronized timestamp. The events are pure
+     * stats markers: attaching a calendar never changes simulated
+     * numbers.
+     */
+    void setCalendar(sched::EventCalendar *calendar) { cal = calendar; }
+
   private:
     /** Resolve GPU faults on a kernel buffer; @return time charged.
      *  Throws StatusError on violation / OOM / injected timeout. */
@@ -293,6 +317,8 @@ class Runtime
     inject::Injector *inj = nullptr;
     /** UPMTrace hook; null (no overhead) unless tracing is on. */
     trace::Tracer *tr = nullptr;
+    /** Event-calendar hook; null (no overhead) unless attached. */
+    sched::EventCalendar *cal = nullptr;
     /** Sticky last error (hipGetLastError surface). */
     hipError_t lastErr = hipSuccess;
 };

@@ -1,0 +1,120 @@
+#include "sched/replay.hh"
+
+#include <algorithm>
+
+#include "trace/sink.hh"
+
+namespace upm::sched {
+
+TraceReplayer::TraceReplayer(std::uint64_t total_frames)
+    : busy(total_frames, false)
+{
+}
+
+void
+TraceReplayer::apply(const trace::TraceEvent &ev)
+{
+    using trace::EventKind;
+
+    ++replayMetrics.eventsApplied;
+    replayMetrics.perLayer[static_cast<unsigned>(trace::layerOf(ev.kind))]++;
+    replayMetrics.lastEventNs =
+        std::max(replayMetrics.lastEventNs, ev.time);
+
+    switch (ev.kind) {
+      case EventKind::FrameAlloc:
+        if (ev.a + ev.b > busy.size())
+            busy.resize(ev.a + ev.b, false);
+        for (std::uint64_t i = 0; i < ev.b; ++i)
+            busy[ev.a + i] = true;
+        replayMetrics.framesAllocated += ev.b;
+        break;
+      case EventKind::FrameFree:
+        if (ev.a + ev.b > busy.size())
+            busy.resize(ev.a + ev.b, false);
+        for (std::uint64_t i = 0; i < ev.b; ++i)
+            busy[ev.a + i] = false;
+        replayMetrics.framesFreed += ev.b;
+        break;
+      case EventKind::ExtentMap:
+        // One event per physically contiguous run: vpn+i -> frame+i.
+        table.insertRange(ev.a, ev.b, ev.c);
+        break;
+      case EventKind::VmaUnmap:
+        table.removeRange(ev.c, ev.d, [](const vm::PteRun &) {});
+        break;
+      case EventKind::AllocCall:
+        if (static_cast<Status>(ev.d) == Status::Success)
+            ++replayMetrics.allocCalls;
+        else
+            ++replayMetrics.failedAllocCalls;
+        break;
+      case EventKind::FreeCall:
+        if (static_cast<Status>(ev.b) == Status::Success)
+            ++replayMetrics.freeCalls;
+        break;
+      case EventKind::Memcpy:
+        ++replayMetrics.memcpyCalls;
+        replayMetrics.bytesCopied += ev.c;
+        replayMetrics.memcpyTimeNs += ev.value;
+        break;
+      case EventKind::KernelLaunch:
+        ++replayMetrics.kernelsLaunched;
+        replayMetrics.kernelTimeNs += ev.value;
+        break;
+      case EventKind::FaultService:
+        ++replayMetrics.faultServiceCalls;
+        replayMetrics.faultServicePages += ev.b;
+        replayMetrics.faultServiceTimeNs += ev.value;
+        break;
+      default:
+        break; // diagnostic events carry no replayed state
+    }
+}
+
+void
+TraceReplayer::applyAll(const std::vector<trace::TraceEvent> &events)
+{
+    for (const auto &ev : events)
+        apply(ev);
+}
+
+std::uint64_t
+TraceReplayer::busyCount() const
+{
+    std::uint64_t n = 0;
+    for (bool b : busy)
+        n += b ? 1 : 0;
+    return n;
+}
+
+SimTime
+recostFaultNs(const std::vector<trace::TraceEvent> &events,
+              const vm::FaultCosts &costs)
+{
+    vm::FaultHandler pricer(costs);
+    SimTime total = 0.0;
+    for (const auto &ev : events) {
+        if (ev.kind != trace::EventKind::FaultService)
+            continue;
+        total += pricer.serviceTime(
+            static_cast<vm::FaultType>(ev.a), ev.b);
+    }
+    return total;
+}
+
+Status
+loadDump(const std::string &path, std::vector<trace::TraceEvent> &out,
+         std::string *error)
+{
+    std::vector<trace::PackedEvent> packed;
+    if (!trace::RingBufferSink::read(path, packed, nullptr, error))
+        return Status::NotFound;
+    out.clear();
+    out.reserve(packed.size());
+    for (const auto &rec : packed)
+        out.push_back(trace::unpack(rec));
+    return Status::Success;
+}
+
+} // namespace upm::sched

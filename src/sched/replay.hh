@@ -1,0 +1,118 @@
+/**
+ * @file
+ * UPMTrace replay backend: re-drive the memory system from a recorded
+ * event stream instead of re-simulating it.
+ *
+ * A trace is a complete record of physical-memory and page-table
+ * state (the trace-replay property tests prove it), and the runtime's
+ * time totals are summed in call order -- the same order events carry
+ * sequence numbers. Folding events in seq order therefore rebuilds the
+ * frame busy map, the system page table, and every recorded counter
+ * byte-exactly, at the cost of a linear pass over the trace rather
+ * than a full simulation. That is what makes A/B sweeps cheap: record
+ * once, then re-price policy variants against the replayed stream
+ * (see recostFaultNs()).
+ *
+ * The folding rules mirror tests/trace_replay_test.cc: FrameAlloc /
+ * FrameFree toggle the busy map, ExtentMap / VmaUnmap drive the page
+ * table, and the hip/vm timing events accumulate into ReplayMetrics
+ * with the exact double-addition order the live accumulators used.
+ */
+
+#ifndef UPM_SCHED_REPLAY_HH
+#define UPM_SCHED_REPLAY_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+#include "common/units.hh"
+#include "trace/event.hh"
+#include "vm/fault_handler.hh"
+#include "vm/page_table.hh"
+
+namespace upm::sched {
+
+/**
+ * Counters rebuilt from a trace. Each field mirrors a live accumulator
+ * the trace records: the hip fields mirror hip::RuntimeStats, the
+ * faultService fields mirror vm::ServiceTally. Time totals are folded
+ * in event-sequence order, which is the live call order, so they match
+ * the live run byte for byte.
+ */
+struct ReplayMetrics
+{
+    std::uint64_t allocCalls = 0;
+    std::uint64_t failedAllocCalls = 0;
+    std::uint64_t freeCalls = 0;
+    std::uint64_t memcpyCalls = 0;
+    std::uint64_t bytesCopied = 0;
+    SimTime memcpyTimeNs = 0.0;
+    std::uint64_t kernelsLaunched = 0;
+    SimTime kernelTimeNs = 0.0;
+    std::uint64_t faultServiceCalls = 0;
+    std::uint64_t faultServicePages = 0;
+    SimTime faultServiceTimeNs = 0.0;
+    std::uint64_t framesAllocated = 0;
+    std::uint64_t framesFreed = 0;
+    /** Events seen per emitting layer (indexed by trace::Layer). */
+    std::array<std::uint64_t, trace::kNumLayers> perLayer{};
+    std::uint64_t eventsApplied = 0;
+    /** Timestamp of the latest applied event (ns). */
+    SimTime lastEventNs = 0.0;
+};
+
+/** Folds an event stream into reconstructed memory-system state. */
+class TraceReplayer
+{
+  public:
+    /** @param total_frames size of the frame busy map; the map grows
+     *  on demand when a FrameAlloc reaches beyond it, so 0 works for
+     *  traces whose geometry is unknown. */
+    explicit TraceReplayer(std::uint64_t total_frames = 0);
+
+    /** Fold one event (events must arrive in seq order). */
+    void apply(const trace::TraceEvent &ev);
+
+    /** Fold a whole stream, oldest first. */
+    void applyAll(const std::vector<trace::TraceEvent> &events);
+
+    const ReplayMetrics &metrics() const { return replayMetrics; }
+    /** Reconstructed frame busy map (FrameAlloc / FrameFree). */
+    const std::vector<bool> &busyFrames() const { return busy; }
+    /** Reconstructed system page table (ExtentMap / VmaUnmap). */
+    const vm::SystemPageTable &pageTable() const { return table; }
+    /** Frames currently busy in the reconstruction. */
+    std::uint64_t busyCount() const;
+
+  private:
+    std::vector<bool> busy;
+    vm::SystemPageTable table;
+    ReplayMetrics replayMetrics;
+};
+
+/**
+ * Re-price the recorded fault stream under @p costs: the sum of
+ * serviceTime(type, pages) over every FaultService event, in seq
+ * order. This is the replay-mode A/B lever -- sweep FaultCosts
+ * variants against one recorded trace without re-simulating. The
+ * trace does not record cpu_cores or fabric hops, so the re-pricing
+ * uses the single-core local model.
+ */
+SimTime recostFaultNs(const std::vector<trace::TraceEvent> &events,
+                      const vm::FaultCosts &costs);
+
+/**
+ * Load a trace::RingBufferSink dump ("UPMT" file) as unpacked events,
+ * oldest first. @return Status::NotFound when the file cannot be read
+ * or decoded (@p error, if non-null, receives the reader's reason).
+ */
+Status loadDump(const std::string &path,
+                std::vector<trace::TraceEvent> &out,
+                std::string *error = nullptr);
+
+} // namespace upm::sched
+
+#endif // UPM_SCHED_REPLAY_HH

@@ -109,6 +109,9 @@ FaultHandler::service(FaultType type, std::uint64_t pages,
     FaultService result;
     SimTime base = serviceTime(type, pages, cpu_cores, hops);
     auto emit_service = [&](const FaultService &r) {
+        ++serviceTally.calls;
+        serviceTally.pages += pages;
+        serviceTally.timeNs += r.time;
         if (tr != nullptr) {
             tr->emit(trace::EventKind::FaultService,
                      static_cast<std::uint64_t>(type), pages, r.retries,

@@ -80,6 +80,18 @@ struct FaultCosts
 /** Flavours of fault the model prices. */
 enum class FaultType : std::uint8_t { Cpu, GpuMinor, GpuMajor };
 
+/**
+ * Running totals over every service() call, accumulated in call order
+ * (the replay backend reproduces timeNs byte-exactly by folding
+ * FaultService trace events in sequence order).
+ */
+struct ServiceTally
+{
+    std::uint64_t calls = 0;
+    std::uint64_t pages = 0;
+    SimTime timeNs = 0.0;
+};
+
 /** Outcome of a full fault-service attempt (see service()). */
 struct FaultService
 {
@@ -163,11 +175,16 @@ class FaultHandler
 
     const FaultCosts &costs() const { return cost; }
 
+    /** Totals over every service() call since construction / reset. */
+    const ServiceTally &tally() const { return serviceTally; }
+    void resetTally() { serviceTally = {}; }
+
   private:
     SimTime lognormal(SimTime median, double sigma);
 
     FaultCosts cost;
     SplitMix64 rng;
+    ServiceTally serviceTally;
     /** xGMI model; null on a single-socket System (no remote cost). */
     const fabric::Fabric *fab = nullptr;
     /** UPMInject hook; null (no overhead) unless injection is on. */

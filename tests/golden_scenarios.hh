@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The four golden trace scenarios, shared by the golden-trace suite
+ * (tests/trace_test.cc, exact-diffing the Chrome export) and the
+ * replay-equivalence suite (tests/replay_equiv_test.cc, proving the
+ * UPMTrace replay backend reproduces live metrics byte-exactly from
+ * the packed ring dump of the very same workloads).
+ *
+ * The configs and workloads are frozen: the committed golden files
+ * under tests/golden/ are exact byte diffs of these scenarios, so any
+ * change here requires a deliberate re-bless via scripts/retrace.sh.
+ */
+
+#ifndef UPM_TESTS_GOLDEN_SCENARIOS_HH
+#define UPM_TESTS_GOLDEN_SCENARIOS_HH
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/system.hh"
+
+namespace upm::trace::golden {
+
+/** Seed base of tests/trace_test.cc; sdmaConfig()'s injector seed is
+ *  derived from it and is part of the frozen golden bytes. */
+inline constexpr std::uint64_t kGoldenSeedBase = 0x77ace000ull;
+
+inline core::SystemConfig
+tracedConfig()
+{
+    core::SystemConfig cfg;
+    cfg.geometry.capacityBytes = 1 * GiB;
+    cfg.trace.enabled = true;
+    return cfg;
+}
+
+/** 1. On-demand fault storm: CPU first-touch half of a malloc'd
+ *  buffer, then a kernel GPU-faults the rest under XNACK. */
+inline void
+scenarioFaultStorm(core::System &sys)
+{
+    auto &rt = sys.runtime();
+    rt.setXnack(true);
+    hip::DevPtr p = rt.hostMalloc(256 * KiB);
+    rt.cpuFirstTouch(p, 128 * KiB);
+    hip::KernelDesc k;
+    k.name = "storm";
+    k.buffers.push_back({p, 256 * KiB, 256 * KiB});
+    rt.launchKernel(k, nullptr);
+    rt.deviceSynchronize();
+    EXPECT_EQ(rt.hipFree(p), hip::hipSuccess);
+}
+
+/** 2. hipMallocManaged populate: up-front stack-interleaved frames
+ *  (XNACK off), then a CPU stream over the buffer. */
+inline void
+scenarioManagedPopulate(core::System &sys)
+{
+    auto &rt = sys.runtime();
+    hip::DevPtr p = rt.allocate(alloc::AllocatorKind::HipMallocManaged,
+                                512 * KiB);
+    rt.cpuStream(p, 512 * KiB, 8);
+    EXPECT_EQ(rt.hipFree(p), hip::hipSuccess);
+}
+
+inline core::SystemConfig
+oversubConfig()
+{
+    core::SystemConfig cfg;
+    cfg.geometry.capacityBytes = 128 * MiB;
+    cfg.trace.enabled = true;
+    return cfg;
+}
+
+/** 3. Oversubscription: fill physical memory until hipMalloc reports
+ *  OOM (the failed AllocCall is on the bus), evict one allocation and
+ *  recover with a smaller one. */
+inline void
+scenarioOversubscription(core::System &sys)
+{
+    auto &rt = sys.runtime();
+    std::vector<hip::DevPtr> held;
+    hip::DevPtr p = 0;
+    while (rt.tryAllocate(alloc::AllocatorKind::HipMalloc, 32 * MiB,
+                          p) == hip::hipSuccess)
+        held.push_back(p);
+    EXPECT_EQ(rt.hipFree(held.back()), hip::hipSuccess);
+    held.back() = rt.allocate(alloc::AllocatorKind::HipMalloc, 16 * MiB);
+    for (auto q : held)
+        EXPECT_EQ(rt.hipFree(q), hip::hipSuccess);
+}
+
+inline core::SystemConfig
+sdmaConfig()
+{
+    core::SystemConfig cfg;
+    cfg.geometry.capacityBytes = 1 * GiB;
+    cfg.trace.enabled = true;
+    cfg.inject.enabled = true;
+    cfg.inject.seed = kGoldenSeedBase + 1;
+    cfg.inject.sdmaStallProb = 1.0;
+    return cfg;
+}
+
+/** 4. Injected SDMA stall: every memcpy stalls; the InjectDecision
+ *  and the inflated Memcpy transfer times are both on the bus. */
+inline void
+scenarioSdmaStall(core::System &sys)
+{
+    auto &rt = sys.runtime();
+    hip::DevPtr src = rt.hipMalloc(4 * MiB);
+    hip::DevPtr dst = rt.hipMalloc(4 * MiB);
+    rt.hipMemcpy(dst, src, 4 * MiB);
+    rt.hipMemcpy(src, dst, 2 * MiB);
+    EXPECT_EQ(rt.hipFree(src), hip::hipSuccess);
+    EXPECT_EQ(rt.hipFree(dst), hip::hipSuccess);
+}
+
+/** One golden scenario: its name matches the committed golden file. */
+struct GoldenScenario
+{
+    const char *name;
+    core::SystemConfig (*config)();
+    void (*run)(core::System &);
+};
+
+inline constexpr GoldenScenario kGoldenScenarios[] = {
+    {"fault_storm", tracedConfig, scenarioFaultStorm},
+    {"managed_populate", tracedConfig, scenarioManagedPopulate},
+    {"oversub_evict", oversubConfig, scenarioOversubscription},
+    {"sdma_stall", sdmaConfig, scenarioSdmaStall},
+};
+
+} // namespace upm::trace::golden
+
+#endif // UPM_TESTS_GOLDEN_SCENARIOS_HH

@@ -57,6 +57,39 @@ TEST(HistogramEngine, RejectsDegenerateConfigs)
     EXPECT_THROW(engine.run(p), SimError);
 }
 
+TEST(HistogramEngine, CalendarAndScanSchedulersAreByteIdentical)
+{
+    // The TimeHeap agent scheduler (Calendar, the default) and the
+    // O(ops x agents) reference scan must pick identical agents on
+    // every step: every metric -- throughputs included, compared
+    // byte-exact -- must match across a seed sweep and across mixed
+    // CPU/GPU agent populations.
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+        for (auto [cpu, gpu] : {std::pair<unsigned, unsigned>{4, 0},
+                                {0, 64}, {4, 64}, {1, 1}}) {
+            System sys(smallConfig());
+            HistogramEngine engine(sys);
+            HistogramParams params;
+            params.elems = 512;
+            params.cpuThreads = cpu;
+            params.gpuThreads = gpu;
+            params.opsPerThread = 150;
+            params.seed = 0x415c0000ull + seed;
+
+            params.impl = HistogramImpl::Calendar;
+            auto cal = engine.run(params);
+            params.impl = HistogramImpl::Scan;
+            auto scan = engine.run(params);
+
+            EXPECT_EQ(cal.cpuOpsPerNs, scan.cpuOpsPerNs);
+            EXPECT_EQ(cal.gpuOpsPerNs, scan.gpuOpsPerNs);
+            EXPECT_EQ(cal.histogramSum, scan.histogramSum);
+            EXPECT_EQ(cal.totalOps, scan.totalOps);
+            EXPECT_EQ(cal.lineConflicts, scan.lineConflicts);
+        }
+    }
+}
+
 TEST(HistogramEngine, IsDeterministic)
 {
     auto a = runEngine(1024, 2, 32);

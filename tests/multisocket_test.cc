@@ -308,6 +308,79 @@ TEST(MultiSocket, InterApuSweepIsWorkerCountInvariant)
     }
 }
 
+// ---- Per-socket Infinity Cache ------------------------------------------
+
+TEST(MultiSocket, InterleaveExploitsPerSocketInfinityCaches)
+{
+    // Each socket brings its own 256 MiB Infinity Cache. A 512 MiB
+    // working set interleaved over two sockets loads each socket's
+    // cache with exactly its capacity (hit fraction 1.0); the same set
+    // homed on one socket is bounded by that single socket's cache
+    // (hit fraction 0.5). The pre-socket pooled model could not tell
+    // the two placements apart.
+    SystemConfig cfg = smallConfig(2);
+    cfg.geometry.capacityBytes = 1 * GiB;
+
+    auto hit_fraction = [&](vm::SocketPolicy policy) {
+        System sys(cfg);
+        sys.allocators().setSocketPlacement(policy, 0);
+        hip::DevPtr p = sys.runtime().allocate(
+            alloc::AllocatorKind::HipHostMalloc, 512 * MiB);
+        auto profile = sys.runtime().perf().profileRegion(
+            sys.addressSpace(), p, 512 * MiB);
+        sys.runtime().freeChecked(p);
+        return profile.icHitFraction;
+    };
+
+    EXPECT_DOUBLE_EQ(hit_fraction(vm::SocketPolicy::Interleave), 1.0);
+    EXPECT_DOUBLE_EQ(hit_fraction(vm::SocketPolicy::Home), 0.5);
+}
+
+TEST(MultiSocket, PerSocketCacheLatencyFavorsInterleave)
+{
+    SystemConfig cfg = smallConfig(2);
+    cfg.geometry.capacityBytes = 1 * GiB;
+    System sys(cfg);
+
+    sys.allocators().setSocketPlacement(vm::SocketPolicy::Interleave);
+    hip::DevPtr inter = sys.runtime().allocate(
+        alloc::AllocatorKind::HipHostMalloc, 512 * MiB);
+    sys.allocators().setSocketPlacement(vm::SocketPolicy::Home, 0);
+    hip::DevPtr home = sys.runtime().allocate(
+        alloc::AllocatorKind::HipHostMalloc, 512 * MiB);
+
+    auto &perf = sys.runtime().perf();
+    auto pi = perf.profileRegion(sys.addressSpace(), inter, 512 * MiB);
+    auto ph = perf.profileRegion(sys.addressSpace(), home, 512 * MiB);
+    // The interleaved set hits two caches' worth of capacity. Chase
+    // latency from socket 0 still pays xGMI hops for the remote half,
+    // but the CPU-side cache term alone must favor interleave.
+    EXPECT_GT(pi.icHitFraction, ph.icHitFraction);
+    hip::RegionProfile local_pi = pi;
+    local_pi.remoteFraction = 0.0;
+    EXPECT_LT(perf.cpuChaseLatency(local_pi), perf.cpuChaseLatency(ph));
+    sys.runtime().freeChecked(inter);
+    sys.runtime().freeChecked(home);
+}
+
+TEST(MultiSocket, SingleSocketKeepsTheGlobalCacheModel)
+{
+    // --sockets 1 byte-identity: with one socket there are no
+    // per-socket instances, and the hit fraction is exactly the
+    // legacy single-cache answer for the same frames.
+    SystemConfig cfg = smallConfig(1);
+    cfg.geometry.capacityBytes = 1 * GiB;
+    System sys(cfg);
+    hip::DevPtr p = sys.runtime().allocate(
+        alloc::AllocatorKind::HipHostMalloc, 512 * MiB);
+    auto profile = sys.runtime().perf().profileRegion(
+        sys.addressSpace(), p, 512 * MiB);
+    auto frames = sys.addressSpace().framesOf(p, 512 * MiB);
+    EXPECT_EQ(profile.icHitFraction,
+              sys.runtime().perf().infinityCache().hitFraction(frames));
+    sys.runtime().freeChecked(p);
+}
+
 TEST(MultiSocket, RemoteAccessIsSlowerAndAsymmetric)
 {
     System sys(smallConfig(4));

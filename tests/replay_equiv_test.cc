@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Replay-equivalence suite: the UPMTrace replay backend (sched/replay)
+ * must reproduce live-run metrics byte-exactly from a packed ring dump
+ * -- for all four committed golden scenarios and for the randomized
+ * seeded workload family. "Byte-exactly" is literal: the double time
+ * totals are compared with operator== because replay folds event
+ * values in sequence order, the exact call order the live accumulators
+ * summed in.
+ *
+ * Seed base for this file: 0x4e91b000 (test hygiene: fixed per-file
+ * seed bases, no std::random_device).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/system.hh"
+#include "exec/task_pool.hh"
+#include "golden_scenarios.hh"
+#include "sched/replay.hh"
+#include "trace/sink.hh"
+#include "trace/tracer.hh"
+
+namespace upm::sched {
+namespace {
+
+constexpr std::uint64_t kSeedBase = 0x4e91b000ull;
+
+/** Run @p scenario on a ring-traced System, dump the ring to disk,
+ *  reload it through loadDump(), fold it, and require every recorded
+ *  metric and the reconstructed memory state to equal the live run. */
+void
+expectReplayReproducesLive(const trace::golden::GoldenScenario &sc)
+{
+    core::SystemConfig cfg = sc.config();
+    cfg.trace.ring = true;
+    cfg.trace.ringCapacity = 1u << 18;
+    core::System sys(cfg);
+    sc.run(sys);
+
+    ASSERT_NE(sys.tracer(), nullptr);
+    ASSERT_NE(sys.tracer()->ringSink(), nullptr);
+    ASSERT_EQ(sys.tracer()->ringSink()->dropped(), 0u)
+        << "ring too small: the dump would be lossy";
+
+    const std::string path = ::testing::TempDir() + "replay_equiv_" +
+                             sc.name + ".upmt";
+    ASSERT_TRUE(sys.tracer()->ringSink()->dump(path));
+    std::vector<trace::TraceEvent> events;
+    ASSERT_EQ(loadDump(path, events), Status::Success);
+    std::remove(path.c_str());
+    ASSERT_EQ(events.size(), sys.tracer()->emitted());
+
+    TraceReplayer rp(sys.frames().totalFrames());
+    rp.applyAll(events);
+    const ReplayMetrics &m = rp.metrics();
+
+    const auto &live = sys.runtime().stats();
+    EXPECT_EQ(m.allocCalls, live.allocCalls);
+    EXPECT_EQ(m.failedAllocCalls, live.failedAllocCalls);
+    EXPECT_EQ(m.freeCalls, live.freeCalls);
+    EXPECT_EQ(m.memcpyCalls, live.memcpyCalls);
+    EXPECT_EQ(m.bytesCopied, live.bytesCopied);
+    EXPECT_EQ(m.kernelsLaunched, live.kernelsLaunched);
+    EXPECT_EQ(m.memcpyTimeNs, live.memcpyTimeNs);
+    EXPECT_EQ(m.kernelTimeNs, live.kernelTimeNs);
+
+    const auto &tally = sys.faultHandler().tally();
+    EXPECT_EQ(m.faultServiceCalls, tally.calls);
+    EXPECT_EQ(m.faultServicePages, tally.pages);
+    EXPECT_EQ(m.faultServiceTimeNs, tally.timeNs);
+
+    EXPECT_EQ(rp.busyFrames(), sys.frames().busyMap());
+    EXPECT_EQ(rp.pageTable().presentCount(),
+              sys.addressSpace().systemTable().presentCount());
+    EXPECT_EQ(m.eventsApplied, events.size());
+}
+
+TEST(ReplayEquivalence, FaultStorm)
+{
+    expectReplayReproducesLive(trace::golden::kGoldenScenarios[0]);
+}
+
+TEST(ReplayEquivalence, ManagedPopulate)
+{
+    expectReplayReproducesLive(trace::golden::kGoldenScenarios[1]);
+}
+
+TEST(ReplayEquivalence, OversubscriptionEviction)
+{
+    expectReplayReproducesLive(trace::golden::kGoldenScenarios[2]);
+}
+
+TEST(ReplayEquivalence, SdmaStall)
+{
+    expectReplayReproducesLive(trace::golden::kGoldenScenarios[3]);
+}
+
+// ---------------------------------------------------------------------
+// Randomized workloads: the same property over a seeded mix of every
+// allocator family, first touches, kernels and frees (the workload
+// family of tests/trace_replay_test.cc).
+// ---------------------------------------------------------------------
+
+void
+seededWorkload(core::System &sys, std::uint64_t seed)
+{
+    using alloc::AllocatorKind;
+    SplitMix64 rng(seed);
+    auto &rt = sys.runtime();
+    rt.setXnack((seed & 1) != 0);
+
+    static constexpr AllocatorKind kinds[] = {
+        AllocatorKind::HipMalloc,
+        AllocatorKind::HipHostMalloc,
+        AllocatorKind::HipMallocManaged,
+        AllocatorKind::Malloc,
+    };
+
+    std::vector<std::pair<hip::DevPtr, std::uint64_t>> live;
+    for (unsigned op = 0; op < 32; ++op) {
+        std::uint64_t roll = rng.next();
+        switch (roll % 4) {
+          case 0: {
+            auto kind = kinds[(roll >> 8) % std::size(kinds)];
+            std::uint64_t bytes =
+                ((roll >> 16) % 64 + 1) * mem::kPageSize;
+            hip::DevPtr p = 0;
+            if (rt.tryAllocate(kind, bytes, p) == hip::hipSuccess)
+                live.emplace_back(p, bytes);
+            break;
+          }
+          case 1: {
+            if (live.empty())
+                break;
+            auto [p, bytes] = live[(roll >> 8) % live.size()];
+            std::uint64_t prefix =
+                ((roll >> 16) % (bytes / mem::kPageSize) + 1) *
+                mem::kPageSize;
+            rt.cpuFirstTouch(p, prefix);
+            break;
+          }
+          case 2: {
+            if (live.empty())
+                break;
+            auto [p, bytes] = live[(roll >> 8) % live.size()];
+            hip::KernelDesc k;
+            k.name = "replay_touch";
+            k.buffers.push_back({p, bytes, bytes});
+            try {
+                rt.launchKernel(k, nullptr);
+                rt.deviceSynchronize();
+            } catch (const SimError &) {
+                // XNACK off + on-demand buffer: access violation; the
+                // model throws and state is unchanged.
+            }
+            break;
+          }
+          case 3: {
+            if (live.empty())
+                break;
+            std::size_t victim = (roll >> 8) % live.size();
+            EXPECT_EQ(rt.hipFree(live[victim].first), hip::hipSuccess);
+            live.erase(live.begin() + victim);
+            break;
+          }
+        }
+    }
+}
+
+class ReplaySeeded : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ReplaySeeded, MetricsMatchLiveRun)
+{
+    std::uint64_t seed =
+        exec::taskSeed(kSeedBase, static_cast<std::uint64_t>(GetParam()));
+    core::SystemConfig cfg;
+    cfg.geometry.capacityBytes = 1 * GiB;
+    cfg.trace.enabled = true;
+    core::System sys(cfg);
+    seededWorkload(sys, seed);
+
+    // Vector-sink path: fold the in-memory stream directly.
+    TraceReplayer rp(sys.frames().totalFrames());
+    rp.applyAll(sys.tracer()->events());
+    const ReplayMetrics &m = rp.metrics();
+    const auto &live = sys.runtime().stats();
+    EXPECT_EQ(m.allocCalls, live.allocCalls);
+    EXPECT_EQ(m.failedAllocCalls, live.failedAllocCalls);
+    EXPECT_EQ(m.freeCalls, live.freeCalls);
+    EXPECT_EQ(m.kernelsLaunched, live.kernelsLaunched);
+    EXPECT_EQ(m.kernelTimeNs, live.kernelTimeNs);
+    EXPECT_EQ(m.memcpyTimeNs, live.memcpyTimeNs);
+    EXPECT_EQ(m.faultServiceTimeNs, sys.faultHandler().tally().timeNs);
+    EXPECT_EQ(rp.busyFrames(), sys.frames().busyMap());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplaySeeded, ::testing::Range(0, 16));
+
+// ---------------------------------------------------------------------
+// Directed replay-backend cases.
+// ---------------------------------------------------------------------
+
+TEST(ReplayDirected, LoadDumpRejectsGarbage)
+{
+    const std::string path =
+        ::testing::TempDir() + "replay_equiv_garbage.upmt";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "not a trace";
+    }
+    std::vector<trace::TraceEvent> events;
+    std::string error;
+    EXPECT_EQ(loadDump(path, events, &error), Status::NotFound);
+    EXPECT_FALSE(error.empty());
+    std::remove(path.c_str());
+}
+
+TEST(ReplayDirected, RecostRepricesTheFaultStream)
+{
+    core::System sys(trace::golden::tracedConfig());
+    trace::golden::scenarioFaultStorm(sys);
+    auto events = sys.tracer()->events();
+
+    vm::FaultCosts base;
+    SimTime before = recostFaultNs(events, base);
+    EXPECT_GT(before, 0.0);
+
+    // The A/B lever: doubling the steady costs against the SAME
+    // recorded stream must reprice it upward, with no re-simulation.
+    vm::FaultCosts slower = base;
+    slower.cpuSteady *= 2.0;
+    slower.gpuMajorSteady *= 2.0;
+    slower.gpuMinorSteady *= 2.0;
+    EXPECT_GT(recostFaultNs(events, slower), before);
+
+    // Recosting never mutates the stream: a second pass is identical.
+    EXPECT_EQ(recostFaultNs(events, base), before);
+}
+
+TEST(ReplayDirected, GrowsBusyMapForUnknownGeometry)
+{
+    trace::TraceEvent ev;
+    ev.kind = trace::EventKind::FrameAlloc;
+    ev.a = 100;
+    ev.b = 4;
+    TraceReplayer rp(0);
+    rp.apply(ev);
+    ASSERT_GE(rp.busyFrames().size(), 104u);
+    EXPECT_TRUE(rp.busyFrames()[103]);
+    EXPECT_EQ(rp.busyCount(), 4u);
+}
+
+} // namespace
+} // namespace upm::sched

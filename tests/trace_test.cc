@@ -26,6 +26,7 @@
 
 #include "core/system.hh"
 #include "exec/task_pool.hh"
+#include "golden_scenarios.hh"
 #include "trace/chrome_export.hh"
 #include "trace/sink.hh"
 #include "trace/tracer.hh"
@@ -35,104 +36,16 @@ namespace {
 
 using alloc::AllocatorKind;
 
-constexpr std::uint64_t kSeedBase = 0x77ace000ull;
-
-// ---------------------------------------------------------------------
-// Golden scenarios. Each is a deterministic workload driven against a
-// fixed SystemConfig; the resulting event stream, rendered by the
-// Chrome exporter, is exact-diffed against a committed golden file.
-// ---------------------------------------------------------------------
-
-core::SystemConfig
-tracedConfig()
-{
-    core::SystemConfig cfg;
-    cfg.geometry.capacityBytes = 1 * GiB;
-    cfg.trace.enabled = true;
-    return cfg;
-}
-
-/** 1. On-demand fault storm: CPU first-touch half of a malloc'd
- *  buffer, then a kernel GPU-faults the rest under XNACK. */
-void
-scenarioFaultStorm(core::System &sys)
-{
-    auto &rt = sys.runtime();
-    rt.setXnack(true);
-    hip::DevPtr p = rt.hostMalloc(256 * KiB);
-    rt.cpuFirstTouch(p, 128 * KiB);
-    hip::KernelDesc k;
-    k.name = "storm";
-    k.buffers.push_back({p, 256 * KiB, 256 * KiB});
-    rt.launchKernel(k, nullptr);
-    rt.deviceSynchronize();
-    EXPECT_EQ(rt.hipFree(p), hip::hipSuccess);
-}
-
-/** 2. hipMallocManaged populate: up-front stack-interleaved frames
- *  (XNACK off), then a CPU stream over the buffer. */
-void
-scenarioManagedPopulate(core::System &sys)
-{
-    auto &rt = sys.runtime();
-    hip::DevPtr p = rt.allocate(AllocatorKind::HipMallocManaged,
-                                512 * KiB);
-    rt.cpuStream(p, 512 * KiB, 8);
-    EXPECT_EQ(rt.hipFree(p), hip::hipSuccess);
-}
-
-core::SystemConfig
-oversubConfig()
-{
-    core::SystemConfig cfg;
-    cfg.geometry.capacityBytes = 128 * MiB;
-    cfg.trace.enabled = true;
-    return cfg;
-}
-
-/** 3. Oversubscription: fill physical memory until hipMalloc reports
- *  OOM (the failed AllocCall is on the bus), evict one allocation and
- *  recover with a smaller one. */
-void
-scenarioOversubscription(core::System &sys)
-{
-    auto &rt = sys.runtime();
-    std::vector<hip::DevPtr> held;
-    hip::DevPtr p = 0;
-    while (rt.tryAllocate(AllocatorKind::HipMalloc, 32 * MiB, p) ==
-           hip::hipSuccess)
-        held.push_back(p);
-    EXPECT_EQ(rt.hipFree(held.back()), hip::hipSuccess);
-    held.back() = rt.allocate(AllocatorKind::HipMalloc, 16 * MiB);
-    for (auto q : held)
-        EXPECT_EQ(rt.hipFree(q), hip::hipSuccess);
-}
-
-core::SystemConfig
-sdmaConfig()
-{
-    core::SystemConfig cfg;
-    cfg.geometry.capacityBytes = 1 * GiB;
-    cfg.trace.enabled = true;
-    cfg.inject.enabled = true;
-    cfg.inject.seed = kSeedBase + 1;
-    cfg.inject.sdmaStallProb = 1.0;
-    return cfg;
-}
-
-/** 4. Injected SDMA stall: every memcpy stalls; the InjectDecision
- *  and the inflated Memcpy transfer times are both on the bus. */
-void
-scenarioSdmaStall(core::System &sys)
-{
-    auto &rt = sys.runtime();
-    hip::DevPtr src = rt.hipMalloc(4 * MiB);
-    hip::DevPtr dst = rt.hipMalloc(4 * MiB);
-    rt.hipMemcpy(dst, src, 4 * MiB);
-    rt.hipMemcpy(src, dst, 2 * MiB);
-    EXPECT_EQ(rt.hipFree(src), hip::hipSuccess);
-    EXPECT_EQ(rt.hipFree(dst), hip::hipSuccess);
-}
+// The golden scenarios and their frozen configs (including this
+// file's historical seed base) live in tests/golden_scenarios.hh,
+// shared with the replay-equivalence suite.
+using golden::oversubConfig;
+using golden::scenarioFaultStorm;
+using golden::scenarioManagedPopulate;
+using golden::scenarioOversubscription;
+using golden::scenarioSdmaStall;
+using golden::sdmaConfig;
+using golden::tracedConfig;
 
 /** Run @p scenario once on a fresh traced System; return the export. */
 std::string

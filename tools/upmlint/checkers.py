@@ -38,9 +38,10 @@ Finding = namedtuple("Finding", ["path", "line", "checker", "message"])
 # examples/ measure wall time and drive the simulator from outside, so
 # they are exempt; common/rng is the one sanctioned randomness source.
 SIM_LAYERS = ("src/vm/", "src/mem/", "src/cache/", "src/tlb/",
-              "src/uvm/", "src/core/", "src/hip/", "src/trace/")
+              "src/uvm/", "src/core/", "src/hip/", "src/trace/",
+              "src/sched/")
 
-HOOK_POINTERS = ("aud", "tr", "inj")
+HOOK_POINTERS = ("aud", "tr", "inj", "cal")
 
 UNORDERED_TYPES = ("unordered_map", "unordered_set", "unordered_multimap",
                    "unordered_multiset")

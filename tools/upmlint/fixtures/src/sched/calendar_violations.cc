@@ -1,0 +1,86 @@
+// UPMLint fixture: seeded violations of the event-calendar contracts.
+//
+// The fake src/sched/ path puts this file under the determinism and
+// hook contracts. Two hazard classes from the event-core port:
+//
+//  1. SimTime-keyed unordered containers. The pre-port histogram
+//     engine kept per-agent ready times in an unordered_map and
+//     scanned it for the minimum -- iteration order (and therefore
+//     FP-tie winners) depended on the hash layout. Calendars must
+//     key time in ordered structures.
+//
+//  2. Unguarded `cal->` dereferences. The calendar is a null-checked
+//     hook exactly like tr/aud/inj: engines run calendar-free unless
+//     one is wired, so every dereference must be dominated by a null
+//     check.
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace upm::fixture {
+
+using SimTime = double;
+
+struct Agent
+{
+    SimTime readyAt = 0.0;
+};
+
+struct FakeCalendar
+{
+    void schedule(unsigned engine, SimTime when);
+    void runUntil(SimTime when);
+};
+
+class CalendarBreaker
+{
+  public:
+    void
+    simTimeKeyedScan()
+    {
+        // The histogram hazard: min-scan over an unordered SimTime map.
+        for (auto &entry : readyTimes) {              // upmlint-expect: determinism
+            if (entry.second.readyAt < 1.0)
+                entry.second.readyAt += 1.0;
+        }
+        for (auto it = byDeadline.begin();            // upmlint-expect: determinism
+             it != byDeadline.end(); ++it) {
+            it->second += 1;
+        }
+    }
+
+    void
+    orderedCalendarIsFine()
+    {
+        for (auto &entry : sortedDeadlines)
+            entry.second += 1;
+    }
+
+    void
+    unguardedHookUse(SimTime now)
+    {
+        cal->schedule(0, now);                        // upmlint-expect: hooks
+        cal->runUntil(now);                           // upmlint-expect: hooks
+    }
+
+    void
+    guardedHookUseIsFine(SimTime now)
+    {
+        if (cal != nullptr)
+            cal->schedule(0, now);
+        if (cal) {
+            cal->schedule(1, now);
+            cal->runUntil(now);
+        }
+    }
+
+  private:
+    std::unordered_map<unsigned, Agent> readyTimes;
+    std::unordered_map<double, int> byDeadline;
+    std::unordered_map<Agent *, SimTime> byAgent;     // upmlint-expect: determinism
+    std::map<SimTime, int> sortedDeadlines;
+    FakeCalendar *cal = nullptr;
+};
+
+} // namespace upm::fixture

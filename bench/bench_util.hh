@@ -101,7 +101,7 @@ struct Options
     // UPMTrace flags (every bench).
     std::string tracePath;  //!< --trace <path>; empty = tracing off
     /** --trace-filter <layer,...>; default all layers. */
-    std::uint32_t traceMask = 0x3f;
+    std::uint32_t traceMask = trace::kAllLayersMask;
     bool traceRing = false;         //!< --trace-ring [cap]
     std::size_t traceRingCap = 0;   //!< 0 = TraceConfig default
 

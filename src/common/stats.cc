@@ -89,6 +89,14 @@ SampleStats::percentile(double p) const
 }
 
 double
+SampleStats::tail(double p) const
+{
+    if (p < 0.0 || p > 1.0)
+        panic("tail fraction %.4f out of range [0, 1]", p);
+    return percentile(p * 100.0);
+}
+
+double
 geomean(const std::vector<double> &values)
 {
     if (values.empty())

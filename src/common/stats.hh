@@ -51,6 +51,17 @@ class SampleStats
     /** Median (50th percentile). */
     double median() const { return percentile(50.0); }
 
+    /**
+     * Tail quantile by fraction rather than percent: tail(0.999) is
+     * the 99.9th percentile. Serving-latency reports use fractions
+     * (p999 = 0.999) where a percent slips a factor of 10 too easily.
+     * @param p fraction in [0, 1].
+     */
+    double tail(double p) const;
+
+    /** 99.9th-percentile tail, the serving SLO metric. */
+    double p999() const { return tail(0.999); }
+
     const std::vector<double> &values() const { return samples; }
 
   private:

@@ -41,6 +41,10 @@ enum class [[nodiscard]] Status : std::uint8_t {
     NotFound,      //!< unknown pointer / base address
     AccessFault,   //!< unresolvable access (XNACK-off GPU violation)
     Timeout,       //!< bounded retry exhausted (injected HMM loss)
+    // Appended for the serving layer (enum values are stable; packed
+    // trace records store the raw value).
+    ResourceExhausted,  //!< admission control rejected the request
+    Cancelled,          //!< owning process died mid-request
 };
 
 /** Human-readable status name ("hipSuccess"-style). */
@@ -54,6 +58,8 @@ statusName(Status status)
       case Status::NotFound: return "NotFound";
       case Status::AccessFault: return "AccessFault";
       case Status::Timeout: return "Timeout";
+      case Status::ResourceExhausted: return "ResourceExhausted";
+      case Status::Cancelled: return "Cancelled";
     }
     return "<unknown>";
 }

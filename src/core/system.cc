@@ -1,6 +1,28 @@
 #include "core/system.hh"
 
+#include <algorithm>
+
+#include "common/log.hh"
+#include "core/process.hh"
+
 namespace upm::core {
+
+namespace {
+
+/**
+ * Private VA windows for serving processes: 64 GiB each, starting
+ * 1 TiB past the primary address space's mmap base so they can never
+ * collide with it. Windows are handed out monotonically and NEVER
+ * recycled -- UPMSan's VA shadow is keyed by raw address node-wide,
+ * and a reused window would read as overlap / use-after-free. The
+ * 64-bit address space fits ~2^27 such windows; a soak would take
+ * years to exhaust them.
+ */
+constexpr vm::VirtAddr kProcessVaBase =
+    0x7f00'0000'0000ull + 1 * TiB;
+constexpr std::uint64_t kProcessVaSpan = 64 * GiB;
+
+} // namespace
 
 System::System(const SystemConfig &config)
     : cfg(config), apuTopo(cfg), geom(cfg.geometry),
@@ -57,31 +79,66 @@ System::System(const SystemConfig &config)
     }
 }
 
+std::unique_ptr<Process>
+System::createProcess()
+{
+    std::uint64_t pid = nextPid++;
+    vm::VirtAddr base = kProcessVaBase + (pid - 1) * kProcessVaSpan;
+    return std::make_unique<Process>(*this, pid, base,
+                                     base + kProcessVaSpan);
+}
+
+void
+System::registerProcess(Process *process)
+{
+    procs.push_back(process);
+}
+
+void
+System::unregisterProcess(Process *process)
+{
+    auto it = std::find(procs.begin(), procs.end(), process);
+    if (it == procs.end())
+        panic("unregisterProcess: unknown process");
+    procs.erase(it);
+}
+
 void
 System::finalizeAudit()
 {
     if (!aud)
         return;
-    as.auditMirrorConsistency(*aud);
     std::vector<bool> mapped(node.totalFrames(), false);
-    as.systemTable().forEachRun(0, ~0ull, [&](const vm::PteRun &run) {
-        for (std::uint64_t i = 0; i < run.len; ++i) {
-            vm::FrameId f = run.frameOf(run.vpn + i);
-            if (f < mapped.size())
-                mapped[f] = true;
-        }
-    });
-    // ReplicateRO replica frames live outside every page table (only
-    // the home copy is mapped); they still legitimately own their
-    // frames until munmap, so mark them before the leak scan.
-    as.forEachVma([&](const vm::Vma &vma) {
-        for (const auto &range : vma.replicaRanges) {
-            for (std::uint64_t i = 0; i < range.count; ++i) {
-                if (range.base + i < mapped.size())
-                    mapped[range.base + i] = true;
+    // The shards are shared: the mapped set is the union over the
+    // primary address space and every live serving process.
+    auto fold = [&](const vm::AddressSpace &space) {
+        space.systemTable().forEachRun(
+            0, ~0ull, [&](const vm::PteRun &run) {
+                for (std::uint64_t i = 0; i < run.len; ++i) {
+                    vm::FrameId f = run.frameOf(run.vpn + i);
+                    if (f < mapped.size())
+                        mapped[f] = true;
+                }
+            });
+        // ReplicateRO replica frames live outside every page table
+        // (only the home copy is mapped); they still legitimately own
+        // their frames until munmap, so mark them before the leak
+        // scan.
+        space.forEachVma([&](const vm::Vma &vma) {
+            for (const auto &range : vma.replicaRanges) {
+                for (std::uint64_t i = 0; i < range.count; ++i) {
+                    if (range.base + i < mapped.size())
+                        mapped[range.base + i] = true;
+                }
             }
-        }
-    });
+        });
+    };
+    as.auditMirrorConsistency(*aud);
+    fold(as);
+    for (Process *proc : procs) {
+        proc->addressSpace().auditMirrorConsistency(*aud);
+        fold(proc->addressSpace());
+    }
     node.auditLeaks(mapped, *aud);
     if (node.numSockets() > 1)
         node.auditCrossShard(mapped, *aud);

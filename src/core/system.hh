@@ -21,6 +21,7 @@
 #ifndef UPM_CORE_SYSTEM_HH
 #define UPM_CORE_SYSTEM_HH
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -46,6 +47,8 @@
 #include "vm/fault_handler.hh"
 
 namespace upm::core {
+
+class Process;
 
 /** One node (1..N APUs) + one process, fully wired. */
 class System
@@ -114,7 +117,30 @@ class System
      */
     void finalizeAudit();
 
+    // ---- Multi-process serving (UPMServe) ------------------------------
+    /**
+     * Create an additional simulated process over this node's shared
+     * shards: its own address space (in a fresh, never-recycled 64 GiB
+     * VA window past the primary window), fault handler, allocator
+     * registry and runtime, wired to this System's auditor / injector
+     * / tracer. The caller owns the Process and must destroy it before
+     * the System. The primary addressSpace()/runtime() pair is
+     * untouched -- single-process users are byte-identical.
+     */
+    std::unique_ptr<Process> createProcess();
+
+    /** Live processes created through createProcess(), creation order
+     *  (the primary address space is not a Process). */
+    const std::vector<Process *> &processes() const { return procs; }
+
+    /** Total processes ever created (monotonic; pids start at 1). */
+    std::uint64_t processesCreated() const { return nextPid - 1; }
+
   private:
+    friend class Process;
+    void registerProcess(Process *process);
+    void unregisterProcess(Process *process);
+
     SystemConfig cfg;
     Apu apuTopo;
     mem::MemGeometry geom;
@@ -142,6 +168,12 @@ class System
     std::unique_ptr<inject::Injector> inj;
     /** Created (and wired into every layer) only when tracing. */
     std::unique_ptr<trace::Tracer> trc;
+    /** Live serving processes (owned by their creators), creation
+     *  order -- finalizeAudit unions their page tables into the leak
+     *  scan's mapped set. */
+    std::vector<Process *> procs;
+    /** Next pid; also indexes the next private VA window. */
+    std::uint64_t nextPid = 1;
 };
 
 } // namespace upm::core

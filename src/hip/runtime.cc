@@ -223,6 +223,22 @@ Runtime::freeChecked(DevPtr ptr)
     }
 }
 
+std::size_t
+Runtime::releaseAll()
+{
+    // Collect-then-sort: the allocation map is unordered, and the
+    // free order must not depend on its bucket layout (determinism
+    // contract -- same seed, same event sequence at any worker count).
+    std::vector<DevPtr> ptrs;
+    ptrs.reserve(allocations.size());
+    for (const auto &[ptr, allocation] : allocations) // upmlint: determinism-ok
+        ptrs.push_back(ptr);
+    std::sort(ptrs.begin(), ptrs.end());
+    for (DevPtr ptr : ptrs)
+        freeChecked(ptr);
+    return ptrs.size();
+}
+
 hipError_t
 Runtime::hipHostRegister(DevPtr ptr)
 {

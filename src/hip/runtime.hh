@@ -142,6 +142,19 @@ class Runtime
      */
     void freeChecked(DevPtr ptr);
 
+    /**
+     * Free every live allocation, in ascending pointer order, through
+     * the normal deallocate path (so UPMSan's VA shadow and the trace
+     * bus see ordinary frees). The crash-reclamation primitive: when a
+     * simulated serving process dies, its runtime releases everything
+     * it held before the address space is torn down.
+     * @return allocations released.
+     */
+    std::size_t releaseAll();
+
+    /** Live allocations currently tracked (0 after releaseAll). */
+    std::size_t liveAllocations() const { return allocations.size(); }
+
     /** Pin + GPU-map an existing host allocation.
      *  @return hipErrorNotFound for an unknown pointer,
      *          hipErrorOutOfMemory when pinning cannot populate. */

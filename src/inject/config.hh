@@ -58,6 +58,16 @@ struct InjectConfig
     double hbmDegradeFactor = 0.5;
     std::uint64_t hbmDegradeOps = 16;
 
+    /** P(a simulated serving process is killed) per request dispatch;
+     *  the serving node cancels the in-flight request and reclaims
+     *  every page the process owned (serve layer). */
+    double processKillProb = 0.0;
+
+    /** P(a request arrival brings a storm of extra arrivals) and the
+     *  bound on the burst size (uniform in [1, max]; serve layer). */
+    double requestStormProb = 0.0;
+    unsigned requestStormMaxBurst = 32;
+
     /** Stop recording events (but keep counting) past this many. */
     std::size_t maxRecorded = 4096;
 

@@ -15,6 +15,8 @@ siteName(Site site)
       case Site::XnackStorm: return "xnack-storm";
       case Site::SdmaStall: return "sdma-stall";
       case Site::HbmDegrade: return "hbm-degrade";
+      case Site::ProcessKill: return "process-kill";
+      case Site::RequestStorm: return "request-storm";
     }
     return "<unknown>";
 }
@@ -132,6 +134,34 @@ Injector::hbmDegradeFactor()
     // The triggering operation is the first degraded one.
     degradeOpsLeft = cfg.hbmDegradeOps > 0 ? cfg.hbmDegradeOps - 1 : 0;
     return cfg.hbmDegradeFactor;
+}
+
+bool
+Injector::killProcess(std::uint64_t pid)
+{
+    if (!roll(Site::ProcessKill, cfg.processKillProb))
+        return false;
+    record(Site::ProcessKill,
+           strprintf("killed serving process %llu",
+                     static_cast<unsigned long long>(pid)));
+    return true;
+}
+
+unsigned
+Injector::requestStorm()
+{
+    if (!roll(Site::RequestStorm, cfg.requestStormProb))
+        return 0;
+    // Burst size comes from the same site stream, after the decision
+    // draw (the xnackReplayStorm pattern).
+    auto s = static_cast<std::size_t>(Site::RequestStorm);
+    unsigned max_burst =
+        cfg.requestStormMaxBurst > 0 ? cfg.requestStormMaxBurst : 1u;
+    auto extra =
+        static_cast<unsigned>(streams[s].nextBelow(max_burst) + 1);
+    record(Site::RequestStorm,
+           strprintf("request storm of %u extra arrival(s)", extra));
+    return extra;
 }
 
 std::uint64_t

@@ -47,9 +47,15 @@ enum class Site : std::uint8_t {
     XnackStorm,  //!< bounded XNACK replay storm (vm layer)
     SdmaStall,   //!< SDMA engine stall (hip layer)
     HbmDegrade,  //!< transient HBM channel degradation (hip layer)
+    // Appended sites (serve layer). Streams are seeded sequentially
+    // from the root seed, so appending sites leaves every existing
+    // site's decision stream identical -- the Fig. 11 campaign CI
+    // pins those streams.
+    ProcessKill,   //!< simulated serving-process crash (serve layer)
+    RequestStorm,  //!< burst of extra request arrivals (serve layer)
 };
 
-inline constexpr unsigned kNumSites = 6;
+inline constexpr unsigned kNumSites = 8;
 
 const char *siteName(Site site);
 
@@ -96,6 +102,14 @@ class Injector
     /** Bandwidth multiplier for one HBM-bound operation (1.0 = full
      *  bandwidth; < 1.0 while a degradation episode is active). */
     double hbmDegradeFactor();
+
+    /** Should serving process @p pid crash at this request dispatch?
+     *  The caller cancels the request and reclaims the process. */
+    bool killProcess(std::uint64_t pid);
+
+    /** Extra request arrivals injected at this arrival (0 = no storm;
+     *  bounded by config().requestStormMaxBurst). */
+    unsigned requestStorm();
 
     // ---- Reporting ---------------------------------------------------
     /** Recorded events, in decision order (capped at maxRecorded). */

@@ -486,6 +486,15 @@ FrameAllocator::freeFrames() const
 }
 
 std::uint64_t
+FrameAllocator::freeListNodes() const
+{
+    std::uint64_t nodes = 0;
+    for (const auto &list : freeLists)
+        nodes += list.intervalCount();
+    return nodes;
+}
+
+std::uint64_t
 FrameAllocator::auditLeaks(const std::vector<bool> &mapped,
                            audit::Auditor &auditor) const
 {

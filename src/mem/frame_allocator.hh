@@ -156,6 +156,12 @@ class FrameAllocator
     /** @return total frames managed. */
     std::uint64_t totalFrames() const { return geom.numFrames(); }
 
+    /** @return interval nodes across all free lists -- the buddy
+     *  allocator's structural fragmentation. A coalesced heap is a
+     *  handful of nodes; churn that fragments the free space grows
+     *  this, so long-soak tests pin it under a ceiling. */
+    std::uint64_t freeListNodes() const;
+
     /** First global frame id of this shard (0 when unsharded). */
     FrameId baseFrame() const { return baseF; }
 

@@ -63,6 +63,15 @@ NodeMemory::freeFrames() const
     return total;
 }
 
+std::uint64_t
+NodeMemory::freeListNodes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &shard : shards)
+        total += shard->freeListNodes();
+    return total;
+}
+
 void
 NodeMemory::setAuditor(audit::Auditor *auditor)
 {

@@ -91,6 +91,10 @@ class NodeMemory
     /** Free frames across all shards (pool-parked frames count). */
     std::uint64_t freeFrames() const;
 
+    /** Buddy free-list interval nodes summed across shards (the
+     *  fragmentation gauge long-soak tests bound). */
+    std::uint64_t freeListNodes() const;
+
     // Hook fan-out: every shard gets the same auditor/injector/tracer.
     void setAuditor(audit::Auditor *auditor);
     void setInjector(inject::Injector *injector);

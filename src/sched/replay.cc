@@ -108,8 +108,10 @@ loadDump(const std::string &path, std::vector<trace::TraceEvent> &out,
          std::string *error)
 {
     std::vector<trace::PackedEvent> packed;
-    if (!trace::RingBufferSink::read(path, packed, nullptr, error))
-        return Status::NotFound;
+    Status read_status =
+        trace::RingBufferSink::read(path, packed, nullptr, error);
+    if (read_status != Status::Success)
+        return read_status;
     out.clear();
     out.reserve(packed.size());
     for (const auto &rec : packed)

@@ -106,8 +106,10 @@ SimTime recostFaultNs(const std::vector<trace::TraceEvent> &events,
 
 /**
  * Load a trace::RingBufferSink dump ("UPMT" file) as unpacked events,
- * oldest first. @return Status::NotFound when the file cannot be read
- * or decoded (@p error, if non-null, receives the reader's reason).
+ * oldest first. @return Status::NotFound when the file cannot be
+ * opened, Status::InvalidValue when it exists but is truncated or
+ * corrupt (@p error, if non-null, receives the reader's precise
+ * reason either way).
  */
 Status loadDump(const std::string &path,
                 std::vector<trace::TraceEvent> &out,

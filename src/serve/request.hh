@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The serving node's request vocabulary, shared by the node, the
+ * observer hook and the tests.
+ */
+
+#ifndef UPM_SERVE_REQUEST_HH
+#define UPM_SERVE_REQUEST_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+
+namespace upm::serve {
+
+/** The two request families the node serves. */
+enum class RequestKind : std::uint8_t {
+    KeyValue,  //!< memcached/YCSB style: stream an arena slice
+    LlmInfer,  //!< LLM inference style: KV-cache alloc + prefill + decode
+};
+
+const char *requestKindName(RequestKind kind);
+
+/** One request, from arrival to disposition. */
+struct Request
+{
+    /** Monotonic id (storm extras included). */
+    std::uint64_t id = 0;
+    unsigned tenant = 0;
+    RequestKind kind = RequestKind::KeyValue;
+    /** Virtual arrival time (ns on the node clock). */
+    SimTime arrivalNs = 0.0;
+    /** Allocation attempts beyond the first (bounded retry). */
+    unsigned retries = 0;
+};
+
+} // namespace upm::serve
+
+#endif // UPM_SERVE_REQUEST_HH

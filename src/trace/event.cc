@@ -12,6 +12,7 @@ layerName(Layer layer)
       case Layer::Hip: return "hip";
       case Layer::Inject: return "inject";
       case Layer::Exec: return "exec";
+      case Layer::Serve: return "serve";
     }
     return "?";
 }
@@ -47,6 +48,12 @@ eventKindName(EventKind kind)
       case EventKind::TaskEnd: return "task_end";
       case EventKind::PagePlace: return "page_place";
       case EventKind::RemoteAccess: return "remote_access";
+      case EventKind::RequestBegin: return "request_begin";
+      case EventKind::RequestEnd: return "request_end";
+      case EventKind::RequestShed: return "request_shed";
+      case EventKind::Degrade: return "degrade";
+      case EventKind::ProcessSpawn: return "process_spawn";
+      case EventKind::ProcessExit: return "process_exit";
     }
     return "?";
 }
@@ -88,6 +95,13 @@ layerOf(EventKind kind)
       case EventKind::TaskBegin:
       case EventKind::TaskEnd:
         return Layer::Exec;
+      case EventKind::RequestBegin:
+      case EventKind::RequestEnd:
+      case EventKind::RequestShed:
+      case EventKind::Degrade:
+      case EventKind::ProcessSpawn:
+      case EventKind::ProcessExit:
+        return Layer::Serve;
     }
     return Layer::Vm;
 }
@@ -169,6 +183,25 @@ argNamesOf(EventKind kind)
         return {{"socket", "remote_pages", "far_pages", nullptr,
                  nullptr},
                 "mean_hops"};
+      case EventKind::RequestBegin:
+        return {{"request", "tenant", "kind", "attempt", nullptr},
+                nullptr};
+      case EventKind::RequestEnd:
+        return {{"request", "tenant", "status", "retries", nullptr},
+                "latency_ns"};
+      case EventKind::RequestShed:
+        return {{"request", "tenant", "status", "queue_depth", nullptr},
+                nullptr};
+      case EventKind::Degrade:
+        return {{"tier", "pages_reclaimed", "processes", nullptr,
+                 nullptr},
+                "pressure"};
+      case EventKind::ProcessSpawn:
+        return {{"pid", "tenant", "live", nullptr, nullptr}, nullptr};
+      case EventKind::ProcessExit:
+        return {{"pid", "tenant", "crashed", "pages_reclaimed",
+                 nullptr},
+                nullptr};
     }
     return {{nullptr, nullptr, nullptr, nullptr, nullptr}, nullptr};
 }

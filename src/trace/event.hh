@@ -31,9 +31,13 @@ enum class Layer : std::uint8_t {
     Hip,     //!< runtime: allocators, memcpy/SDMA, kernel launches
     Inject,  //!< UPMInject decisions
     Exec,    //!< sweep-task boundaries
+    Serve,   //!< UPMServe: requests, admission, degradation
 };
 
-inline constexpr unsigned kNumLayers = 6;
+inline constexpr unsigned kNumLayers = 7;
+
+/** layerBit() of every layer set (TraceConfig's default mask). */
+inline constexpr std::uint32_t kAllLayersMask = (1u << kNumLayers) - 1;
 
 const char *layerName(Layer layer);
 
@@ -91,6 +95,18 @@ enum class EventKind : std::uint8_t {
     RemoteAccess,  //!< a=access socket, b=remote pages, c=far pages,
                    //!< value=mean xGMI hops (hip layer: region profile
                    //!< crossed the fabric)
+
+    // UPMServe events (appended so packed kind ids stay stable).
+    RequestBegin,  //!< a=request id, b=tenant, c=kind, d=attempt
+    RequestEnd,    //!< a=request id, b=tenant, c=status, d=retries,
+                   //!< value=latency (ns)
+    RequestShed,   //!< a=request id, b=tenant, c=status (reject vs
+                   //!< deadline), d=queue depth
+    Degrade,       //!< a=tier entered, b=pages reclaimed, c=processes
+                   //!< affected, value=memory pressure [0,1]
+    ProcessSpawn,  //!< a=pid, b=tenant, c=live processes
+    ProcessExit,   //!< a=pid, b=tenant, c=1 if crash-killed,
+                   //!< d=pages reclaimed
 };
 
 const char *eventKindName(EventKind kind);

@@ -134,53 +134,56 @@ RingBufferSink::dump(const std::string &path) const
     return ok;
 }
 
-bool
+Status
 RingBufferSink::read(const std::string &path,
                      std::vector<PackedEvent> &out,
                      std::uint64_t *total_accepted, std::string *error)
 {
-    auto failWith = [&](const std::string &why) {
+    // A missing file is NotFound; a file that exists but is not a
+    // valid UPMT payload is InvalidValue, so callers (and their
+    // operators) can tell "wrong path" from "corrupt dump".
+    auto failWith = [&](Status status, const std::string &why) {
         if (error != nullptr)
             *error = why;
-        return false;
+        out.clear();
+        return status;
     };
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (f == nullptr)
-        return failWith("cannot open " + path);
+        return failWith(Status::NotFound, "cannot open " + path);
     FileHeader hdr{};
-    bool ok = true;
+    std::string why;
     if (std::fread(&hdr, sizeof(hdr), 1, f) != 1) {
-        ok = failWith(path + ": truncated UPMT header");
+        why = path + ": truncated UPMT header";
     } else if (std::memcmp(hdr.magic, "UPMT", 4) != 0) {
-        ok = failWith(path + ": not a UPMT trace (bad magic)");
+        why = path + ": not a UPMT trace (bad magic)";
     } else if (hdr.version != kTraceFormatVersion) {
         // An unknown version means an unknown record layout; decoding
         // it would silently misparse (v1 dumps predate the socket
         // field). Refuse with the versions spelled out.
-        ok = failWith(strprintf(
+        why = strprintf(
             "%s: UPMT format version %u, but this reader only "
             "understands version %u; re-record the trace",
-            path.c_str(), hdr.version, kTraceFormatVersion));
+            path.c_str(), hdr.version, kTraceFormatVersion);
     } else if (hdr.recordSize != sizeof(PackedEvent)) {
-        ok = failWith(strprintf("%s: record size %u != expected %u",
-                                path.c_str(), hdr.recordSize,
-                                static_cast<unsigned>(
-                                    sizeof(PackedEvent))));
+        why = strprintf("%s: record size %u != expected %u",
+                        path.c_str(), hdr.recordSize,
+                        static_cast<unsigned>(sizeof(PackedEvent)));
     }
-    if (ok) {
+    if (why.empty()) {
         out.resize(hdr.recordCount);
         if (hdr.recordCount > 0 &&
             std::fread(out.data(), sizeof(PackedEvent), out.size(), f) !=
                 out.size()) {
-            ok = failWith(path + ": truncated record array");
-        }
-        if (ok && total_accepted != nullptr)
+            why = path + ": truncated record array";
+        } else if (total_accepted != nullptr) {
             *total_accepted = hdr.totalAccepted;
+        }
     }
     std::fclose(f);
-    if (!ok)
-        out.clear();
-    return ok;
+    if (!why.empty())
+        return failWith(Status::InvalidValue, why);
+    return Status::Success;
 }
 
 } // namespace upm::trace

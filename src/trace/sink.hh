@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hh"
 #include "trace/event.hh"
 
 namespace upm::trace {
@@ -104,15 +105,20 @@ class RingBufferSink : public TraceSink
     bool dump(const std::string &path) const;
 
     /**
-     * Read a file written by dump(). Returns false on a bad file and
-     * reports *why* through @p error (if non-null): an unknown header
-     * version in particular is rejected with a clear message instead
-     * of decoding records whose layout this reader does not know.
+     * Read a file written by dump(). Failures are distinguished:
+     * Status::NotFound when the file cannot be opened at all, and
+     * Status::InvalidValue for a file that exists but is not a valid
+     * "UPMT" payload -- truncated header, bad magic, unknown header
+     * version, record-size mismatch, or a truncated record array --
+     * with the precise reason reported through @p error (if non-null).
+     * An unknown version in particular is rejected with the versions
+     * spelled out instead of decoding records whose layout this
+     * reader does not know. On any failure @p out is left empty.
      */
-    static bool read(const std::string &path,
-                     std::vector<PackedEvent> &out,
-                     std::uint64_t *total_accepted = nullptr,
-                     std::string *error = nullptr);
+    static Status read(const std::string &path,
+                       std::vector<PackedEvent> &out,
+                       std::uint64_t *total_accepted = nullptr,
+                       std::string *error = nullptr);
 
   private:
     std::vector<PackedEvent> ring;

@@ -8,7 +8,7 @@ std::uint32_t
 parseLayerList(const std::string &list, std::string *error)
 {
     if (list.empty())
-        return 0x3f;
+        return kAllLayersMask;
     std::uint32_t mask = 0;
     std::size_t pos = 0;
     while (pos <= list.size()) {
@@ -29,7 +29,7 @@ parseLayerList(const std::string &list, std::string *error)
             if (error != nullptr)
                 *error = strprintf("unknown trace layer '%s' "
                                    "(expected vm,mem,cache,hip,"
-                                   "inject,exec)",
+                                   "inject,exec,serve)",
                                    name.c_str());
             return 0;
         }

@@ -35,7 +35,7 @@ struct TraceConfig
 {
     bool enabled = false;
     /** Bitmask of layerBit(...); default all layers. */
-    std::uint32_t layerMask = 0x3f;
+    std::uint32_t layerMask = kAllLayersMask;
     /** Use the compact binary ring buffer instead of the full vector
      *  sink (full-scale sweeps; detail strings are dropped). */
     bool ring = false;

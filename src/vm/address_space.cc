@@ -53,8 +53,39 @@ socketPolicyName(SocketPolicy policy)
 AddressSpace::AddressSpace(mem::FrameAllocator &frame_allocator,
                            mem::BackingStore &backing_store)
     : frameAlloc(frame_allocator), backingStore(backing_store),
-      hmm(sysTable, gpuPt), nextBase(kMmapBase)
+      hmm(sysTable, gpuPt), nextBase(kMmapBase), vaEnd(kVaEnd)
 {
+}
+
+void
+AddressSpace::setVaWindow(VirtAddr base, VirtAddr end)
+{
+    if (!vmas.empty())
+        panic("setVaWindow after a VMA was mapped");
+    if (base == 0 || end <= base)
+        panic("setVaWindow: bad window [0x%llx, 0x%llx)",
+              static_cast<unsigned long long>(base),
+              static_cast<unsigned long long>(end));
+    nextBase = base;
+    vaEnd = end;
+}
+
+std::uint64_t
+AddressSpace::demoteReplicas()
+{
+    std::uint64_t pages = 0;
+    for (auto &[base, vma] : vmas) {
+        for (const auto &replica : vma.replicaRanges) {
+            if (!freeRouted(replica))
+                panic("demoteReplicas freed a replica frame the "
+                      "allocator says is not allocated");
+            pages += replica.count;
+        }
+        vma.replicaRanges.clear();
+        if (vma.policy.socketPolicy == SocketPolicy::ReplicateRO)
+            vma.policy.socketPolicy = SocketPolicy::Home;
+    }
+    return pages;
 }
 
 MmapResult
@@ -67,7 +98,7 @@ AddressSpace::tryMmapAnon(std::uint64_t size, const VmaPolicy &policy,
     VirtAddr base = roundUp(nextBase, kVmaAlign);
     // VA-window exhaustion before any state changes: a huge request
     // must leave the space exactly as it found it.
-    if (span > kVaEnd - base)
+    if (base >= vaEnd || span > vaEnd - base)
         return {Status::OutOfMemory, 0};
     // The bump allocator never reuses VA, so an overlap can only mean
     // corrupted internal state or a hand-crafted request; reject it

@@ -279,6 +279,28 @@ class AddressSpace
     void setXnack(bool enabled) { xnack = enabled; }
 
     /**
+     * Confine this address space to the private VA window
+     * [@p base, @p end). The serving layer gives every simulated
+     * process a disjoint, never-recycled window so the node-wide
+     * UPMSan VA shadow never sees two processes alive (or one dead,
+     * one alive) at the same address. Must be called before the first
+     * mmap; panics otherwise.
+     */
+    void setVaWindow(VirtAddr base, VirtAddr end);
+
+    /** Exclusive end of the VA window (for capacity queries). */
+    VirtAddr vaWindowEnd() const { return vaEnd; }
+
+    /**
+     * Graceful-degradation lever: free every ReplicateRO VMA's
+     * read-only replica runs and demote those VMAs to Home placement
+     * (so later population does not re-replicate). The home copies --
+     * the ones page tables map -- are untouched.
+     * @return pages of replica memory freed back to the shards.
+     */
+    std::uint64_t demoteReplicas();
+
+    /**
      * Attach the multi-socket frame shards. Null (the default) keeps
      * the legacy single-allocator paths -- byte-identical behaviour.
      * With a node attached, allocations route to shards per the VMA's
@@ -360,6 +382,8 @@ class AddressSpace
 
     std::map<VirtAddr, Vma> vmas;
     VirtAddr nextBase;
+    /** Exclusive end of the VA window (default: base + 1 TiB). */
+    VirtAddr vaEnd;
     bool xnack = false;
     /** Multi-socket shards; null on a single-socket System. */
     mem::NodeMemory *node = nullptr;

@@ -170,6 +170,61 @@ TEST(Stats, PercentileOutOfRangePanics)
     EXPECT_THROW(s.percentile(101), SimError);
 }
 
+TEST(Stats, TailFractionMatchesPercentile)
+{
+    SampleStats s;
+    for (int i = 1; i <= 1000; ++i)
+        s.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(s.tail(0.5), s.percentile(50.0));
+    EXPECT_DOUBLE_EQ(s.tail(0.99), s.percentile(99.0));
+    EXPECT_DOUBLE_EQ(s.p999(), s.percentile(99.9));
+    // 1..1000: rank 0.999*(999) = 998.001 -> between 999 and 1000.
+    EXPECT_NEAR(s.p999(), 999.001, 1e-9);
+    EXPECT_DOUBLE_EQ(s.tail(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.tail(1.0), 1000.0);
+}
+
+TEST(Stats, TailSmallSampleEdgeCases)
+{
+    // n=1: every tail query is the single sample.
+    SampleStats one;
+    one.add(42.0);
+    EXPECT_DOUBLE_EQ(one.tail(0.0), 42.0);
+    EXPECT_DOUBLE_EQ(one.p999(), 42.0);
+    EXPECT_DOUBLE_EQ(one.tail(1.0), 42.0);
+
+    // n=2: p999 interpolates almost all the way to the max, never past.
+    SampleStats two;
+    two.add({10.0, 20.0});
+    EXPECT_DOUBLE_EQ(two.tail(0.5), 15.0);
+    EXPECT_NEAR(two.p999(), 19.99, 1e-9);
+    EXPECT_LE(two.p999(), two.max());
+    EXPECT_GE(two.p999(), two.tail(0.99));
+
+    // Duplicates: interpolation between equal neighbors is exact, and
+    // tails are monotone in p.
+    SampleStats dup;
+    dup.add({7.0, 7.0, 7.0, 7.0, 7.0});
+    EXPECT_DOUBLE_EQ(dup.tail(0.5), 7.0);
+    EXPECT_DOUBLE_EQ(dup.p999(), 7.0);
+    SampleStats mix;
+    mix.add({1.0, 1.0, 1.0, 1.0, 100.0});
+    double last = mix.tail(0.0);
+    for (double p : {0.5, 0.9, 0.99, 0.999, 1.0}) {
+        EXPECT_GE(mix.tail(p), last);
+        last = mix.tail(p);
+    }
+    EXPECT_DOUBLE_EQ(mix.tail(1.0), 100.0);
+
+    // Empty stats answer 0 like percentile(); out-of-range panics.
+    SampleStats empty;
+    EXPECT_DOUBLE_EQ(empty.p999(), 0.0);
+    SampleStats s;
+    s.add(1.0);
+    EXPECT_THROW(s.tail(1.5), SimError);
+    EXPECT_THROW(s.tail(-0.1), SimError);
+}
+
 TEST(Stats, EmptyStatsAreZero)
 {
     SampleStats s;

@@ -421,8 +421,8 @@ TEST(PackedTrace, SocketFieldRoundTripsThroughTheRing)
     ASSERT_TRUE(ring.dump(path));
     std::vector<trace::PackedEvent> recs;
     std::string error;
-    ASSERT_TRUE(trace::RingBufferSink::read(path, recs, nullptr,
-                                            &error))
+    ASSERT_EQ(trace::RingBufferSink::read(path, recs, nullptr, &error),
+              Status::Success)
         << error;
     ASSERT_EQ(recs.size(), 1u);
     EXPECT_EQ(trace::unpack(recs[0]).socket, 3);
@@ -451,8 +451,8 @@ TEST(PackedTrace, ReaderRejectsUnknownHeaderVersion)
 
     std::vector<trace::PackedEvent> recs;
     std::string error;
-    EXPECT_FALSE(
-        trace::RingBufferSink::read(path, recs, nullptr, &error));
+    EXPECT_EQ(trace::RingBufferSink::read(path, recs, nullptr, &error),
+              Status::InvalidValue);
     EXPECT_TRUE(recs.empty());
     EXPECT_NE(error.find("version 1"), std::string::npos) << error;
     EXPECT_NE(error.find("version 2"), std::string::npos) << error;

@@ -209,8 +209,10 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ReplaySeeded, ::testing::Range(0, 16));
 // Directed replay-backend cases.
 // ---------------------------------------------------------------------
 
-TEST(ReplayDirected, LoadDumpRejectsGarbage)
+TEST(ReplayDirected, LoadDumpRejectsGarbageAsInvalidValue)
 {
+    // A file that exists but is not a UPMT payload is InvalidValue --
+    // distinct from the missing-file NotFound below.
     const std::string path =
         ::testing::TempDir() + "replay_equiv_garbage.upmt";
     {
@@ -219,9 +221,21 @@ TEST(ReplayDirected, LoadDumpRejectsGarbage)
     }
     std::vector<trace::TraceEvent> events;
     std::string error;
-    EXPECT_EQ(loadDump(path, events, &error), Status::NotFound);
-    EXPECT_FALSE(error.empty());
+    EXPECT_EQ(loadDump(path, events, &error), Status::InvalidValue);
+    EXPECT_NE(error.find("truncated UPMT header"), std::string::npos)
+        << error;
     std::remove(path.c_str());
+}
+
+TEST(ReplayDirected, LoadDumpReportsMissingFileAsNotFound)
+{
+    std::vector<trace::TraceEvent> events;
+    std::string error;
+    EXPECT_EQ(loadDump(::testing::TempDir() +
+                           "replay_equiv_no_such_file.upmt",
+                       events, &error),
+              Status::NotFound);
+    EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
 }
 
 TEST(ReplayDirected, RecostRepricesTheFaultStream)

@@ -17,7 +17,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -219,7 +221,8 @@ TEST(TraceFilter, SequenceCountsOnlyAcceptedEvents)
 
 TEST(TraceFilter, ParseLayerListEmptyMeansAll)
 {
-    EXPECT_EQ(parseLayerList(""), 0x3fu);
+    EXPECT_EQ(parseLayerList(""), kAllLayersMask);
+    EXPECT_EQ(kAllLayersMask, 0x7fu);
 }
 
 TEST(TraceFilter, ParseLayerListNames)
@@ -299,7 +302,8 @@ TEST(TraceRing, DumpReadRoundTrip)
 
     std::vector<PackedEvent> records;
     std::uint64_t total = 0;
-    ASSERT_TRUE(RingBufferSink::read(path, records, &total));
+    ASSERT_EQ(RingBufferSink::read(path, records, &total),
+              Status::Success);
     EXPECT_EQ(total, 24u);
     ASSERT_EQ(records.size(), 16u);
 
@@ -312,6 +316,7 @@ TEST(TraceRing, DumpReadRoundTrip)
 
 TEST(TraceRing, ReadRejectsGarbage)
 {
+    // Corrupt-but-present and missing are distinct failures.
     const std::string path =
         ::testing::TempDir() + "upmtrace_garbage_test.bin";
     {
@@ -319,8 +324,100 @@ TEST(TraceRing, ReadRejectsGarbage)
         out << "this is not a trace file";
     }
     std::vector<PackedEvent> records;
-    EXPECT_FALSE(RingBufferSink::read(path, records));
-    EXPECT_FALSE(RingBufferSink::read(path + ".missing", records));
+    std::string error;
+    EXPECT_EQ(RingBufferSink::read(path, records, nullptr, &error),
+              Status::InvalidValue);
+    EXPECT_NE(error.find("truncated UPMT header"), std::string::npos)
+        << error;
+    EXPECT_EQ(
+        RingBufferSink::read(path + ".missing", records, nullptr, &error),
+        Status::NotFound);
+    EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+    std::remove(path.c_str());
+}
+
+TEST(TraceRing, ReadRejectsBadMagic)
+{
+    // Right size for a header, wrong magic: InvalidValue, not a
+    // truncation complaint.
+    const std::string path =
+        ::testing::TempDir() + "upmtrace_badmagic_test.bin";
+    {
+        std::ofstream out(path, std::ios::binary);
+        std::string blob(64, '\0');
+        blob.replace(0, 4, "NOPE");
+        out << blob;
+    }
+    std::vector<PackedEvent> records;
+    std::string error;
+    EXPECT_EQ(RingBufferSink::read(path, records, nullptr, &error),
+              Status::InvalidValue);
+    EXPECT_NE(error.find("bad magic"), std::string::npos) << error;
+    EXPECT_TRUE(records.empty());
+    std::remove(path.c_str());
+}
+
+TEST(TraceRing, ReadRejectsTruncatedRecordArray)
+{
+    // A valid dump cut mid-record-array: header promises more records
+    // than the file holds. The reader must refuse rather than return a
+    // short (silently lossy) stream.
+    TraceConfig cfg;
+    cfg.enabled = true;
+    cfg.ring = true;
+    cfg.ringCapacity = 16;
+    Tracer tr(cfg);
+    for (std::uint64_t i = 0; i < 8; ++i)
+        tr.emit(EventKind::FrameAlloc, i * 4, 4);
+
+    const std::string path =
+        ::testing::TempDir() + "upmtrace_truncated_test.bin";
+    ASSERT_TRUE(tr.ringSink()->dump(path));
+
+    // Chop the last record in half.
+    std::uintmax_t full = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, full - sizeof(PackedEvent) / 2);
+
+    std::vector<PackedEvent> records;
+    std::string error;
+    EXPECT_EQ(RingBufferSink::read(path, records, nullptr, &error),
+              Status::InvalidValue);
+    EXPECT_NE(error.find("truncated record array"), std::string::npos)
+        << error;
+    EXPECT_TRUE(records.empty());
+    std::remove(path.c_str());
+}
+
+TEST(TraceRing, ReadRejectsRecordSizeMismatch)
+{
+    // Valid magic + version but a record size from some other build:
+    // decoding would misparse every field, so the reader refuses.
+    TraceConfig cfg;
+    cfg.enabled = true;
+    cfg.ring = true;
+    cfg.ringCapacity = 4;
+    Tracer tr(cfg);
+    tr.emit(EventKind::FrameAlloc, 0, 4);
+
+    const std::string path =
+        ::testing::TempDir() + "upmtrace_recsize_test.bin";
+    ASSERT_TRUE(tr.ringSink()->dump(path));
+
+    // Patch the recordSize field (offset 8: magic[4] + version u32).
+    {
+        std::FILE *f = std::fopen(path.c_str(), "rb+");
+        ASSERT_NE(f, nullptr);
+        ASSERT_EQ(std::fseek(f, 8, SEEK_SET), 0);
+        std::uint32_t bogus = 48;
+        ASSERT_EQ(std::fwrite(&bogus, sizeof(bogus), 1, f), 1u);
+        std::fclose(f);
+    }
+
+    std::vector<PackedEvent> records;
+    std::string error;
+    EXPECT_EQ(RingBufferSink::read(path, records, nullptr, &error),
+              Status::InvalidValue);
+    EXPECT_NE(error.find("record size 48"), std::string::npos) << error;
     std::remove(path.c_str());
 }
 

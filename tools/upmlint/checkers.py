@@ -39,9 +39,9 @@ Finding = namedtuple("Finding", ["path", "line", "checker", "message"])
 # they are exempt; common/rng is the one sanctioned randomness source.
 SIM_LAYERS = ("src/vm/", "src/mem/", "src/cache/", "src/tlb/",
               "src/uvm/", "src/core/", "src/hip/", "src/trace/",
-              "src/sched/")
+              "src/sched/", "src/serve/")
 
-HOOK_POINTERS = ("aud", "tr", "inj", "cal")
+HOOK_POINTERS = ("aud", "tr", "inj", "cal", "obs")
 
 UNORDERED_TYPES = ("unordered_map", "unordered_set", "unordered_multimap",
                    "unordered_multiset")

@@ -1,0 +1,83 @@
+// UPMLint fixture: seeded violations of the serving-node contracts.
+//
+// The fake src/serve/ path puts this file under the determinism and
+// hook contracts. Two hazard classes from the UPMServe port:
+//
+//  1. Wall-clock arrivals. An open-loop arrival process must derive
+//     its gaps from the seeded common/rng streams; sampling
+//     steady_clock (or rand()) makes the request history -- and every
+//     latency percentile downstream -- non-reproducible.
+//
+//  2. Unguarded `obs->` dereferences. The ServeObserver is a
+//     null-checked hook exactly like tr/aud/inj/cal: the node runs
+//     observer-free unless one is attached, so every notification
+//     site must be dominated by a null check.
+
+#include <chrono>
+#include <unordered_map>
+
+namespace upm::fixture {
+
+using SimTime = double;
+
+struct FakeObserver
+{
+    void onAdmit(unsigned tenant, bool queued);
+    void onShed(unsigned tenant);
+    void onDegrade(unsigned tier);
+};
+
+struct TenantState
+{
+    SimTime readyAt = 0.0;
+};
+
+class ServingBreaker
+{
+  public:
+    SimTime
+    wallClockArrival()
+    {
+        // The open-loop hazard: gap timing from the host clock.
+        auto t = std::chrono::steady_clock::now();    // upmlint-expect: determinism
+        (void)t;
+        return 1.0 + rand() % 7;                      // upmlint-expect: determinism
+    }
+
+    void
+    unguardedObserverUse(unsigned tenant)
+    {
+        obs->onAdmit(tenant, false);                  // upmlint-expect: hooks
+        if (obs->onShed(tenant), tenant > 0)          // upmlint-expect: hooks
+            obs->onDegrade(1);                        // upmlint-expect: hooks
+    }
+
+    void
+    guardedObserverUseIsFine(unsigned tenant)
+    {
+        if (obs)
+            obs->onAdmit(tenant, true);
+        if (obs != nullptr) {
+            obs->onShed(tenant);
+            obs->onDegrade(2);
+        }
+        if (!obs)
+            return;
+        obs->onDegrade(3);
+    }
+
+    void
+    unorderedTenantScan()
+    {
+        // Hash order must not pick the eviction victim.
+        for (auto &entry : tenantsById) {             // upmlint-expect: determinism
+            entry.second.readyAt += 1.0;
+        }
+    }
+
+  private:
+    std::unordered_map<unsigned, TenantState> tenantsById;
+    FakeObserver *obs = nullptr;
+};
+
+} // namespace upm::fixture

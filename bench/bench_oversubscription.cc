@@ -155,11 +155,15 @@ runUpmPoint(const Config &c, double fraction, std::uint64_t capacity)
 }
 
 UvmPoint
-runUvmPoint(double fraction, std::uint64_t capacity)
+runUvmPoint(double fraction, std::uint64_t capacity,
+            policy::EvictionKind eviction)
 {
     // Discrete-GPU UVM with device memory equal to the APU capacity:
-    // the same working set, with overcommit allowed.
-    uvm::UvmSimulator sim(capacity);
+    // the same working set, with overcommit allowed. The victim
+    // policy is the --policy flag's (default lru, the pre-policy
+    // behaviour, byte-identical).
+    uvm::UvmSimulator sim(capacity, eviction,
+                          policy::PolicyConfig().seed);
     std::uint64_t working_set = static_cast<std::uint64_t>(
         static_cast<double>(capacity) * fraction);
     std::uint64_t h = sim.allocManaged(working_set);
@@ -189,7 +193,9 @@ main(int argc, char **argv)
 {
     auto opt = bench::Options::parse(argc, argv, /*allow_audit=*/false,
                                      /*allow_inject=*/false,
-                                     /*allow_oversubscribe=*/true);
+                                     /*allow_oversubscribe=*/true,
+                                     /*allow_sockets=*/false,
+                                     /*allow_policy=*/true);
     setQuiet(true);
     bench::banner("Oversubscription survival (Sections 2.1/7)",
                   "UPM clean OOM vs UVM LRU-eviction degradation");
@@ -213,9 +219,11 @@ main(int argc, char **argv)
     });
 
     // Phase 2: UVM baseline per fraction (cheap; serial).
+    const std::string uvm_label =
+        std::string("uvm-") + policy::evictionKindName(opt.policyKind);
     std::vector<UvmPoint> uvm(fractions.size());
     for (std::size_t i = 0; i < fractions.size(); ++i)
-        uvm[i] = runUvmPoint(fractions[i], capacity);
+        uvm[i] = runUvmPoint(fractions[i], capacity, opt.policyKind);
 
     int failures = 0;
     std::printf("UPM (capacity %s): structured OOM, no overcommit\n",
@@ -270,13 +278,13 @@ main(int argc, char **argv)
     for (std::size_t fi = 0; fi < fractions.size(); ++fi) {
         const UvmPoint &p = uvm[fi];
         std::printf("%-16s %8.2fx %12s %12s %10llu %12llu\n",
-                    "uvm-lru", fractions[fi],
+                    uvm_label.c_str(), fractions[fi],
                     bench::fmtTime(p.firstPass).c_str(),
                     bench::fmtTime(p.secondPass).c_str(),
                     static_cast<unsigned long long>(p.evictions),
                     static_cast<unsigned long long>(p.migratedPages));
         json.point()
-            .param("config", std::string("uvm-lru"))
+            .param("config", uvm_label)
             .param("fraction", strprintf("%.2f", fractions[fi]))
             .param("capacity_bytes", capacity)
             .metric("first_pass_ns", p.firstPass)

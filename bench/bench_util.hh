@@ -26,6 +26,7 @@
 #include "common/units.hh"
 #include "core/system.hh"
 #include "exec/task_pool.hh"
+#include "policy/policy.hh"
 #include "trace/chrome_export.hh"
 #include "trace/tracer.hh"
 
@@ -98,6 +99,13 @@ struct Options
      *  configuration. 0 = the bench's full socket-count sweep. */
     unsigned sockets = 0;
 
+    /** --policy NAME (benches that allow it): run only the named
+     *  eviction policy (lru / lfu / random / predictive). When unset,
+     *  policy benches sweep all of them and other benches keep their
+     *  hard-wired default (lru). */
+    bool policySet = false;
+    policy::EvictionKind policyKind = policy::EvictionKind::Lru;
+
     // UPMTrace flags (every bench).
     std::string tracePath;  //!< --trace <path>; empty = tracing off
     /** --trace-filter <layer,...>; default all layers. */
@@ -108,7 +116,7 @@ struct Options
     static Options
     parse(int argc, char **argv, bool allow_audit = false,
           bool allow_inject = false, bool allow_oversubscribe = false,
-          bool allow_sockets = false)
+          bool allow_sockets = false, bool allow_policy = false)
     {
         Options opt;
         for (int i = 1; i < argc; ++i) {
@@ -178,12 +186,26 @@ struct Options
                     std::exit(2);
                 }
                 opt.sockets = static_cast<unsigned>(v);
+            } else if (allow_policy &&
+                       std::strcmp(arg, "--policy") == 0 &&
+                       i + 1 < argc) {
+                const char *name = argv[++i];
+                if (!policy::parseEvictionKind(name,
+                                               &opt.policyKind)) {
+                    std::fprintf(stderr,
+                                 "--policy: unknown eviction policy "
+                                 "'%s' (lru, lfu, random, "
+                                 "predictive)\n",
+                                 name);
+                    std::exit(2);
+                }
+                opt.policySet = true;
             } else {
                 std::fprintf(stderr,
                              "usage: %s [--json <path>] [--workers N] "
                              "[--smoke] [--trace <path>] "
                              "[--trace-filter <layer,...>] "
-                             "[--trace-ring [cap]]%s%s%s%s\n",
+                             "[--trace-ring [cap]]%s%s%s%s%s\n",
                              argv[0], allow_audit ? " [--audit]" : "",
                              allow_inject
                                  ? " [--inject] [--inject-seed S]"
@@ -192,7 +214,8 @@ struct Options
                              allow_oversubscribe
                                  ? " [--oversubscribe F]"
                                  : "",
-                             allow_sockets ? " [--sockets N]" : "");
+                             allow_sockets ? " [--sockets N]" : "",
+                             allow_policy ? " [--policy NAME]" : "");
                 std::exit(2);
             }
         }

@@ -1,0 +1,225 @@
+#include "policy/eviction.hh"
+
+#include "common/log.hh"
+
+namespace upm::policy {
+
+// ---------------------------------------------------------------- LRU
+
+void
+LruEviction::insert(PageKey key, std::uint64_t tick)
+{
+    auto [it, fresh] = pages.emplace(key, tick);
+    if (!fresh)
+        panic("LRU insert of an already-tracked page");
+    order.emplace(tick, key);
+}
+
+void
+LruEviction::touch(PageKey key, std::uint64_t tick)
+{
+    auto it = pages.find(key);
+    if (it == pages.end())
+        panic("LRU touch of an untracked page");
+    order.erase({it->second, key});
+    it->second = tick;
+    order.emplace(tick, key);
+}
+
+void
+LruEviction::remove(PageKey key)
+{
+    auto it = pages.find(key);
+    if (it == pages.end())
+        panic("LRU remove of an untracked page");
+    order.erase({it->second, key});
+    pages.erase(it);
+}
+
+PageKey
+LruEviction::evict()
+{
+    if (order.empty())
+        panic("LRU eviction with no resident pages");
+    auto victim = *order.begin();
+    PageKey key = std::get<1>(victim);
+    order.erase(order.begin());
+    pages.erase(key);
+    return key;
+}
+
+// ---------------------------------------------------------------- LFU
+
+void
+LfuEviction::insert(PageKey key, std::uint64_t tick)
+{
+    auto [it, fresh] = pages.emplace(key, Node{1, tick});
+    if (!fresh)
+        panic("LFU insert of an already-tracked page");
+    order.emplace(1, tick, key);
+}
+
+void
+LfuEviction::touch(PageKey key, std::uint64_t tick)
+{
+    auto it = pages.find(key);
+    if (it == pages.end())
+        panic("LFU touch of an untracked page");
+    order.erase({it->second.freq, it->second.stamp, key});
+    ++it->second.freq;
+    it->second.stamp = tick;
+    order.emplace(it->second.freq, it->second.stamp, key);
+}
+
+void
+LfuEviction::remove(PageKey key)
+{
+    auto it = pages.find(key);
+    if (it == pages.end())
+        panic("LFU remove of an untracked page");
+    order.erase({it->second.freq, it->second.stamp, key});
+    pages.erase(it);
+}
+
+PageKey
+LfuEviction::evict()
+{
+    if (order.empty())
+        panic("LFU eviction with no resident pages");
+    auto victim = *order.begin();
+    PageKey key = std::get<2>(victim);
+    order.erase(order.begin());
+    pages.erase(key);
+    return key;
+}
+
+// ------------------------------------------------------------- Random
+
+void
+RandomEviction::insert(PageKey key, std::uint64_t tick)
+{
+    (void)tick;
+    if (!pages.emplace(key, slots.size()).second)
+        panic("random-eviction insert of an already-tracked page");
+    slots.push_back(key);
+}
+
+void
+RandomEviction::touch(PageKey key, std::uint64_t tick)
+{
+    (void)tick;
+    if (pages.count(key) == 0)
+        panic("random-eviction touch of an untracked page");
+}
+
+void
+RandomEviction::swapRemove(std::size_t slot)
+{
+    if (slot + 1 != slots.size()) {
+        slots[slot] = slots.back();
+        pages[slots[slot]] = slot;
+    }
+    slots.pop_back();
+}
+
+void
+RandomEviction::remove(PageKey key)
+{
+    auto it = pages.find(key);
+    if (it == pages.end())
+        panic("random-eviction remove of an untracked page");
+    std::size_t slot = it->second;
+    pages.erase(it);
+    swapRemove(slot);
+}
+
+PageKey
+RandomEviction::evict()
+{
+    if (pages.empty())
+        panic("random eviction with no resident pages");
+    std::size_t slot =
+        static_cast<std::size_t>(rng.nextBelow(slots.size()));
+    PageKey key = slots[slot];
+    pages.erase(key);
+    swapRemove(slot);
+    return key;
+}
+
+// --------------------------------------------------------- Predictive
+
+std::uint64_t
+PredictiveEviction::predictedNext(const Node &node)
+{
+    if (node.ewmaGap == kNeverReused)
+        return kNeverReused;
+    std::uint64_t next = node.stamp + node.ewmaGap;
+    return next < node.stamp ? kNeverReused : next;  // overflow clamp
+}
+
+void
+PredictiveEviction::insert(PageKey key, std::uint64_t tick)
+{
+    auto [it, fresh] = pages.emplace(key, Node{tick, kNeverReused});
+    if (!fresh)
+        panic("predictive insert of an already-tracked page");
+    order.emplace(~predictedNext(it->second), it->second.stamp, key);
+}
+
+void
+PredictiveEviction::touch(PageKey key, std::uint64_t tick)
+{
+    auto it = pages.find(key);
+    if (it == pages.end())
+        panic("predictive touch of an untracked page");
+    Node &node = it->second;
+    order.erase({~predictedNext(node), node.stamp, key});
+    std::uint64_t gap = tick - node.stamp;
+    node.ewmaGap = node.ewmaGap == kNeverReused
+                       ? gap
+                       : (3 * node.ewmaGap + gap) / 4;
+    node.stamp = tick;
+    order.emplace(~predictedNext(node), node.stamp, key);
+}
+
+void
+PredictiveEviction::remove(PageKey key)
+{
+    auto it = pages.find(key);
+    if (it == pages.end())
+        panic("predictive remove of an untracked page");
+    order.erase({~predictedNext(it->second), it->second.stamp, key});
+    pages.erase(it);
+}
+
+PageKey
+PredictiveEviction::evict()
+{
+    if (order.empty())
+        panic("predictive eviction with no resident pages");
+    auto victim = *order.begin();
+    PageKey key = std::get<2>(victim);
+    order.erase(order.begin());
+    pages.erase(key);
+    return key;
+}
+
+// ------------------------------------------------------------ factory
+
+std::unique_ptr<EvictionPolicy>
+makeEviction(EvictionKind kind, std::uint64_t seed)
+{
+    switch (kind) {
+      case EvictionKind::Lru:
+        return std::make_unique<LruEviction>();
+      case EvictionKind::Lfu:
+        return std::make_unique<LfuEviction>();
+      case EvictionKind::Random:
+        return std::make_unique<RandomEviction>(seed);
+      case EvictionKind::Predictive:
+        return std::make_unique<PredictiveEviction>();
+    }
+    panic("unknown eviction kind %u", static_cast<unsigned>(kind));
+}
+
+} // namespace upm::policy

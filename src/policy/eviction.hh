@@ -1,0 +1,216 @@
+/**
+ * @file
+ * EvictionPolicy: victim selection under memory pressure.
+ *
+ * The pre-policy simulator had exactly one eviction strategy, an LRU
+ * list buried inside uvm::UvmSimulator. This interface lifts victim
+ * selection out so LRU / LFU / seeded-random / predictive variants
+ * are interchangeable behind one contract:
+ *
+ *  - the caller reports residency changes (insert / touch / remove)
+ *    with a monotonically non-decreasing logical tick;
+ *  - evict() deterministically picks a victim, removes it from the
+ *    policy's bookkeeping, and returns it;
+ *  - every policy breaks ties by the lowest PageKey, so the victim
+ *    sequence is a pure function of the access stream (and, for
+ *    Random, the seed) -- never of container representation.
+ *
+ * LRU compatibility gate: with per-call ticks, (stamp asc, key asc)
+ * ordering reproduces the retired uvm list-LRU byte for byte. Pages
+ * touched by the same call share a stamp and were list-appended in
+ * ascending page order, so the list head was always the lowest key of
+ * the oldest stamp -- exactly what the explicit tie-break picks. The
+ * differential tests in tests/policy_diff_test.cc pin both this and
+ * the slow reference-model oracle for every variant.
+ */
+
+#ifndef UPM_POLICY_EVICTION_HH
+#define UPM_POLICY_EVICTION_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hh"
+#include "policy/policy.hh"
+
+namespace upm::policy {
+
+/**
+ * Victim selection interface. Implementations are single-threaded
+ * model objects, like the simulators that own them.
+ */
+class EvictionPolicy
+{
+  public:
+    virtual ~EvictionPolicy() = default;
+
+    /** @p key became resident at logical time @p tick. The key must
+     *  not already be tracked. */
+    virtual void insert(PageKey key, std::uint64_t tick) = 0;
+
+    /** A tracked @p key was accessed at @p tick. */
+    virtual void touch(PageKey key, std::uint64_t tick) = 0;
+
+    /** @p key left residency for a non-eviction reason (free,
+     *  explicit migration); drop it from the bookkeeping. */
+    virtual void remove(PageKey key) = 0;
+
+    /** Pick the victim, remove it, and return it. Panics when no
+     *  page is tracked. */
+    virtual PageKey evict() = 0;
+
+    /** Pages currently tracked. */
+    virtual std::uint64_t size() const = 0;
+
+    /** True when @p key is tracked. */
+    virtual bool contains(PageKey key) const = 0;
+
+    virtual EvictionKind kind() const = 0;
+    const char *name() const { return evictionKindName(kind()); }
+};
+
+/**
+ * LRU: victim = oldest stamp, lowest key on ties. Bit-identical to
+ * the retired uvm list LRU (see file comment), and the explicit
+ * tie-break makes the choice representation-independent -- the fix
+ * for the old evictOne() tying on map-iteration order.
+ */
+class LruEviction : public EvictionPolicy
+{
+  public:
+    void insert(PageKey key, std::uint64_t tick) override;
+    void touch(PageKey key, std::uint64_t tick) override;
+    void remove(PageKey key) override;
+    PageKey evict() override;
+    std::uint64_t size() const override { return pages.size(); }
+    bool contains(PageKey key) const override
+    {
+        return pages.count(key) != 0;
+    }
+    EvictionKind kind() const override { return EvictionKind::Lru; }
+
+  private:
+    /** (last-access stamp, key), ordered ascending: begin() is the
+     *  victim. */
+    std::set<std::tuple<std::uint64_t, PageKey>> order;
+    std::map<PageKey, std::uint64_t> pages;  //!< key -> stamp
+};
+
+/**
+ * LFU: victim = lowest access frequency; ties fall back to the least
+ * recent stamp, then the lowest key.
+ */
+class LfuEviction : public EvictionPolicy
+{
+  public:
+    void insert(PageKey key, std::uint64_t tick) override;
+    void touch(PageKey key, std::uint64_t tick) override;
+    void remove(PageKey key) override;
+    PageKey evict() override;
+    std::uint64_t size() const override { return pages.size(); }
+    bool contains(PageKey key) const override
+    {
+        return pages.count(key) != 0;
+    }
+    EvictionKind kind() const override { return EvictionKind::Lfu; }
+
+  private:
+    struct Node
+    {
+        std::uint64_t freq = 0;
+        std::uint64_t stamp = 0;
+    };
+    /** (freq, stamp, key) ascending: begin() is the victim. */
+    std::set<std::tuple<std::uint64_t, std::uint64_t, PageKey>> order;
+    std::map<PageKey, Node> pages;
+};
+
+/**
+ * Seeded-random: victim = uniform SplitMix64 draw over the tracked
+ * keys, held in a swap-remove vector (the standard O(1) random-
+ * eviction structure). The vector's order -- and therefore the victim
+ * sequence -- is a pure function of the insert/remove/evict stream
+ * and the seed, never of container internals; two policies built with
+ * the same seed and fed the same stream pick the same victims.
+ */
+class RandomEviction : public EvictionPolicy
+{
+  public:
+    explicit RandomEviction(std::uint64_t seed) : rng(seed) {}
+
+    void insert(PageKey key, std::uint64_t tick) override;
+    void touch(PageKey key, std::uint64_t tick) override;
+    void remove(PageKey key) override;
+    PageKey evict() override;
+    std::uint64_t size() const override { return pages.size(); }
+    bool contains(PageKey key) const override
+    {
+        return pages.count(key) != 0;
+    }
+    EvictionKind kind() const override { return EvictionKind::Random; }
+
+  private:
+    /** Drop slot @p slot by swapping the last key into it. */
+    void swapRemove(std::size_t slot);
+
+    SplitMix64 rng;
+    std::vector<PageKey> slots;
+    std::map<PageKey, std::size_t> pages;  //!< key -> slot index
+};
+
+/**
+ * Predictive: per-page EWMA of the inter-access gap predicts the next
+ * touch; the victim is the page whose predicted next touch is
+ * furthest in the future (largest predicted tick), with never-reused
+ * pages treated as infinitely far. Ties fall back to the oldest
+ * stamp, then the lowest key. Integer arithmetic throughout
+ * (ewma' = (3*ewma + gap) / 4), so predictions are exact and
+ * platform-independent.
+ */
+class PredictiveEviction : public EvictionPolicy
+{
+  public:
+    void insert(PageKey key, std::uint64_t tick) override;
+    void touch(PageKey key, std::uint64_t tick) override;
+    void remove(PageKey key) override;
+    PageKey evict() override;
+    std::uint64_t size() const override { return pages.size(); }
+    bool contains(PageKey key) const override
+    {
+        return pages.count(key) != 0;
+    }
+    EvictionKind kind() const override
+    {
+        return EvictionKind::Predictive;
+    }
+
+    /** Predicted-next-touch sentinel for pages never re-accessed. */
+    static constexpr std::uint64_t kNeverReused = ~0ull;
+
+  private:
+    struct Node
+    {
+        std::uint64_t stamp = 0;
+        /** EWMA inter-access gap; kNeverReused until the first
+         *  re-touch. */
+        std::uint64_t ewmaGap = kNeverReused;
+    };
+    static std::uint64_t predictedNext(const Node &node);
+    /** (distance-descending key, stamp, key): begin() is the victim.
+     *  The first component stores ~predictedNext so the plain
+     *  ascending set order puts the furthest prediction first. */
+    std::set<std::tuple<std::uint64_t, std::uint64_t, PageKey>> order;
+    std::map<PageKey, Node> pages;
+};
+
+/** Build an eviction policy. @p seed feeds the seeded variants. */
+std::unique_ptr<EvictionPolicy> makeEviction(EvictionKind kind,
+                                             std::uint64_t seed);
+
+} // namespace upm::policy
+
+#endif // UPM_POLICY_EVICTION_HH

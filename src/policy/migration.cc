@@ -1,0 +1,86 @@
+#include "policy/migration.hh"
+
+#include "common/log.hh"
+
+namespace upm::policy {
+
+void
+HotColdMigration::onResident(PageKey key, Tier tier)
+{
+    auto [it, fresh] = pages.emplace(key, Node{tier, 0, 0});
+    if (!fresh) {
+        if (it->second.tier == tier)
+            return;  // re-report in place; nothing moved
+        if (it->second.tier == Tier::Fast)
+            --fastCount;
+        it->second.tier = tier;
+        it->second.accesses = 0;
+    }
+    if (tier == Tier::Fast)
+        ++fastCount;
+}
+
+void
+HotColdMigration::onRemove(PageKey key)
+{
+    // Untracked keys are tolerated: callers may report removals for
+    // pages that predate the engine being wired.
+    auto it = pages.find(key);
+    if (it == pages.end())
+        return;
+    if (it->second.tier == Tier::Fast)
+        --fastCount;
+    pages.erase(it);
+}
+
+void
+HotColdMigration::onAccess(PageKey key, std::uint64_t tick)
+{
+    auto it = pages.find(key);
+    if (it == pages.end())
+        return;
+    ++it->second.accesses;
+    it->second.lastTick = tick;
+}
+
+std::vector<MigrationAction>
+HotColdMigration::decide(std::uint64_t tick)
+{
+    std::vector<MigrationAction> actions;
+    // Promotions first: the fast tier is where accesses are cheap, so
+    // hot pages take priority over housekeeping demotions.
+    for (const auto &[key, node] : pages) {
+        if (actions.size() >= cfg.maxMovesPerStep)
+            return actions;
+        if (node.tier == Tier::Slow && node.accesses >= cfg.hotThreshold)
+            actions.push_back({key, Tier::Fast});
+    }
+    for (const auto &[key, node] : pages) {
+        if (actions.size() >= cfg.maxMovesPerStep)
+            return actions;
+        if (node.tier == Tier::Fast &&
+            tick - node.lastTick >= cfg.coldTicks)
+            actions.push_back({key, Tier::Slow});
+    }
+    return actions;
+}
+
+std::uint64_t
+HotColdMigration::residentIn(Tier tier) const
+{
+    return tier == Tier::Fast ? fastCount : pages.size() - fastCount;
+}
+
+std::unique_ptr<MigrationPolicy>
+makeMigration(MigrationKind kind, const MigrationConfig &config)
+{
+    switch (kind) {
+      case MigrationKind::Off:
+        return std::make_unique<NullMigration>();
+      case MigrationKind::HotCold:
+        return std::make_unique<HotColdMigration>(config);
+    }
+    panic("unknown migration kind %u", static_cast<unsigned>(kind));
+}
+
+} // namespace upm::policy

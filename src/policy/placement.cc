@@ -1,0 +1,43 @@
+#include "policy/placement.hh"
+
+#include "common/log.hh"
+
+namespace upm::policy {
+
+PlaceDecision
+HomePlacement::choose(const PlaceRequest &req) const
+{
+    return {req.homeSocket % req.numSockets, req.cursor};
+}
+
+PlaceDecision
+FirstTouchPlacement::choose(const PlaceRequest &req) const
+{
+    return {req.accessSocket % req.numSockets, req.cursor};
+}
+
+PlaceDecision
+InterleavePlacement::choose(const PlaceRequest &req) const
+{
+    unsigned s = req.cursor % req.numSockets;
+    return {s, (s + 1) % req.numSockets};
+}
+
+std::unique_ptr<PlacementPolicy>
+makePlacement(PlacementKind kind)
+{
+    switch (kind) {
+      case PlacementKind::Home:
+        return std::make_unique<HomePlacement>();
+      case PlacementKind::FirstTouch:
+        return std::make_unique<FirstTouchPlacement>();
+      case PlacementKind::Interleave:
+        return std::make_unique<InterleavePlacement>();
+      case PlacementKind::Inherit:
+        break;
+    }
+    panic("no placement policy for kind %u",
+          static_cast<unsigned>(kind));
+}
+
+} // namespace upm::policy

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * PlacementPolicy: socket choice at map/populate time.
+ *
+ * Subsumes vm::SocketPolicy. The address space keeps its mechanism
+ * (shard lookup, chunking, the per-VMA interleave cursor) and asks the
+ * policy only the pure question "which socket?". Each concrete policy
+ * reproduces the corresponding legacy SocketPolicy arm of
+ * AddressSpace::sourceFor() exactly -- the placement-parity tests in
+ * tests/policy_test.cc pin that equivalence -- so switching a VMA from
+ * the legacy enum to an engine override cannot change frame sources.
+ *
+ * PlacementKind::Inherit deliberately has no class here: it means "no
+ * override", and the address space never consults the engine for it.
+ */
+
+#ifndef UPM_POLICY_PLACEMENT_HH
+#define UPM_POLICY_PLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "policy/policy.hh"
+
+namespace upm::policy {
+
+/** Everything a placement decision may depend on. */
+struct PlaceRequest
+{
+    /** Socket issuing the map/populate/fault (AddressSpace
+     *  curSocket). */
+    unsigned accessSocket = 0;
+    /** The VMA's configured home socket. */
+    unsigned homeSocket = 0;
+    /** Socket count of the backing node; always >= 1. */
+    unsigned numSockets = 1;
+    /** The VMA's rotating interleave cursor (vm::Vma::nextSocket). */
+    unsigned cursor = 0;
+};
+
+/** The chosen socket plus the advanced interleave cursor. */
+struct PlaceDecision
+{
+    unsigned socket = 0;
+    /** Value the caller should store back into the VMA cursor;
+     *  unchanged for non-rotating policies. */
+    unsigned nextCursor = 0;
+
+    bool operator==(const PlaceDecision &) const = default;
+};
+
+/** Socket-choice interface; implementations are stateless and pure. */
+class PlacementPolicy
+{
+  public:
+    virtual ~PlacementPolicy() = default;
+
+    virtual PlaceDecision choose(const PlaceRequest &req) const = 0;
+
+    virtual PlacementKind kind() const = 0;
+    const char *name() const { return placementKindName(kind()); }
+};
+
+/** Every page on the VMA's home socket (SocketPolicy::Home). */
+class HomePlacement : public PlacementPolicy
+{
+  public:
+    PlaceDecision choose(const PlaceRequest &req) const override;
+    PlacementKind kind() const override { return PlacementKind::Home; }
+};
+
+/** Pages land on the faulting socket (SocketPolicy::FirstTouch). */
+class FirstTouchPlacement : public PlacementPolicy
+{
+  public:
+    PlaceDecision choose(const PlaceRequest &req) const override;
+    PlacementKind kind() const override
+    {
+        return PlacementKind::FirstTouch;
+    }
+};
+
+/** Chunked round-robin via the VMA cursor
+ *  (SocketPolicy::Interleave). */
+class InterleavePlacement : public PlacementPolicy
+{
+  public:
+    PlaceDecision choose(const PlaceRequest &req) const override;
+    PlacementKind kind() const override
+    {
+        return PlacementKind::Interleave;
+    }
+};
+
+/** Build a placement policy; panics on PlacementKind::Inherit (no
+ *  override has no policy object). */
+std::unique_ptr<PlacementPolicy> makePlacement(PlacementKind kind);
+
+} // namespace upm::policy
+
+#endif // UPM_POLICY_PLACEMENT_HH

@@ -67,6 +67,15 @@ TraceReplayer::apply(const trace::TraceEvent &ev)
         replayMetrics.faultServicePages += ev.b;
         replayMetrics.faultServiceTimeNs += ev.value;
         break;
+      case EventKind::PolicyPlace:
+        ++replayMetrics.policyPlaces;
+        break;
+      case EventKind::PolicyMigrate:
+        ++replayMetrics.policyMigrates;
+        break;
+      case EventKind::PolicyEvict:
+        ++replayMetrics.policyEvicts;
+        break;
       default:
         break; // diagnostic events carry no replayed state
     }

@@ -57,6 +57,13 @@ struct ReplayMetrics
     SimTime faultServiceTimeNs = 0.0;
     std::uint64_t framesAllocated = 0;
     std::uint64_t framesFreed = 0;
+    /** UPMPolicy decisions recorded in the trace (PolicyPlace /
+     *  PolicyMigrate / PolicyEvict). Not part of the upmreplay JSON
+     *  surface -- policy-off traces carry none, and the live-vs-replay
+     *  comparison gate keys on the legacy metric set. */
+    std::uint64_t policyPlaces = 0;
+    std::uint64_t policyMigrates = 0;
+    std::uint64_t policyEvicts = 0;
     /** Events seen per emitting layer (indexed by trace::Layer). */
     std::array<std::uint64_t, trace::kNumLayers> perLayer{};
     std::uint64_t eventsApplied = 0;

@@ -54,6 +54,9 @@ eventKindName(EventKind kind)
       case EventKind::Degrade: return "degrade";
       case EventKind::ProcessSpawn: return "process_spawn";
       case EventKind::ProcessExit: return "process_exit";
+      case EventKind::PolicyPlace: return "policy_place";
+      case EventKind::PolicyMigrate: return "policy_migrate";
+      case EventKind::PolicyEvict: return "policy_evict";
     }
     return "?";
 }
@@ -73,6 +76,9 @@ layerOf(EventKind kind)
       case EventKind::FaultService:
       case EventKind::ColdFault:
       case EventKind::PagePlace:
+      case EventKind::PolicyPlace:
+      case EventKind::PolicyMigrate:
+      case EventKind::PolicyEvict:
         return Layer::Vm;
       case EventKind::FrameAlloc:
       case EventKind::FrameFree:
@@ -201,6 +207,15 @@ argNamesOf(EventKind kind)
       case EventKind::ProcessExit:
         return {{"pid", "tenant", "crashed", "pages_reclaimed",
                  nullptr},
+                nullptr};
+      case EventKind::PolicyPlace:
+        return {{"space", "page", "socket", "placement", nullptr},
+                nullptr};
+      case EventKind::PolicyMigrate:
+        return {{"space", "page", "tier", "migration", nullptr},
+                nullptr};
+      case EventKind::PolicyEvict:
+        return {{"space", "page", "eviction", "resident", nullptr},
                 nullptr};
     }
     return {{nullptr, nullptr, nullptr, nullptr, nullptr}, nullptr};

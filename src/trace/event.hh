@@ -107,6 +107,17 @@ enum class EventKind : std::uint8_t {
     ProcessSpawn,  //!< a=pid, b=tenant, c=live processes
     ProcessExit,   //!< a=pid, b=tenant, c=1 if crash-killed,
                    //!< d=pages reclaimed
+
+    // UPMPolicy events (appended so packed kind ids stay stable).
+    // Emitted into the vm layer: policy decisions are placement /
+    // residency decisions, and a new Layer would change
+    // kAllLayersMask and every layer-filter surface.
+    PolicyPlace,   //!< a=space, b=page/vpn, c=chosen socket,
+                   //!< d=PlacementKind
+    PolicyMigrate, //!< a=space, b=page, c=destination tier,
+                   //!< d=MigrationKind
+    PolicyEvict,   //!< a=space, b=victim page, c=EvictionKind,
+                   //!< d=resident pages after eviction
 };
 
 const char *eventKindName(EventKind kind);

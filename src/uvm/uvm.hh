@@ -9,22 +9,36 @@
  * migrations entirely. This module implements that baseline so the
  * comparison the paper argues from can be measured inside upmsim:
  * per-page residency tracking, fault-driven migration with batched
- * service costs, LRU eviction under device-memory pressure (UVM's one
+ * service costs, eviction under device-memory pressure (UVM's one
  * advantage: overcommit works), and thrashing when the working set
  * exceeds device memory.
+ *
+ * Victim selection routes through policy::EvictionPolicy. The default
+ * (EvictionKind::Lru with a per-access-call logical tick) is
+ * bit-identical to the list LRU this simulator originally hard-coded
+ * -- see the equivalence note in policy/eviction.hh and the
+ * differential tests -- while LFU / seeded-random / predictive
+ * variants become drop-in A/B candidates for bench_policy. An
+ * optional policy::PolicyEngine (`pol`, null-checked like every other
+ * hook) observes the access stream and can drive hot/cold migration
+ * between host and device via migrationStep().
  */
 
 #ifndef UPM_UVM_UVM_HH
 #define UPM_UVM_UVM_HH
 
 #include <cstdint>
-#include <list>
 #include <map>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "common/clock.hh"
 #include "common/units.hh"
+#include "policy/eviction.hh"
+
+namespace upm::policy {
+class PolicyEngine;
+}
 
 namespace upm::uvm {
 
@@ -51,7 +65,8 @@ enum class Residency : std::uint8_t { Host, Device };
 /**
  * Functional+timing model of a UVM-managed address space on a discrete
  * GPU with limited device memory. Managed regions migrate page-wise on
- * access; device-memory pressure evicts LRU pages back to the host.
+ * access; device-memory pressure evicts pages back to the host
+ * according to the configured eviction policy.
  */
 class UvmSimulator
 {
@@ -64,6 +79,12 @@ class UvmSimulator
     explicit UvmSimulator(std::uint64_t device_memory_bytes,
                           const UvmCosts &costs = UvmCosts());
 
+    /** As above with an explicit victim-selection policy. @p seed
+     *  feeds the seeded policies (EvictionKind::Random). */
+    UvmSimulator(std::uint64_t device_memory_bytes,
+                 policy::EvictionKind eviction, std::uint64_t seed,
+                 const UvmCosts &costs = UvmCosts());
+
     /** cudaMallocManaged-style allocation (host-resident initially). */
     std::uint64_t allocManaged(std::uint64_t bytes);
 
@@ -72,8 +93,8 @@ class UvmSimulator
 
     /**
      * GPU kernel touches [offset, offset+bytes) of @p handle: migrate
-     * non-resident pages to the device (evicting LRU pages if full),
-     * then stream at device bandwidth.
+     * non-resident pages to the device (evicting if full), then
+     * stream at device bandwidth.
      * @return simulated time charged.
      */
     SimTime gpuAccess(std::uint64_t handle, std::uint64_t offset,
@@ -82,6 +103,25 @@ class UvmSimulator
     /** CPU touches a range: migrate device-resident pages back. */
     SimTime cpuAccess(std::uint64_t handle, std::uint64_t offset,
                       std::uint64_t bytes);
+
+    /**
+     * Wire (or unwire, with nullptr) a policy engine. The engine
+     * observes residency and the access stream keyed {handle, page}
+     * and can drive hot/cold migration; null keeps this simulator
+     * byte-identical to the unhooked build.
+     */
+    void setPolicyEngine(policy::PolicyEngine *engine) { pol = engine; }
+    policy::PolicyEngine *policyEngine() const { return pol; }
+
+    /**
+     * Apply one bounded batch of moves proposed by the wired engine's
+     * migration policy: promotions page host-resident pages onto the
+     * device (only while capacity is free -- migration never evicts),
+     * demotions push device-resident pages back. No-op without an
+     * engine or with MigrationKind::Off.
+     * @return simulated migration time charged.
+     */
+    SimTime migrationStep();
 
     /** Pages currently resident on the device. */
     std::uint64_t deviceResidentPages() const { return residentPages; }
@@ -93,6 +133,11 @@ class UvmSimulator
 
     std::uint64_t deviceCapacityPages() const { return capacityPages; }
 
+    policy::EvictionKind evictionKind() const
+    {
+        return victims->kind();
+    }
+
   private:
     struct Region
     {
@@ -101,15 +146,15 @@ class UvmSimulator
         std::vector<Residency> residency;
     };
 
-    /** Key of a device-resident page in the LRU. */
-    using PageKey = std::pair<std::uint64_t, std::uint64_t>;
-
     /** Migration cost of @p pages pages (batched faults + link). */
     SimTime migrationTime(std::uint64_t pages) const;
-    /** Evict the LRU page (must exist). */
+    /** Evict the policy's victim (a page must be resident). */
     void evictOne();
     /** Move a page to the device, evicting if needed. */
     void pageInToDevice(std::uint64_t handle, std::uint64_t page);
+    /** Device -> host for one resident page (shared by cpuAccess and
+     *  demotion). */
+    void pageOutToHost(Region &region, policy::PageKey key);
 
     UvmCosts cost;
     std::uint64_t capacityPages;
@@ -118,9 +163,15 @@ class UvmSimulator
     std::map<std::uint64_t, Region> regions;
     std::uint64_t nextHandle = 1;
 
-    /** LRU of device-resident pages: front == oldest. */
-    std::list<PageKey> lru;
-    std::map<PageKey, std::list<PageKey>::iterator> lruIndex;
+    /** Victim selection over device-resident pages, keyed
+     *  {handle, page}. */
+    std::unique_ptr<policy::EvictionPolicy> victims;
+    /** Logical clock: one tick per gpuAccess / cpuAccess call, so all
+     *  pages touched by one call share a stamp (the LRU-list
+     *  equivalence depends on this). */
+    std::uint64_t tick = 0;
+
+    policy::PolicyEngine *pol = nullptr;  //!< null-checked hook
 
     std::uint64_t toDevice = 0;
     std::uint64_t toHost = 0;

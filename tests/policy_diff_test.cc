@@ -1,0 +1,492 @@
+/**
+ * @file
+ * Differential policy tests.
+ *
+ * Two oracles pin the eviction policies:
+ *
+ *  1. A slow reference model -- a flat entry vector scanned linearly
+ *     per decision, sharing no code or data structure with
+ *     policy/eviction.cc -- is driven through 16 seeded random op
+ *     streams per policy kind. Victim sequences must match exactly.
+ *     (For Random, the reference replays the specified semantics --
+ *     a seeded draw over an insertion-ordered swap-remove array --
+ *     with its own independent bookkeeping.)
+ *
+ *  2. A verbatim copy of the pre-policy uvm list-LRU simulator (the
+ *     std::list + iterator-map implementation this PR retired) runs
+ *     the bench_uvm_comparison scenarios next to today's
+ *     UvmSimulator. Every simulated time and counter must be
+ *     byte-identical: the stamp-ordered LruEviction IS the old list,
+ *     not an approximation of it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <list>
+#include <map>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "exec/task_pool.hh"
+#include "mem/geometry.hh"
+#include "policy/eviction.hh"
+#include "uvm/uvm.hh"
+
+namespace upm::policy {
+namespace {
+
+// ---- Oracle 1: slow reference model -------------------------------------
+
+/** Flat-scan reference: one entry per tracked page, victim found by a
+ *  full O(n) scan per decision. */
+class ReferenceModel
+{
+  public:
+    ReferenceModel(EvictionKind kind, std::uint64_t seed)
+        : evKind(kind), rng(seed)
+    {}
+
+    void
+    insert(PageKey key, std::uint64_t tick)
+    {
+        entries.push_back({key, tick, 1, kNever});
+        order.push_back(key);
+    }
+
+    void
+    touch(PageKey key, std::uint64_t tick)
+    {
+        Entry &e = *find(key);
+        std::uint64_t gap = tick - e.stamp;
+        e.ewmaGap = e.ewmaGap == kNever ? gap : (3 * e.ewmaGap + gap) / 4;
+        ++e.freq;
+        e.stamp = tick;
+    }
+
+    void
+    remove(PageKey key)
+    {
+        entries.erase(find(key));
+        dropFromOrder(key);
+    }
+
+    PageKey
+    evict()
+    {
+        PageKey victim{};
+        switch (evKind) {
+          case EvictionKind::Lru:
+            victim = scan([](const Entry &a, const Entry &b) {
+                return std::tie(a.stamp, a.key) <
+                       std::tie(b.stamp, b.key);
+            });
+            break;
+          case EvictionKind::Lfu:
+            victim = scan([](const Entry &a, const Entry &b) {
+                return std::tie(a.freq, a.stamp, a.key) <
+                       std::tie(b.freq, b.stamp, b.key);
+            });
+            break;
+          case EvictionKind::Predictive:
+            victim = scan([](const Entry &a, const Entry &b) {
+                return std::tuple(~a.predicted(), a.stamp, a.key) <
+                       std::tuple(~b.predicted(), b.stamp, b.key);
+            });
+            break;
+          case EvictionKind::Random:
+            // The specified semantics: a uniform draw over the
+            // insertion-ordered array, swap-removing the winner.
+            victim = order[rng.nextBelow(order.size())];
+            break;
+        }
+        entries.erase(find(victim));
+        dropFromOrder(victim);
+        return victim;
+    }
+
+    std::size_t size() const { return entries.size(); }
+
+  private:
+    static constexpr std::uint64_t kNever = ~0ull;
+
+    struct Entry
+    {
+        PageKey key;
+        std::uint64_t stamp;
+        std::uint64_t freq;
+        std::uint64_t ewmaGap;
+
+        std::uint64_t
+        predicted() const
+        {
+            if (ewmaGap == kNever)
+                return kNever;
+            std::uint64_t next = stamp + ewmaGap;
+            return next < stamp ? kNever : next;
+        }
+    };
+
+    std::vector<Entry>::iterator
+    find(PageKey key)
+    {
+        for (auto it = entries.begin(); it != entries.end(); ++it) {
+            if (it->key == key)
+                return it;
+        }
+        ADD_FAILURE() << "reference model lost a key";
+        return entries.begin();
+    }
+
+    template <typename Less>
+    PageKey
+    scan(Less less) const
+    {
+        const Entry *best = &entries.front();
+        for (const Entry &e : entries) {
+            if (less(e, *best))
+                best = &e;
+        }
+        return best->key;
+    }
+
+    void
+    dropFromOrder(PageKey key)
+    {
+        auto it = std::find(order.begin(), order.end(), key);
+        ASSERT_NE(it, order.end());
+        *it = order.back();
+        order.pop_back();
+    }
+
+    EvictionKind evKind;
+    SplitMix64 rng;
+    std::vector<Entry> entries;
+    /** Insertion-ordered keys with swap-remove (Random semantics). */
+    std::vector<PageKey> order;
+};
+
+/** Drive the real policy and the reference through one identical
+ *  seeded op stream; every victim must match. */
+void
+differentialRun(EvictionKind kind, std::uint64_t seed)
+{
+    constexpr std::uint64_t kPolicySeed = 0xfeedbeefu;
+    auto real = makeEviction(kind, kPolicySeed);
+    ReferenceModel ref(kind, kPolicySeed);
+
+    SplitMix64 ops(seed);
+    std::set<PageKey> tracked;  // op-stream generator's mirror
+    std::uint64_t tick = 0;
+    std::uint64_t evictions = 0;
+
+    auto randomTracked = [&]() {
+        auto it = tracked.begin();
+        std::advance(it, static_cast<std::ptrdiff_t>(
+                             ops.nextBelow(tracked.size())));
+        return *it;
+    };
+
+    for (int op = 0; op < 4000; ++op) {
+        tick += ops.next() % 2;  // ~half the ops share a tick: ties
+        std::uint64_t roll = ops.next() % 100;
+        if (roll < 45) {
+            PageKey key{1 + ops.next() % 2, ops.next() % 96};
+            if (tracked.count(key)) {
+                real->touch(key, tick);
+                ref.touch(key, tick);
+            } else {
+                real->insert(key, tick);
+                ref.insert(key, tick);
+                tracked.insert(key);
+            }
+        } else if (roll < 60 && !tracked.empty()) {
+            PageKey key = randomTracked();
+            real->remove(key);
+            ref.remove(key);
+            tracked.erase(key);
+        } else if (roll < 85 && !tracked.empty()) {
+            PageKey victim = real->evict();
+            PageKey expect = ref.evict();
+            ASSERT_EQ(victim, expect)
+                << evictionKindName(kind) << " seed " << seed
+                << " op " << op;
+            ASSERT_EQ(tracked.erase(victim), 1u);
+            ++evictions;
+        } else if (!tracked.empty()) {
+            PageKey key = randomTracked();
+            real->touch(key, tick);
+            ref.touch(key, tick);
+        }
+        ASSERT_EQ(real->size(), ref.size());
+    }
+    // The stream must actually have exercised eviction.
+    EXPECT_GT(evictions, 100u) << evictionKindName(kind);
+}
+
+TEST(PolicyDiff, EveryKindMatchesReferenceAcross16Seeds)
+{
+    for (EvictionKind kind :
+         {EvictionKind::Lru, EvictionKind::Lfu, EvictionKind::Random,
+          EvictionKind::Predictive}) {
+        for (std::uint64_t s = 0; s < 16; ++s)
+            differentialRun(kind, exec::taskSeed(0xd1ff'5eedull, s));
+    }
+}
+
+// ---- Oracle 2: the retired list-LRU uvm simulator -----------------------
+
+/**
+ * Verbatim port of the pre-policy uvm::UvmSimulator (std::list LRU +
+ * iterator index), kept here as the byte-identity oracle. Only names
+ * changed; every statement and cost formula is the original.
+ */
+class ListLruUvm
+{
+  public:
+    using PageKeyPair = std::pair<std::uint64_t, std::uint64_t>;
+
+    explicit ListLruUvm(std::uint64_t device_memory_bytes,
+                        const uvm::UvmCosts &costs = uvm::UvmCosts())
+        : cost(costs),
+          capacityPages(device_memory_bytes / mem::kPageSize)
+    {
+        if (capacityPages == 0)
+            fatal("UVM device memory must hold at least one page");
+    }
+
+    std::uint64_t
+    allocManaged(std::uint64_t bytes)
+    {
+        if (bytes == 0)
+            fatal("managed allocation of zero bytes");
+        Region region;
+        region.pages = ceilDiv(bytes, mem::kPageSize);
+        region.residency.assign(region.pages, false);
+        std::uint64_t handle = nextHandle++;
+        regions.emplace(handle, std::move(region));
+        return handle;
+    }
+
+    SimTime
+    gpuAccess(std::uint64_t handle, std::uint64_t offset,
+              std::uint64_t bytes)
+    {
+        Region &region = regions.at(handle);
+        std::uint64_t first = offset / mem::kPageSize;
+        std::uint64_t last = ceilDiv(offset + bytes, mem::kPageSize);
+        std::uint64_t faulted = 0;
+        for (std::uint64_t p = first; p < last; ++p) {
+            if (region.residency[p]) {
+                auto key = PageKeyPair{handle, p};
+                auto lit = lruIndex.find(key);
+                lru.splice(lru.end(), lru, lit->second);
+            } else {
+                region.residency[p] = true;
+                pageInToDevice(handle, p);
+                ++faulted;
+            }
+        }
+        return migrationTime(faulted) +
+               static_cast<double>(bytes) / cost.deviceBandwidth;
+    }
+
+    SimTime
+    cpuAccess(std::uint64_t handle, std::uint64_t offset,
+              std::uint64_t bytes)
+    {
+        Region &region = regions.at(handle);
+        std::uint64_t first = offset / mem::kPageSize;
+        std::uint64_t last = ceilDiv(offset + bytes, mem::kPageSize);
+        std::uint64_t migrated = 0;
+        for (std::uint64_t p = first; p < last; ++p) {
+            if (region.residency[p]) {
+                region.residency[p] = false;
+                auto key = PageKeyPair{handle, p};
+                auto lit = lruIndex.find(key);
+                lru.erase(lit->second);
+                lruIndex.erase(lit);
+                --residentPages;
+                ++migrated;
+                ++toHost;
+            }
+        }
+        return migrationTime(migrated) +
+               static_cast<double>(bytes) / cost.hostBandwidth;
+    }
+
+    std::uint64_t deviceResidentPages() const { return residentPages; }
+    std::uint64_t pagesMigratedToDevice() const { return toDevice; }
+    std::uint64_t pagesMigratedToHost() const { return toHost; }
+    std::uint64_t evictions() const { return evicted; }
+
+  private:
+    struct Region
+    {
+        std::uint64_t pages = 0;
+        std::vector<bool> residency;  //!< true = device
+    };
+
+    struct PairHash
+    {
+        std::size_t
+        operator()(const PageKeyPair &k) const
+        {
+            return std::hash<std::uint64_t>()(k.first * 0x9e3779b9u) ^
+                   std::hash<std::uint64_t>()(k.second);
+        }
+    };
+
+    SimTime
+    migrationTime(std::uint64_t pages) const
+    {
+        if (pages == 0)
+            return 0.0;
+        std::uint64_t batches = ceilDiv(pages, cost.faultBatchPages);
+        return static_cast<double>(batches) * cost.faultBatchOverhead +
+               static_cast<double>(pages) * cost.perPageOverhead +
+               static_cast<double>(pages * mem::kPageSize) /
+                   cost.linkBandwidth;
+    }
+
+    void
+    evictOne()
+    {
+        if (lru.empty())
+            panic("UVM eviction with empty device memory");
+        PageKeyPair victim = lru.front();
+        lru.pop_front();
+        lruIndex.erase(victim);
+        auto it = regions.find(victim.first);
+        if (it != regions.end())
+            it->second.residency[victim.second] = false;
+        --residentPages;
+        ++toHost;
+        ++evicted;
+    }
+
+    void
+    pageInToDevice(std::uint64_t handle, std::uint64_t page)
+    {
+        while (residentPages >= capacityPages)
+            evictOne();
+        auto key = PageKeyPair{handle, page};
+        lru.push_back(key);
+        lruIndex[key] = std::prev(lru.end());
+        ++residentPages;
+        ++toDevice;
+    }
+
+    uvm::UvmCosts cost;
+    std::uint64_t capacityPages;
+    std::uint64_t residentPages = 0;
+    std::map<std::uint64_t, Region> regions;
+    std::uint64_t nextHandle = 1;
+    std::list<PageKeyPair> lru;
+    std::unordered_map<PageKeyPair, std::list<PageKeyPair>::iterator,
+                       PairHash>
+        lruIndex;
+    std::uint64_t toDevice = 0;
+    std::uint64_t toHost = 0;
+    std::uint64_t evicted = 0;
+};
+
+/** Assert both models agree on every counter. */
+void
+expectSameCounters(const uvm::UvmSimulator &now, const ListLruUvm &old)
+{
+    ASSERT_EQ(now.deviceResidentPages(), old.deviceResidentPages());
+    ASSERT_EQ(now.pagesMigratedToDevice(), old.pagesMigratedToDevice());
+    ASSERT_EQ(now.pagesMigratedToHost(), old.pagesMigratedToHost());
+    ASSERT_EQ(now.evictions(), old.evictions());
+}
+
+/** The bench_uvm_comparison iterative CPU-update / GPU-compute loop:
+ *  both implementations must price every call byte-identically. */
+void
+uvmComparisonScenario(double update_fraction,
+                      std::uint64_t device_bytes)
+{
+    constexpr std::uint64_t kArray = 256 * MiB;
+    constexpr unsigned kIters = 10;
+    uvm::UvmSimulator now(device_bytes);
+    ListLruUvm old(device_bytes);
+    std::uint64_t hn = now.allocManaged(kArray);
+    std::uint64_t ho = old.allocManaged(kArray);
+    std::uint64_t updated =
+        static_cast<std::uint64_t>(kArray * update_fraction);
+    for (unsigned i = 0; i < kIters; ++i) {
+        ASSERT_EQ(now.cpuAccess(hn, 0, updated),
+                  old.cpuAccess(ho, 0, updated));
+        ASSERT_EQ(now.gpuAccess(hn, 0, kArray),
+                  old.gpuAccess(ho, 0, kArray));
+        expectSameCounters(now, old);
+    }
+}
+
+TEST(PolicyDiff, LruMatchesRetiredListOnUvmComparisonLoops)
+{
+    uvmComparisonScenario(1.0, 8 * GiB);
+    uvmComparisonScenario(0.1, 8 * GiB);
+}
+
+TEST(PolicyDiff, LruMatchesRetiredListUnderOvercommitThrash)
+{
+    // The bench's overcommit scenario: working set 1.5x device memory,
+    // four full passes of LRU thrashing.
+    constexpr std::uint64_t kArray = 256 * MiB;
+    uvm::UvmSimulator now(kArray * 2 / 3);
+    ListLruUvm old(kArray * 2 / 3);
+    std::uint64_t hn = now.allocManaged(kArray);
+    std::uint64_t ho = old.allocManaged(kArray);
+    for (unsigned i = 0; i < 4; ++i) {
+        ASSERT_EQ(now.gpuAccess(hn, 0, kArray),
+                  old.gpuAccess(ho, 0, kArray));
+        expectSameCounters(now, old);
+    }
+    EXPECT_GT(now.evictions(), 0u);
+}
+
+TEST(PolicyDiff, LruMatchesRetiredListUnderMixedWindowedTraffic)
+{
+    // Seeded mixed GPU/CPU windows, partial ranges, interleaved
+    // regions: the access pattern the clean loops above don't cover.
+    constexpr std::uint64_t kRegion = 16 * MiB;
+    for (std::uint64_t s = 0; s < 4; ++s) {
+        uvm::UvmSimulator now(8 * MiB);
+        ListLruUvm old(8 * MiB);
+        std::uint64_t hn1 = now.allocManaged(kRegion);
+        std::uint64_t hn2 = now.allocManaged(kRegion);
+        std::uint64_t ho1 = old.allocManaged(kRegion);
+        std::uint64_t ho2 = old.allocManaged(kRegion);
+        SplitMix64 rng(exec::taskSeed(0x11571138ull, s));
+        for (int op = 0; op < 400; ++op) {
+            bool second = rng.next() % 2;
+            std::uint64_t hn = second ? hn2 : hn1;
+            std::uint64_t ho = second ? ho2 : ho1;
+            std::uint64_t pages = kRegion / mem::kPageSize;
+            std::uint64_t page = rng.next() % pages;
+            std::uint64_t span = 1 + rng.next() % 1024;
+            std::uint64_t off = page * mem::kPageSize;
+            std::uint64_t bytes =
+                std::min(span * mem::kPageSize, kRegion - off);
+            if (rng.next() % 4 == 0) {
+                ASSERT_EQ(now.cpuAccess(hn, off, bytes),
+                          old.cpuAccess(ho, off, bytes));
+            } else {
+                ASSERT_EQ(now.gpuAccess(hn, off, bytes),
+                          old.gpuAccess(ho, off, bytes));
+            }
+            expectSameCounters(now, old);
+        }
+    }
+}
+
+} // namespace
+} // namespace upm::policy

@@ -39,9 +39,9 @@ Finding = namedtuple("Finding", ["path", "line", "checker", "message"])
 # they are exempt; common/rng is the one sanctioned randomness source.
 SIM_LAYERS = ("src/vm/", "src/mem/", "src/cache/", "src/tlb/",
               "src/uvm/", "src/core/", "src/hip/", "src/trace/",
-              "src/sched/", "src/serve/")
+              "src/sched/", "src/serve/", "src/policy/")
 
-HOOK_POINTERS = ("aud", "tr", "inj", "cal", "obs")
+HOOK_POINTERS = ("aud", "tr", "inj", "cal", "obs", "pol")
 
 UNORDERED_TYPES = ("unordered_map", "unordered_set", "unordered_multimap",
                    "unordered_multiset")

@@ -1,0 +1,107 @@
+// UPMLint fixture: seeded violations of the UPMPolicy contracts.
+//
+// The fake src/policy/ path puts this file under the simulation-layer
+// determinism rules and the hook contract. Three hazard classes from
+// the policy engine port:
+//
+//  1. Unguarded `pol->` dereferences. The policy engine is a
+//     null-checked hook exactly like aud/tr/inj/cal/obs: every layer
+//     runs policy-free unless an engine is wired, so every
+//     dereference must be dominated by a null check or the unwired
+//     byte-identity guarantee is one segfault away.
+//
+//  2. Unordered containers over policy decision state. Victim choice
+//     and migration batches must be pure functions of the access
+//     stream; iterating an unordered hot-set to pick moves makes the
+//     decision sequence depend on hash layout.
+//
+//  3. Wall-clock reads. Policies rank pages by the LOGICAL tick fed
+//     through the engine, never by host time.
+
+#include <chrono>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace upm::fixture {
+
+struct FakePolicyEngine
+{
+    void advanceTick();
+    void noteAccess(unsigned long long space, unsigned long long page);
+    unsigned long long tick() const;
+};
+
+class PolicyBreaker
+{
+  public:
+    void
+    unguardedHookUse(unsigned long long page)
+    {
+        pol->advanceTick();                           // upmlint-expect: hooks
+        pol->noteAccess(0, page);                     // upmlint-expect: hooks
+    }
+
+    void
+    guardedHookUseIsFine(unsigned long long page)
+    {
+        if (pol != nullptr)
+            pol->advanceTick();
+        if (pol) {
+            pol->noteAccess(0, page);
+            pol->advanceTick();
+        }
+    }
+
+    unsigned long long
+    unorderedVictimScan()
+    {
+        // The victim-choice hazard: min-scan over an unordered
+        // hot-set makes the decision depend on hash layout.
+        unsigned long long coldest = ~0ull;
+        for (auto &entry : hotPages) {                // upmlint-expect: determinism
+            if (entry.second < coldest)
+                coldest = entry.second;
+        }
+        for (auto page : demotionQueue) {             // upmlint-expect: determinism
+            if (page < coldest)
+                coldest = page;
+        }
+        return coldest;
+    }
+
+    unsigned long long
+    orderedVictimScanIsFine() const
+    {
+        unsigned long long coldest = ~0ull;
+        for (auto &entry : stampedPages) {
+            if (entry.second < coldest)
+                coldest = entry.second;
+        }
+        return coldest;
+    }
+
+    unsigned long long
+    wallClockRanking()
+    {
+        // Policies rank by the engine's logical tick, never host time.
+        auto now = std::chrono::steady_clock::now();  // upmlint-expect: determinism
+        return static_cast<unsigned long long>(
+            now.time_since_epoch().count());
+    }
+
+    unsigned long long
+    logicalTickRankingIsFine() const
+    {
+        return pol ? pol->tick() : 0;
+    }
+
+  private:
+    std::unordered_map<unsigned long long, unsigned long long> hotPages;
+    std::unordered_set<unsigned long long> demotionQueue;
+    std::map<unsigned long long, unsigned long long> stampedPages;
+    FakePolicyEngine *pol = nullptr;
+};
+
+} // namespace upm::fixture
